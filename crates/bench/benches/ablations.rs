@@ -1,0 +1,211 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * FR-FCFS (open-page) vs FCFS (closed-page) DRAM scheduling;
+//! * hybrid-locality LLC replacement honoured vs ignored;
+//! * GMAC asynchronous copies vs forced-synchronous copies;
+//! * the PCI aperture vs a plain PCI-E memcpy for LRB-shaped traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_core::experiment::ExperimentConfig;
+use hetmem_core::EvaluatedSystem;
+use hetmem_sim::{
+    CommCosts, DramPolicy, FabricKind, SynchronousFabric, System, SystemConfig,
+};
+use hetmem_trace::kernels::{Kernel, KernelParams};
+use std::hint::black_box;
+
+fn dram_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dram_policy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let params = KernelParams::scaled(64);
+    for policy in [DramPolicy::FrFcfs, DramPolicy::Fcfs] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let trace = Kernel::Reduction.generate(&params);
+                b.iter(|| {
+                    let mut cfg = SystemConfig::baseline();
+                    cfg.dram.policy = policy;
+                    let mut sys = System::new(&cfg);
+                    let mut comm =
+                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn llc_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_llc_locality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let params = KernelParams::scaled(64);
+    for honored in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if honored { "honored" } else { "plain_lru" }),
+            &honored,
+            |b, &honored| {
+                let trace = Kernel::Convolution.generate(&params);
+                b.iter(|| {
+                    let cfg = SystemConfig::baseline();
+                    let mut sys = if honored {
+                        System::new(&cfg)
+                    } else {
+                        System::without_llc_locality(&cfg)
+                    };
+                    let mut comm =
+                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn gmac_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gmac_async");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let cfg = ExperimentConfig::scaled(64);
+    let params = KernelParams::scaled(64);
+    let trace = Kernel::Reduction.generate(&params);
+    group.bench_function("async_on", |b| {
+        b.iter(|| {
+            let mut sys = System::with_costs(&cfg.system, cfg.costs);
+            let mut comm = EvaluatedSystem::Gmac.comm_model(cfg.costs);
+            black_box(sys.run(&trace, &mut comm).communication_ticks)
+        });
+    });
+    group.bench_function("async_off_sync_pci", |b| {
+        b.iter(|| {
+            let mut sys = System::with_costs(&cfg.system, cfg.costs);
+            let mut comm = SynchronousFabric::new(FabricKind::PciExpress, cfg.costs);
+            black_box(sys.run(&trace, &mut comm).communication_ticks)
+        });
+    });
+    group.finish();
+}
+
+fn aperture_vs_pci(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_aperture");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let cfg = ExperimentConfig::scaled(64);
+    let params = KernelParams::scaled(64);
+    let trace = Kernel::KMeans.generate(&params);
+    group.bench_function("lrb_aperture", |b| {
+        b.iter(|| {
+            let mut sys = System::with_costs(&cfg.system, cfg.costs);
+            let mut comm = EvaluatedSystem::Lrb.comm_model(cfg.costs);
+            black_box(sys.run(&trace, &mut comm).communication_ticks)
+        });
+    });
+    group.bench_function("plain_pci", |b| {
+        b.iter(|| {
+            let mut sys = System::with_costs(&cfg.system, cfg.costs);
+            let mut comm = SynchronousFabric::new(FabricKind::PciExpress, cfg.costs);
+            black_box(sys.run(&trace, &mut comm).communication_ticks)
+        });
+    });
+    group.finish();
+}
+
+fn l2_prefetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_l2_prefetch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let params = KernelParams::scaled(64);
+    for degree in [0u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("degree_{degree}")),
+            &degree,
+            |b, &degree| {
+                let trace = Kernel::Reduction.generate(&params);
+                b.iter(|| {
+                    let mut cfg = SystemConfig::baseline();
+                    cfg.cpu.l2_prefetch_degree = degree;
+                    let mut sys = System::new(&cfg);
+                    let mut comm =
+                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn gpu_page_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gpu_page_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let params = KernelParams::scaled(64);
+    for page in [4_096u64, 2 * 1024 * 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{page}B")),
+            &page,
+            |b, &page| {
+                let trace = Kernel::Dct.generate(&params);
+                b.iter(|| {
+                    let mut cfg = SystemConfig::baseline();
+                    cfg.mmu.gpu_page_bytes = page;
+                    let mut sys = System::new(&cfg);
+                    let mut comm =
+                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn noc_topology(c: &mut Criterion) {
+    use hetmem_sim::NocTopology;
+    let mut group = c.benchmark_group("ablation_noc_topology");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let params = KernelParams::scaled(64);
+    for topo in [NocTopology::Ring, NocTopology::Crossbar, NocTopology::Bus] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{topo:?}")),
+            &topo,
+            |b, &topo| {
+                let trace = Kernel::KMeans.generate(&params);
+                b.iter(|| {
+                    let mut cfg = SystemConfig::baseline();
+                    cfg.noc.topology = topo;
+                    let mut sys = System::new(&cfg);
+                    let mut comm =
+                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    dram_policy,
+    llc_locality,
+    gmac_async,
+    aperture_vs_pci,
+    l2_prefetch,
+    gpu_page_size,
+    noc_topology
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench regenerating Figure 5's cells: each evaluated system
+//! simulating each kernel (down-scaled inputs so a full sweep stays fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_core::experiment::{run_case_study, ExperimentConfig};
+use hetmem_core::EvaluatedSystem;
+use hetmem_trace::kernels::Kernel;
+use std::hint::black_box;
+
+fn fig5(c: &mut Criterion) {
+    let cfg = ExperimentConfig::scaled(64);
+    let mut group = c.benchmark_group("fig5_case_studies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for kernel in Kernel::ALL {
+        for system in EvaluatedSystem::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name().replace(' ', "_"), system.name()),
+                &(system, kernel),
+                |b, &(system, kernel)| {
+                    b.iter(|| black_box(run_case_study(system, kernel, &cfg)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

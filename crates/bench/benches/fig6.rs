@@ -1,0 +1,35 @@
+//! Criterion bench regenerating Figure 6: communication overhead per
+//! system, on the three kernels the paper calls out as
+//! communication-heavy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_core::experiment::{run_case_study, ExperimentConfig};
+use hetmem_core::EvaluatedSystem;
+use hetmem_trace::kernels::Kernel;
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let cfg = ExperimentConfig::scaled(64);
+    let mut group = c.benchmark_group("fig6_comm_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for kernel in [Kernel::Reduction, Kernel::MergeSort, Kernel::KMeans] {
+        for system in EvaluatedSystem::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name().replace(' ', "_"), system.name()),
+                &(system, kernel),
+                |b, &(system, kernel)| {
+                    b.iter(|| {
+                        let run = run_case_study(system, kernel, &cfg);
+                        black_box(run.report.communication_ticks)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

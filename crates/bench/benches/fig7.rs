@@ -1,0 +1,32 @@
+//! Criterion bench regenerating Figure 7: each address-space option under
+//! idealized communication — their times should be statistically
+//! indistinguishable, which the bench output makes visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_core::experiment::{run_address_space, ExperimentConfig};
+use hetmem_core::AddressSpace;
+use hetmem_trace::kernels::Kernel;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let cfg = ExperimentConfig::scaled(64);
+    let mut group = c.benchmark_group("fig7_address_spaces");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for kernel in Kernel::ALL {
+        for space in AddressSpace::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name().replace(' ', "_"), space.abbrev()),
+                &(space, kernel),
+                |b, &(space, kernel)| {
+                    b.iter(|| black_box(run_address_space(space, kernel, &cfg)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the locality-management study: the three
+//! shared-locality variants on the reuse-under-streaming workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_core::experiment::ExperimentConfig;
+use hetmem_core::{run_locality_study, SharedLocalityVariant};
+use std::hint::black_box;
+
+fn locality_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locality_study");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let cfg = ExperimentConfig::scaled(32);
+    // One bench per variant: run the full study and extract the variant's
+    // simulated time so criterion's report mirrors the study table.
+    for variant in SharedLocalityVariant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant}").replace(' ', "_")),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let rows = run_locality_study(&cfg);
+                    black_box(
+                        rows.iter()
+                            .find(|r| r.variant == variant)
+                            .map(|r| r.total_ticks),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, locality_study);
+criterion_main!(benches);

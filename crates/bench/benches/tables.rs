@@ -1,0 +1,61 @@
+//! Criterion bench regenerating the paper's tables: trace generation and
+//! characteristics (Table III), the lowering-based LoC metric (Table V),
+//! and the catalog queries (Table I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_dsl::{loc_table, lower, programs, AddressSpace};
+use hetmem_trace::kernels::{Kernel, KernelParams};
+use std::hint::black_box;
+
+fn table3_characteristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_characteristics");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let params = KernelParams::scaled(16);
+    for kernel in Kernel::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name().replace(' ', "_")),
+            &kernel,
+            |b, &kernel| {
+                b.iter(|| black_box(kernel.generate(&params).characteristics()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn table5_loc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_loc");
+    group.bench_function("full_table", |b| b.iter(|| black_box(loc_table())));
+    for model in AddressSpace::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("lower_all_kernels", model.abbrev()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    for p in programs::all() {
+                        black_box(lower(&p, model).comm_overhead_lines());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn table1_catalog(c: &mut Criterion) {
+    c.bench_function("table1_catalog_query", |b| {
+        b.iter(|| {
+            let cat = hetmem_core::catalog();
+            black_box(
+                cat.iter()
+                    .filter(|e| e.space == hetmem_core::CatalogSpace::Disjoint)
+                    .count(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, table3_characteristics, table5_loc, table1_catalog);
+criterion_main!(benches);

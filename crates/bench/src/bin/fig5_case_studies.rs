@@ -1,0 +1,20 @@
+//! Regenerates Figure 5: execution-time breakdown (sequential / parallel /
+//! communication) for the five evaluated heterogeneous systems on all six
+//! kernels.
+
+use hetmem_core::experiment::{run_case_studies, ExperimentConfig};
+use hetmem_core::report::render_figure5;
+
+fn main() {
+    let scale = hetmem_bench::scale_arg(1);
+    hetmem_bench::section(&format!(
+        "Figure 5: evaluation of five heterogeneous architecture configurations (scale {scale})"
+    ));
+    let cfg = ExperimentConfig::scaled(scale);
+    let runs = run_case_studies(&cfg);
+    println!("{}", render_figure5(&runs));
+    println!("Expected shape (paper):");
+    println!(" - parallel computation dominates every kernel;");
+    println!(" - CPU+GPU, LRB and GMAC run longer than Fusion and IDEAL-HETERO;");
+    println!(" - reduction, merge sort and k-mean show the largest communication shares.");
+}

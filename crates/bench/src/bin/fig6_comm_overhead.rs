@@ -1,0 +1,18 @@
+//! Regenerates Figure 6: the communication overhead alone, for the five
+//! evaluated systems on all six kernels.
+
+use hetmem_core::experiment::{run_case_studies, ExperimentConfig};
+use hetmem_core::report::render_figure6;
+
+fn main() {
+    let scale = hetmem_bench::scale_arg(1);
+    hetmem_bench::section(&format!(
+        "Figure 6: communication overhead for the evaluated systems (scale {scale})"
+    ));
+    let cfg = ExperimentConfig::scaled(scale);
+    let runs = run_case_studies(&cfg);
+    println!("{}", render_figure6(&runs));
+    println!("Expected shape (paper): CPU+GPU > LRB > GMAC >> Fusion > IDEAL-HETERO (= 0);");
+    println!("GMAC hides most of its copies behind computation; Fusion's memory-controller");
+    println!("copies are cheap relative to PCI-E.");
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 7: the four memory-address-space options under
+//! idealized communication (shared cache, free transfers), isolating the
+//! address-space design itself — which the paper shows does not affect
+//! performance.
+
+use hetmem_core::experiment::{run_address_spaces, ExperimentConfig};
+use hetmem_core::report::render_figure7;
+
+fn main() {
+    let scale = hetmem_bench::scale_arg(1);
+    hetmem_bench::section(&format!(
+        "Figure 7: memory address space options with ideal communication (scale {scale})"
+    ));
+    let cfg = ExperimentConfig::scaled(scale);
+    let runs = run_address_spaces(&cfg);
+    println!("{}", render_figure7(&runs));
+    println!("Expected shape (paper): all four options within noise of each other — the");
+    println!("address-space design itself does not affect performance; it is about");
+    println!("programmability (Table V) and hardware design options.");
+}

@@ -1,0 +1,47 @@
+//! Regenerates Table I: the survey of existing heterogeneous-computing
+//! memory systems.
+
+use hetmem_core::report::TextTable;
+use hetmem_core::{catalog, CatalogSpace};
+
+fn main() {
+    hetmem_bench::section("Table I: summary of heterogeneous computing memory systems");
+    let mut table = TextTable::new(&[
+        "scheme",
+        "address space",
+        "connection",
+        "coherence",
+        "shared data",
+        "consistency",
+        "synchronization",
+        "locality",
+    ]);
+    for e in catalog() {
+        table.row(vec![
+            e.name.to_owned(),
+            e.space.to_string(),
+            e.connection.to_string(),
+            e.coherence.to_owned(),
+            e.shared_data.to_owned(),
+            e.consistency.to_string(),
+            e.synchronization.to_owned(),
+            e.locality.to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The observation the paper draws from the table.
+    let unified_fully_coherent_strong = catalog()
+        .iter()
+        .filter(|e| e.space == CatalogSpace::Unified && e.fully_coherent)
+        .count();
+    println!(
+        "Systems with a unified, fully-coherent, strongly-consistent memory: {}",
+        unified_fully_coherent_strong
+    );
+    println!(
+        "Disjoint-space systems: {} of {}",
+        hetmem_core::by_space(CatalogSpace::Disjoint).len(),
+        catalog().len()
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates Table II: the baseline system configuration.
+
+use hetmem_sim::{ClockDomain, SystemConfig};
+
+fn main() {
+    hetmem_bench::section("Table II: baseline system configuration");
+    let c = SystemConfig::baseline();
+    println!("CPU: 1 core, {:.1} GHz, out-of-order, gshare", ClockDomain::CPU.frequency_hz() as f64 / 1e9);
+    println!(
+        "  issue width {}, ROB {} entries, mispredict penalty {} cycles",
+        c.cpu.issue_width, c.cpu.rob_entries, c.cpu.mispredict_penalty
+    );
+    println!(
+        "  L1D: {}-way {} KB ({}-cycle)   L2: {}-way {} KB ({}-cycle)",
+        c.cpu.l1d.associativity,
+        c.cpu.l1d.capacity_bytes / 1024,
+        c.cpu.l1d.latency_cycles,
+        c.cpu.l2.associativity,
+        c.cpu.l2.capacity_bytes / 1024,
+        c.cpu.l2.latency_cycles
+    );
+    println!(
+        "GPU: 1 core, {:.1} GHz, in-order, {}-wide SIMD, stall on branch ({} cycles)",
+        ClockDomain::GPU.frequency_hz() as f64 / 1e9,
+        c.gpu.simd_width,
+        c.gpu.branch_stall_cycles
+    );
+    println!(
+        "  L1D: {}-way {} KB ({}-cycle)   scratchpad: {} KB s/w managed ({}-cycle)",
+        c.gpu.l1d.associativity,
+        c.gpu.l1d.capacity_bytes / 1024,
+        c.gpu.l1d.latency_cycles,
+        c.gpu.scratchpad_bytes / 1024,
+        c.gpu.scratchpad_latency
+    );
+    println!(
+        "L3: {}-way {} MB total ({} tiles, {}-cycle), ring-bus network ({} cycles/hop)",
+        c.llc.tile.associativity,
+        u64::from(c.llc.tiles) * c.llc.tile.capacity_bytes / (1024 * 1024),
+        c.llc.tiles,
+        c.llc.tile.latency_cycles,
+        c.noc.hop_cycles
+    );
+    println!(
+        "DRAM: DDR3-1333, {} controllers, {:?} scheduling, {} banks/channel, {} KB rows",
+        c.dram.channels,
+        c.dram.policy,
+        c.dram.banks_per_channel,
+        c.dram.row_bytes / 1024
+    );
+    println!(
+        "MMU: {} KB CPU pages / {} KB GPU pages, {}-entry TLBs, {}-cycle walks",
+        c.mmu.cpu_page_bytes / 1024,
+        c.mmu.gpu_page_bytes / 1024,
+        c.mmu.tlb_entries,
+        c.mmu.walk_cycles
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates Table IV: the communication-overhead modelling parameters.
+
+use hetmem_core::report::TextTable;
+use hetmem_sim::{CommCosts, FabricKind};
+
+fn main() {
+    hetmem_bench::section("Table IV: parameters of modeling communication overhead");
+    let c = CommCosts::paper();
+    let mut table = TextTable::new(&["name", "description", "system", "latency (CPU cycles)"]);
+    table.row(vec![
+        "api-pci".into(),
+        "mem copy using PCI-E".into(),
+        "CPU+GPU, GMAC".into(),
+        format!("{}+trans_rate", c.api_pci_cycles),
+    ]);
+    table.row(vec![
+        "api-acq".into(),
+        "acquire action".into(),
+        "LRB".into(),
+        c.api_acq_cycles.to_string(),
+    ]);
+    table.row(vec![
+        "api-tr".into(),
+        "data transfer".into(),
+        "LRB".into(),
+        c.api_tr_cycles.to_string(),
+    ]);
+    table.row(vec![
+        "lib-pf".into(),
+        "page fault".into(),
+        "LRB".into(),
+        c.lib_pf_cycles.to_string(),
+    ]);
+    println!("{}", table.render());
+    println!("trans_rate = {} GB/s (PCI-E 2.0)", c.pci_bytes_per_sec as f64 / 1e9);
+
+    hetmem_bench::section("Derived end-to-end transfer costs (320512 B, the reduction input)");
+    let mut derived = TextTable::new(&["fabric", "ticks", "microseconds"]);
+    for f in FabricKind::ALL {
+        let ticks = f.transfer_ticks(320_512, &c);
+        derived.row(vec![
+            f.to_string(),
+            ticks.to_string(),
+            format!("{:.2}", hetmem_sim::ticks_to_ns(ticks) / 1000.0),
+        ]);
+    }
+    println!("{}", derived.render());
+}

@@ -1,0 +1,214 @@
+//! Semantic models of the four address-space design options (§II-A),
+//! including the idealized communication model used for the memory-space
+//! isolation experiment (Figure 7).
+
+use hetmem_dsl::AddressSpace;
+use hetmem_sim::{CommAction, CommCosts, CommModel};
+use hetmem_trace::{CommEvent, MemSpace, PuKind};
+use serde::{Deserialize, Serialize};
+
+/// What a PU may do with an address in a given logical space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Addressability {
+    /// The PU can load/store the address directly.
+    Direct,
+    /// The PU can reach the data only after an explicit transfer into its
+    /// own space.
+    ExplicitTransfer,
+    /// The PU can touch the address only while holding ownership of the
+    /// containing object.
+    OwnershipGated,
+}
+
+/// The semantic model of one address-space option.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressSpaceModel {
+    /// The option being modelled.
+    pub kind: AddressSpace,
+}
+
+impl AddressSpaceModel {
+    /// Creates the model for `kind`.
+    #[must_use]
+    pub fn new(kind: AddressSpace) -> AddressSpaceModel {
+        AddressSpaceModel { kind }
+    }
+
+    /// How `pu` may address data living in `space`.
+    #[must_use]
+    pub fn addressability(&self, pu: PuKind, space: MemSpace) -> Addressability {
+        use Addressability::{Direct, ExplicitTransfer, OwnershipGated};
+        match (self.kind, pu, space) {
+            // Every PU addresses its own private space directly.
+            (_, PuKind::Cpu, MemSpace::CpuPrivate) | (_, PuKind::Gpu, MemSpace::GpuPrivate) => {
+                Direct
+            }
+            // Unified: everything is one space.
+            (AddressSpace::Unified, _, _) => Direct,
+            // Disjoint: the peer's space is reachable only by transfer, and
+            // there is no shared space (treat it as peer memory).
+            (AddressSpace::Disjoint, _, _) => ExplicitTransfer,
+            // Partially shared: the window is ownership-gated for both PUs;
+            // the peer's private space still needs explicit transfers.
+            (AddressSpace::PartiallyShared, _, MemSpace::Shared) => OwnershipGated,
+            (AddressSpace::PartiallyShared, _, _) => ExplicitTransfer,
+            // ADSM: the CPU addresses the whole space including the shared
+            // region; the GPU sees only its own space plus the shared
+            // region mapped into it.
+            (AddressSpace::Adsm, PuKind::Cpu, _) => Direct,
+            (AddressSpace::Adsm, PuKind::Gpu, MemSpace::Shared) => Direct,
+            (AddressSpace::Adsm, PuKind::Gpu, MemSpace::CpuPrivate) => ExplicitTransfer,
+        }
+    }
+
+    /// Whether the option requires page-table mappings for the shared data
+    /// on both PUs (§II-A3's implementation cost discussion).
+    #[must_use]
+    pub fn duplicated_page_tables(&self) -> bool {
+        matches!(self.kind, AddressSpace::Unified | AddressSpace::PartiallyShared)
+    }
+
+    /// Whether only one PU needs to maintain coherent data states (ADSM's
+    /// headline simplification).
+    #[must_use]
+    pub fn single_sided_coherence(&self) -> bool {
+        self.kind == AddressSpace::Adsm
+    }
+}
+
+/// The Figure 7 communication model: an idealized fabric (all systems share
+/// the cache, transfers are free) so that only the *instruction* overhead
+/// each address space adds remains — the point of the experiment being that
+/// this overhead is negligible and the address-space choice by itself does
+/// not affect performance.
+#[derive(Clone, Copy, Debug)]
+pub struct IdealSpaceComm {
+    kind: AddressSpace,
+    costs: CommCosts,
+}
+
+impl IdealSpaceComm {
+    /// Creates the model for `kind` with Table IV instruction costs.
+    #[must_use]
+    pub fn new(kind: AddressSpace, costs: CommCosts) -> IdealSpaceComm {
+        IdealSpaceComm { kind, costs }
+    }
+
+    /// The per-event instruction overhead in CPU cycles.
+    #[must_use]
+    pub fn overhead_cycles(&self) -> u64 {
+        match self.kind {
+            // No API call at all.
+            AddressSpace::Unified => 0,
+            // Release + acquire pair around the use of the shared object.
+            AddressSpace::PartiallyShared => 2 * self.costs.api_acq_cycles,
+            // A memcpy API call whose copy is free through the shared cache.
+            AddressSpace::Disjoint => 2 * self.costs.alloc_cycles,
+            // One ownership-style transition plus the return sync.
+            AddressSpace::Adsm => self.costs.api_acq_cycles + self.costs.sync_cycles,
+        }
+    }
+}
+
+impl CommModel for IdealSpaceComm {
+    fn plan(&mut self, _event: &CommEvent) -> CommAction {
+        match self.overhead_cycles() {
+            0 => CommAction::Elide,
+            cycles => CommAction::Synchronous { ticks: self.costs.cpu_cycles_ticks(cycles) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_trace::{CommKind, TransferDirection};
+
+    #[test]
+    fn private_spaces_always_direct() {
+        for kind in AddressSpace::ALL {
+            let m = AddressSpaceModel::new(kind);
+            assert_eq!(m.addressability(PuKind::Cpu, MemSpace::CpuPrivate), Addressability::Direct);
+            assert_eq!(m.addressability(PuKind::Gpu, MemSpace::GpuPrivate), Addressability::Direct);
+        }
+    }
+
+    #[test]
+    fn unified_is_direct_everywhere() {
+        let m = AddressSpaceModel::new(AddressSpace::Unified);
+        for pu in PuKind::ALL {
+            for space in [MemSpace::CpuPrivate, MemSpace::GpuPrivate, MemSpace::Shared] {
+                assert_eq!(m.addressability(pu, space), Addressability::Direct);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_requires_transfers_across_spaces() {
+        let m = AddressSpaceModel::new(AddressSpace::Disjoint);
+        assert_eq!(
+            m.addressability(PuKind::Gpu, MemSpace::CpuPrivate),
+            Addressability::ExplicitTransfer
+        );
+        assert_eq!(
+            m.addressability(PuKind::Cpu, MemSpace::GpuPrivate),
+            Addressability::ExplicitTransfer
+        );
+    }
+
+    #[test]
+    fn adsm_is_asymmetric() {
+        let m = AddressSpaceModel::new(AddressSpace::Adsm);
+        // The CPU sees everything...
+        assert_eq!(m.addressability(PuKind::Cpu, MemSpace::GpuPrivate), Addressability::Direct);
+        assert_eq!(m.addressability(PuKind::Cpu, MemSpace::Shared), Addressability::Direct);
+        // ...the GPU only its own space plus the mapped shared region.
+        assert_eq!(m.addressability(PuKind::Gpu, MemSpace::Shared), Addressability::Direct);
+        assert_eq!(
+            m.addressability(PuKind::Gpu, MemSpace::CpuPrivate),
+            Addressability::ExplicitTransfer
+        );
+        assert!(m.single_sided_coherence());
+    }
+
+    #[test]
+    fn partially_shared_window_is_ownership_gated() {
+        let m = AddressSpaceModel::new(AddressSpace::PartiallyShared);
+        for pu in PuKind::ALL {
+            assert_eq!(m.addressability(pu, MemSpace::Shared), Addressability::OwnershipGated);
+        }
+        assert!(m.duplicated_page_tables());
+    }
+
+    #[test]
+    fn ideal_space_overheads_are_tiny_and_ordered() {
+        let costs = CommCosts::paper();
+        let oh = |k| IdealSpaceComm::new(k, costs).overhead_cycles();
+        assert_eq!(oh(AddressSpace::Unified), 0);
+        assert!(oh(AddressSpace::PartiallyShared) > 0);
+        // All overheads are orders of magnitude below a real PCI transfer.
+        for k in AddressSpace::ALL {
+            assert!(oh(k) < costs.api_pci_cycles / 10, "{k}");
+        }
+    }
+
+    #[test]
+    fn ideal_space_model_plans_accordingly() {
+        let costs = CommCosts::paper();
+        let ev = CommEvent {
+            direction: TransferDirection::HostToDevice,
+            bytes: 1 << 20,
+            kind: CommKind::InitialInput,
+            addr: 0,
+        };
+        let mut uni = IdealSpaceComm::new(AddressSpace::Unified, costs);
+        assert_eq!(uni.plan(&ev), CommAction::Elide);
+        let mut pas = IdealSpaceComm::new(AddressSpace::PartiallyShared, costs);
+        match pas.plan(&ev) {
+            CommAction::Synchronous { ticks } => {
+                assert_eq!(ticks, costs.cpu_cycles_ticks(2 * costs.api_acq_cycles));
+            }
+            other => panic!("expected synchronous, got {other:?}"),
+        }
+    }
+}

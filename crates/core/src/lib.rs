@@ -1,0 +1,58 @@
+//! # hetmem-core
+//!
+//! The paper's primary contribution rebuilt as a library: design-space
+//! exploration of memory models for heterogeneous (CPU+GPU) computing.
+//!
+//! * [`AddressSpaceModel`] — semantics of the four address-space options
+//!   (unified / disjoint / partially shared / ADSM, §II-A).
+//! * [`OwnershipTracker`] — the partially shared space's ownership protocol
+//!   checker (§II-A3).
+//! * [`LocalityScheme`] — the locality-management taxonomy (§II-B),
+//!   including the hybrid second-level-cache scheme.
+//! * [`catalog`] — the Table I survey of thirteen existing systems.
+//! * [`EvaluatedSystem`] — the five case-study systems of Figures 5–6 with
+//!   their communication models (synchronous PCI-E, LRB aperture +
+//!   ownership + page faults, GMAC asynchronous copies, Fusion memory
+//!   controller, ideal).
+//! * [`DesignPoint`] — enumeration of the full design space with validity
+//!   constraints.
+//! * [`experiment`] — runners that regenerate the paper's figures on the
+//!   `hetmem-sim` substrate.
+//!
+//! ## Example
+//!
+//! ```
+//! use hetmem_core::experiment::{run_case_study, ExperimentConfig};
+//! use hetmem_core::EvaluatedSystem;
+//! use hetmem_trace::kernels::Kernel;
+//!
+//! let cfg = ExperimentConfig::scaled(256); // small input for the example
+//! let run = run_case_study(EvaluatedSystem::Fusion, Kernel::Reduction, &cfg);
+//! assert!(run.report.total_ticks() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address_space;
+mod catalog;
+pub mod consistency;
+mod design_space;
+pub mod experiment;
+mod locality;
+pub mod locality_study;
+pub mod metrics;
+mod ownership;
+mod presets;
+pub mod report;
+
+pub use address_space::{Addressability, AddressSpaceModel, IdealSpaceComm};
+pub use catalog::{by_space, catalog, CatalogSpace, Connection, Consistency, SystemEntry};
+pub use consistency::{allows, enumerate_outcomes, ConsistencyModel, Op, Outcome};
+pub use design_space::{CoherenceOption, DesignPoint};
+pub use hetmem_dsl::AddressSpace;
+pub use locality::{LocalityControl, LocalityScheme, SharedLocality};
+pub use locality_study::{run_locality_study, LocalityStudyRow, SharedLocalityVariant};
+pub use metrics::{evaluate_energy, evaluate_systems, hardware_cost, pareto_frontier, programmer_burden, EnergyEval, Evaluation};
+pub use ownership::{OwnershipError, OwnershipTracker};
+pub use presets::{EvaluatedSystem, GmacModel, LrbModel, PresetCommModel};

@@ -1,0 +1,271 @@
+//! Locality-management schemes (§II-B of the paper).
+//!
+//! Locality in each PU's private caches and in the shared space can be
+//! managed *implicitly* (hardware caching) or *explicitly* (programmer
+//! `push`es). The paper enumerates the interesting combinations — including
+//! the hybrid second-level cache whose replacement logic carries a locality
+//! bit (implemented in `hetmem-sim`'s cache) — and argues that the
+//! partially shared address space admits the most combinations.
+
+use hetmem_dsl::AddressSpace;
+use serde::{Deserialize, Serialize};
+
+/// Who manages locality at one level of the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LocalityControl {
+    /// Hardware caching decides placement and eviction.
+    Implicit,
+    /// The programmer (or compiler) places data with explicit operations.
+    Explicit,
+}
+
+impl std::fmt::Display for LocalityControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalityControl::Implicit => f.write_str("implicit"),
+            LocalityControl::Explicit => f.write_str("explicit"),
+        }
+    }
+}
+
+/// How the shared space's locality is managed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SharedLocality {
+    /// Hardware-managed shared cache.
+    Implicit,
+    /// Programmer-placed shared data (`push` into the shared level).
+    Explicit,
+    /// Both at once: the locality bit in the replacement logic protects
+    /// explicitly placed blocks from implicit traffic (§II-B5).
+    Hybrid,
+}
+
+impl std::fmt::Display for SharedLocality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharedLocality::Implicit => f.write_str("implicit"),
+            SharedLocality::Explicit => f.write_str("explicit"),
+            SharedLocality::Hybrid => f.write_str("hybrid"),
+        }
+    }
+}
+
+/// A complete locality-management scheme: one control per private hierarchy
+/// plus the shared space (absent for the disjoint address space, which has
+/// only private caches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalityScheme {
+    /// CPU private caches.
+    pub cpu_private: LocalityControl,
+    /// GPU private storage (cache vs scratchpad-style).
+    pub gpu_private: LocalityControl,
+    /// The shared space, when the address space has one.
+    pub shared: Option<SharedLocality>,
+}
+
+impl LocalityScheme {
+    /// The baseline: hardware manages everything.
+    #[must_use]
+    pub fn all_implicit() -> LocalityScheme {
+        LocalityScheme {
+            cpu_private: LocalityControl::Implicit,
+            gpu_private: LocalityControl::Implicit,
+            shared: Some(SharedLocality::Implicit),
+        }
+    }
+
+    /// §II-B1 implicit-private-explicit-shared.
+    #[must_use]
+    pub fn implicit_private_explicit_shared() -> LocalityScheme {
+        LocalityScheme {
+            cpu_private: LocalityControl::Implicit,
+            gpu_private: LocalityControl::Implicit,
+            shared: Some(SharedLocality::Explicit),
+        }
+    }
+
+    /// §II-B2 explicit-private-implicit-shared.
+    #[must_use]
+    pub fn explicit_private_implicit_shared() -> LocalityScheme {
+        LocalityScheme {
+            cpu_private: LocalityControl::Explicit,
+            gpu_private: LocalityControl::Explicit,
+            shared: Some(SharedLocality::Implicit),
+        }
+    }
+
+    /// §II-B3 implicit-private-explicit-private-explicit-shared: the CPU
+    /// caches implicitly, the GPU manages its scratchpad explicitly, and the
+    /// shared space is explicit.
+    #[must_use]
+    pub fn mixed_private_explicit_shared() -> LocalityScheme {
+        LocalityScheme {
+            cpu_private: LocalityControl::Implicit,
+            gpu_private: LocalityControl::Explicit,
+            shared: Some(SharedLocality::Explicit),
+        }
+    }
+
+    /// §II-B4 implicit-private-explicit-private-implicit-shared.
+    #[must_use]
+    pub fn mixed_private_implicit_shared() -> LocalityScheme {
+        LocalityScheme {
+            cpu_private: LocalityControl::Implicit,
+            gpu_private: LocalityControl::Explicit,
+            shared: Some(SharedLocality::Implicit),
+        }
+    }
+
+    /// §II-B5 hybrid locality in the second-level cache.
+    #[must_use]
+    pub fn hybrid_shared() -> LocalityScheme {
+        LocalityScheme {
+            cpu_private: LocalityControl::Implicit,
+            gpu_private: LocalityControl::Explicit,
+            shared: Some(SharedLocality::Hybrid),
+        }
+    }
+
+    /// The paper's name for this scheme, in its abbreviation style
+    /// (e.g. `impl-pri-expl-pri-expl-shared`).
+    #[must_use]
+    pub fn paper_name(&self) -> String {
+        let pri = |c: LocalityControl| match c {
+            LocalityControl::Implicit => "impl",
+            LocalityControl::Explicit => "expl",
+        };
+        let mut s = if self.cpu_private == self.gpu_private {
+            format!("{}-pri", pri(self.cpu_private))
+        } else {
+            format!("{}-pri-{}-pri", pri(self.cpu_private), pri(self.gpu_private))
+        };
+        match self.shared {
+            None => {}
+            Some(SharedLocality::Implicit) => s.push_str("-impl-shared"),
+            Some(SharedLocality::Explicit) => s.push_str("-expl-shared"),
+            Some(SharedLocality::Hybrid) => s.push_str("-hybrid-shared"),
+        }
+        s
+    }
+
+    /// Whether this scheme is available under `space` (§II-B's per-space
+    /// discussion):
+    ///
+    /// * **Disjoint** spaces have only private caches — no shared component.
+    /// * **Unified** spaces cannot practically use explicit shared locality
+    ///   (§II-B1: "potentially all the memory space can belong to the shared
+    ///   memory space ... this option is not desirable"), and the hybrid
+    ///   scheme inherits that restriction.
+    /// * **ADSM** keeps the accelerator's memory system simple; the hybrid
+    ///   replacement logic in the shared level contradicts that goal, so
+    ///   only pure implicit or explicit shared management applies.
+    /// * **Partially shared** spaces admit every scheme.
+    #[must_use]
+    pub fn is_valid_for(&self, space: AddressSpace) -> bool {
+        match (space, self.shared) {
+            (AddressSpace::Disjoint, shared) => shared.is_none(),
+            (_, None) => false,
+            (AddressSpace::Unified, Some(s)) => s == SharedLocality::Implicit,
+            (AddressSpace::Adsm, Some(s)) => s != SharedLocality::Hybrid,
+            (AddressSpace::PartiallyShared, Some(_)) => true,
+        }
+    }
+
+    /// Every syntactically possible scheme (shared component optional).
+    #[must_use]
+    pub fn all() -> Vec<LocalityScheme> {
+        let controls = [LocalityControl::Implicit, LocalityControl::Explicit];
+        let shareds = [
+            None,
+            Some(SharedLocality::Implicit),
+            Some(SharedLocality::Explicit),
+            Some(SharedLocality::Hybrid),
+        ];
+        let mut out = Vec::new();
+        for cpu in controls {
+            for gpu in controls {
+                for shared in shareds {
+                    out.push(LocalityScheme { cpu_private: cpu, gpu_private: gpu, shared });
+                }
+            }
+        }
+        out
+    }
+
+    /// The schemes available under `space`.
+    #[must_use]
+    pub fn options_for(space: AddressSpace) -> Vec<LocalityScheme> {
+        LocalityScheme::all().into_iter().filter(|s| s.is_valid_for(space)).collect()
+    }
+}
+
+impl std::fmt::Display for LocalityScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partially_shared_offers_the_most_options() {
+        // Conclusion 3 of the paper.
+        let count = |s| LocalityScheme::options_for(s).len();
+        let pas = count(AddressSpace::PartiallyShared);
+        for other in [AddressSpace::Unified, AddressSpace::Disjoint, AddressSpace::Adsm] {
+            assert!(pas > count(other), "PAS ({pas}) must beat {other} ({})", count(other));
+        }
+    }
+
+    #[test]
+    fn option_counts_per_space() {
+        assert_eq!(LocalityScheme::options_for(AddressSpace::PartiallyShared).len(), 12);
+        assert_eq!(LocalityScheme::options_for(AddressSpace::Adsm).len(), 8);
+        assert_eq!(LocalityScheme::options_for(AddressSpace::Unified).len(), 4);
+        assert_eq!(LocalityScheme::options_for(AddressSpace::Disjoint).len(), 4);
+    }
+
+    #[test]
+    fn named_schemes_are_valid_for_pas() {
+        for scheme in [
+            LocalityScheme::all_implicit(),
+            LocalityScheme::implicit_private_explicit_shared(),
+            LocalityScheme::explicit_private_implicit_shared(),
+            LocalityScheme::mixed_private_explicit_shared(),
+            LocalityScheme::mixed_private_implicit_shared(),
+            LocalityScheme::hybrid_shared(),
+        ] {
+            assert!(scheme.is_valid_for(AddressSpace::PartiallyShared), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn unified_rejects_explicit_shared() {
+        assert!(!LocalityScheme::implicit_private_explicit_shared()
+            .is_valid_for(AddressSpace::Unified));
+        assert!(LocalityScheme::explicit_private_implicit_shared()
+            .is_valid_for(AddressSpace::Unified));
+    }
+
+    #[test]
+    fn paper_names_render() {
+        assert_eq!(LocalityScheme::all_implicit().paper_name(), "impl-pri-impl-shared");
+        assert_eq!(
+            LocalityScheme::mixed_private_explicit_shared().paper_name(),
+            "impl-pri-expl-pri-expl-shared"
+        );
+        let disjoint = LocalityScheme {
+            cpu_private: LocalityControl::Implicit,
+            gpu_private: LocalityControl::Explicit,
+            shared: None,
+        };
+        assert_eq!(disjoint.paper_name(), "impl-pri-expl-pri");
+    }
+
+    #[test]
+    fn all_enumerates_sixteen() {
+        assert_eq!(LocalityScheme::all().len(), 16);
+    }
+}

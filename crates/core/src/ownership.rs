@@ -1,0 +1,239 @@
+//! Ownership control for the partially shared address space (§II-A3).
+//!
+//! Even though a subset of the address space is shared, each object in it
+//! has exactly one owner PU at a time, so the shared space needs no
+//! coherence: a PU must `acquireOwnership` before touching a shared object
+//! and `releaseOwnership` before the peer may take it. This module is the
+//! runtime checker for that protocol — the dynamic-semantics counterpart of
+//! the `releaseOwnership`/`acquireOwnership` lines the DSL lowering inserts
+//! (Figure 2b).
+
+use hetmem_trace::{Addr, PuKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A violation of the ownership protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OwnershipError {
+    /// A PU tried to acquire an object the peer still owns.
+    StillOwnedByPeer {
+        /// Object base address.
+        addr: Addr,
+        /// The current owner.
+        owner: PuKind,
+    },
+    /// A PU released an object it does not own.
+    ReleaseWithoutOwnership {
+        /// Object base address.
+        addr: Addr,
+    },
+    /// A PU accessed a shared object it does not own.
+    AccessWithoutOwnership {
+        /// Accessed address.
+        addr: Addr,
+        /// The PU that accessed it.
+        by: PuKind,
+    },
+    /// Acquire/release of an address that is not a registered shared
+    /// object.
+    UnknownObject {
+        /// The address.
+        addr: Addr,
+    },
+}
+
+impl std::fmt::Display for OwnershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OwnershipError::StillOwnedByPeer { addr, owner } => {
+                write!(f, "object {addr:#x} is still owned by {owner}")
+            }
+            OwnershipError::ReleaseWithoutOwnership { addr } => {
+                write!(f, "release of {addr:#x} by a non-owner")
+            }
+            OwnershipError::AccessWithoutOwnership { addr, by } => {
+                write!(f, "{by} accessed {addr:#x} without ownership")
+            }
+            OwnershipError::UnknownObject { addr } => {
+                write!(f, "{addr:#x} is not a registered shared object")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OwnershipError {}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct SharedObject {
+    bytes: u64,
+    owner: Option<PuKind>,
+}
+
+/// Tracks ownership of shared-space objects and checks the protocol.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OwnershipTracker {
+    objects: BTreeMap<Addr, SharedObject>,
+    acquires: u64,
+    releases: u64,
+}
+
+impl OwnershipTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> OwnershipTracker {
+        OwnershipTracker::default()
+    }
+
+    /// Registers a shared object (a `sharedmalloc`). Initial owner is the
+    /// CPU, which allocated and initializes it.
+    pub fn register(&mut self, addr: Addr, bytes: u64) {
+        self.objects.insert(addr, SharedObject { bytes, owner: Some(PuKind::Cpu) });
+    }
+
+    /// The object covering `addr`, if any.
+    fn object_at(&self, addr: Addr) -> Option<(Addr, SharedObject)> {
+        self.objects
+            .range(..=addr)
+            .next_back()
+            .filter(|(base, obj)| addr < *base + obj.bytes)
+            .map(|(base, obj)| (*base, *obj))
+    }
+
+    /// Current owner of the object at `addr`.
+    #[must_use]
+    pub fn owner_of(&self, addr: Addr) -> Option<PuKind> {
+        self.object_at(addr).and_then(|(_, o)| o.owner)
+    }
+
+    /// `pu` acquires the object at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object is unknown or the peer still owns it (it must be
+    /// released first — this is what prevents concurrent updates without
+    /// coherence hardware).
+    pub fn acquire(&mut self, pu: PuKind, addr: Addr) -> Result<(), OwnershipError> {
+        let (base, obj) =
+            self.object_at(addr).ok_or(OwnershipError::UnknownObject { addr })?;
+        match obj.owner {
+            Some(owner) if owner != pu => {
+                Err(OwnershipError::StillOwnedByPeer { addr, owner })
+            }
+            _ => {
+                self.objects.get_mut(&base).expect("present").owner = Some(pu);
+                self.acquires += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// `pu` releases the object at `addr`, leaving it ownerless (available
+    /// to either PU).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object is unknown or `pu` is not its owner.
+    pub fn release(&mut self, pu: PuKind, addr: Addr) -> Result<(), OwnershipError> {
+        let (base, obj) =
+            self.object_at(addr).ok_or(OwnershipError::UnknownObject { addr })?;
+        if obj.owner != Some(pu) {
+            return Err(OwnershipError::ReleaseWithoutOwnership { addr });
+        }
+        self.objects.get_mut(&base).expect("present").owner = None;
+        self.releases += 1;
+        Ok(())
+    }
+
+    /// Checks that `pu` may read or write `addr`. Addresses outside every
+    /// registered object are private memory and always allowed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is in a shared object that `pu` does not own.
+    pub fn check_access(&self, pu: PuKind, addr: Addr) -> Result<(), OwnershipError> {
+        match self.object_at(addr) {
+            None => Ok(()),
+            Some((_, obj)) if obj.owner == Some(pu) => Ok(()),
+            Some(_) => Err(OwnershipError::AccessWithoutOwnership { addr, by: pu }),
+        }
+    }
+
+    /// Number of successful acquires and releases (each costs `api-acq`).
+    #[must_use]
+    pub fn transitions(&self) -> (u64, u64) {
+        (self.acquires, self.releases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2b_protocol_runs_clean() {
+        // releaseOwnership(a,b,c); GPU kernel; acquireOwnership(c); CPU use.
+        let mut t = OwnershipTracker::new();
+        for (addr, bytes) in [(0x3000_0000u64, 256), (0x3000_0100, 256), (0x3000_0200, 256)] {
+            t.register(addr, bytes);
+        }
+        for addr in [0x3000_0000u64, 0x3000_0100, 0x3000_0200] {
+            t.release(PuKind::Cpu, addr).expect("CPU owns after allocation");
+            t.acquire(PuKind::Gpu, addr).expect("free to acquire");
+        }
+        assert_eq!(t.check_access(PuKind::Gpu, 0x3000_0080), Ok(()));
+        // GPU done: release c, CPU re-acquires it.
+        t.release(PuKind::Gpu, 0x3000_0200).expect("GPU owns c");
+        t.acquire(PuKind::Cpu, 0x3000_0200).expect("released");
+        assert_eq!(t.check_access(PuKind::Cpu, 0x3000_0200), Ok(()));
+        assert_eq!(t.transitions(), (4, 4));
+    }
+
+    #[test]
+    fn concurrent_ownership_is_impossible() {
+        let mut t = OwnershipTracker::new();
+        t.register(0x1000, 64);
+        assert_eq!(
+            t.acquire(PuKind::Gpu, 0x1000),
+            Err(OwnershipError::StillOwnedByPeer { addr: 0x1000, owner: PuKind::Cpu })
+        );
+    }
+
+    #[test]
+    fn access_without_ownership_is_rejected() {
+        let mut t = OwnershipTracker::new();
+        t.register(0x1000, 64);
+        assert_eq!(
+            t.check_access(PuKind::Gpu, 0x1020),
+            Err(OwnershipError::AccessWithoutOwnership { addr: 0x1020, by: PuKind::Gpu })
+        );
+        // Private addresses are unaffected.
+        assert_eq!(t.check_access(PuKind::Gpu, 0x9999_0000), Ok(()));
+    }
+
+    #[test]
+    fn release_requires_ownership() {
+        let mut t = OwnershipTracker::new();
+        t.register(0x1000, 64);
+        assert_eq!(
+            t.release(PuKind::Gpu, 0x1000),
+            Err(OwnershipError::ReleaseWithoutOwnership { addr: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn interior_addresses_resolve_to_their_object() {
+        let mut t = OwnershipTracker::new();
+        t.register(0x1000, 128);
+        t.register(0x2000, 64);
+        assert_eq!(t.owner_of(0x107F), Some(PuKind::Cpu));
+        assert_eq!(t.owner_of(0x1080), None); // past the first object
+        assert_eq!(t.owner_of(0x2010), Some(PuKind::Cpu));
+    }
+
+    #[test]
+    fn unknown_objects_are_errors() {
+        let mut t = OwnershipTracker::new();
+        assert_eq!(t.acquire(PuKind::Cpu, 0x42), Err(OwnershipError::UnknownObject { addr: 0x42 }));
+        assert_eq!(t.release(PuKind::Cpu, 0x42), Err(OwnershipError::UnknownObject { addr: 0x42 }));
+    }
+}

@@ -1,0 +1,339 @@
+//! Static analysis of DSL programs: data-flow lints that catch the
+//! mistakes the paper's programming-model discussion warns about (shared
+//! data not flagged, results computed but never consumed, uninitialized
+//! inputs).
+
+use crate::ast::{BufId, Program, Step, Target};
+use serde::{Deserialize, Serialize};
+
+/// Severity of a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Almost certainly a bug.
+    Warning,
+    /// Worth knowing; often intentional.
+    Note,
+}
+
+/// A static-analysis finding.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Lint {
+    /// A buffer is declared but never referenced by any step.
+    UnusedBuffer {
+        /// The buffer.
+        buf: BufId,
+        /// Its name.
+        name: String,
+    },
+    /// A buffer is read before anything initializes or writes it.
+    UninitializedRead {
+        /// The buffer.
+        buf: BufId,
+        /// Its name.
+        name: String,
+        /// The step (flat index, loops counted once) doing the first read.
+        step_index: usize,
+    },
+    /// A buffer's final value comes from a data-parallel kernel but is
+    /// never read afterwards — computed results that never reach the host.
+    /// (Writes by sequential host steps are treated as program outputs and
+    /// are exempt.)
+    DeadResult {
+        /// The buffer.
+        buf: BufId,
+        /// Its name.
+        name: String,
+    },
+    /// A buffer is touched by both PUs — under the partially shared model
+    /// it must be `sharedmalloc`ed and ownership-managed (the paper notes
+    /// it is "the programmer's responsibility to tag all data shared
+    /// between the CPUs and GPUs").
+    SharedCandidate {
+        /// The buffer.
+        buf: BufId,
+        /// Its name.
+        name: String,
+    },
+}
+
+impl Lint {
+    /// The finding's severity.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        match self {
+            Lint::UnusedBuffer { .. }
+            | Lint::UninitializedRead { .. }
+            | Lint::DeadResult { .. } => Severity::Warning,
+            Lint::SharedCandidate { .. } => Severity::Note,
+        }
+    }
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lint::UnusedBuffer { name, .. } => {
+                write!(f, "warning: buffer {name:?} is never used")
+            }
+            Lint::UninitializedRead { name, step_index, .. } => write!(
+                f,
+                "warning: buffer {name:?} is read at step {step_index} before it is written"
+            ),
+            Lint::DeadResult { name, .. } => {
+                write!(f, "warning: buffer {name:?} is written but its result is never read")
+            }
+            Lint::SharedCandidate { name, .. } => write!(
+                f,
+                "note: buffer {name:?} is touched by both PUs — tag it shared under the \
+                 partially shared model"
+            ),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct BufFacts {
+    read: bool,
+    written: bool,
+    read_after_last_write: bool,
+    last_writer_was_kernel: bool,
+    read_before_first_write: Option<usize>,
+    cpu_touched: bool,
+    gpu_touched: bool,
+}
+
+/// What kind of step performed an access.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    Init,
+    Kernel,
+    Seq,
+}
+
+fn visit(
+    steps: &[Step],
+    idx: &mut usize,
+    facts: &mut [BufFacts],
+    order: &mut impl FnMut(&mut [BufFacts], &[BufId], &[BufId], Option<Target>, usize, StepKind),
+) {
+    for step in steps {
+        let current = *idx;
+        *idx += 1;
+        match step {
+            Step::HostInit { bufs } => {
+                order(facts, &[], bufs, Some(Target::Cpu), current, StepKind::Init);
+            }
+            Step::Kernel { target, reads, writes, .. } => {
+                order(facts, reads, writes, Some(*target), current, StepKind::Kernel);
+            }
+            Step::Seq { reads, writes, .. } => {
+                order(facts, reads, writes, Some(Target::Cpu), current, StepKind::Seq);
+            }
+            Step::Loop { body, .. } => {
+                // Loop bodies execute repeatedly: a read in the body may
+                // observe a write later in the same body (back edge), so
+                // walk the body twice for the ordering facts.
+                visit(body, idx, facts, order);
+                let mut idx2 = current + 1;
+                visit(body, &mut idx2, facts, order);
+            }
+        }
+    }
+}
+
+/// Runs all lints over `program`.
+///
+/// # Panics
+///
+/// Panics if the program fails [`Program::validate`].
+#[must_use]
+pub fn analyze(program: &Program) -> Vec<Lint> {
+    program.validate().expect("analyze() requires a valid program");
+    let n = program.buffers.len();
+    let mut facts = vec![BufFacts::default(); n];
+
+    let mut record = |facts: &mut [BufFacts],
+                      reads: &[BufId],
+                      writes: &[BufId],
+                      target: Option<Target>,
+                      step: usize,
+                      kind: StepKind| {
+        for &b in reads {
+            let f = &mut facts[b.0];
+            f.read = true;
+            f.read_after_last_write = true;
+            if !f.written && f.read_before_first_write.is_none() {
+                f.read_before_first_write = Some(step);
+            }
+            match target {
+                Some(Target::Cpu) => f.cpu_touched = true,
+                Some(Target::Gpu) => f.gpu_touched = true,
+                None => {}
+            }
+        }
+        for &b in writes {
+            let f = &mut facts[b.0];
+            f.written = true;
+            f.read_after_last_write = false;
+            f.last_writer_was_kernel = kind == StepKind::Kernel;
+            match target {
+                Some(Target::Cpu) => f.cpu_touched = true,
+                Some(Target::Gpu) => f.gpu_touched = true,
+                None => {}
+            }
+        }
+    };
+
+    let mut idx = 0;
+    visit(&program.steps, &mut idx, &mut facts, &mut record);
+
+    let mut lints = Vec::new();
+    for (i, f) in facts.iter().enumerate() {
+        let buf = BufId(i);
+        let name = program.buffer(buf).name.clone();
+        if !f.read && !f.written {
+            lints.push(Lint::UnusedBuffer { buf, name });
+            continue;
+        }
+        if let Some(step_index) = f.read_before_first_write {
+            lints.push(Lint::UninitializedRead { buf, name: name.clone(), step_index });
+        }
+        if f.written && !f.read_after_last_write && f.last_writer_was_kernel {
+            lints.push(Lint::DeadResult { buf, name: name.clone() });
+        }
+        if f.cpu_touched && f.gpu_touched {
+            lints.push(Lint::SharedCandidate { buf, name });
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Buffer;
+    use crate::programs;
+
+    fn warnings(p: &Program) -> Vec<Lint> {
+        analyze(p).into_iter().filter(|l| l.severity() == Severity::Warning).collect()
+    }
+
+    #[test]
+    fn paper_programs_are_warning_free() {
+        for p in programs::all().into_iter().chain(programs::extra::all()) {
+            let w = warnings(&p);
+            assert!(w.is_empty(), "{}: {w:?}", p.name);
+        }
+    }
+
+    #[test]
+    fn shared_candidates_are_reported_for_paper_programs() {
+        // Every paper kernel moves at least one buffer between the PUs.
+        for p in programs::all() {
+            let shared = analyze(&p)
+                .into_iter()
+                .filter(|l| matches!(l, Lint::SharedCandidate { .. }))
+                .count();
+            assert!(shared > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn unused_buffer_is_flagged() {
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("used", 64), Buffer::new("ghost", 64)],
+            steps: vec![
+                Step::HostInit { bufs: vec![BufId(0)] },
+                Step::Seq { name: "s".into(), reads: vec![BufId(0)], writes: vec![] },
+            ],
+            compute_lines: 1,
+        };
+        let lints = analyze(&p);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::UnusedBuffer { buf: BufId(1), .. })), "{lints:?}");
+    }
+
+    #[test]
+    fn uninitialized_read_is_flagged() {
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("x", 64)],
+            steps: vec![Step::Seq { name: "use".into(), reads: vec![BufId(0)], writes: vec![] }],
+            compute_lines: 1,
+        };
+        let lints = analyze(&p);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::UninitializedRead { buf: BufId(0), step_index: 0, .. })),
+            "{lints:?}");
+    }
+
+    #[test]
+    fn dead_result_is_flagged() {
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("in", 64), Buffer::new("out", 64)],
+            steps: vec![
+                Step::HostInit { bufs: vec![BufId(0)] },
+                Step::Kernel {
+                    target: Target::Gpu,
+                    name: "k".into(),
+                    reads: vec![BufId(0)],
+                    writes: vec![BufId(1)],
+                    args_upload: false,
+                },
+            ],
+            compute_lines: 1,
+        };
+        let lints = analyze(&p);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::DeadResult { buf: BufId(1), .. })), "{lints:?}");
+    }
+
+    #[test]
+    fn loop_back_edges_count_as_later_reads() {
+        // `updateCentroids` writes `centroids` at the end of the loop body;
+        // the next iteration's kernel reads it — not a dead result.
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("data", 64), Buffer::new("acc", 64)],
+            steps: vec![
+                Step::HostInit { bufs: vec![BufId(0), BufId(1)] },
+                Step::Loop {
+                    iterations: 3,
+                    body: vec![
+                        Step::Kernel {
+                            target: Target::Gpu,
+                            name: "k".into(),
+                            reads: vec![BufId(0), BufId(1)],
+                            writes: vec![BufId(0)],
+                            args_upload: false,
+                        },
+                        Step::Seq {
+                            name: "upd".into(),
+                            reads: vec![BufId(0)],
+                            writes: vec![BufId(1)],
+                        },
+                    ],
+                },
+                Step::Seq { name: "final".into(), reads: vec![BufId(0)], writes: vec![] },
+            ],
+            compute_lines: 1,
+        };
+        let dead: Vec<_> = analyze(&p)
+            .into_iter()
+            .filter(|l| matches!(l, Lint::DeadResult { buf: BufId(1), .. }))
+            .collect();
+        assert!(dead.is_empty(), "loop-carried accumulator is not dead: {dead:?}");
+    }
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let l = Lint::SharedCandidate { buf: BufId(0), name: "c".into() };
+        assert!(l.to_string().contains("both PUs"));
+        assert_eq!(l.severity(), Severity::Note);
+    }
+}

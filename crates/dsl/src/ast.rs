@@ -1,0 +1,302 @@
+//! The model-agnostic heterogeneous-program representation.
+//!
+//! A [`Program`] describes *what* a benchmark does — which buffers exist,
+//! which kernels run where, and what data they touch — without committing to
+//! a memory model. The lowering passes in [`crate::lower`] then insert the
+//! allocation, transfer, and ownership statements each address-space design
+//! forces on the programmer, exactly as the paper's Figures 2–3 contrast the
+//! same reduction written for different models.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a buffer within its [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BufId(pub usize);
+
+/// A data buffer in the program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Buffer {
+    /// Source-level name (`a`, `b`, `points`, …).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+impl Buffer {
+    /// Creates a buffer.
+    #[must_use]
+    pub fn new(name: impl Into<String>, bytes: u64) -> Buffer {
+        Buffer { name: name.into(), bytes }
+    }
+}
+
+/// Which processing unit executes a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// The host CPU (its half of the data-parallel work).
+    Cpu,
+    /// The GPU accelerator.
+    Gpu,
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Target::Cpu => f.write_str("CPU"),
+            Target::Gpu => f.write_str("GPU"),
+        }
+    }
+}
+
+/// One step of a program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// Host-side initialization of the given buffers.
+    HostInit {
+        /// Buffers written by the initialization.
+        bufs: Vec<BufId>,
+    },
+    /// A data-parallel kernel on one PU.
+    Kernel {
+        /// Executing PU.
+        target: Target,
+        /// Source-level kernel name.
+        name: String,
+        /// Buffers the kernel reads.
+        reads: Vec<BufId>,
+        /// Buffers the kernel writes.
+        writes: Vec<BufId>,
+        /// Whether small per-launch arguments (e.g. k-means centroids) are
+        /// re-uploaded with the launch. This costs a dynamic transfer but no
+        /// source line — arguments ride along with the launch.
+        args_upload: bool,
+    },
+    /// Sequential host code (merges, final steps).
+    Seq {
+        /// Source-level function name.
+        name: String,
+        /// Buffers read.
+        reads: Vec<BufId>,
+        /// Buffers written.
+        writes: Vec<BufId>,
+    },
+    /// A counted loop around a body of steps (e.g. k-means iterations).
+    /// Statements inside count *once* toward source lines but expand per
+    /// iteration dynamically.
+    Loop {
+        /// Number of dynamic iterations.
+        iterations: u32,
+        /// The loop body.
+        body: Vec<Step>,
+    },
+}
+
+/// A complete model-agnostic program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program (kernel) name, matching the paper's Table V rows.
+    pub name: String,
+    /// All buffers.
+    pub buffers: Vec<Buffer>,
+    /// The steps, in program order.
+    pub steps: Vec<Step>,
+    /// Source lines of the computation and initial data allocation — the
+    /// "Comp" column of Table V. This is source-level metadata (we model
+    /// programs, not parse them), taken from the paper's implementations.
+    pub compute_lines: u32,
+}
+
+/// A structural defect found by [`Program::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A step referenced a buffer index that does not exist.
+    UnknownBuffer {
+        /// The offending id.
+        buf: BufId,
+    },
+    /// A loop has no body or zero iterations.
+    DegenerateLoop,
+    /// A kernel touches no buffers at all.
+    EmptyKernel {
+        /// The kernel's name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::UnknownBuffer { buf } => {
+                write!(f, "step references unknown buffer #{}", buf.0)
+            }
+            ProgramError::DegenerateLoop => f.write_str("loop with empty body or zero iterations"),
+            ProgramError::EmptyKernel { name } => {
+                write!(f, "kernel {name:?} reads and writes no buffers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Checks structural sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        fn walk(steps: &[Step], n: usize) -> Result<(), ProgramError> {
+            let check = |ids: &[BufId]| {
+                ids.iter().find(|b| b.0 >= n).map_or(Ok(()), |b| {
+                    Err(ProgramError::UnknownBuffer { buf: *b })
+                })
+            };
+            for step in steps {
+                match step {
+                    Step::HostInit { bufs } => check(bufs)?,
+                    Step::Kernel { name, reads, writes, .. } => {
+                        if reads.is_empty() && writes.is_empty() {
+                            return Err(ProgramError::EmptyKernel { name: name.clone() });
+                        }
+                        check(reads)?;
+                        check(writes)?;
+                    }
+                    Step::Seq { reads, writes, .. } => {
+                        check(reads)?;
+                        check(writes)?;
+                    }
+                    Step::Loop { iterations, body } => {
+                        if *iterations == 0 || body.is_empty() {
+                            return Err(ProgramError::DegenerateLoop);
+                        }
+                        walk(body, n)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        walk(&self.steps, self.buffers.len())
+    }
+
+    /// The buffers a GPU kernel ever touches — the set that must exist on
+    /// (or be addressable by) the device.
+    #[must_use]
+    pub fn gpu_buffers(&self) -> Vec<BufId> {
+        fn walk(steps: &[Step], acc: &mut Vec<BufId>) {
+            for step in steps {
+                match step {
+                    Step::Kernel { target: Target::Gpu, reads, writes, .. } => {
+                        for b in reads.iter().chain(writes) {
+                            if !acc.contains(b) {
+                                acc.push(*b);
+                            }
+                        }
+                    }
+                    Step::Loop { body, .. } => walk(body, acc),
+                    _ => {}
+                }
+            }
+        }
+        let mut acc = Vec::new();
+        walk(&self.steps, &mut acc);
+        acc
+    }
+
+    /// Number of static GPU-kernel call sites (loop bodies count once).
+    #[must_use]
+    pub fn gpu_kernel_sites(&self) -> u32 {
+        fn walk(steps: &[Step]) -> u32 {
+            steps
+                .iter()
+                .map(|s| match s {
+                    Step::Kernel { target: Target::Gpu, .. } => 1,
+                    Step::Loop { body, .. } => walk(body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        walk(&self.steps)
+    }
+
+    /// Looks up a buffer's name (for pretty-printing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range — validate first.
+    #[must_use]
+    pub fn buffer(&self, id: BufId) -> &Buffer {
+        &self.buffers[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        Program {
+            name: "tiny".into(),
+            buffers: vec![Buffer::new("a", 64), Buffer::new("b", 64)],
+            steps: vec![
+                Step::HostInit { bufs: vec![BufId(0)] },
+                Step::Kernel {
+                    target: Target::Gpu,
+                    name: "k".into(),
+                    reads: vec![BufId(0)],
+                    writes: vec![BufId(1)],
+                    args_upload: false,
+                },
+                Step::Seq { name: "use".into(), reads: vec![BufId(1)], writes: vec![] },
+            ],
+            compute_lines: 10,
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn unknown_buffer_is_caught() {
+        let mut p = tiny();
+        p.steps.push(Step::Seq { name: "oops".into(), reads: vec![BufId(9)], writes: vec![] });
+        assert_eq!(p.validate(), Err(ProgramError::UnknownBuffer { buf: BufId(9) }));
+    }
+
+    #[test]
+    fn degenerate_loop_is_caught() {
+        let mut p = tiny();
+        p.steps.push(Step::Loop { iterations: 0, body: vec![tiny().steps[0].clone()] });
+        assert_eq!(p.validate(), Err(ProgramError::DegenerateLoop));
+    }
+
+    #[test]
+    fn empty_kernel_is_caught() {
+        let mut p = tiny();
+        p.steps.push(Step::Kernel {
+            target: Target::Cpu,
+            name: "nothing".into(),
+            reads: vec![],
+            writes: vec![],
+            args_upload: false,
+        });
+        assert!(matches!(p.validate(), Err(ProgramError::EmptyKernel { .. })));
+    }
+
+    #[test]
+    fn gpu_buffer_analysis() {
+        let p = tiny();
+        assert_eq!(p.gpu_buffers(), vec![BufId(0), BufId(1)]);
+        assert_eq!(p.gpu_kernel_sites(), 1);
+    }
+
+    #[test]
+    fn loops_count_sites_once() {
+        let mut p = tiny();
+        let kernel = p.steps[1].clone();
+        p.steps = vec![Step::Loop { iterations: 3, body: vec![kernel] }];
+        assert_eq!(p.gpu_kernel_sites(), 1);
+    }
+}

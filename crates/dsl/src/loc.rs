@@ -1,0 +1,113 @@
+//! The programmability metric: source lines of communication handling
+//! (Table V of the paper).
+//!
+//! "We show the number of additional source lines required to handle
+//! explicit data communication and data handling operations" — computed
+//! here by lowering each program for each address-space option and counting
+//! the overhead statements.
+
+use crate::lower::lower;
+use crate::model::AddressSpace;
+use crate::programs;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table V.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Computation + initial-allocation lines ("Comp").
+    pub comp: u32,
+    /// Extra lines under the unified space.
+    pub uni: u32,
+    /// Extra lines under the partially shared space.
+    pub pas: u32,
+    /// Extra lines under the disjoint space.
+    pub dis: u32,
+    /// Extra lines under ADSM.
+    pub adsm: u32,
+}
+
+impl LocRow {
+    /// The overhead cell for `model`.
+    #[must_use]
+    pub fn overhead(&self, model: AddressSpace) -> u32 {
+        match model {
+            AddressSpace::Unified => self.uni,
+            AddressSpace::PartiallyShared => self.pas,
+            AddressSpace::Disjoint => self.dis,
+            AddressSpace::Adsm => self.adsm,
+        }
+    }
+}
+
+/// Computes Table V by lowering every paper program for every model.
+#[must_use]
+pub fn loc_table() -> Vec<LocRow> {
+    programs::all()
+        .into_iter()
+        .map(|p| {
+            let count = |m| lower(&p, m).comm_overhead_lines();
+            LocRow {
+                kernel: p.name.clone(),
+                comp: p.compute_lines,
+                uni: count(AddressSpace::Unified),
+                pas: count(AddressSpace::PartiallyShared),
+                dis: count(AddressSpace::Disjoint),
+                adsm: count(AddressSpace::Adsm),
+            }
+        })
+        .collect()
+}
+
+/// Table V exactly as printed in the paper.
+#[must_use]
+pub fn paper_loc_table() -> Vec<LocRow> {
+    let row = |kernel: &str, comp, uni, pas, dis, adsm| LocRow {
+        kernel: kernel.to_owned(),
+        comp,
+        uni,
+        pas,
+        dis,
+        adsm,
+    };
+    vec![
+        row("matrix mul", 39, 0, 2, 9, 6),
+        row("merge sort", 112, 0, 2, 6, 4),
+        row("dct", 410, 0, 2, 6, 4),
+        row("reduction", 142, 0, 2, 9, 6),
+        row("convolution", 75, 0, 4, 9, 6),
+        row("k-mean", 332, 0, 6, 6, 4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computed_table_reproduces_table_v_exactly() {
+        assert_eq!(loc_table(), paper_loc_table());
+    }
+
+    #[test]
+    fn overhead_ordering_uni_le_pas_le_adsm_le_dis() {
+        // The paper's §V-C conclusion: Unified < partially shared ≤ ADSM <
+        // disjoint (as a trend across kernels).
+        for row in loc_table() {
+            assert_eq!(row.uni, 0, "{}", row.kernel);
+            assert!(row.uni < row.pas.max(1), "{}", row.kernel);
+            assert!(row.pas <= row.dis, "{}", row.kernel);
+            assert!(row.adsm <= row.dis, "{}", row.kernel);
+        }
+    }
+
+    #[test]
+    fn overhead_accessor_maps_cells() {
+        let row = &paper_loc_table()[0]; // matrix mul
+        assert_eq!(row.overhead(AddressSpace::Unified), 0);
+        assert_eq!(row.overhead(AddressSpace::PartiallyShared), 2);
+        assert_eq!(row.overhead(AddressSpace::Disjoint), 9);
+        assert_eq!(row.overhead(AddressSpace::Adsm), 6);
+    }
+}

@@ -1,0 +1,511 @@
+//! Lowering: from a model-agnostic [`Program`] to the concrete source lines
+//! each address-space design forces on the programmer.
+//!
+//! The passes reproduce the style of the paper's Figures 2–3:
+//!
+//! * **Unified** — nothing extra: every buffer is a plain `malloc` and
+//!   kernels just run.
+//! * **Partially shared** — shared buffers use `sharedmalloc` (a one-for-one
+//!   replacement, not overhead) and every GPU-kernel site is bracketed by
+//!   `releaseOwnership(...)` / `acquireOwnership(...)` lines (the LRB
+//!   ownership protocol).
+//! * **Disjoint** — duplicate device pointers, a grouped device allocation,
+//!   one `Memcpy` per buffer per transfer point, per-buffer device frees,
+//!   and a final synchronization.
+//! * **ADSM** — an `adsmAlloc` per device-visible buffer, one grouped
+//!   `copyfromCPUtoGPU(...)` per input-transfer point (results need no
+//!   copy-back: the CPU addresses the shared space directly), one grouped
+//!   free line, and a final synchronization.
+//!
+//! A per-buffer location analysis decides where transfers are needed; loop
+//! bodies are walked once, so statements inside loops count once toward the
+//! static source-line metric (Table V) while expanding per iteration during
+//! code generation.
+
+use crate::ast::{BufId, Program, Step, Target};
+use crate::model::AddressSpace;
+use crate::stmt::Stmt;
+use serde::{Deserialize, Serialize};
+
+/// A lowered program: the source lines of one memory model's version.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lowered {
+    /// The program this was lowered from.
+    pub program_name: String,
+    /// The memory model lowered for.
+    pub model: AddressSpace,
+    /// The source lines, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Lowered {
+    /// The number of communication-handling source lines — this program's
+    /// cell in Table V.
+    #[must_use]
+    pub fn comm_overhead_lines(&self) -> u32 {
+        self.stmts.iter().filter(|s| s.is_comm_overhead()).count() as u32
+    }
+}
+
+/// Where a buffer's current data lives (disjoint-space analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Loc {
+    HostOnly,
+    DeviceOnly,
+    Both,
+}
+
+struct LowerCtx<'p> {
+    program: &'p Program,
+    model: AddressSpace,
+    /// Buffers any GPU kernel touches (device-visible set).
+    gpu_bufs: Vec<BufId>,
+    /// Disjoint: where each buffer's valid data is.
+    loc: Vec<Loc>,
+    /// ADSM: host has written this shared buffer since its last copy-in.
+    host_dirty: Vec<bool>,
+    out: Vec<Stmt>,
+}
+
+impl LowerCtx<'_> {
+    fn name(&self, b: BufId) -> String {
+        self.program.buffer(b).name.clone()
+    }
+
+    fn names(&self, ids: &[BufId]) -> Vec<String> {
+        ids.iter().map(|&b| self.name(b)).collect()
+    }
+
+    fn is_gpu_buf(&self, b: BufId) -> bool {
+        self.gpu_bufs.contains(&b)
+    }
+
+    fn prologue(&mut self) {
+        // Allocations. `sharedmalloc` replaces `malloc` one-for-one in the
+        // partially shared model; ADSM keeps the host allocation and adds
+        // the shared-space allocation (Figure 3b).
+        for (i, buf) in self.program.buffers.iter().enumerate() {
+            let id = BufId(i);
+            match self.model {
+                AddressSpace::PartiallyShared if self.is_gpu_buf(id) => {
+                    self.out.push(Stmt::SharedAlloc { buf: buf.name.clone(), bytes: buf.bytes });
+                }
+                _ => {
+                    self.out.push(Stmt::HostAlloc { buf: buf.name.clone(), bytes: buf.bytes });
+                }
+            }
+        }
+        match self.model {
+            AddressSpace::Disjoint => {
+                let gpu_bufs = self.gpu_bufs.clone();
+                let bufs = self.names(&gpu_bufs);
+                if !bufs.is_empty() {
+                    let bytes = gpu_bufs.iter().map(|&b| self.program.buffer(b).bytes).sum();
+                    self.out.push(Stmt::DeclDevicePtrs { bufs: bufs.clone() });
+                    self.out.push(Stmt::DeviceAlloc { bufs, bytes });
+                }
+            }
+            AddressSpace::Adsm => {
+                for &b in &self.gpu_bufs.clone() {
+                    let buf = self.program.buffer(b);
+                    self.out.push(Stmt::AdsmAlloc { buf: buf.name.clone(), bytes: buf.bytes });
+                }
+            }
+            AddressSpace::Unified | AddressSpace::PartiallyShared => {}
+        }
+    }
+
+    fn epilogue(&mut self) {
+        match self.model {
+            AddressSpace::Disjoint => {
+                if !self.gpu_bufs.is_empty() {
+                    self.out.push(Stmt::Sync);
+                    for &b in &self.gpu_bufs.clone() {
+                        self.out.push(Stmt::FreeDevice { bufs: vec![self.name(b)] });
+                    }
+                }
+            }
+            AddressSpace::Adsm => {
+                if !self.gpu_bufs.is_empty() {
+                    self.out.push(Stmt::Sync);
+                    let bufs = self.names(&self.gpu_bufs.clone());
+                    self.out.push(Stmt::FreeDevice { bufs });
+                }
+            }
+            AddressSpace::Unified | AddressSpace::PartiallyShared => {}
+        }
+    }
+
+    fn host_reads(&mut self, bufs: &[BufId]) {
+        if self.model != AddressSpace::Disjoint {
+            // Unified / PAS / ADSM: the host can address results directly.
+            return;
+        }
+        for &b in bufs {
+            if self.loc[b.0] == Loc::DeviceOnly {
+                self.out
+                    .push(Stmt::MemcpyD2H { buf: self.name(b), bytes: self.program.buffer(b).bytes });
+                self.loc[b.0] = Loc::Both;
+            }
+        }
+    }
+
+    fn host_writes(&mut self, bufs: &[BufId]) {
+        for &b in bufs {
+            self.loc[b.0] = Loc::HostOnly;
+            if self.is_gpu_buf(b) {
+                self.host_dirty[b.0] = true;
+            }
+        }
+    }
+
+    fn arg_bytes(&self, reads: &[BufId], writes: &[BufId]) -> u64 {
+        let mut seen: Vec<BufId> = Vec::new();
+        for &b in reads.iter().chain(writes) {
+            if !seen.contains(&b) {
+                seen.push(b);
+            }
+        }
+        seen.iter().map(|&b| self.program.buffer(b).bytes).sum()
+    }
+
+    fn gpu_kernel(&mut self, name: &str, reads: &[BufId], writes: &[BufId], args_upload: bool) {
+        match self.model {
+            AddressSpace::Unified => {}
+            AddressSpace::Disjoint => {
+                for &b in reads {
+                    if self.loc[b.0] == Loc::HostOnly {
+                        self.out.push(Stmt::MemcpyH2D {
+                            buf: self.name(b),
+                            bytes: self.program.buffer(b).bytes,
+                        });
+                        self.loc[b.0] = Loc::Both;
+                    }
+                }
+            }
+            AddressSpace::Adsm => {
+                let needing: Vec<BufId> =
+                    reads.iter().copied().filter(|b| self.host_dirty[b.0]).collect();
+                if !needing.is_empty() {
+                    let bytes = needing.iter().map(|&b| self.program.buffer(b).bytes).sum();
+                    self.out.push(Stmt::AdsmCopyToDevice { bufs: self.names(&needing), bytes });
+                    for b in needing {
+                        self.host_dirty[b.0] = false;
+                    }
+                }
+            }
+            AddressSpace::PartiallyShared => {
+                // Release ownership of every shared object the kernel
+                // touches (one grouped line, as in Figure 2b).
+                let mut touched: Vec<BufId> = reads.to_vec();
+                for &w in writes {
+                    if !touched.contains(&w) {
+                        touched.push(w);
+                    }
+                }
+                self.out.push(Stmt::ReleaseOwnership { bufs: self.names(&touched) });
+            }
+        }
+
+        let mut args = self.names(reads);
+        for &w in writes {
+            let n = self.name(w);
+            if !args.contains(&n) {
+                args.push(n);
+            }
+        }
+        self.out.push(Stmt::KernelCall {
+            target: Target::Gpu,
+            name: name.to_owned(),
+            args,
+            parallel: true,
+            arg_bytes: self.arg_bytes(reads, writes),
+            args_upload,
+        });
+
+        match self.model {
+            AddressSpace::PartiallyShared => {
+                // Re-acquire the results before the host may touch them.
+                self.out.push(Stmt::AcquireOwnership { bufs: self.names(writes) });
+            }
+            AddressSpace::Disjoint => {
+                for &w in writes {
+                    self.loc[w.0] = Loc::DeviceOnly;
+                }
+            }
+            AddressSpace::Adsm | AddressSpace::Unified => {}
+        }
+    }
+
+    /// Buffers written by host-side steps (init, CPU kernels, sequential
+    /// code) anywhere in `steps`, recursively.
+    fn host_written_in(steps: &[Step], acc: &mut Vec<BufId>) {
+        for step in steps {
+            let writes: &[BufId] = match step {
+                Step::HostInit { bufs } => bufs,
+                Step::Kernel { target: Target::Cpu, writes, .. } => writes,
+                Step::Seq { writes, .. } => writes,
+                Step::Loop { body, .. } => {
+                    LowerCtx::host_written_in(body, acc);
+                    &[]
+                }
+                Step::Kernel { target: Target::Gpu, .. } => &[],
+            };
+            for &b in writes {
+                if !acc.contains(&b) {
+                    acc.push(b);
+                }
+            }
+        }
+    }
+
+    /// Buffers read by GPU kernels anywhere in `steps`, recursively, in
+    /// first-read order.
+    fn gpu_read_in(steps: &[Step], acc: &mut Vec<BufId>) {
+        for step in steps {
+            match step {
+                Step::Kernel { target: Target::Gpu, reads, .. } => {
+                    for &b in reads {
+                        if !acc.contains(&b) {
+                            acc.push(b);
+                        }
+                    }
+                }
+                Step::Loop { body, .. } => LowerCtx::gpu_read_in(body, acc),
+                _ => {}
+            }
+        }
+    }
+
+    fn hoist_loop_invariant_inputs(&mut self, body: &[Step]) {
+        let mut host_written = Vec::new();
+        LowerCtx::host_written_in(body, &mut host_written);
+        let mut gpu_reads = Vec::new();
+        LowerCtx::gpu_read_in(body, &mut gpu_reads);
+        let invariant: Vec<BufId> =
+            gpu_reads.into_iter().filter(|b| !host_written.contains(b)).collect();
+
+        match self.model {
+            AddressSpace::Disjoint => {
+                for &b in &invariant {
+                    if self.loc[b.0] == Loc::HostOnly {
+                        self.out.push(Stmt::MemcpyH2D {
+                            buf: self.name(b),
+                            bytes: self.program.buffer(b).bytes,
+                        });
+                        self.loc[b.0] = Loc::Both;
+                    }
+                }
+            }
+            AddressSpace::Adsm => {
+                let needing: Vec<BufId> =
+                    invariant.iter().copied().filter(|b| self.host_dirty[b.0]).collect();
+                if !needing.is_empty() {
+                    let bytes = needing.iter().map(|&b| self.program.buffer(b).bytes).sum();
+                    self.out.push(Stmt::AdsmCopyToDevice { bufs: self.names(&needing), bytes });
+                    for b in needing {
+                        self.host_dirty[b.0] = false;
+                    }
+                }
+            }
+            AddressSpace::Unified | AddressSpace::PartiallyShared => {}
+        }
+    }
+
+    fn walk(&mut self, steps: &[Step]) {
+        for step in steps {
+            match step {
+                Step::HostInit { bufs } => {
+                    let bytes = bufs.iter().map(|&b| self.program.buffer(b).bytes).sum();
+                    self.out.push(Stmt::InitCode { bufs: self.names(bufs), bytes });
+                    self.host_writes(bufs);
+                }
+                Step::Kernel { target: Target::Gpu, name, reads, writes, args_upload } => {
+                    self.gpu_kernel(name, reads, writes, *args_upload);
+                }
+                Step::Kernel { target: Target::Cpu, name, reads, writes, .. } => {
+                    self.host_reads(reads);
+                    let mut args = self.names(reads);
+                    args.extend(self.names(writes));
+                    args.dedup();
+                    self.out.push(Stmt::KernelCall {
+                        target: Target::Cpu,
+                        name: name.clone(),
+                        args,
+                        parallel: true,
+                        arg_bytes: self.arg_bytes(reads, writes),
+                        args_upload: false,
+                    });
+                    self.host_writes(writes);
+                }
+                Step::Seq { name, reads, writes } => {
+                    self.host_reads(reads);
+                    let mut args = self.names(reads);
+                    args.extend(self.names(writes));
+                    args.dedup();
+                    self.out.push(Stmt::KernelCall {
+                        target: Target::Cpu,
+                        name: name.clone(),
+                        args,
+                        parallel: false,
+                        arg_bytes: self.arg_bytes(reads, writes),
+                        args_upload: false,
+                    });
+                    self.host_writes(writes);
+                }
+                Step::Loop { iterations, body } => {
+                    // Hoist loop-invariant input transfers: a buffer the GPU
+                    // reads in the loop but the host never writes inside it
+                    // is copied once, before the loop — as any real program
+                    // would be written (and as the paper's communication
+                    // counts assume).
+                    self.hoist_loop_invariant_inputs(body);
+                    self.out.push(Stmt::LoopHead { iterations: *iterations });
+                    self.walk(body);
+                    self.out.push(Stmt::LoopTail);
+                }
+            }
+        }
+    }
+}
+
+/// Lowers `program` for `model`.
+///
+/// # Panics
+///
+/// Panics if the program fails [`Program::validate`] — lower only validated
+/// programs.
+#[must_use]
+pub fn lower(program: &Program, model: AddressSpace) -> Lowered {
+    program.validate().expect("lower() requires a valid program");
+    let n = program.buffers.len();
+    let mut ctx = LowerCtx {
+        program,
+        model,
+        gpu_bufs: program.gpu_buffers(),
+        loc: vec![Loc::HostOnly; n],
+        host_dirty: vec![false; n],
+        out: Vec::new(),
+    };
+    ctx.prologue();
+    let steps = program.steps.clone();
+    ctx.walk(&steps);
+    ctx.epilogue();
+    Lowered { program_name: program.name.clone(), model, stmts: ctx.out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Buffer;
+
+    /// The Figure 2/3 reduction: a+b→c on GPU, d+e→f on CPU, c+f→f on CPU.
+    fn reduction_like() -> Program {
+        Program {
+            name: "reduction".into(),
+            buffers: vec![
+                Buffer::new("a", 64),
+                Buffer::new("b", 64),
+                Buffer::new("c", 64),
+                Buffer::new("d", 64),
+                Buffer::new("e", 64),
+                Buffer::new("f", 64),
+            ],
+            steps: vec![
+                Step::HostInit { bufs: vec![BufId(0), BufId(1), BufId(3), BufId(4)] },
+                Step::Kernel {
+                    target: Target::Gpu,
+                    name: "addGPUTwoVectors".into(),
+                    reads: vec![BufId(0), BufId(1)],
+                    writes: vec![BufId(2)],
+                    args_upload: false,
+                },
+                Step::Kernel {
+                    target: Target::Cpu,
+                    name: "addTwoVectors".into(),
+                    reads: vec![BufId(3), BufId(4)],
+                    writes: vec![BufId(5)],
+                    args_upload: false,
+                },
+                Step::Seq {
+                    name: "addTwoVectors".into(),
+                    reads: vec![BufId(2), BufId(5)],
+                    writes: vec![BufId(5)],
+                },
+            ],
+            compute_lines: 142,
+        }
+    }
+
+    #[test]
+    fn unified_has_zero_overhead() {
+        let l = lower(&reduction_like(), AddressSpace::Unified);
+        assert_eq!(l.comm_overhead_lines(), 0);
+    }
+
+    #[test]
+    fn partially_shared_brackets_each_gpu_kernel() {
+        let l = lower(&reduction_like(), AddressSpace::PartiallyShared);
+        assert_eq!(l.comm_overhead_lines(), 2);
+        let release = l
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::ReleaseOwnership { .. }))
+            .expect("release present");
+        let kernel = l
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::KernelCall { target: Target::Gpu, .. }))
+            .expect("kernel present");
+        let acquire = l
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::AcquireOwnership { .. }))
+            .expect("acquire present");
+        assert!(release < kernel && kernel < acquire);
+    }
+
+    #[test]
+    fn disjoint_matches_figure_3a_structure() {
+        let l = lower(&reduction_like(), AddressSpace::Disjoint);
+        // decl + alloc + 2 H2D + 1 D2H + sync + 3 frees = 9 (Table V).
+        assert_eq!(l.comm_overhead_lines(), 9);
+        let h2d = l.stmts.iter().filter(|s| matches!(s, Stmt::MemcpyH2D { .. })).count();
+        let d2h = l.stmts.iter().filter(|s| matches!(s, Stmt::MemcpyD2H { .. })).count();
+        assert_eq!((h2d, d2h), (2, 1));
+    }
+
+    #[test]
+    fn adsm_matches_figure_3b_structure() {
+        let l = lower(&reduction_like(), AddressSpace::Adsm);
+        // 3 adsmAlloc + 1 grouped copy + sync + 1 grouped free = 6 (Table V).
+        assert_eq!(l.comm_overhead_lines(), 6);
+        let copies: Vec<_> = l
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::AdsmCopyToDevice { bufs, .. } => Some(bufs.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(copies, vec![vec!["a".to_owned(), "b".to_owned()]]);
+        // No copy-back: the CPU addresses shared results directly.
+        assert!(!l.stmts.iter().any(|s| matches!(s, Stmt::MemcpyD2H { .. })));
+    }
+
+    #[test]
+    fn kernel_calls_survive_all_lowerings() {
+        for model in AddressSpace::ALL {
+            let l = lower(&reduction_like(), model);
+            let calls =
+                l.stmts.iter().filter(|s| matches!(s, Stmt::KernelCall { .. })).count();
+            assert_eq!(calls, 3, "{model}: one GPU + one CPU kernel + one merge");
+        }
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let p = reduction_like();
+        assert_eq!(lower(&p, AddressSpace::Disjoint), lower(&p, AddressSpace::Disjoint));
+    }
+}

@@ -1,0 +1,394 @@
+//! The six paper kernels written once, model-agnostically.
+//!
+//! Buffer sizes follow Table III's transfer sizes; the work-split structure
+//! follows the paper's methodology (§IV-B): each kernel's data-parallel work
+//! is divided evenly between the CPU and the GPU, input data starts on the
+//! CPU, and GPU results flow back for a final host step. `compute_lines`
+//! carries the "Comp" column of Table V (source lines of computation and
+//! initial allocation in the paper's implementations).
+
+use crate::ast::{BufId, Buffer, Program, Step, Target};
+
+fn gpu_kernel(name: &str, reads: &[usize], writes: &[usize], args_upload: bool) -> Step {
+    Step::Kernel {
+        target: Target::Gpu,
+        name: name.to_owned(),
+        reads: reads.iter().map(|&i| BufId(i)).collect(),
+        writes: writes.iter().map(|&i| BufId(i)).collect(),
+        args_upload,
+    }
+}
+
+fn cpu_kernel(name: &str, reads: &[usize], writes: &[usize]) -> Step {
+    Step::Kernel {
+        target: Target::Cpu,
+        name: name.to_owned(),
+        reads: reads.iter().map(|&i| BufId(i)).collect(),
+        writes: writes.iter().map(|&i| BufId(i)).collect(),
+        args_upload: false,
+    }
+}
+
+fn seq(name: &str, reads: &[usize], writes: &[usize]) -> Step {
+    Step::Seq {
+        name: name.to_owned(),
+        reads: reads.iter().map(|&i| BufId(i)).collect(),
+        writes: writes.iter().map(|&i| BufId(i)).collect(),
+    }
+}
+
+fn init(bufs: &[usize]) -> Step {
+    Step::HostInit { bufs: bufs.iter().map(|&i| BufId(i)).collect() }
+}
+
+/// The reduction of Figures 2–3: `c = a + b` on the GPU, `f = d + e` on the
+/// CPU, `f = c + f` sequentially.
+#[must_use]
+pub fn reduction() -> Program {
+    Program {
+        name: "reduction".into(),
+        buffers: vec![
+            Buffer::new("a", 160_256),
+            Buffer::new("b", 160_256),
+            Buffer::new("c", 64),
+            Buffer::new("d", 160_256),
+            Buffer::new("e", 160_256),
+            Buffer::new("f", 64),
+        ],
+        steps: vec![
+            init(&[0, 1, 3, 4]),
+            gpu_kernel("addGPUTwoVectors", &[0, 1], &[2], false),
+            cpu_kernel("addTwoVectors", &[3, 4], &[5]),
+            seq("addTwoVectors", &[2, 5], &[5]),
+        ],
+        compute_lines: 142,
+    }
+}
+
+/// Dense matrix multiply: the GPU computes half of `C`, the CPU the other
+/// half; a sequential step assembles the result.
+#[must_use]
+pub fn matrix_mul() -> Program {
+    Program {
+        name: "matrix mul".into(),
+        buffers: vec![
+            Buffer::new("A", 262_144),
+            Buffer::new("B", 262_144),
+            Buffer::new("Cg", 131_072),
+            Buffer::new("Cc", 131_072),
+        ],
+        steps: vec![
+            init(&[0, 1]),
+            gpu_kernel("matmulGPU", &[0, 1], &[2], false),
+            cpu_kernel("matmulCPU", &[0, 1], &[3]),
+            seq("assembleC", &[2, 3], &[3]),
+        ],
+        compute_lines: 39,
+    }
+}
+
+/// Separable convolution: a row pass, a host-side halo merge, then a column
+/// pass (the `parallel → merge → parallel` pattern of Table III).
+#[must_use]
+pub fn convolution() -> Program {
+    Program {
+        name: "convolution".into(),
+        buffers: vec![
+            Buffer::new("imgG", 65_536),
+            Buffer::new("tmpG", 65_536),
+            Buffer::new("imgC", 65_536),
+            Buffer::new("tmpC", 65_536),
+        ],
+        steps: vec![
+            init(&[0, 2]),
+            gpu_kernel("convRowsGPU", &[0], &[1], false),
+            cpu_kernel("convRowsCPU", &[2], &[3]),
+            seq("mergeHalo", &[1, 3], &[1, 3]),
+            gpu_kernel("convColsGPU", &[1], &[0], false),
+            cpu_kernel("convColsCPU", &[3], &[2]),
+            seq("gather", &[0, 2], &[2]),
+        ],
+        compute_lines: 75,
+    }
+}
+
+/// Discrete cosine transform: each PU transforms its half in place.
+#[must_use]
+pub fn dct() -> Program {
+    Program {
+        name: "dct".into(),
+        buffers: vec![Buffer::new("imgG", 262_244), Buffer::new("imgC", 262_244)],
+        steps: vec![
+            init(&[0, 1]),
+            gpu_kernel("dctGPU", &[0], &[0], false),
+            cpu_kernel("dctCPU", &[1], &[1]),
+            seq("gather", &[0, 1], &[1]),
+        ],
+        compute_lines: 410,
+    }
+}
+
+/// Merge sort: each PU sorts its half; the host merges the runs
+/// sequentially.
+#[must_use]
+pub fn merge_sort() -> Program {
+    Program {
+        name: "merge sort".into(),
+        buffers: vec![
+            Buffer::new("arrG", 39_936),
+            Buffer::new("arrC", 39_936),
+            Buffer::new("out", 79_872),
+        ],
+        steps: vec![
+            init(&[0, 1]),
+            gpu_kernel("sortGPU", &[0], &[0], false),
+            cpu_kernel("sortCPU", &[1], &[1]),
+            seq("mergeRuns", &[0, 1], &[2]),
+        ],
+        compute_lines: 112,
+    }
+}
+
+/// K-means: three iterations of assign / partial-sum / reduce on the GPU
+/// (its half of the points), with a sequential centroid update per
+/// iteration. Centroids travel as kernel-launch arguments, so their
+/// broadcast costs a dynamic transfer but no source line.
+#[must_use]
+pub fn k_means() -> Program {
+    Program {
+        name: "k-mean".into(),
+        buffers: vec![
+            Buffer::new("points", 136_192),
+            Buffer::new("centroids", 2_048),
+            Buffer::new("pointsC", 136_192),
+        ],
+        steps: vec![
+            init(&[0, 1, 2]),
+            Step::Loop {
+                iterations: 3,
+                body: vec![
+                    gpu_kernel("assignClusters", &[0], &[0], true),
+                    gpu_kernel("partialSums", &[0], &[0], false),
+                    gpu_kernel("reducePartials", &[0], &[0], false),
+                    cpu_kernel("assignClustersCPU", &[2], &[2]),
+                    seq("updateCentroids", &[0, 2], &[1]),
+                ],
+            },
+        ],
+        compute_lines: 332,
+    }
+}
+
+/// All six programs, in the paper's Table V row order.
+#[must_use]
+pub fn all() -> Vec<Program> {
+    vec![matrix_mul(), merge_sort(), dct(), reduction(), convolution(), k_means()]
+}
+
+/// Looks up a program by its paper name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Program> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// Extension programs beyond the paper's six kernels — the classic
+/// heterogeneous workloads an introduction motivates. They exercise the
+/// same lowering machinery and are used by examples and tests; they are
+/// *not* part of the Table V reproduction.
+pub mod extra {
+    use super::{cpu_kernel, gpu_kernel, init, seq, Program, Step};
+    use crate::ast::Buffer;
+
+    /// Histogram with per-PU partial bins merged on the host.
+    #[must_use]
+    pub fn histogram() -> Program {
+        Program {
+            name: "histogram".into(),
+            buffers: vec![
+                Buffer::new("samplesG", 131_072),
+                Buffer::new("samplesC", 131_072),
+                Buffer::new("binsG", 4_096),
+                Buffer::new("binsC", 4_096),
+            ],
+            steps: vec![
+                init(&[0, 1]),
+                gpu_kernel("histGPU", &[0], &[2], false),
+                cpu_kernel("histCPU", &[1], &[3]),
+                seq("mergeBins", &[2, 3], &[3]),
+            ],
+            compute_lines: 58,
+        }
+    }
+
+    /// Iterative 5-point stencil with a per-sweep boundary exchange.
+    #[must_use]
+    pub fn stencil() -> Program {
+        Program {
+            name: "stencil".into(),
+            buffers: vec![
+                Buffer::new("gridG", 262_144),
+                Buffer::new("gridC", 262_144),
+                Buffer::new("halo", 4_096),
+            ],
+            steps: vec![
+                init(&[0, 1, 2]),
+                Step::Loop {
+                    iterations: 4,
+                    body: vec![
+                        gpu_kernel("relaxGPU", &[0, 2], &[0], false),
+                        cpu_kernel("relaxCPU", &[1], &[1]),
+                        seq("exchangeHalo", &[0, 1], &[2]),
+                    ],
+                },
+                seq("gather", &[0, 1], &[1]),
+            ],
+            compute_lines: 96,
+        }
+    }
+
+    /// Sparse matrix-vector product: the GPU multiplies its row block, the
+    /// host re-broadcasts the dense vector each iteration.
+    #[must_use]
+    pub fn spmv() -> Program {
+        Program {
+            name: "spmv".into(),
+            buffers: vec![
+                Buffer::new("rowsG", 524_288),
+                Buffer::new("rowsC", 524_288),
+                Buffer::new("x", 32_768),
+                Buffer::new("yG", 16_384),
+                Buffer::new("yC", 16_384),
+            ],
+            steps: vec![
+                init(&[0, 1, 2]),
+                Step::Loop {
+                    iterations: 3,
+                    body: vec![
+                        gpu_kernel("spmvGPU", &[0, 2], &[3], true),
+                        cpu_kernel("spmvCPU", &[1, 2], &[4]),
+                        seq("updateX", &[3, 4], &[2]),
+                    ],
+                },
+            ],
+            compute_lines: 120,
+        }
+    }
+
+    /// Exclusive prefix scan: block scans in parallel, host-side carry
+    /// propagation, then a parallel fix-up pass.
+    #[must_use]
+    pub fn scan() -> Program {
+        Program {
+            name: "scan".into(),
+            buffers: vec![
+                Buffer::new("dataG", 131_072),
+                Buffer::new("dataC", 131_072),
+                Buffer::new("carries", 2_048),
+            ],
+            steps: vec![
+                init(&[0, 1]),
+                gpu_kernel("blockScanGPU", &[0], &[0, 2], false),
+                cpu_kernel("blockScanCPU", &[1], &[1]),
+                seq("propagateCarries", &[2], &[2]),
+                gpu_kernel("fixupGPU", &[0, 2], &[0], false),
+                cpu_kernel("fixupCPU", &[1, 2], &[1]),
+                seq("gather", &[0, 1], &[1]),
+            ],
+            compute_lines: 84,
+        }
+    }
+
+    /// All extension programs.
+    #[must_use]
+    pub fn all() -> Vec<Program> {
+        vec![histogram(), stencil(), spmv(), scan()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_programs_validate_and_lower() {
+        use crate::lower::lower;
+        use crate::model::AddressSpace;
+        for p in extra::all() {
+            assert_eq!(p.validate(), Ok(()), "{}", p.name);
+            let uni = lower(&p, AddressSpace::Unified).comm_overhead_lines();
+            let pas = lower(&p, AddressSpace::PartiallyShared).comm_overhead_lines();
+            let dis = lower(&p, AddressSpace::Disjoint).comm_overhead_lines();
+            let adsm = lower(&p, AddressSpace::Adsm).comm_overhead_lines();
+            assert_eq!(uni, 0, "{}", p.name);
+            assert_eq!(pas, 2 * p.gpu_kernel_sites(), "{}", p.name);
+            assert!(adsm <= dis, "{}: adsm {adsm} vs dis {dis}", p.name);
+            assert!(dis > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn extension_programs_generate_valid_traces() {
+        use crate::codegen::generate_trace;
+        use crate::lower::lower;
+        use crate::model::AddressSpace;
+        for p in extra::all() {
+            for m in AddressSpace::ALL {
+                let t = generate_trace(&lower(&p, m));
+                assert_eq!(t.validate(), Ok(()), "{} / {m}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn extension_programs_round_trip_through_text() {
+        use crate::parse::{parse_program, write_program};
+        for p in extra::all() {
+            let src = write_program(&p);
+            assert_eq!(parse_program(&src).expect("round trip"), p, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn stencil_has_two_gpu_sites_per_paper_style() {
+        assert_eq!(extra::stencil().gpu_kernel_sites(), 1);
+        assert_eq!(extra::scan().gpu_kernel_sites(), 2);
+        assert_eq!(extra::spmv().gpu_kernel_sites(), 1);
+    }
+
+    #[test]
+    fn all_programs_validate() {
+        for p in all() {
+            assert_eq!(p.validate(), Ok(()), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn names_match_table_v_rows() {
+        let names: Vec<_> = all().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["matrix mul", "merge sort", "dct", "reduction", "convolution", "k-mean"]
+        );
+    }
+
+    #[test]
+    fn comp_lines_match_table_v() {
+        let comp: Vec<_> = all().into_iter().map(|p| p.compute_lines).collect();
+        assert_eq!(comp, vec![39, 112, 410, 142, 75, 332]);
+    }
+
+    #[test]
+    fn gpu_kernel_site_counts() {
+        assert_eq!(reduction().gpu_kernel_sites(), 1);
+        assert_eq!(convolution().gpu_kernel_sites(), 2);
+        assert_eq!(k_means().gpu_kernel_sites(), 3);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for p in all() {
+            assert_eq!(by_name(&p.name).map(|q| q.name), Some(p.name));
+        }
+        assert!(by_name("nope").is_none());
+    }
+}

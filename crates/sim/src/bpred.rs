@@ -1,0 +1,163 @@
+//! gshare branch predictor (Table II: the CPU's predictor; the GPU has none
+//! and stalls on every branch).
+//!
+//! Traces carry dynamic branch outcomes but no program counters, so the
+//! predictor indexes its pattern history table with global history alone
+//! (a GAg-style gshare with a fixed PC component). Loop-back branches with
+//! heavily biased outcomes predict almost perfectly; the data-dependent
+//! ~55 %-taken branches of merge sort mispredict frequently — exactly the
+//! contrast the kernels are designed to exhibit.
+
+use serde::{Deserialize, Serialize};
+
+/// A gshare predictor: global history XOR-indexed into 2-bit counters.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gshare {
+    history: u64,
+    history_mask: u64,
+    table: Vec<u8>,
+    index_mask: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `2^log2_entries` two-bit counters and
+    /// `history_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` is 0 or greater than 24, or if
+    /// `history_bits` exceeds 63.
+    #[must_use]
+    pub fn new(log2_entries: u32, history_bits: u32) -> Gshare {
+        assert!((1..=24).contains(&log2_entries), "unreasonable PHT size");
+        assert!(history_bits < 64, "history register is 64 bits");
+        let entries = 1usize << log2_entries;
+        Gshare {
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+            // Weakly taken: loop branches warm up quickly.
+            table: vec![2; entries],
+            index_mask: (entries - 1) as u64,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    fn index(&self) -> usize {
+        // No PCs in the trace: hash history against a fixed constant so the
+        // fold still spreads across the table.
+        ((self.history ^ (self.history >> 7)) & self.index_mask) as usize
+    }
+
+    /// Predicts and then trains on the actual outcome; returns `true` if the
+    /// prediction was correct.
+    pub fn predict_and_train(&mut self, taken: bool) -> bool {
+        let idx = self.index();
+        let counter = self.table[idx];
+        let predicted_taken = counter >= 2;
+        let correct = predicted_taken == taken;
+        self.predictions += 1;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        self.table[idx] = match (counter, taken) {
+            (3, true) => 3,
+            (c, true) => c + 1,
+            (0, false) => 0,
+            (c, false) => c - 1,
+        };
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+        correct
+    }
+
+    /// Total branches predicted.
+    #[must_use]
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total mispredictions.
+    #[must_use]
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction rate in `[0, 1]`; zero before any prediction.
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Clears history, counters, and statistics.
+    pub fn reset(&mut self) {
+        self.history = 0;
+        self.table.fill(2);
+        self.predictions = 0;
+        self.mispredictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_branches_predict_well() {
+        let mut p = Gshare::new(12, 12);
+        // 95 % taken loop branch.
+        let mut state = 0x1234_5678u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let taken = (state >> 33) % 100 < 95;
+            p.predict_and_train(taken);
+        }
+        assert!(p.misprediction_rate() < 0.12, "rate {}", p.misprediction_rate());
+    }
+
+    #[test]
+    fn periodic_pattern_is_learned() {
+        let mut p = Gshare::new(12, 12);
+        // Pattern T T N repeating: history-indexed counters learn it exactly.
+        for i in 0..3000u64 {
+            p.predict_and_train(i % 3 != 2);
+        }
+        // After warmup the pattern should be nearly perfectly predicted.
+        let warm = Gshare::new(12, 12);
+        drop(warm);
+        assert!(p.misprediction_rate() < 0.05, "rate {}", p.misprediction_rate());
+    }
+
+    #[test]
+    fn random_branches_mispredict_often() {
+        let mut p = Gshare::new(12, 12);
+        let mut state = 0x9E37_79B9u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p.predict_and_train((state >> 40) & 1 == 1);
+        }
+        assert!(p.misprediction_rate() > 0.35, "rate {}", p.misprediction_rate());
+    }
+
+    #[test]
+    fn reset_clears_statistics() {
+        let mut p = Gshare::new(10, 8);
+        p.predict_and_train(true);
+        assert_eq!(p.predictions(), 1);
+        p.reset();
+        assert_eq!(p.predictions(), 0);
+        assert_eq!(p.mispredictions(), 0);
+        assert_eq!(p.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable PHT size")]
+    fn rejects_zero_entries() {
+        let _ = Gshare::new(0, 8);
+    }
+}

@@ -1,0 +1,119 @@
+//! Clock domains and the global time base.
+//!
+//! The baseline system (Table II) runs the CPU at 3.5 GHz, the GPU at
+//! 1.5 GHz, and the DDR3-1333 memory bus at 666.7 MHz. To keep the
+//! simulation integral and deterministic, all components share a single
+//! global time base of **ticks at 42 GHz** — the least common multiple that
+//! makes every domain's cycle an integer number of ticks:
+//!
+//! | domain | frequency | ticks / cycle |
+//! |--------|-----------|---------------|
+//! | CPU    | 3.5 GHz   | 12            |
+//! | GPU    | 1.5 GHz   | 28            |
+//! | DRAM   | 666.7 MHz | 63            |
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or duration of) global simulation time, in 42 GHz ticks.
+pub type Tick = u64;
+
+/// Global tick frequency in Hz.
+pub const TICKS_PER_SECOND: u64 = 42_000_000_000;
+
+/// A fixed-frequency clock domain expressed as ticks per cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClockDomain {
+    ticks_per_cycle: u64,
+}
+
+impl ClockDomain {
+    /// The 3.5 GHz CPU domain.
+    pub const CPU: ClockDomain = ClockDomain { ticks_per_cycle: 12 };
+    /// The 1.5 GHz GPU domain.
+    pub const GPU: ClockDomain = ClockDomain { ticks_per_cycle: 28 };
+    /// The 666.7 MHz DDR3-1333 bus domain.
+    pub const DRAM: ClockDomain = ClockDomain { ticks_per_cycle: 63 };
+
+    /// Creates a domain with an explicit tick-per-cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks_per_cycle` is zero.
+    #[must_use]
+    pub fn from_ticks_per_cycle(ticks_per_cycle: u64) -> ClockDomain {
+        assert!(ticks_per_cycle > 0, "a clock domain needs a non-zero period");
+        ClockDomain { ticks_per_cycle }
+    }
+
+    /// Ticks in one cycle of this domain.
+    #[must_use]
+    pub fn ticks_per_cycle(self) -> u64 {
+        self.ticks_per_cycle
+    }
+
+    /// Converts a cycle count of this domain into global ticks.
+    #[must_use]
+    pub fn cycles_to_ticks(self, cycles: u64) -> Tick {
+        cycles * self.ticks_per_cycle
+    }
+
+    /// Converts global ticks into whole cycles of this domain (rounding up,
+    /// since a partially elapsed cycle still occupies the resource).
+    #[must_use]
+    pub fn ticks_to_cycles(self, ticks: Tick) -> u64 {
+        ticks.div_ceil(self.ticks_per_cycle)
+    }
+
+    /// The domain's frequency in Hz.
+    #[must_use]
+    pub fn frequency_hz(self) -> u64 {
+        TICKS_PER_SECOND / self.ticks_per_cycle
+    }
+}
+
+/// Converts ticks to nanoseconds (floating point, for reporting only).
+#[must_use]
+pub fn ticks_to_ns(ticks: Tick) -> f64 {
+    ticks as f64 * 1e9 / TICKS_PER_SECOND as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_frequencies_match_table_ii() {
+        assert_eq!(ClockDomain::CPU.frequency_hz(), 3_500_000_000);
+        assert_eq!(ClockDomain::GPU.frequency_hz(), 1_500_000_000);
+        // 42 GHz / 63 = 666.67 MHz DDR3-1333 bus clock.
+        assert_eq!(ClockDomain::DRAM.frequency_hz(), 666_666_666);
+    }
+
+    #[test]
+    fn cycle_tick_round_trip() {
+        for cycles in [0u64, 1, 7, 1000] {
+            let t = ClockDomain::CPU.cycles_to_ticks(cycles);
+            assert_eq!(ClockDomain::CPU.ticks_to_cycles(t), cycles);
+        }
+    }
+
+    #[test]
+    fn ticks_to_cycles_rounds_up() {
+        assert_eq!(ClockDomain::CPU.ticks_to_cycles(1), 1);
+        assert_eq!(ClockDomain::CPU.ticks_to_cycles(12), 1);
+        assert_eq!(ClockDomain::CPU.ticks_to_cycles(13), 2);
+    }
+
+    #[test]
+    fn ns_conversion() {
+        // One CPU cycle at 3.5 GHz is ~0.2857 ns.
+        let ns = ticks_to_ns(ClockDomain::CPU.cycles_to_ticks(1));
+        assert!((ns - 0.2857).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero period")]
+    fn zero_period_rejected() {
+        let _ = ClockDomain::from_ticks_per_cycle(0);
+    }
+}

@@ -1,0 +1,214 @@
+//! A two-node directory coherence protocol (MSI) between the CPU's and the
+//! GPU's private cache hierarchies.
+//!
+//! The paper's design space includes options with and without hardware
+//! coherence between PUs (Table I's "coherence" column). The simulator keeps
+//! a directory at the shared LLC: each line records the state it has in each
+//! PU's private caches. Cross-PU sharing triggers interventions —
+//! invalidations and dirty write-backs — whose latency the hierarchy charges
+//! to the requester.
+
+use hetmem_trace::PuKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-PU state of a line in the directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineState {
+    /// Not present in this PU's private caches.
+    #[default]
+    Invalid,
+    /// Present, clean, possibly also at the peer.
+    Shared,
+    /// Present and dirty; the peer must not hold it.
+    Modified,
+}
+
+/// What the requester must do (and pay for) to complete its access.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Intervention {
+    /// The peer's copy must be invalidated.
+    pub invalidate_peer: bool,
+    /// The peer held the line modified; its data must be written back first.
+    pub writeback_from_peer: bool,
+}
+
+impl Intervention {
+    /// Whether any coherence action is required.
+    #[must_use]
+    pub fn is_needed(&self) -> bool {
+        self.invalidate_peer || self.writeback_from_peer
+    }
+}
+
+/// Directory statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoherenceStats {
+    /// Peer invalidations performed.
+    pub invalidations: u64,
+    /// Dirty write-backs forced from the peer.
+    pub peer_writebacks: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+struct Entry {
+    cpu: LineState,
+    gpu: LineState,
+}
+
+impl Entry {
+    fn get(&self, pu: PuKind) -> LineState {
+        match pu {
+            PuKind::Cpu => self.cpu,
+            PuKind::Gpu => self.gpu,
+        }
+    }
+
+    fn set(&mut self, pu: PuKind, s: LineState) {
+        match pu {
+            PuKind::Cpu => self.cpu = s,
+            PuKind::Gpu => self.gpu = s,
+        }
+    }
+}
+
+/// The MSI directory.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Directory {
+    lines: HashMap<u64, Entry>,
+    stats: CoherenceStats,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    #[must_use]
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// The state `pu` currently holds `line` in (line = address / 64).
+    #[must_use]
+    pub fn state(&self, pu: PuKind, line: u64) -> LineState {
+        self.lines.get(&line).map_or(LineState::Invalid, |e| e.get(pu))
+    }
+
+    /// Records an access by `pu` and returns the intervention the requester
+    /// must perform against the peer.
+    pub fn on_access(&mut self, pu: PuKind, line: u64, write: bool) -> Intervention {
+        let entry = self.lines.entry(line).or_default();
+        let peer = pu.peer();
+        let peer_state = entry.get(peer);
+
+        let mut action = Intervention::default();
+        match (write, peer_state) {
+            (_, LineState::Modified) => {
+                action.writeback_from_peer = true;
+                action.invalidate_peer = true;
+            }
+            (true, LineState::Shared) => {
+                action.invalidate_peer = true;
+            }
+            _ => {}
+        }
+        if action.invalidate_peer {
+            entry.set(peer, LineState::Invalid);
+            self.stats.invalidations += 1;
+        }
+        if action.writeback_from_peer {
+            self.stats.peer_writebacks += 1;
+        }
+        entry.set(pu, if write { LineState::Modified } else { LineState::Shared });
+        action
+    }
+
+    /// Records that `pu` dropped `line` from its private caches (eviction).
+    pub fn on_evict(&mut self, pu: PuKind, line: u64) {
+        if let Some(entry) = self.lines.get_mut(&line) {
+            entry.set(pu, LineState::Invalid);
+            if entry.cpu == LineState::Invalid && entry.gpu == LineState::Invalid {
+                self.lines.remove(&line);
+            }
+        }
+    }
+
+    /// Number of lines the directory currently tracks.
+    #[must_use]
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_reads_need_no_intervention() {
+        let mut d = Directory::new();
+        assert!(!d.on_access(PuKind::Cpu, 1, false).is_needed());
+        assert!(!d.on_access(PuKind::Cpu, 1, false).is_needed());
+        assert_eq!(d.state(PuKind::Cpu, 1), LineState::Shared);
+    }
+
+    #[test]
+    fn shared_read_by_both_is_free() {
+        let mut d = Directory::new();
+        d.on_access(PuKind::Cpu, 7, false);
+        let a = d.on_access(PuKind::Gpu, 7, false);
+        assert!(!a.is_needed());
+        assert_eq!(d.state(PuKind::Cpu, 7), LineState::Shared);
+        assert_eq!(d.state(PuKind::Gpu, 7), LineState::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_peer_sharer() {
+        let mut d = Directory::new();
+        d.on_access(PuKind::Cpu, 7, false);
+        let a = d.on_access(PuKind::Gpu, 7, true);
+        assert!(a.invalidate_peer);
+        assert!(!a.writeback_from_peer);
+        assert_eq!(d.state(PuKind::Cpu, 7), LineState::Invalid);
+        assert_eq!(d.state(PuKind::Gpu, 7), LineState::Modified);
+    }
+
+    #[test]
+    fn read_of_peer_modified_forces_writeback() {
+        let mut d = Directory::new();
+        d.on_access(PuKind::Gpu, 9, true);
+        let a = d.on_access(PuKind::Cpu, 9, false);
+        assert!(a.writeback_from_peer);
+        assert!(a.invalidate_peer);
+        assert_eq!(d.stats().peer_writebacks, 1);
+    }
+
+    #[test]
+    fn ping_pong_generates_interventions_every_time() {
+        let mut d = Directory::new();
+        let mut interventions = 0;
+        for i in 0..10 {
+            let pu = if i % 2 == 0 { PuKind::Cpu } else { PuKind::Gpu };
+            if d.on_access(pu, 42, true).is_needed() {
+                interventions += 1;
+            }
+        }
+        assert_eq!(interventions, 9); // all but the very first write
+    }
+
+    #[test]
+    fn eviction_clears_state_and_garbage_collects() {
+        let mut d = Directory::new();
+        d.on_access(PuKind::Cpu, 3, true);
+        assert_eq!(d.tracked_lines(), 1);
+        d.on_evict(PuKind::Cpu, 3);
+        assert_eq!(d.state(PuKind::Cpu, 3), LineState::Invalid);
+        assert_eq!(d.tracked_lines(), 0);
+        // Evicting an untracked line is a no-op.
+        d.on_evict(PuKind::Gpu, 99);
+    }
+}

@@ -1,0 +1,335 @@
+//! System configuration — Table II of the paper.
+//!
+//! The baseline models one Sandy-Bridge-like CPU core and one Fermi-like GPU
+//! core sharing a 4-tile L3 over a ring bus, backed by 4 channels of
+//! DDR3-1333. The paper simplifies both PUs to a single core since only the
+//! memory system is under study.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in cycles of the owning clock domain.
+    pub latency_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero line size or
+    /// associativity, or capacity not a multiple of `line × assoc`).
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        assert!(self.line_bytes > 0 && self.associativity > 0, "degenerate cache geometry");
+        let way_bytes = u64::from(self.line_bytes) * u64::from(self.associativity);
+        assert!(
+            way_bytes > 0 && self.capacity_bytes.is_multiple_of(way_bytes),
+            "capacity {} is not a whole number of {}-byte set rows",
+            self.capacity_bytes,
+            way_bytes
+        );
+        self.capacity_bytes / way_bytes
+    }
+}
+
+/// CPU core parameters (Table II, left column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Superscalar issue width.
+    pub issue_width: u32,
+    /// Reorder-buffer capacity.
+    pub rob_entries: u32,
+    /// Branch-misprediction pipeline penalty in CPU cycles.
+    pub mispredict_penalty: u64,
+    /// log2 of the gshare pattern-history-table size.
+    pub gshare_log2_entries: u32,
+    /// gshare global-history length in bits.
+    pub gshare_history_bits: u32,
+    /// L1 data cache (8-way 32 KB, 2 cycles).
+    pub l1d: CacheConfig,
+    /// Private L2 (8-way 256 KB, 8 cycles).
+    pub l2: CacheConfig,
+    /// Next-line stream-prefetch degree at the L2: on a detected
+    /// sequential miss stream, this many subsequent lines are fetched into
+    /// the L2 in the background. `0` disables prefetching (the baseline, so
+    /// the memory system stays exactly Table II; the ablation bench turns
+    /// it on).
+    pub l2_prefetch_degree: u32,
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig {
+            issue_width: 4,
+            rob_entries: 128,
+            mispredict_penalty: 14,
+            gshare_log2_entries: 12,
+            gshare_history_bits: 12,
+            l1d: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                associativity: 8,
+                line_bytes: 64,
+                latency_cycles: 2,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 256 * 1024,
+                associativity: 8,
+                line_bytes: 64,
+                latency_cycles: 8,
+            },
+            l2_prefetch_degree: 0,
+        }
+    }
+}
+
+/// GPU core parameters (Table II, right column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// SIMD width (8 in the baseline).
+    pub simd_width: u32,
+    /// Cycles the in-order pipeline stalls on every branch
+    /// ("N/A (stall on branch)" in Table II — no predictor).
+    pub branch_stall_cycles: u64,
+    /// L1 data cache (8-way 32 KB, 2 cycles).
+    pub l1d: CacheConfig,
+    /// Software-managed scratchpad capacity in bytes (16 KB).
+    pub scratchpad_bytes: u64,
+    /// Scratchpad access latency in GPU cycles.
+    pub scratchpad_latency: u64,
+    /// Maximum in-flight cache misses. Models the latency hiding a SIMT
+    /// core gets from switching among warps: the pipeline keeps issuing
+    /// until this many misses are outstanding, then stalls for the oldest.
+    pub max_outstanding_misses: u32,
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig {
+            simd_width: 8,
+            branch_stall_cycles: 4,
+            l1d: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                associativity: 8,
+                line_bytes: 64,
+                latency_cycles: 2,
+            },
+            scratchpad_bytes: 16 * 1024,
+            scratchpad_latency: 2,
+            max_outstanding_misses: 8,
+        }
+    }
+}
+
+/// Shared last-level cache parameters (32-way 8 MB, 4 tiles, 20 cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcConfig {
+    /// Per-tile cache geometry.
+    pub tile: CacheConfig,
+    /// Number of address-interleaved tiles.
+    pub tiles: u32,
+}
+
+impl Default for LlcConfig {
+    fn default() -> LlcConfig {
+        LlcConfig {
+            tile: CacheConfig {
+                capacity_bytes: 2 * 1024 * 1024, // 4 tiles × 2 MB = 8 MB
+                associativity: 32,
+                line_bytes: 64,
+                latency_cycles: 20,
+            },
+            tiles: 4,
+        }
+    }
+}
+
+/// On-chip interconnect topology (the "Connection" axis of Table I spans
+/// buses, rings, and richer interconnection networks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NocTopology {
+    /// Ring bus (the baseline, Table II): latency scales with hop count.
+    #[default]
+    Ring,
+    /// Full crossbar: every PU one hop from every tile (more wiring, flat
+    /// latency).
+    Crossbar,
+    /// A single shared bus: one hop, but all requests serialize on the
+    /// medium.
+    Bus,
+}
+
+/// Interconnect parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Topology.
+    pub topology: NocTopology,
+    /// Latency per hop, in CPU cycles.
+    pub hop_cycles: u64,
+    /// Bus occupancy per transfer in CPU cycles (bus topology only).
+    pub bus_occupancy_cycles: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> NocConfig {
+        NocConfig { topology: NocTopology::Ring, hop_cycles: 2, bus_occupancy_cycles: 4 }
+    }
+}
+
+/// DRAM scheduling policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramPolicy {
+    /// First-ready, first-come-first-served: the row buffer stays open and
+    /// row hits are served at CAS latency (the baseline; Table II).
+    #[default]
+    FrFcfs,
+    /// Closed-page in-order service: every access pays activate + CAS
+    /// (the ablation baseline).
+    Fcfs,
+}
+
+/// DDR3-1333 DRAM parameters (Table II: 4 controllers, 41.6 GB/s, FR-FCFS).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of channels / controllers.
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// CAS latency in DRAM-bus cycles (CL 9 for DDR3-1333).
+    pub cas_cycles: u64,
+    /// Activate (RCD) latency in DRAM-bus cycles.
+    pub rcd_cycles: u64,
+    /// Precharge latency in DRAM-bus cycles.
+    pub rp_cycles: u64,
+    /// Data-burst occupancy per 64-byte line, in DRAM-bus cycles.
+    pub burst_cycles: u64,
+    /// Scheduling policy.
+    pub policy: DramPolicy,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        DramConfig {
+            channels: 4,
+            banks_per_channel: 8,
+            row_bytes: 8 * 1024,
+            cas_cycles: 9,
+            rcd_cycles: 9,
+            rp_cycles: 9,
+            burst_cycles: 4,
+            policy: DramPolicy::FrFcfs,
+        }
+    }
+}
+
+/// TLB and page-table parameters.
+///
+/// The page size is per PU: a virtually unified (or partially shared)
+/// address space lets each PU keep its own page-table format and page size
+/// (§II-A1 — "GPUs can have large page size to accommodate high stream
+/// locality"), at the price of more complex TLB/MMU designs. The baseline
+/// uses 4 KB on both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuConfig {
+    /// CPU page size in bytes.
+    pub cpu_page_bytes: u64,
+    /// GPU page size in bytes.
+    pub gpu_page_bytes: u64,
+    /// TLB entries per PU.
+    pub tlb_entries: u32,
+    /// Page-walk latency in CPU cycles on a TLB miss.
+    pub walk_cycles: u64,
+}
+
+impl Default for MmuConfig {
+    fn default() -> MmuConfig {
+        MmuConfig { cpu_page_bytes: 4096, gpu_page_bytes: 4096, tlb_entries: 64, walk_cycles: 50 }
+    }
+}
+
+/// The complete baseline system configuration (Table II).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// CPU core and private caches.
+    pub cpu: CpuConfig,
+    /// GPU core, L1, and scratchpad.
+    pub gpu: GpuConfig,
+    /// Shared last-level cache.
+    pub llc: LlcConfig,
+    /// Ring interconnect.
+    pub noc: NocConfig,
+    /// DRAM subsystem.
+    pub dram: DramConfig,
+    /// Address translation.
+    pub mmu: MmuConfig,
+}
+
+impl SystemConfig {
+    /// The paper's baseline configuration (alias of `Default`).
+    #[must_use]
+    pub fn baseline() -> SystemConfig {
+        SystemConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_ii() {
+        let c = SystemConfig::baseline();
+        assert_eq!(c.cpu.l1d.capacity_bytes, 32 * 1024);
+        assert_eq!(c.cpu.l1d.associativity, 8);
+        assert_eq!(c.cpu.l1d.latency_cycles, 2);
+        assert_eq!(c.cpu.l2.capacity_bytes, 256 * 1024);
+        assert_eq!(c.cpu.l2.latency_cycles, 8);
+        assert_eq!(c.gpu.simd_width, 8);
+        assert_eq!(c.gpu.scratchpad_bytes, 16 * 1024);
+        assert_eq!(u64::from(c.llc.tiles) * c.llc.tile.capacity_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.llc.tile.associativity, 32);
+        assert_eq!(c.llc.tile.latency_cycles, 20);
+        assert_eq!(c.dram.channels, 4);
+        assert_eq!(c.dram.policy, DramPolicy::FrFcfs);
+    }
+
+    #[test]
+    fn cache_geometry_sets() {
+        let c = SystemConfig::baseline();
+        assert_eq!(c.cpu.l1d.sets(), 64); // 32 KB / (64 B × 8)
+        assert_eq!(c.cpu.l2.sets(), 512);
+        assert_eq!(c.llc.tile.sets(), 1024); // 2 MB / (64 × 32)
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number")]
+    fn bad_geometry_panics() {
+        let bad = CacheConfig {
+            capacity_bytes: 1000,
+            associativity: 8,
+            line_bytes: 64,
+            latency_cycles: 1,
+        };
+        let _ = bad.sets();
+    }
+
+    #[test]
+    fn dram_bandwidth_is_about_41_6_gbps() {
+        // 4 channels × (64 B per burst / (4 cycles × 1.5 ns)) ≈ 42.7 GB/s,
+        // matching Table II's 41.6 GB/s within a few percent.
+        let c = DramConfig::default();
+        let ns_per_burst = c.burst_cycles as f64 * 1.5;
+        let bw = c.channels as f64 * 64.0 / ns_per_burst; // bytes per ns = GB/s
+        assert!((bw - 41.6).abs() < 2.0, "bw {bw}");
+    }
+}

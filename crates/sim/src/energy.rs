@@ -1,0 +1,185 @@
+//! A post-hoc energy model over run statistics.
+//!
+//! The paper's conclusion motivates the partially shared space with
+//! "opportunities to optimize hardware and save power/energy" (§VII); this
+//! module provides the estimator those comparisons need. Energy is
+//! computed from the counters a [`crate::RunReport`] already carries —
+//! instructions by class, cache accesses by level, DRAM traffic, and
+//! communication time — using per-event energy constants in picojoules
+//! (defaults in the range of published 32 nm-era numbers; every constant is
+//! a tunable field).
+
+use crate::stats::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy constants, in picojoules.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy per CPU instruction's core pipeline work.
+    pub cpu_inst_pj: f64,
+    /// Energy per GPU instruction (8-wide SIMD datapath).
+    pub gpu_inst_pj: f64,
+    /// Energy per L1 access.
+    pub l1_access_pj: f64,
+    /// Energy per L2 access.
+    pub l2_access_pj: f64,
+    /// Energy per LLC tile access.
+    pub llc_access_pj: f64,
+    /// Energy per DRAM line (64 B) transferred.
+    pub dram_line_pj: f64,
+    /// Energy per byte crossing a PCI-E link.
+    pub pci_byte_pj: f64,
+    /// Energy per byte copied through the memory controllers.
+    pub memctl_byte_pj: f64,
+    /// Static/leakage power in milliwatts, charged over total runtime.
+    pub static_mw: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> EnergyParams {
+        EnergyParams {
+            cpu_inst_pj: 70.0,
+            gpu_inst_pj: 25.0,
+            l1_access_pj: 10.0,
+            l2_access_pj: 30.0,
+            llc_access_pj: 100.0,
+            dram_line_pj: 2_000.0,
+            pci_byte_pj: 15.0,
+            memctl_byte_pj: 2.0,
+            static_mw: 500.0,
+        }
+    }
+}
+
+/// An energy estimate, broken down by component (all in microjoules).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Core pipelines (both PUs).
+    pub cores_uj: f64,
+    /// All caches.
+    pub caches_uj: f64,
+    /// DRAM.
+    pub dram_uj: f64,
+    /// Inter-PU communication fabric.
+    pub comm_uj: f64,
+    /// Static/leakage energy over the runtime.
+    pub static_uj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in microjoules.
+    #[must_use]
+    pub fn total_uj(&self) -> f64 {
+        self.cores_uj + self.caches_uj + self.dram_uj + self.comm_uj + self.static_uj
+    }
+}
+
+/// Bytes moved across the inter-PU fabric, needed for the communication
+/// term (the report's counters do not retain per-event byte totals, so the
+/// caller supplies them — `PhasedTrace::comm_bytes()` for a whole trace).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommTraffic {
+    /// Bytes that crossed a PCI-class link.
+    pub pci_bytes: u64,
+    /// Bytes copied through the memory controllers.
+    pub memctl_bytes: u64,
+}
+
+/// Estimates energy for a finished run.
+#[must_use]
+pub fn estimate_energy(
+    report: &RunReport,
+    traffic: CommTraffic,
+    params: &EnergyParams,
+) -> EnergyBreakdown {
+    const PJ_TO_UJ: f64 = 1e-6;
+
+    let cores_pj = report.cpu.instructions as f64 * params.cpu_inst_pj
+        + report.gpu.instructions as f64 * params.gpu_inst_pj;
+
+    let h = &report.hierarchy;
+    let accesses = |s: crate::CacheStats| (s.hits + s.misses) as f64;
+    let caches_pj = (accesses(h.cpu_l1d) + accesses(h.gpu_l1d)) * params.l1_access_pj
+        + accesses(h.cpu_l2) * params.l2_access_pj
+        + accesses(h.llc) * params.llc_access_pj;
+
+    let dram_pj = (h.dram.reads + h.dram.writes) as f64 * params.dram_line_pj;
+
+    let comm_pj = traffic.pci_bytes as f64 * params.pci_byte_pj
+        + traffic.memctl_bytes as f64 * params.memctl_byte_pj;
+
+    // static power (mW) × time (ns) = pJ.
+    let static_pj = params.static_mw * report.total_ns() / 1000.0 * 1000.0;
+
+    EnergyBreakdown {
+        cores_uj: cores_pj * PJ_TO_UJ,
+        caches_uj: caches_pj * PJ_TO_UJ,
+        dram_uj: dram_pj * PJ_TO_UJ,
+        comm_uj: comm_pj * PJ_TO_UJ,
+        static_uj: static_pj * PJ_TO_UJ,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{CommCosts, FabricKind, SynchronousFabric};
+    use crate::{System, SystemConfig};
+    use hetmem_trace::kernels::{Kernel, KernelParams};
+
+    fn run(kernel: Kernel) -> (RunReport, u64) {
+        let trace = kernel.generate(&KernelParams::scaled(64));
+        let bytes = trace.comm_bytes();
+        let mut sys = System::new(&SystemConfig::baseline());
+        let mut comm = SynchronousFabric::new(FabricKind::PciExpress, CommCosts::paper());
+        (sys.run(&trace, &mut comm), bytes)
+    }
+
+    #[test]
+    fn breakdown_components_are_positive_and_sum() {
+        let (report, bytes) = run(Kernel::Reduction);
+        let e = estimate_energy(
+            &report,
+            CommTraffic { pci_bytes: bytes, memctl_bytes: 0 },
+            &EnergyParams::default(),
+        );
+        assert!(e.cores_uj > 0.0);
+        assert!(e.caches_uj > 0.0);
+        assert!(e.dram_uj > 0.0);
+        assert!(e.comm_uj > 0.0);
+        assert!(e.static_uj > 0.0);
+        let sum = e.cores_uj + e.caches_uj + e.dram_uj + e.comm_uj + e.static_uj;
+        assert!((e.total_uj() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_work_costs_more_energy() {
+        let (small, b1) = run(Kernel::Reduction);
+        let (large, b2) = run(Kernel::KMeans);
+        let p = EnergyParams::default();
+        let e_small =
+            estimate_energy(&small, CommTraffic { pci_bytes: b1, memctl_bytes: 0 }, &p);
+        let e_large =
+            estimate_energy(&large, CommTraffic { pci_bytes: b2, memctl_bytes: 0 }, &p);
+        assert!(e_large.total_uj() > e_small.total_uj());
+    }
+
+    #[test]
+    fn memctl_bytes_cost_less_than_pci_bytes() {
+        // The energy side of the Fusion-vs-PCI comparison.
+        let (report, bytes) = run(Kernel::Reduction);
+        let p = EnergyParams::default();
+        let pci =
+            estimate_energy(&report, CommTraffic { pci_bytes: bytes, memctl_bytes: 0 }, &p);
+        let mc =
+            estimate_energy(&report, CommTraffic { pci_bytes: 0, memctl_bytes: bytes }, &p);
+        assert!(mc.comm_uj < pci.comm_uj);
+    }
+
+    #[test]
+    fn zero_traffic_zero_comm_energy() {
+        let (report, _) = run(Kernel::Dct);
+        let e = estimate_energy(&report, CommTraffic::default(), &EnergyParams::default());
+        assert_eq!(e.comm_uj, 0.0);
+    }
+}

@@ -1,0 +1,581 @@
+//! The memory hierarchy: private caches, shared tiled LLC over the ring,
+//! the coherence directory, TLBs, and DRAM, wired per Table II.
+//!
+//! The hierarchy is the single point both cores call for every load and
+//! store. It returns the access latency in global ticks and mutates all
+//! shared state (cache contents, open DRAM rows, directory entries), so
+//! cross-PU contention and coherence effects emerge naturally when the
+//! parallel-phase driver interleaves the two cores in time order.
+
+use crate::cache::{Cache, CacheStats, Placement};
+use crate::clock::{ClockDomain, Tick};
+use crate::coherence::{CoherenceStats, Directory};
+use crate::config::SystemConfig;
+use crate::dram::{Dram, DramStats};
+use crate::noc::Interconnect;
+use crate::tlb::{Tlb, TlbStats};
+use hetmem_trace::PuKind;
+use serde::{Deserialize, Serialize};
+
+/// Which level ultimately serviced an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ServiceLevel {
+    /// The PU's private L1 data cache.
+    L1,
+    /// The CPU's private L2.
+    L2,
+    /// A shared LLC tile.
+    Llc,
+    /// DRAM.
+    Dram,
+}
+
+/// Result of one hierarchy access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Latency of the access in global ticks.
+    pub latency: Tick,
+    /// The level that supplied the data.
+    pub level: ServiceLevel,
+    /// Whether a cross-PU coherence intervention was required.
+    pub intervention: bool,
+}
+
+/// Aggregated hierarchy statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// CPU L1 data cache counters.
+    pub cpu_l1d: CacheStats,
+    /// CPU L2 counters.
+    pub cpu_l2: CacheStats,
+    /// GPU L1 data cache counters.
+    pub gpu_l1d: CacheStats,
+    /// Combined LLC tile counters.
+    pub llc: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Coherence directory counters.
+    pub coherence: CoherenceStats,
+    /// CPU TLB counters.
+    pub cpu_tlb: TlbStats,
+    /// GPU TLB counters.
+    pub gpu_tlb: TlbStats,
+    /// L2 stream-prefetch lines issued.
+    pub prefetches: u64,
+}
+
+/// The complete shared memory system.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    config: SystemConfig,
+    cpu_l1d: Cache,
+    cpu_l2: Cache,
+    gpu_l1d: Cache,
+    llc_tiles: Vec<Cache>,
+    ring: Interconnect,
+    dram: Dram,
+    directory: Directory,
+    cpu_tlb: Tlb,
+    gpu_tlb: Tlb,
+    /// Stream-prefetcher state: the last CPU L2 miss line, for sequential
+    /// stream detection.
+    last_cpu_miss_line: u64,
+    prefetches: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the baseline hierarchy with locality-aware LLC replacement.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> MemoryHierarchy {
+        MemoryHierarchy::with_llc_locality(config, true)
+    }
+
+    /// Builds the hierarchy, selecting whether the LLC honours the explicit
+    /// locality bit (§II-B5) — `false` is the plain-LRU ablation.
+    #[must_use]
+    pub fn with_llc_locality(config: &SystemConfig, honor: bool) -> MemoryHierarchy {
+        let tiles = (0..config.llc.tiles)
+            .map(|_| Cache::with_locality(&config.llc.tile, honor))
+            .collect();
+        MemoryHierarchy {
+            config: *config,
+            cpu_l1d: Cache::new(&config.cpu.l1d),
+            cpu_l2: Cache::new(&config.cpu.l2),
+            gpu_l1d: Cache::new(&config.gpu.l1d),
+            llc_tiles: tiles,
+            ring: Interconnect::new(&config.noc),
+            dram: Dram::new(&config.dram),
+            directory: Directory::new(),
+            cpu_tlb: Tlb::new(config.mmu.tlb_entries, config.mmu.cpu_page_bytes),
+            gpu_tlb: Tlb::new(config.mmu.tlb_entries, config.mmu.gpu_page_bytes),
+            last_cpu_miss_line: u64::MAX - 1,
+            prefetches: 0,
+        }
+    }
+
+    /// The system configuration this hierarchy was built from.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The LLC tile an address interleaves to.
+    #[must_use]
+    pub fn tile_of(&self, addr: u64) -> u32 {
+        ((addr / 64) % u64::from(self.config.llc.tiles)) as u32
+    }
+
+    fn line_of(addr: u64) -> u64 {
+        addr / 64
+    }
+
+    /// Performs a load or store by `pu` at global time `now`, returning the
+    /// latency and the servicing level. All cache, directory, TLB, and DRAM
+    /// state is updated.
+    pub fn access(&mut self, pu: PuKind, addr: u64, write: bool, now: Tick) -> AccessResult {
+        let domain = match pu {
+            PuKind::Cpu => ClockDomain::CPU,
+            PuKind::Gpu => ClockDomain::GPU,
+        };
+        let mut latency: Tick = 0;
+
+        // Address translation. Hits are overlapped with the L1 lookup; a
+        // miss pays the page-walk latency up front.
+        let tlb = match pu {
+            PuKind::Cpu => &mut self.cpu_tlb,
+            PuKind::Gpu => &mut self.gpu_tlb,
+        };
+        if !tlb.translate(addr) {
+            latency += ClockDomain::CPU.cycles_to_ticks(self.config.mmu.walk_cycles);
+        }
+
+        let line = MemoryHierarchy::line_of(addr);
+        let mut intervention_taken = false;
+
+        // L1 lookup.
+        let l1 = match pu {
+            PuKind::Cpu => &mut self.cpu_l1d,
+            PuKind::Gpu => &mut self.gpu_l1d,
+        };
+        let l1_latency = match pu {
+            PuKind::Cpu => self.config.cpu.l1d.latency_cycles,
+            PuKind::Gpu => self.config.gpu.l1d.latency_cycles,
+        };
+        let l1_look = l1.access(addr, write, Placement::Implicit);
+        latency += domain.cycles_to_ticks(l1_latency);
+        if l1_look.hit {
+            // A write hit may still require invalidating a peer copy.
+            if write {
+                let action = self.directory.on_access(pu, line, true);
+                if action.is_needed() {
+                    intervention_taken = true;
+                    latency += self.intervention_ticks(pu, addr, action.writeback_from_peer);
+                    self.invalidate_peer_private(pu, addr);
+                }
+            }
+            return AccessResult { latency, level: ServiceLevel::L1, intervention: intervention_taken };
+        }
+        if let Some(ev) = l1_look.evicted {
+            self.handle_private_eviction(pu, ev.addr, ev.dirty, now);
+        }
+
+        // CPU: private L2.
+        if pu == PuKind::Cpu {
+            let look = self.cpu_l2.access(addr, write, Placement::Implicit);
+            latency += ClockDomain::CPU.cycles_to_ticks(self.config.cpu.l2.latency_cycles);
+            if !look.hit {
+                self.stream_prefetch(line, now + latency);
+            }
+            if let Some(ev) = look.evicted {
+                // L2 eviction: if dirty, write back into the LLC.
+                self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
+                self.directory.on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
+            }
+            if look.hit {
+                if write {
+                    let action = self.directory.on_access(pu, line, true);
+                    if action.is_needed() {
+                        intervention_taken = true;
+                        latency += self.intervention_ticks(pu, addr, action.writeback_from_peer);
+                        self.invalidate_peer_private(pu, addr);
+                    }
+                }
+                return AccessResult {
+                    latency,
+                    level: ServiceLevel::L2,
+                    intervention: intervention_taken,
+                };
+            }
+        }
+
+        // Leaving the private hierarchy: consult the directory.
+        let action = self.directory.on_access(pu, line, write);
+        if action.is_needed() {
+            intervention_taken = true;
+            latency += self.intervention_ticks(pu, addr, action.writeback_from_peer);
+            self.invalidate_peer_private(pu, addr);
+            if action.writeback_from_peer {
+                // The peer's dirty data lands in the LLC, making it a hit.
+                let tile = self.tile_of(addr) as usize;
+                let _ = self.llc_tiles[tile].access(addr, true, Placement::Implicit);
+            }
+        }
+
+        // Shared LLC tile over the interconnect (request + response
+        // traversal; the bus topology adds medium contention).
+        let tile = self.tile_of(addr) as usize;
+        latency += 2 * self.ring.traverse(pu, tile as u32, now + latency);
+        let llc_look = self.llc_tiles[tile].access(addr, write, Placement::Implicit);
+        latency += ClockDomain::CPU.cycles_to_ticks(self.config.llc.tile.latency_cycles);
+        if let Some(ev) = llc_look.evicted {
+            if ev.dirty {
+                // Posted write-back: occupies DRAM but does not delay us.
+                let _ = self.dram.request(now + latency, ev.addr, true);
+            }
+        }
+        if llc_look.hit {
+            return AccessResult { latency, level: ServiceLevel::Llc, intervention: intervention_taken };
+        }
+
+        // DRAM.
+        let resp = self.dram.request(now + latency, addr, false);
+        latency = resp.done_at.saturating_sub(now);
+        AccessResult { latency, level: ServiceLevel::Dram, intervention: intervention_taken }
+    }
+
+    /// Next-line stream prefetcher at the CPU L2: when a miss continues a
+    /// sequential line stream, the following `l2_prefetch_degree` lines are
+    /// brought into the L2 in the background (posted DRAM reads — they
+    /// consume bandwidth but add no latency to the triggering access).
+    fn stream_prefetch(&mut self, line: u64, now: Tick) {
+        let degree = self.config.cpu.l2_prefetch_degree;
+        let streaming = line == self.last_cpu_miss_line + 1;
+        self.last_cpu_miss_line = line;
+        if degree == 0 || !streaming {
+            return;
+        }
+        for ahead in 1..=u64::from(degree) {
+            let pline = line + ahead;
+            let paddr = pline * 64;
+            if self.cpu_l2.contains(paddr) {
+                continue;
+            }
+            // Never prefetch a line the peer holds modified — a prefetch
+            // must not trigger coherence interventions.
+            if self.directory.state(PuKind::Gpu, pline) == crate::coherence::LineState::Modified {
+                continue;
+            }
+            let look = self.cpu_l2.access(paddr, false, Placement::Implicit);
+            if let Some(ev) = look.evicted {
+                self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
+                self.directory.on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
+            }
+            let _ = self.directory.on_access(PuKind::Cpu, pline, false);
+            let _ = self.dram.request(now, paddr, false);
+            self.prefetches += 1;
+        }
+    }
+
+    /// Cost of a cross-PU intervention: a round trip to the owning tile plus
+    /// the LLC lookup, doubled when dirty data must be written back first.
+    fn intervention_ticks(&self, pu: PuKind, addr: u64, writeback: bool) -> Tick {
+        let tile = self.tile_of(addr);
+        let base = 2 * self.ring.traverse_ticks(pu, tile)
+            + ClockDomain::CPU.cycles_to_ticks(self.config.llc.tile.latency_cycles);
+        if writeback {
+            2 * base
+        } else {
+            base
+        }
+    }
+
+    fn invalidate_peer_private(&mut self, pu: PuKind, addr: u64) {
+        match pu.peer() {
+            PuKind::Cpu => {
+                let _ = self.cpu_l1d.invalidate(addr);
+                let _ = self.cpu_l2.invalidate(addr);
+            }
+            PuKind::Gpu => {
+                let _ = self.gpu_l1d.invalidate(addr);
+            }
+        }
+    }
+
+    /// A dirty line leaving a private L1 is absorbed by the next private
+    /// level (CPU) or the LLC (GPU).
+    fn handle_private_eviction(&mut self, pu: PuKind, addr: u64, dirty: bool, now: Tick) {
+        if !dirty {
+            return;
+        }
+        match pu {
+            PuKind::Cpu => {
+                let look = self.cpu_l2.access(addr, true, Placement::Implicit);
+                if let Some(ev) = look.evicted {
+                    self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
+                    self.directory.on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
+                }
+            }
+            PuKind::Gpu => {
+                self.writeback_to_llc(PuKind::Gpu, addr, true, now);
+            }
+        }
+    }
+
+    fn writeback_to_llc(&mut self, _pu: PuKind, addr: u64, dirty: bool, now: Tick) {
+        if !dirty {
+            return;
+        }
+        let tile = self.tile_of(addr) as usize;
+        let look = self.llc_tiles[tile].access(addr, true, Placement::Implicit);
+        if look.bypassed {
+            // Fully explicit set: the write-back goes straight to memory.
+            let _ = self.dram.request(now, addr, true);
+        }
+        if let Some(ev) = look.evicted {
+            if ev.dirty {
+                let _ = self.dram.request(now, ev.addr, true);
+            }
+        }
+    }
+
+    /// Explicitly places `[addr, addr + bytes)` into the LLC with the
+    /// explicit-locality bit set (the hardware side of a shared-space
+    /// `push`), returning the number of lines pinned.
+    pub fn push_llc_region(&mut self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let first = addr / 64;
+        let last = (addr + bytes - 1) / 64;
+        for lineno in first..=last {
+            let a = lineno * 64;
+            let tile = self.tile_of(a) as usize;
+            let _ = self.llc_tiles[tile].access(a, false, Placement::Explicit);
+        }
+        last - first + 1
+    }
+
+    /// Invalidates `[addr, addr + bytes)` from every cache — used when an
+    /// ownership transfer or explicit flush moves a region between PUs.
+    pub fn flush_region(&mut self, addr: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let first = addr / 64;
+        let last = (addr + bytes - 1) / 64;
+        for lineno in first..=last {
+            let a = lineno * 64;
+            let _ = self.cpu_l1d.invalidate(a);
+            let _ = self.cpu_l2.invalidate(a);
+            let _ = self.gpu_l1d.invalidate(a);
+            let tile = self.tile_of(a) as usize;
+            let _ = self.llc_tiles[tile].invalidate(a);
+            self.directory.on_evict(PuKind::Cpu, lineno);
+            self.directory.on_evict(PuKind::Gpu, lineno);
+        }
+    }
+
+    /// Snapshot of all counters.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        let mut llc = CacheStats::default();
+        for t in &self.llc_tiles {
+            let s = t.stats();
+            llc.hits += s.hits;
+            llc.misses += s.misses;
+            llc.evictions += s.evictions;
+            llc.writebacks += s.writebacks;
+            llc.bypasses += s.bypasses;
+        }
+        HierarchyStats {
+            cpu_l1d: self.cpu_l1d.stats(),
+            cpu_l2: self.cpu_l2.stats(),
+            gpu_l1d: self.gpu_l1d.stats(),
+            llc,
+            dram: self.dram.stats(),
+            coherence: self.directory.stats(),
+            cpu_tlb: self.cpu_tlb.stats(),
+            gpu_tlb: self.gpu_tlb.stats(),
+            prefetches: self.prefetches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(&SystemConfig::baseline())
+    }
+
+    #[test]
+    fn first_access_goes_to_dram_then_hits_l1() {
+        let mut h = hier();
+        let a = h.access(PuKind::Cpu, 0x1000_0000, false, 0);
+        assert_eq!(a.level, ServiceLevel::Dram);
+        let b = h.access(PuKind::Cpu, 0x1000_0000, false, a.latency);
+        assert_eq!(b.level, ServiceLevel::L1);
+        assert!(b.latency < a.latency);
+        // L1 hit latency: 2 CPU cycles = 24 ticks.
+        assert_eq!(b.latency, ClockDomain::CPU.cycles_to_ticks(2));
+    }
+
+    #[test]
+    fn latency_ordering_l1_l2_llc_dram() {
+        let mut h = hier();
+        let dram = h.access(PuKind::Cpu, 0x4000, false, 0).latency;
+        let l1 = h.access(PuKind::Cpu, 0x4000, false, 0).latency;
+        // Evict from L1 only: touch 8 more lines mapping to the same L1 set
+        // (L1: 64 sets → stride 64*64 = 4 KiB) but different L2 sets.
+        for i in 1..=8u64 {
+            h.access(PuKind::Cpu, 0x4000 + i * 4096, false, 0);
+        }
+        let l2 = h.access(PuKind::Cpu, 0x4000, false, 0);
+        assert_eq!(l2.level, ServiceLevel::L2);
+        assert!(l1 < l2.latency);
+        assert!(l2.latency < dram);
+    }
+
+    #[test]
+    fn gpu_skips_l2_and_reaches_llc() {
+        let mut h = hier();
+        // Warm the line into the LLC via a CPU access...
+        h.access(PuKind::Cpu, 0x9000, false, 0);
+        // ...evict it from the GPU's perspective: it was never in GPU L1,
+        // so the GPU's first access should hit the LLC, not DRAM.
+        let g = h.access(PuKind::Gpu, 0x9000, false, 10_000);
+        assert_eq!(g.level, ServiceLevel::Llc);
+    }
+
+    #[test]
+    fn write_sharing_triggers_intervention() {
+        let mut h = hier();
+        // GPU writes a line (becomes Modified in GPU's caches).
+        h.access(PuKind::Gpu, 0xA000, true, 0);
+        // CPU read must intervene: writeback + invalidate.
+        let c = h.access(PuKind::Cpu, 0xA000, false, 100_000);
+        assert!(c.intervention);
+        assert_eq!(h.stats().coherence.peer_writebacks, 1);
+        // And the GPU's private copy is gone: its next access misses L1.
+        let g = h.access(PuKind::Gpu, 0xA000, false, 200_000);
+        assert_ne!(g.level, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn private_regions_never_intervene() {
+        let mut h = hier();
+        for i in 0..100u64 {
+            let c = h.access(PuKind::Cpu, 0x1000_0000 + i * 64, true, i * 1000);
+            let g = h.access(PuKind::Gpu, 0x2000_0000 + i * 64, true, i * 1000);
+            assert!(!c.intervention);
+            assert!(!g.intervention);
+        }
+        assert_eq!(h.stats().coherence.invalidations, 0);
+    }
+
+    #[test]
+    fn push_llc_region_pins_lines() {
+        let mut h = hier();
+        let lines = h.push_llc_region(0x3000_0000, 4096);
+        assert_eq!(lines, 64);
+        // Pushed lines are LLC hits for either PU.
+        let c = h.access(PuKind::Cpu, 0x3000_0000, false, 0);
+        assert_eq!(c.level, ServiceLevel::Llc);
+    }
+
+    #[test]
+    fn flush_region_clears_all_levels() {
+        let mut h = hier();
+        h.access(PuKind::Cpu, 0x5000, true, 0);
+        h.access(PuKind::Cpu, 0x5000, false, 1000); // now in L1
+        h.flush_region(0x5000, 64);
+        let again = h.access(PuKind::Cpu, 0x5000, false, 2000);
+        assert_eq!(again.level, ServiceLevel::Dram);
+    }
+
+    #[test]
+    fn tlb_miss_adds_walk_latency() {
+        let mut h = hier();
+        let first = h.access(PuKind::Cpu, 0x7000, false, 0).latency;
+        // Same page, new line: no walk this time, still a DRAM miss.
+        let second = h.access(PuKind::Cpu, 0x7040, false, first).latency;
+        assert!(first > second, "page walk should make the first access slower");
+    }
+
+    #[test]
+    fn stream_prefetcher_turns_sequential_misses_into_l2_hits() {
+        let mut base_cfg = SystemConfig::baseline();
+        base_cfg.cpu.l2_prefetch_degree = 4;
+        let mut h = MemoryHierarchy::new(&base_cfg);
+        // A pure sequential line stream: after the detector warms up, most
+        // lines should already be in the L2 when the demand access arrives.
+        let mut t = 0;
+        for i in 0..256u64 {
+            let res = h.access(PuKind::Cpu, 0x100_0000 + i * 64, false, t);
+            t += res.latency + 1;
+        }
+        let s = h.stats();
+        assert!(s.prefetches > 100, "prefetches {}", s.prefetches);
+        // Compare against no prefetching: far fewer DRAM-serviced demand
+        // accesses with the prefetcher on.
+        let mut h2 = MemoryHierarchy::new(&SystemConfig::baseline());
+        let mut t2 = 0;
+        let mut slow = 0u64;
+        for i in 0..256u64 {
+            let res = h2.access(PuKind::Cpu, 0x100_0000 + i * 64, false, t2);
+            t2 += res.latency + 1;
+            slow += res.latency;
+        }
+        let mut h3 = MemoryHierarchy::new(&base_cfg);
+        let mut t3 = 0;
+        let mut fast = 0u64;
+        for i in 0..256u64 {
+            let res = h3.access(PuKind::Cpu, 0x100_0000 + i * 64, false, t3);
+            t3 += res.latency + 1;
+            fast += res.latency;
+        }
+        assert!(fast * 2 < slow, "prefetched {fast} vs demand {slow}");
+    }
+
+    #[test]
+    fn prefetcher_ignores_non_streaming_misses() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.cpu.l2_prefetch_degree = 4;
+        let mut h = MemoryHierarchy::new(&cfg);
+        // Strided (non-sequential-line) misses never trigger the detector.
+        for i in 0..64u64 {
+            h.access(PuKind::Cpu, i * 4096, false, i * 10_000);
+        }
+        assert_eq!(h.stats().prefetches, 0);
+    }
+
+    #[test]
+    fn gpu_large_pages_cut_tlb_misses_on_streams() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.mmu.gpu_page_bytes = 2 * 1024 * 1024; // 2 MB GPU pages (§II-A1)
+        let mut big = MemoryHierarchy::new(&cfg);
+        let mut small = MemoryHierarchy::new(&SystemConfig::baseline());
+        for i in 0..4096u64 {
+            big.access(PuKind::Gpu, 0x2000_0000 + i * 256, false, i * 1000);
+            small.access(PuKind::Gpu, 0x2000_0000 + i * 256, false, i * 1000);
+        }
+        let big_misses = big.stats().gpu_tlb.misses;
+        let small_misses = small.stats().gpu_tlb.misses;
+        assert!(
+            big_misses * 10 < small_misses,
+            "2MB pages: {big_misses} misses vs 4KB pages: {small_misses}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = hier();
+        for i in 0..64u64 {
+            h.access(PuKind::Cpu, i * 64, false, i * 100);
+        }
+        let s = h.stats();
+        assert_eq!(s.cpu_l1d.hits + s.cpu_l1d.misses, 64);
+        assert!(s.dram.reads > 0);
+    }
+}

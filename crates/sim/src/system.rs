@@ -1,0 +1,383 @@
+//! The top-level system: both cores, the shared memory hierarchy, and the
+//! phase-by-phase execution of a kernel trace under a communication model.
+//!
+//! Phase semantics follow the paper's accounting (§V-A):
+//!
+//! * **Sequential** segments run on the CPU alone.
+//! * **Parallel** segments run both cores concurrently, interleaved in
+//!   global time so they contend for the LLC and DRAM; the segment ends when
+//!   the slower PU finishes.
+//! * **Communication** segments execute each semantic event according to the
+//!   design point's [`CommModel`]: elided (shared address space), blocking
+//!   (synchronous memcpy), or asynchronous (GMAC-style background copy that
+//!   only charges the portion it fails to hide behind the following
+//!   parallel segment).
+
+use crate::clock::Tick;
+use crate::config::SystemConfig;
+use crate::cpu::CpuCore;
+use crate::fabric::{CommAction, CommCosts, CommModel};
+use crate::gpu::GpuCore;
+use crate::hierarchy::MemoryHierarchy;
+use crate::stats::RunReport;
+use hetmem_trace::{Inst, Phase, PhasedTrace, PuKind};
+
+/// A complete simulated heterogeneous system.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    costs: CommCosts,
+    cpu: CpuCore,
+    gpu: GpuCore,
+    hierarchy: MemoryHierarchy,
+}
+
+impl System {
+    /// Builds the baseline system with the paper's Table IV costs.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> System {
+        System::with_costs(config, CommCosts::paper())
+    }
+
+    /// Builds a system with explicit communication-cost parameters.
+    #[must_use]
+    pub fn with_costs(config: &SystemConfig, costs: CommCosts) -> System {
+        System {
+            config: *config,
+            costs,
+            cpu: CpuCore::new(&config.cpu, costs),
+            gpu: GpuCore::new(&config.gpu, costs),
+            hierarchy: MemoryHierarchy::new(config),
+        }
+    }
+
+    /// Builds a system whose LLC ignores the explicit-locality bit (the
+    /// hybrid-locality ablation).
+    #[must_use]
+    pub fn without_llc_locality(config: &SystemConfig) -> System {
+        let costs = CommCosts::paper();
+        System {
+            config: *config,
+            costs,
+            cpu: CpuCore::new(&config.cpu, costs),
+            gpu: GpuCore::new(&config.gpu, costs),
+            hierarchy: MemoryHierarchy::with_llc_locality(config, false),
+        }
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The communication-cost parameters.
+    #[must_use]
+    pub fn costs(&self) -> &CommCosts {
+        &self.costs
+    }
+
+    /// Read access to the memory hierarchy (for inspection in tests and
+    /// reports).
+    #[must_use]
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Simulates `trace` under `comm`, returning the per-phase breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace violates the phased-trace shape invariants (use
+    /// [`PhasedTrace::validate`] on untrusted traces first).
+    pub fn run(&mut self, trace: &PhasedTrace, comm: &mut dyn CommModel) -> RunReport {
+        trace.validate().expect("trace must be well-formed");
+
+        let mut now: Tick = 0;
+        let mut seq_ticks: Tick = 0;
+        let mut par_ticks: Tick = 0;
+        let mut comm_ticks: Tick = 0;
+        // Completion time of outstanding asynchronous transfers the next
+        // parallel segment's GPU work must wait for.
+        let mut dma_ready: Tick = 0;
+
+        for segment in trace.segments() {
+            match segment.phase() {
+                Phase::Sequential => {
+                    let insts = segment.stream(PuKind::Cpu).as_slice();
+                    let end = self.cpu.begin(insts, now).run_to_end(&mut self.hierarchy);
+                    seq_ticks += end - now;
+                    now = end;
+                }
+                Phase::Parallel => {
+                    let cpu_insts = segment.stream(PuKind::Cpu).as_slice();
+                    let gpu_insts = segment.stream(PuKind::Gpu).as_slice();
+                    // Asynchronous copies stream their data during kernel
+                    // execution (GMAC's on-demand/rolling transfer): both
+                    // cores start immediately, and only the portion of the
+                    // transfer that outlives the computation is charged to
+                    // communication below.
+                    let mut cpu_run = self.cpu.begin(cpu_insts, now);
+                    let mut gpu_run = self.gpu.begin(gpu_insts, now);
+                    // Interleave by global time so both cores contend for
+                    // the same LLC/DRAM state in order.
+                    loop {
+                        match (cpu_run.done(), gpu_run.done()) {
+                            (true, true) => break,
+                            (false, true) => cpu_run.step(&mut self.hierarchy),
+                            (true, false) => gpu_run.step(&mut self.hierarchy),
+                            (false, false) => {
+                                if cpu_run.now() <= gpu_run.now() {
+                                    cpu_run.step(&mut self.hierarchy);
+                                } else {
+                                    gpu_run.step(&mut self.hierarchy);
+                                }
+                            }
+                        }
+                    }
+                    let cpu_end = cpu_run.finish_tick();
+                    let gpu_end = gpu_run.finish_tick();
+                    let compute_end = cpu_end.max(gpu_end).max(now);
+                    par_ticks += compute_end - now;
+                    // A background transfer that outlives the computation
+                    // delays the segment's completion; that tail is
+                    // communication time.
+                    if dma_ready > compute_end {
+                        comm_ticks += dma_ready - compute_end;
+                        now = dma_ready;
+                    } else {
+                        now = compute_end;
+                    }
+                    dma_ready = 0;
+                }
+                Phase::Communication => {
+                    for inst in segment.stream(PuKind::Cpu).iter() {
+                        match inst {
+                            Inst::Comm(event) => match comm.plan(event) {
+                                CommAction::Elide => {}
+                                CommAction::Synchronous { ticks } => {
+                                    comm_ticks += ticks;
+                                    now += ticks;
+                                }
+                                CommAction::Asynchronous { setup, transfer } => {
+                                    comm_ticks += setup;
+                                    now += setup;
+                                    dma_ready = dma_ready.max(now + transfer);
+                                }
+                            },
+                            Inst::Special(op) => {
+                                let ticks = self.costs.special_ticks(op);
+                                comm_ticks += ticks;
+                                now += ticks;
+                            }
+                            other => unreachable!(
+                                "validated communication segments contain only comm/special \
+                                 instructions, found {other:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+
+        // Any asynchronous transfer still in flight must complete before the
+        // program can observe its data.
+        if dma_ready > now {
+            comm_ticks += dma_ready - now;
+            now = dma_ready;
+        }
+        let _ = now;
+
+        RunReport {
+            kernel: trace.name().to_owned(),
+            sequential_ticks: seq_ticks,
+            parallel_ticks: par_ticks,
+            communication_ticks: comm_ticks,
+            hierarchy: self.hierarchy.stats(),
+            cpu: self.cpu.stats(),
+            gpu: self.gpu.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{FabricKind, SynchronousFabric};
+    use hetmem_trace::kernels::{Kernel, KernelParams};
+    use hetmem_trace::{CommEvent, CommKind, TransferDirection};
+
+    fn pci_model() -> SynchronousFabric {
+        SynchronousFabric::new(FabricKind::PciExpress, CommCosts::paper())
+    }
+
+    #[test]
+    fn reduction_runs_and_attributes_all_phases() {
+        let trace = Kernel::Reduction.generate(&KernelParams::scaled(8));
+        let mut sys = System::new(&SystemConfig::baseline());
+        let report = sys.run(&trace, &mut pci_model());
+        assert!(report.sequential_ticks > 0);
+        assert!(report.parallel_ticks > 0);
+        assert!(report.communication_ticks > 0);
+        assert_eq!(report.kernel, "reduction");
+    }
+
+    #[test]
+    fn parallel_phase_dominates() {
+        // The paper's headline observation: most time is parallel compute.
+        let trace = Kernel::MatrixMul.generate(&KernelParams::scaled(64));
+        let mut sys = System::new(&SystemConfig::baseline());
+        let report = sys.run(&trace, &mut pci_model());
+        assert!(
+            report.phase_fraction(hetmem_trace::Phase::Parallel) > 0.5,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn ideal_fabric_has_zero_communication() {
+        let trace = Kernel::Reduction.generate(&KernelParams::scaled(8));
+        let mut sys = System::new(&SystemConfig::baseline());
+        let mut ideal = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+        let report = sys.run(&trace, &mut ideal);
+        assert_eq!(report.communication_ticks, 0);
+    }
+
+    #[test]
+    fn pci_slower_than_memory_controller() {
+        let trace = Kernel::MergeSort.generate(&KernelParams::scaled(8));
+        let mut pci_sys = System::new(&SystemConfig::baseline());
+        let pci = pci_sys.run(&trace, &mut pci_model());
+        let mut mc_sys = System::new(&SystemConfig::baseline());
+        let mut mc = SynchronousFabric::new(FabricKind::MemoryController, CommCosts::paper());
+        let fusion = mc_sys.run(&trace, &mut mc);
+        assert!(pci.communication_ticks > fusion.communication_ticks);
+        assert!(pci.total_ticks() > fusion.total_ticks());
+    }
+
+    #[test]
+    fn async_transfers_are_hidden_behind_parallel_work() {
+        // A model that makes every transfer asynchronous with tiny setup.
+        struct AsyncModel;
+        impl CommModel for AsyncModel {
+            fn plan(&mut self, event: &CommEvent) -> CommAction {
+                CommAction::Asynchronous {
+                    setup: 1_000,
+                    transfer: FabricKind::PciExpress.transfer_ticks(event.bytes, &CommCosts::paper()),
+                }
+            }
+        }
+        let trace = Kernel::Reduction.generate(&KernelParams::scaled(8));
+        let mut sync_sys = System::new(&SystemConfig::baseline());
+        let sync = sync_sys.run(&trace, &mut pci_model());
+        let mut async_sys = System::new(&SystemConfig::baseline());
+        let asy = async_sys.run(&trace, &mut AsyncModel);
+        assert!(
+            asy.communication_ticks < sync.communication_ticks,
+            "async {} vs sync {}",
+            asy.communication_ticks,
+            sync.communication_ticks
+        );
+    }
+
+    #[test]
+    fn trailing_async_transfer_is_charged_at_the_end() {
+        // A trace that ends with an async transfer: nothing can hide it.
+        struct AsyncModel;
+        impl CommModel for AsyncModel {
+            fn plan(&mut self, _: &CommEvent) -> CommAction {
+                CommAction::Asynchronous { setup: 10, transfer: 1_000_000 }
+            }
+        }
+        let mut b = hetmem_trace::TraceBuilder::new("tail", 0);
+        b.communication([CommEvent {
+            direction: TransferDirection::DeviceToHost,
+            bytes: 4096,
+            kind: CommKind::ResultReturn,
+            addr: 0,
+        }]);
+        let trace = b.finish();
+        let mut sys = System::new(&SystemConfig::baseline());
+        let report = sys.run(&trace, &mut AsyncModel);
+        assert_eq!(report.communication_ticks, 10 + 1_000_000);
+    }
+
+    #[test]
+    fn noc_topologies_order_sensibly_end_to_end() {
+        use crate::config::NocTopology;
+        let trace = Kernel::KMeans.generate(&KernelParams::scaled(64));
+        let total = |topo| {
+            let mut cfg = SystemConfig::baseline();
+            cfg.noc.topology = topo;
+            let mut sys = System::new(&cfg);
+            let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+            sys.run(&trace, &mut comm).total_ticks()
+        };
+        let ring = total(NocTopology::Ring);
+        let xbar = total(NocTopology::Crossbar);
+        let bus = total(NocTopology::Bus);
+        // A crossbar's flat one-hop latency never loses to the ring; the
+        // shared bus pays serialization under two-PU traffic.
+        assert!(xbar <= ring, "crossbar {xbar} vs ring {ring}");
+        assert!(bus > xbar, "bus {bus} vs crossbar {xbar}");
+    }
+
+    #[test]
+    fn empty_trace_runs_to_zero() {
+        let trace = PhasedTrace::new("empty");
+        let mut sys = System::new(&SystemConfig::baseline());
+        let report = sys.run(&trace, &mut pci_model());
+        assert_eq!(report.total_ticks(), 0);
+        assert_eq!(report.kernel, "empty");
+    }
+
+    #[test]
+    fn sequential_only_trace_has_no_parallel_or_comm_time() {
+        let mut b = hetmem_trace::TraceBuilder::new("seq-only", 1);
+        b.sequential(
+            500,
+            hetmem_trace::InstMix::serial(),
+            hetmem_trace::AddressPattern::Stream { base: 0x1000, len: 4096, stride: 8 },
+        );
+        let mut sys = System::new(&SystemConfig::baseline());
+        let report = sys.run(&b.finish(), &mut pci_model());
+        assert!(report.sequential_ticks > 0);
+        assert_eq!(report.parallel_ticks, 0);
+        assert_eq!(report.communication_ticks, 0);
+        assert_eq!(report.gpu.instructions, 0);
+    }
+
+    #[test]
+    fn ownership_specials_in_comm_segments_cost_api_acq() {
+        use hetmem_trace::SpecialOp;
+        let mut trace = PhasedTrace::new("own");
+        let cpu: hetmem_trace::TraceStream = [
+            hetmem_trace::Inst::Special(SpecialOp::Release { addr: 0x3000_0000, bytes: 64 }),
+            hetmem_trace::Inst::Special(SpecialOp::Acquire { addr: 0x3000_0000, bytes: 64 }),
+        ]
+        .into_iter()
+        .collect();
+        trace.push_segment(hetmem_trace::PhaseSegment::new(
+            hetmem_trace::Phase::Communication,
+            cpu,
+            hetmem_trace::TraceStream::new(),
+        ));
+        let mut sys = System::new(&SystemConfig::baseline());
+        let report = sys.run(&trace, &mut pci_model());
+        let costs = CommCosts::paper();
+        assert_eq!(
+            report.communication_ticks,
+            2 * costs.cpu_cycles_ticks(costs.api_acq_cycles)
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = Kernel::KMeans.generate(&KernelParams::scaled(32));
+        let run = || {
+            let mut sys = System::new(&SystemConfig::baseline());
+            sys.run(&trace, &mut pci_model())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,152 @@
+//! Address translation: per-PU TLBs with a fixed page-walk cost.
+//!
+//! The address-space design options differ in *who* maintains page tables
+//! (§II-A: a virtually unified space needs mappings on both PUs, disjoint
+//! spaces keep independent tables, and the PCI aperture pins a small shared
+//! window). At the timing level those choices surface as TLB reach and page
+//! walks, which this module models; the *policy* costs (page faults on first
+//! touch of shared pages, `lib-pf`) are charged by the communication model.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one TLB.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translations that hit.
+    pub hits: u64,
+    /// Translations that missed and paid a page walk.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss rate in `[0, 1]`; zero with no accesses.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A fully-associative, LRU translation look-aside buffer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page number, last use)
+    capacity: usize,
+    page_bytes: u64,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots for `page_bytes`-sized pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `page_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(entries: u32, page_bytes: u64) -> Tlb {
+        assert!(entries > 0, "TLB needs at least one entry");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries: Vec::with_capacity(entries as usize),
+            capacity: entries as usize,
+            page_bytes,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Translates `addr`, returning `true` on a hit and `false` when a page
+    /// walk is required (the entry is filled either way).
+    pub fn translate(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let page = addr / self.page_bytes;
+        if let Some(slot) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            slot.1 = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, self.clock));
+        false
+    }
+
+    /// Drops all cached translations (e.g. on an ownership transfer that
+    /// remaps the shared window).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_access_to_page_hits() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.translate(0x1000));
+        assert!(t.translate(0x1FFF)); // same page
+        assert!(!t.translate(0x2000)); // next page
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = Tlb::new(2, 4096);
+        t.translate(0x0000); // page 0
+        t.translate(0x1000); // page 1
+        t.translate(0x0000); // touch page 0 → page 1 becomes LRU
+        t.translate(0x2000); // page 2 evicts page 1
+        assert!(t.translate(0x0000), "page 0 must survive");
+        assert!(!t.translate(0x1000), "page 1 must have been evicted");
+    }
+
+    #[test]
+    fn flush_empties_the_tlb() {
+        let mut t = Tlb::new(4, 4096);
+        t.translate(0x1000);
+        t.flush();
+        assert!(!t.translate(0x1000));
+    }
+
+    #[test]
+    fn miss_rate_reflects_reach() {
+        let mut t = Tlb::new(64, 4096);
+        // 64 pages of reach: a 128-page working set thrashes.
+        for round in 0..4 {
+            for page in 0..128u64 {
+                t.translate(page * 4096);
+            }
+            let _ = round;
+        }
+        assert!(t.stats().miss_rate() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_page_rejected() {
+        let _ = Tlb::new(4, 1000);
+    }
+}

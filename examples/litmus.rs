@@ -1,0 +1,55 @@
+//! Memory-consistency litmus tests: see the weak model's relaxations with
+//! your own eyes, and watch the ownership protocol of the partially shared
+//! space restore sequential consistency (the paper's §II-A3 claim, run
+//! rather than argued).
+//!
+//! Run with `cargo run --release --example litmus`.
+
+use hetmem::core::consistency::{enumerate_outcomes, ConsistencyModel, Op};
+
+fn show(name: &str, threads: &[Vec<Op>; 2]) {
+    println!("== {name} ==");
+    for model in [ConsistencyModel::SequentialConsistency, ConsistencyModel::Weak] {
+        let outcomes = enumerate_outcomes(threads, model);
+        let rendered: Vec<String> = outcomes
+            .iter()
+            .map(|o| format!("T0 sees {:?}, T1 sees {:?}", o.0[0], o.0[1]))
+            .collect();
+        println!("  {model:?}: {} outcome(s)", rendered.len());
+        for r in rendered {
+            println!("    {r}");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    const X: u8 = 0;
+    const Y: u8 = 1;
+    let w = |loc, value| Op::Write { loc, value };
+    let r = |loc| Op::Read { loc };
+
+    // Store buffering: both threads write then read the other's flag.
+    show(
+        "store buffering (SB): T0: x=1; r(y)   T1: y=1; r(x)",
+        &[vec![w(X, 1), r(Y)], vec![w(Y, 1), r(X)]],
+    );
+    println!("Under the weak model both threads can read 0 — the relaxation every");
+    println!("system in Table I lives with.\n");
+
+    // Message passing: data + flag.
+    show(
+        "message passing (MP): T0: x=42; y=1   T1: r(y); r(x)",
+        &[vec![w(X, 42), w(Y, 1)], vec![r(Y), r(X)]],
+    );
+    println!("Weak order lets T1 see the flag (1) but stale data (0).\n");
+
+    // The same producer/consumer written with ownership (Figure 2b style).
+    show(
+        "MP with ownership: T0: x=42; release(x)   T1: acquire(x); r(x)",
+        &[vec![w(X, 42), Op::Release { loc: X }], vec![Op::Acquire { loc: X }, r(X)]],
+    );
+    println!("With release/acquire the weak model's outcomes collapse to exactly the");
+    println!("sequentially-consistent ones — the partially shared space needs no");
+    println!("cross-PU coherence hardware for correctly annotated programs.");
+}

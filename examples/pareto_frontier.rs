@@ -1,0 +1,38 @@
+//! Efficiency metrics and the Pareto frontier over the five evaluated
+//! systems — the paper's stated future work (§VII), implemented.
+//!
+//! Run with `cargo run --release --example pareto_frontier`.
+
+use hetmem::core::experiment::ExperimentConfig;
+use hetmem::core::report::TextTable;
+use hetmem::core::{evaluate_systems, pareto_frontier};
+
+fn main() {
+    // Scale 16 keeps the example quick; the shape is scale-stable.
+    let evals = evaluate_systems(&ExperimentConfig::scaled(16));
+    let frontier = pareto_frontier(&evals);
+
+    let mut table = TextTable::new(&[
+        "system",
+        "perf (geomean µs)",
+        "hw cost (score)",
+        "programmer burden (LoC)",
+        "Pareto-optimal",
+    ]);
+    for (i, e) in evals.iter().enumerate() {
+        table.row(vec![
+            e.system.name().to_owned(),
+            format!("{:.1}", e.perf_ticks / 42_000.0), // ticks -> µs at 42 GHz
+            e.hardware_cost.to_string(),
+            format!("{:.1}", e.programmer_burden),
+            if frontier.contains(&i) { "yes" } else { "" }.to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("Axes: lower is better everywhere. A system is Pareto-optimal when no");
+    println!("other system is at least as good on performance, hardware cost, AND");
+    println!("programmability at once. The partially shared and ADSM systems trade a");
+    println!("little performance and modest hardware for most of the unified space's");
+    println!("programmability — the quantitative form of the paper's conclusion.");
+}

@@ -1,0 +1,19 @@
+//! The `hetmem` command-line tool: regenerate the paper's tables and
+//! figures, inspect DSL programs, and simulate trace files.
+//!
+//! Run `hetmem help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match hetmem::cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(msg) = hetmem::cli::execute(&command) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

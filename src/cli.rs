@@ -1,0 +1,354 @@
+//! Command-line interface: argument parsing and command execution for the
+//! `hetmem` binary.
+//!
+//! ```text
+//! hetmem tables                         # regenerate Tables I–V
+//! hetmem fig 5 [--scale N]              # regenerate Figure 5 (also 6, 7)
+//! hetmem loc <program.hdsl>             # programmability of a DSL source file
+//! hetmem lower <program.hdsl> <model>   # print one lowering (uni|pas|dis|adsm)
+//! hetmem trace <kernel> [--scale N]     # dump a kernel trace (.hmt) to stdout
+//! hetmem sim <trace.hmt> <system>       # simulate a trace file on a system
+//! hetmem catalog                        # the Table I survey
+//! ```
+
+use hetmem_core::experiment::{run_address_spaces, run_case_studies, ExperimentConfig};
+use hetmem_core::report::{render_figure5, render_figure6, render_figure7, TextTable};
+use hetmem_core::EvaluatedSystem;
+use hetmem_dsl::AddressSpace;
+use hetmem_trace::kernels::{Kernel, KernelParams};
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Regenerate Tables I–V.
+    Tables,
+    /// Regenerate Figure `number` at `scale`.
+    Fig {
+        /// 5, 6, or 7.
+        number: u8,
+        /// Trace scale divisor.
+        scale: u32,
+    },
+    /// Report the Table V row for a DSL source file.
+    Loc {
+        /// Path to the `.hdsl` source.
+        path: String,
+    },
+    /// Print one lowering of a DSL source file.
+    Lower {
+        /// Path to the `.hdsl` source.
+        path: String,
+        /// Which memory model.
+        model: AddressSpace,
+    },
+    /// Dump a generated kernel trace in `.hmt` form.
+    Trace {
+        /// Which kernel.
+        kernel: Kernel,
+        /// Trace scale divisor.
+        scale: u32,
+    },
+    /// Simulate an `.hmt` trace file on an evaluated system.
+    Sim {
+        /// Path to the trace file.
+        path: String,
+        /// Which system.
+        system: EvaluatedSystem,
+    },
+    /// Run the DSL static analyzer over a source file.
+    Lint {
+        /// Path to the `.hdsl` source.
+        path: String,
+    },
+    /// Print the Table I survey.
+    Catalog,
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: hetmem <command>
+commands:
+  tables                        regenerate Tables I-V
+  fig <5|6|7> [--scale N]       regenerate a figure (default full scale)
+  loc <program.hdsl>            programmability (Table V row) of a DSL file
+  lint <program.hdsl>           static analysis of a DSL file
+  lower <program.hdsl> <model>  print a lowering (uni|pas|dis|adsm)
+  trace <kernel> [--scale N]    dump a kernel trace (.hmt) to stdout
+  sim <trace.hmt> <system>      simulate a trace (cpu+gpu|lrb|gmac|fusion|ideal)
+  catalog                       the Table I survey
+  help                          this message";
+
+fn parse_scale(args: &[String]) -> Result<u32, String> {
+    match args.iter().position(|a| a == "--scale") {
+        None => Ok(1),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&v| v > 0)
+            .ok_or_else(|| "--scale needs a positive integer".to_owned()),
+    }
+}
+
+fn parse_system(s: &str) -> Result<EvaluatedSystem, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "cpu+gpu" | "cuda" | "cpugpu" => Ok(EvaluatedSystem::CpuGpuCuda),
+        "lrb" => Ok(EvaluatedSystem::Lrb),
+        "gmac" => Ok(EvaluatedSystem::Gmac),
+        "fusion" => Ok(EvaluatedSystem::Fusion),
+        "ideal" | "ideal-hetero" => Ok(EvaluatedSystem::IdealHetero),
+        other => Err(format!("unknown system {other:?} (cpu+gpu|lrb|gmac|fusion|ideal)")),
+    }
+}
+
+fn parse_model(s: &str) -> Result<AddressSpace, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "uni" | "unified" => Ok(AddressSpace::Unified),
+        "pas" | "partial" | "partially-shared" => Ok(AddressSpace::PartiallyShared),
+        "dis" | "disjoint" => Ok(AddressSpace::Disjoint),
+        "adsm" => Ok(AddressSpace::Adsm),
+        other => Err(format!("unknown model {other:?} (uni|pas|dis|adsm)")),
+    }
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage-style message on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "tables" => Ok(Command::Tables),
+        "fig" => {
+            let number = args
+                .get(1)
+                .and_then(|v| v.parse::<u8>().ok())
+                .filter(|n| matches!(n, 5..=7))
+                .ok_or_else(|| "fig needs a figure number: 5, 6, or 7".to_owned())?;
+            Ok(Command::Fig { number, scale: parse_scale(args)? })
+        }
+        "loc" => {
+            let path =
+                args.get(1).cloned().ok_or_else(|| "loc needs a source path".to_owned())?;
+            Ok(Command::Loc { path })
+        }
+        "lint" => {
+            let path =
+                args.get(1).cloned().ok_or_else(|| "lint needs a source path".to_owned())?;
+            Ok(Command::Lint { path })
+        }
+        "lower" => {
+            let path =
+                args.get(1).cloned().ok_or_else(|| "lower needs a source path".to_owned())?;
+            let model = parse_model(
+                args.get(2).ok_or_else(|| "lower needs a model (uni|pas|dis|adsm)".to_owned())?,
+            )?;
+            Ok(Command::Lower { path, model })
+        }
+        "trace" => {
+            let kernel: Kernel = args
+                .get(1)
+                .ok_or_else(|| "trace needs a kernel name".to_owned())?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            Ok(Command::Trace { kernel, scale: parse_scale(args)? })
+        }
+        "sim" => {
+            let path =
+                args.get(1).cloned().ok_or_else(|| "sim needs a trace path".to_owned())?;
+            let system = parse_system(
+                args.get(2).ok_or_else(|| "sim needs a system name".to_owned())?,
+            )?;
+            Ok(Command::Sim { path, system })
+        }
+        "catalog" => Ok(Command::Catalog),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+///
+/// # Errors
+///
+/// Returns a message on I/O failures, unparsable inputs, or malformed
+/// trace/DSL files.
+pub fn execute(command: &Command) -> Result<(), String> {
+    match command {
+        Command::Help => println!("{USAGE}"),
+        Command::Tables => {
+            print_catalog();
+            print_loc_table();
+            print_characteristics();
+        }
+        Command::Catalog => print_catalog(),
+        Command::Fig { number, scale } => {
+            let cfg = ExperimentConfig::scaled(*scale);
+            match number {
+                5 => println!("{}", render_figure5(&run_case_studies(&cfg))),
+                6 => println!("{}", render_figure6(&run_case_studies(&cfg))),
+                7 => println!("{}", render_figure7(&run_address_spaces(&cfg))),
+                _ => unreachable!("validated at parse time"),
+            }
+        }
+        Command::Loc { path } => {
+            let program = load_program(path)?;
+            println!("{}: {} compute lines", program.name, program.compute_lines);
+            for model in AddressSpace::ALL {
+                println!(
+                    "  {:<4} {:>3} communication-handling lines",
+                    model.abbrev(),
+                    hetmem_dsl::lower(&program, model).comm_overhead_lines()
+                );
+            }
+        }
+        Command::Lint { path } => {
+            let program = load_program(path)?;
+            let lints = hetmem_dsl::analyze(&program);
+            if lints.is_empty() {
+                println!("{}: no findings", program.name);
+            } else {
+                for lint in &lints {
+                    println!("{lint}");
+                }
+                let warnings = lints
+                    .iter()
+                    .filter(|l| l.severity() == hetmem_dsl::Severity::Warning)
+                    .count();
+                println!("{} finding(s), {} warning(s)", lints.len(), warnings);
+            }
+        }
+        Command::Lower { path, model } => {
+            let program = load_program(path)?;
+            println!("{}", hetmem_dsl::render(&hetmem_dsl::lower(&program, *model)));
+        }
+        Command::Trace { kernel, scale } => {
+            let trace = kernel.generate(&KernelParams::scaled(*scale));
+            print!("{}", hetmem_trace::write_trace(&trace));
+        }
+        Command::Sim { path, system } => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let trace = hetmem_trace::parse_trace(&text).map_err(|e| e.to_string())?;
+            let mut sim = hetmem_sim::System::new(&hetmem_sim::SystemConfig::baseline());
+            let mut comm = system.comm_model(hetmem_sim::CommCosts::paper());
+            let report = sim.run(&trace, &mut comm);
+            println!("{}: {report}", system.name());
+        }
+    }
+    Ok(())
+}
+
+fn load_program(path: &str) -> Result<hetmem_dsl::Program, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    hetmem_dsl::parse_program(&text).map_err(|e| e.to_string())
+}
+
+fn print_catalog() {
+    let mut table = TextTable::new(&["scheme", "address space", "connection", "consistency"]);
+    for e in hetmem_core::catalog() {
+        table.row(vec![
+            e.name.to_owned(),
+            e.space.to_string(),
+            e.connection.to_string(),
+            e.consistency.to_string(),
+        ]);
+    }
+    println!("Table I:\n{}", table.render());
+}
+
+fn print_loc_table() {
+    let mut table = TextTable::new(&["kernel", "Comp", "UNI", "PAS", "DIS", "ADSM"]);
+    for row in hetmem_dsl::loc_table() {
+        table.row(vec![
+            row.kernel.clone(),
+            row.comp.to_string(),
+            row.uni.to_string(),
+            row.pas.to_string(),
+            row.dis.to_string(),
+            row.adsm.to_string(),
+        ]);
+    }
+    println!("Table V:\n{}", table.render());
+}
+
+fn print_characteristics() {
+    let mut table = TextTable::new(&["kernel", "CPU", "GPU", "serial", "comms", "initial B"]);
+    for k in Kernel::ALL {
+        let c = k.paper_characteristics();
+        table.row(vec![
+            k.name().to_owned(),
+            c.cpu_instructions.to_string(),
+            c.gpu_instructions.to_string(),
+            c.serial_instructions.to_string(),
+            c.communications.to_string(),
+            c.initial_transfer_bytes.to_string(),
+        ]);
+    }
+    println!("Table III:\n{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_every_command_form() {
+        assert_eq!(parse_args(&args(&["tables"])), Ok(Command::Tables));
+        assert_eq!(parse_args(&args(&["catalog"])), Ok(Command::Catalog));
+        assert_eq!(parse_args(&args(&[])), Ok(Command::Help));
+        assert_eq!(parse_args(&args(&["help"])), Ok(Command::Help));
+        assert_eq!(
+            parse_args(&args(&["fig", "5"])),
+            Ok(Command::Fig { number: 5, scale: 1 })
+        );
+        assert_eq!(
+            parse_args(&args(&["fig", "7", "--scale", "64"])),
+            Ok(Command::Fig { number: 7, scale: 64 })
+        );
+        assert_eq!(
+            parse_args(&args(&["trace", "reduction", "--scale", "8"])),
+            Ok(Command::Trace { kernel: Kernel::Reduction, scale: 8 })
+        );
+        assert_eq!(
+            parse_args(&args(&["sim", "t.hmt", "fusion"])),
+            Ok(Command::Sim { path: "t.hmt".into(), system: EvaluatedSystem::Fusion })
+        );
+        assert_eq!(
+            parse_args(&args(&["lower", "p.hdsl", "adsm"])),
+            Ok(Command::Lower { path: "p.hdsl".into(), model: AddressSpace::Adsm })
+        );
+        assert_eq!(parse_args(&args(&["loc", "p.hdsl"])), Ok(Command::Loc { path: "p.hdsl".into() }));
+        assert_eq!(
+            parse_args(&args(&["lint", "p.hdsl"])),
+            Ok(Command::Lint { path: "p.hdsl".into() })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_args(&args(&["fig"])).is_err());
+        assert!(parse_args(&args(&["fig", "4"])).is_err());
+        assert!(parse_args(&args(&["fig", "5", "--scale", "0"])).is_err());
+        assert!(parse_args(&args(&["trace", "not-a-kernel"])).is_err());
+        assert!(parse_args(&args(&["sim", "t.hmt", "not-a-system"])).is_err());
+        assert!(parse_args(&args(&["lower", "p.hdsl", "weird"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn system_and_model_aliases() {
+        assert_eq!(parse_system("CUDA"), Ok(EvaluatedSystem::CpuGpuCuda));
+        assert_eq!(parse_system("ideal-hetero"), Ok(EvaluatedSystem::IdealHetero));
+        assert_eq!(parse_model("partially-shared"), Ok(AddressSpace::PartiallyShared));
+        assert_eq!(parse_model("UNIFIED"), Ok(AddressSpace::Unified));
+    }
+}

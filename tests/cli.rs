@@ -1,0 +1,102 @@
+//! End-to-end tests of the `hetmem` command-line tool: real process runs
+//! through the trace-dump → simulate and DSL → programmability flows.
+
+use std::process::Command;
+
+fn hetmem(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hetmem"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = hetmem(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["tables", "fig", "loc", "lower", "trace", "sim", "catalog"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = hetmem(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn trace_dump_then_simulate_round_trips() {
+    let dump = hetmem(&["trace", "mergesort", "--scale", "256"]);
+    assert!(dump.status.success());
+    let text = stdout(&dump);
+    assert!(text.starts_with("hmt 1"));
+    assert!(text.contains("trace \"merge sort\""));
+
+    let dir = std::env::temp_dir().join("hetmem-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("mergesort.hmt");
+    std::fs::write(&path, &text).expect("write trace");
+
+    let sim = hetmem(&["sim", path.to_str().expect("utf8 path"), "fusion"]);
+    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    let report = stdout(&sim);
+    assert!(report.contains("Fusion"), "{report}");
+    assert!(report.contains("par"), "{report}");
+}
+
+#[test]
+fn loc_and_lower_consume_dsl_sources() {
+    let dir = std::env::temp_dir().join("hetmem-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("axpy.hdsl");
+    std::fs::write(
+        &path,
+        "program axpy {\n  compute 12;\n  buffer x: 8192;\n  buffer y: 8192;\n  \
+         init x, y;\n  gpu axpyGPU(read x; write y);\n  seq check(read y);\n}\n",
+    )
+    .expect("write source");
+    let p = path.to_str().expect("utf8 path");
+
+    let loc = hetmem(&["loc", p]);
+    assert!(loc.status.success(), "{}", String::from_utf8_lossy(&loc.stderr));
+    let text = stdout(&loc);
+    assert!(text.contains("UNI    0"), "{text}");
+    assert!(text.contains("PAS    2"), "{text}");
+
+    let lower = hetmem(&["lower", p, "dis"]);
+    assert!(lower.status.success());
+    let text = stdout(&lower);
+    assert!(text.contains("Memcpy(gpu_x, x, MemcpyHosttoDevice);"), "{text}");
+    assert!(text.contains("// [comm]"), "{text}");
+}
+
+#[test]
+fn fig7_runs_at_small_scale() {
+    let out = hetmem(&["fig", "7", "--scale", "512"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("UNI"), "{text}");
+    assert!(text.contains("reduction"), "{text}");
+}
+
+#[test]
+fn malformed_inputs_produce_diagnostics_not_panics() {
+    let out = hetmem(&["sim", "/nonexistent/file.hmt", "fusion"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let dir = std::env::temp_dir().join("hetmem-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.hdsl");
+    std::fs::write(&bad, "program oops {").expect("write");
+    let out = hetmem(&["loc", bad.to_str().expect("utf8")]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}

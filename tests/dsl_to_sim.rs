@@ -1,0 +1,81 @@
+//! End-to-end: DSL programs → lowering → code generation → simulation, for
+//! every kernel and every memory model.
+
+use hetmem::core::{EvaluatedSystem, IdealSpaceComm};
+use hetmem::dsl::{generate_trace, lower, programs, AddressSpace};
+use hetmem::sim::{CommCosts, CommModel, System, SystemConfig};
+use hetmem::trace::PuKind;
+
+fn simulate(
+    trace: &hetmem::trace::PhasedTrace,
+    comm: &mut dyn CommModel,
+) -> hetmem::sim::RunReport {
+    let mut sys = System::with_costs(&SystemConfig::baseline(), CommCosts::paper());
+    sys.run(trace, comm)
+}
+
+#[test]
+fn every_program_runs_under_every_model_and_preset() {
+    for program in programs::all() {
+        for model in AddressSpace::ALL {
+            let trace = generate_trace(&lower(&program, model));
+            for preset in EvaluatedSystem::ALL {
+                let mut comm = preset.comm_model(CommCosts::paper());
+                let report = simulate(&trace, &mut comm);
+                assert!(
+                    report.total_ticks() > 0,
+                    "{} / {model} / {preset}",
+                    program.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dsl_traces_reproduce_the_figure7_equality() {
+    // Under idealized communication, the four lowerings of the same program
+    // must run in nearly identical time — the DSL-level replication of the
+    // paper's Figure 7.
+    for program in programs::all() {
+        let totals: Vec<u64> = AddressSpace::ALL
+            .iter()
+            .map(|&model| {
+                let trace = generate_trace(&lower(&program, model));
+                let mut comm = IdealSpaceComm::new(model, CommCosts::paper());
+                simulate(&trace, &mut comm).total_ticks()
+            })
+            .collect();
+        let max = *totals.iter().max().expect("non-empty");
+        let min = *totals.iter().min().expect("non-empty");
+        let spread = (max - min) as f64 / max as f64;
+        assert!(spread < 0.06, "{}: spread {spread:.4} ({totals:?})", program.name);
+    }
+}
+
+#[test]
+fn unified_lowering_never_moves_bytes() {
+    for program in programs::all() {
+        let trace = generate_trace(&lower(&program, AddressSpace::Unified));
+        assert_eq!(trace.comm_bytes(), 0, "{}", program.name);
+    }
+}
+
+#[test]
+fn adsm_moves_fewer_bytes_than_disjoint() {
+    // ADSM never copies results back; disjoint must.
+    for program in programs::all() {
+        let dis = generate_trace(&lower(&program, AddressSpace::Disjoint)).comm_bytes();
+        let adsm = generate_trace(&lower(&program, AddressSpace::Adsm)).comm_bytes();
+        assert!(adsm < dis, "{}: ADSM {adsm} vs DIS {dis}", program.name);
+    }
+}
+
+#[test]
+fn generated_traces_execute_work_on_both_pus() {
+    for program in programs::all() {
+        let trace = generate_trace(&lower(&program, AddressSpace::Disjoint));
+        assert!(trace.pu_len(PuKind::Cpu) > 0, "{}", program.name);
+        assert!(trace.pu_len(PuKind::Gpu) > 0, "{}", program.name);
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end coverage of the beyond-the-paper studies (see DESIGN.md §3
+//! and EXPERIMENTS.md): each study must run, discriminate, and point the
+//! direction its write-up claims.
+
+use hetmem::core::experiment::{
+    best_partition, run_page_size_study, run_partition_sweep, ExperimentConfig,
+};
+use hetmem::core::{
+    evaluate_energy, evaluate_systems, pareto_frontier, run_locality_study,
+    EvaluatedSystem, SharedLocalityVariant,
+};
+use hetmem::trace::kernels::Kernel;
+
+#[test]
+fn locality_study_orders_variants() {
+    let rows = run_locality_study(&ExperimentConfig::scaled(16));
+    assert_eq!(rows.len(), 3);
+    let get = |v| rows.iter().find(|r| r.variant == v).expect("variant present");
+    let implicit = get(SharedLocalityVariant::Implicit);
+    let hybrid = get(SharedLocalityVariant::ExplicitHybrid);
+    let ignored = get(SharedLocalityVariant::ExplicitIgnored);
+    assert!(hybrid.total_ticks < implicit.total_ticks);
+    assert!(hybrid.total_ticks < ignored.total_ticks);
+    assert!(hybrid.llc_miss_rate < implicit.llc_miss_rate);
+}
+
+#[test]
+fn pareto_study_is_consistent() {
+    let evals = evaluate_systems(&ExperimentConfig::scaled(64));
+    assert_eq!(evals.len(), 5);
+    let frontier = pareto_frontier(&evals);
+    assert!(!frontier.is_empty());
+    // IDEAL-HETERO has the best performance, so it is always on the
+    // frontier despite its maximal hardware cost.
+    let ideal = evals
+        .iter()
+        .position(|e| e.system == EvaluatedSystem::IdealHetero)
+        .expect("present");
+    assert!(frontier.contains(&ideal));
+    // And it really is the fastest.
+    assert!(evals
+        .iter()
+        .all(|e| e.perf_ticks >= evals[ideal].perf_ticks));
+}
+
+#[test]
+fn energy_study_covers_the_grid_with_sane_totals() {
+    let evals = evaluate_energy(&ExperimentConfig::scaled(64));
+    assert_eq!(evals.len(), 30);
+    for e in &evals {
+        let b = &e.breakdown;
+        assert!(b.total_uj() > 0.0);
+        assert!(b.total_uj().is_finite());
+        assert!(b.comm_uj >= 0.0);
+    }
+    // The ideal system never spends communication energy.
+    assert!(evals
+        .iter()
+        .filter(|e| e.system == EvaluatedSystem::IdealHetero)
+        .all(|e| e.breakdown.comm_uj == 0.0));
+}
+
+#[test]
+fn partition_study_beats_the_even_split() {
+    let rows = run_partition_sweep(
+        EvaluatedSystem::IdealHetero,
+        Kernel::MergeSort,
+        &ExperimentConfig::scaled(16),
+        &[1, 5, 10, 25, 50],
+    );
+    let best = best_partition(&rows);
+    let even = rows.iter().find(|r| r.gpu_share_pct == 50).expect("50 swept");
+    assert!(best.total_ticks < even.total_ticks);
+}
+
+#[test]
+fn page_size_study_is_monotone_in_tlb_misses() {
+    let rows = run_page_size_study(
+        Kernel::Reduction,
+        &ExperimentConfig::scaled(16),
+        &[4_096, 65_536, 2 * 1024 * 1024],
+    );
+    assert_eq!(rows.len(), 3);
+    assert!(rows
+        .windows(2)
+        .all(|w| w[1].gpu_tlb_miss_rate <= w[0].gpu_tlb_miss_rate + 1e-12));
+}
