@@ -5,12 +5,11 @@
 //! * GMAC asynchronous copies vs forced-synchronous copies;
 //! * the PCI aperture vs a plain PCI-E memcpy for LRB-shaped traffic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_bench::harness::{BenchmarkId, Criterion};
+use hetmem_bench::{criterion_group, criterion_main};
 use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::EvaluatedSystem;
-use hetmem_sim::{
-    CommCosts, DramPolicy, FabricKind, SynchronousFabric, System, SystemConfig,
-};
+use hetmem_sim::{CommCosts, DramPolicy, FabricKind, SynchronousFabric, System, SystemConfig};
 use hetmem_trace::kernels::{Kernel, KernelParams};
 use std::hint::black_box;
 
@@ -30,8 +29,7 @@ fn dram_policy(c: &mut Criterion) {
                     let mut cfg = SystemConfig::baseline();
                     cfg.dram.policy = policy;
                     let mut sys = System::new(&cfg);
-                    let mut comm =
-                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
                     black_box(sys.run(&trace, &mut comm).total_ticks())
                 });
             },
@@ -59,8 +57,7 @@ fn llc_locality(c: &mut Criterion) {
                     } else {
                         System::without_llc_locality(&cfg)
                     };
-                    let mut comm =
-                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
                     black_box(sys.run(&trace, &mut comm).total_ticks())
                 });
             },
@@ -135,8 +132,7 @@ fn l2_prefetch(c: &mut Criterion) {
                     let mut cfg = SystemConfig::baseline();
                     cfg.cpu.l2_prefetch_degree = degree;
                     let mut sys = System::new(&cfg);
-                    let mut comm =
-                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
                     black_box(sys.run(&trace, &mut comm).total_ticks())
                 });
             },
@@ -161,8 +157,7 @@ fn gpu_page_size(c: &mut Criterion) {
                     let mut cfg = SystemConfig::baseline();
                     cfg.mmu.gpu_page_bytes = page;
                     let mut sys = System::new(&cfg);
-                    let mut comm =
-                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
                     black_box(sys.run(&trace, &mut comm).total_ticks())
                 });
             },
@@ -188,8 +183,7 @@ fn noc_topology(c: &mut Criterion) {
                     let mut cfg = SystemConfig::baseline();
                     cfg.noc.topology = topo;
                     let mut sys = System::new(&cfg);
-                    let mut comm =
-                        SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
                     black_box(sys.run(&trace, &mut comm).total_ticks())
                 });
             },

@@ -1,7 +1,8 @@
-//! Criterion bench regenerating Figure 5's cells: each evaluated system
+//! Bench regenerating Figure 5's cells: each evaluated system
 //! simulating each kernel (down-scaled inputs so a full sweep stays fast).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_bench::harness::{BenchmarkId, Criterion};
+use hetmem_bench::{criterion_group, criterion_main};
 use hetmem_core::experiment::{run_case_study, ExperimentConfig};
 use hetmem_core::EvaluatedSystem;
 use hetmem_trace::kernels::Kernel;

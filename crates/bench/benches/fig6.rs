@@ -1,8 +1,9 @@
-//! Criterion bench regenerating Figure 6: communication overhead per
+//! Bench regenerating Figure 6: communication overhead per
 //! system, on the three kernels the paper calls out as
 //! communication-heavy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_bench::harness::{BenchmarkId, Criterion};
+use hetmem_bench::{criterion_group, criterion_main};
 use hetmem_core::experiment::{run_case_study, ExperimentConfig};
 use hetmem_core::EvaluatedSystem;
 use hetmem_trace::kernels::Kernel;

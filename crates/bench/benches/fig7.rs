@@ -1,8 +1,9 @@
-//! Criterion bench regenerating Figure 7: each address-space option under
+//! Bench regenerating Figure 7: each address-space option under
 //! idealized communication — their times should be statistically
 //! indistinguishable, which the bench output makes visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_bench::harness::{BenchmarkId, Criterion};
+use hetmem_bench::{criterion_group, criterion_main};
 use hetmem_core::experiment::{run_address_space, ExperimentConfig};
 use hetmem_core::AddressSpace;
 use hetmem_trace::kernels::Kernel;

@@ -1,7 +1,8 @@
-//! Criterion bench for the locality-management study: the three
+//! Bench for the locality-management study: the three
 //! shared-locality variants on the reuse-under-streaming workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_bench::harness::{BenchmarkId, Criterion};
+use hetmem_bench::{criterion_group, criterion_main};
 use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::{run_locality_study, SharedLocalityVariant};
 use std::hint::black_box;

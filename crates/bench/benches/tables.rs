@@ -1,8 +1,9 @@
-//! Criterion bench regenerating the paper's tables: trace generation and
+//! Bench regenerating the paper's tables: trace generation and
 //! characteristics (Table III), the lowering-based LoC metric (Table V),
 //! and the catalog queries (Table I).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem_bench::harness::{BenchmarkId, Criterion};
+use hetmem_bench::{criterion_group, criterion_main};
 use hetmem_dsl::{loc_table, lower, programs, AddressSpace};
 use hetmem_trace::kernels::{Kernel, KernelParams};
 use std::hint::black_box;

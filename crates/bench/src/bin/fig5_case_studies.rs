@@ -2,8 +2,9 @@
 //! communication) for the five evaluated heterogeneous systems on all six
 //! kernels.
 
-use hetmem_core::experiment::{run_case_studies, ExperimentConfig};
+use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::report::render_figure5;
+use hetmem_xplore::{run_case_studies, SweepOptions};
 
 fn main() {
     let scale = hetmem_bench::scale_arg(1);
@@ -11,7 +12,8 @@ fn main() {
         "Figure 5: evaluation of five heterogeneous architecture configurations (scale {scale})"
     ));
     let cfg = ExperimentConfig::scaled(scale);
-    let runs = run_case_studies(&cfg);
+    let (runs, stats) = run_case_studies(&cfg, &SweepOptions::default()).expect("sweep");
+    eprintln!("{stats}");
     println!("{}", render_figure5(&runs));
     println!("Expected shape (paper):");
     println!(" - parallel computation dominates every kernel;");

@@ -1,8 +1,9 @@
 //! Regenerates Figure 6: the communication overhead alone, for the five
 //! evaluated systems on all six kernels.
 
-use hetmem_core::experiment::{run_case_studies, ExperimentConfig};
+use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::report::render_figure6;
+use hetmem_xplore::{run_case_studies, SweepOptions};
 
 fn main() {
     let scale = hetmem_bench::scale_arg(1);
@@ -10,7 +11,8 @@ fn main() {
         "Figure 6: communication overhead for the evaluated systems (scale {scale})"
     ));
     let cfg = ExperimentConfig::scaled(scale);
-    let runs = run_case_studies(&cfg);
+    let (runs, stats) = run_case_studies(&cfg, &SweepOptions::default()).expect("sweep");
+    eprintln!("{stats}");
     println!("{}", render_figure6(&runs));
     println!("Expected shape (paper): CPU+GPU > LRB > GMAC >> Fusion > IDEAL-HETERO (= 0);");
     println!("GMAC hides most of its copies behind computation; Fusion's memory-controller");

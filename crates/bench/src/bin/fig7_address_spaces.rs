@@ -3,8 +3,9 @@
 //! address-space design itself — which the paper shows does not affect
 //! performance.
 
-use hetmem_core::experiment::{run_address_spaces, ExperimentConfig};
+use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::report::render_figure7;
+use hetmem_xplore::{run_address_spaces, SweepOptions};
 
 fn main() {
     let scale = hetmem_bench::scale_arg(1);
@@ -12,7 +13,8 @@ fn main() {
         "Figure 7: memory address space options with ideal communication (scale {scale})"
     ));
     let cfg = ExperimentConfig::scaled(scale);
-    let runs = run_address_spaces(&cfg);
+    let (runs, stats) = run_address_spaces(&cfg, &SweepOptions::default()).expect("sweep");
+    eprintln!("{stats}");
     println!("{}", render_figure7(&runs));
     println!("Expected shape (paper): all four options within noise of each other — the");
     println!("address-space design itself does not affect performance; it is about");

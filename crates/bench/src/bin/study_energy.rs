@@ -26,8 +26,9 @@ fn main() {
     ]);
     for kernel in Kernel::ALL {
         for system in EvaluatedSystem::ALL {
-            if let Some(e) =
-                evals.iter().find(|e| e.kernel == kernel && e.system == system)
+            if let Some(e) = evals
+                .iter()
+                .find(|e| e.kernel == kernel && e.system == system)
             {
                 let b = &e.breakdown;
                 table.row(vec![

@@ -5,7 +5,10 @@ use hetmem_sim::{ClockDomain, SystemConfig};
 fn main() {
     hetmem_bench::section("Table II: baseline system configuration");
     let c = SystemConfig::baseline();
-    println!("CPU: 1 core, {:.1} GHz, out-of-order, gshare", ClockDomain::CPU.frequency_hz() as f64 / 1e9);
+    println!(
+        "CPU: 1 core, {:.1} GHz, out-of-order, gshare",
+        ClockDomain::CPU.frequency_hz() as f64 / 1e9
+    );
     println!(
         "  issue width {}, ROB {} entries, mispredict penalty {} cycles",
         c.cpu.issue_width, c.cpu.rob_entries, c.cpu.mispredict_penalty

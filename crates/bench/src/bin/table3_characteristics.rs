@@ -44,7 +44,11 @@ fn main() {
     if scale == 1 {
         println!(
             "All rows match the paper: {}",
-            if all_match { "yes" } else { "NO — investigate" }
+            if all_match {
+                "yes"
+            } else {
+                "NO — investigate"
+            }
         );
         println!(
             "(Note: the paper prints 262244 B for dct's initial transfer — likely a typo \

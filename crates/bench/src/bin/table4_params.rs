@@ -32,7 +32,10 @@ fn main() {
         c.lib_pf_cycles.to_string(),
     ]);
     println!("{}", table.render());
-    println!("trans_rate = {} GB/s (PCI-E 2.0)", c.pci_bytes_per_sec as f64 / 1e9);
+    println!(
+        "trans_rate = {} GB/s (PCI-E 2.0)",
+        c.pci_bytes_per_sec as f64 / 1e9
+    );
 
     hetmem_bench::section("Derived end-to-end transfer costs (320512 B, the reduction input)");
     let mut derived = TextTable::new(&["fabric", "ticks", "microseconds"]);

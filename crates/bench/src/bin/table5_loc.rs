@@ -6,11 +6,20 @@ use hetmem_core::report::TextTable;
 use hetmem_dsl::{loc_table, paper_loc_table};
 
 fn main() {
-    hetmem_bench::section("Table V: source lines to handle data communication (computed by lowering)");
+    hetmem_bench::section(
+        "Table V: source lines to handle data communication (computed by lowering)",
+    );
     let computed = loc_table();
     let paper = paper_loc_table();
-    let mut table =
-        TextTable::new(&["kernel", "Comp", "UNI", "PAS", "DIS", "ADSM", "matches paper"]);
+    let mut table = TextTable::new(&[
+        "kernel",
+        "Comp",
+        "UNI",
+        "PAS",
+        "DIS",
+        "ADSM",
+        "matches paper",
+    ]);
     for (got, want) in computed.iter().zip(&paper) {
         table.row(vec![
             got.kernel.clone(),

@@ -1,0 +1,223 @@
+//! A small self-contained benchmark harness with a criterion-shaped API.
+//!
+//! The container this repo builds in has no registry access, so `criterion`
+//! cannot be resolved; this module keeps the bench sources structurally
+//! identical (groups, ids, `iter` closures) by providing the subset of the
+//! API they use. Timings are wall-clock: warm-up, then up to `sample_size`
+//! timed iterations bounded by `measurement_time`, reported as
+//! min/mean/max.
+
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Measures one stand-alone function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        self.benchmark_group(name).run(name.to_owned(), f);
+    }
+}
+
+/// A group of measurements sharing sampling parameters.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut BenchmarkGroup {
+        self.warm_up = d;
+        self
+    }
+
+    /// Bounds the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut BenchmarkGroup {
+        self.measurement = d;
+        self
+    }
+
+    /// Measures `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.label, |b| f(b, input));
+    }
+
+    /// Measures a closure without an input label.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        self.run(name.to_owned(), f);
+    }
+
+    /// Ends the group (kept for criterion API parity).
+    pub fn finish(self) {}
+
+    fn run(&self, label: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &label, &b.samples);
+    }
+}
+
+/// A benchmark label: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, criterion's `function/parameter` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs and times the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up first, then `sample_size` samples (bounded by the
+    /// group's measurement time, always at least one).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+        }
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+            if run_start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: &str, label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{label}  (no samples)");
+        return;
+    }
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let mean = samples.iter().sum::<Duration>() / u32::try_from(samples.len()).expect("fits");
+    println!(
+        "{group}/{label}  time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles bench functions, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($name:ident) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $name(&mut c);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_bounded_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            warm_up: Duration::ZERO,
+            measurement: Duration::from_secs(1),
+            samples: Vec::new(),
+        };
+        b.iter(|| 2 + 2);
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.len() <= 5);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", "p").label, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -5,6 +5,8 @@
 //! `--scale N` to divide the workload (default: the paper's full-size
 //! traces, `N = 1`).
 
+pub mod harness;
+
 /// Parses `--scale N` from the process arguments, defaulting to `default`.
 ///
 /// # Panics

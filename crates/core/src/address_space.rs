@@ -5,10 +5,9 @@
 use hetmem_dsl::AddressSpace;
 use hetmem_sim::{CommAction, CommCosts, CommModel};
 use hetmem_trace::{CommEvent, MemSpace, PuKind};
-use serde::{Deserialize, Serialize};
 
 /// What a PU may do with an address in a given logical space.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Addressability {
     /// The PU can load/store the address directly.
     Direct,
@@ -21,7 +20,7 @@ pub enum Addressability {
 }
 
 /// The semantic model of one address-space option.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AddressSpaceModel {
     /// The option being modelled.
     pub kind: AddressSpace,
@@ -65,7 +64,10 @@ impl AddressSpaceModel {
     /// on both PUs (§II-A3's implementation cost discussion).
     #[must_use]
     pub fn duplicated_page_tables(&self) -> bool {
-        matches!(self.kind, AddressSpace::Unified | AddressSpace::PartiallyShared)
+        matches!(
+            self.kind,
+            AddressSpace::Unified | AddressSpace::PartiallyShared
+        )
     }
 
     /// Whether only one PU needs to maintain coherent data states (ADSM's
@@ -114,7 +116,9 @@ impl CommModel for IdealSpaceComm {
     fn plan(&mut self, _event: &CommEvent) -> CommAction {
         match self.overhead_cycles() {
             0 => CommAction::Elide,
-            cycles => CommAction::Synchronous { ticks: self.costs.cpu_cycles_ticks(cycles) },
+            cycles => CommAction::Synchronous {
+                ticks: self.costs.cpu_cycles_ticks(cycles),
+            },
         }
     }
 }
@@ -128,8 +132,14 @@ mod tests {
     fn private_spaces_always_direct() {
         for kind in AddressSpace::ALL {
             let m = AddressSpaceModel::new(kind);
-            assert_eq!(m.addressability(PuKind::Cpu, MemSpace::CpuPrivate), Addressability::Direct);
-            assert_eq!(m.addressability(PuKind::Gpu, MemSpace::GpuPrivate), Addressability::Direct);
+            assert_eq!(
+                m.addressability(PuKind::Cpu, MemSpace::CpuPrivate),
+                Addressability::Direct
+            );
+            assert_eq!(
+                m.addressability(PuKind::Gpu, MemSpace::GpuPrivate),
+                Addressability::Direct
+            );
         }
     }
 
@@ -160,10 +170,19 @@ mod tests {
     fn adsm_is_asymmetric() {
         let m = AddressSpaceModel::new(AddressSpace::Adsm);
         // The CPU sees everything...
-        assert_eq!(m.addressability(PuKind::Cpu, MemSpace::GpuPrivate), Addressability::Direct);
-        assert_eq!(m.addressability(PuKind::Cpu, MemSpace::Shared), Addressability::Direct);
+        assert_eq!(
+            m.addressability(PuKind::Cpu, MemSpace::GpuPrivate),
+            Addressability::Direct
+        );
+        assert_eq!(
+            m.addressability(PuKind::Cpu, MemSpace::Shared),
+            Addressability::Direct
+        );
         // ...the GPU only its own space plus the mapped shared region.
-        assert_eq!(m.addressability(PuKind::Gpu, MemSpace::Shared), Addressability::Direct);
+        assert_eq!(
+            m.addressability(PuKind::Gpu, MemSpace::Shared),
+            Addressability::Direct
+        );
         assert_eq!(
             m.addressability(PuKind::Gpu, MemSpace::CpuPrivate),
             Addressability::ExplicitTransfer
@@ -175,7 +194,10 @@ mod tests {
     fn partially_shared_window_is_ownership_gated() {
         let m = AddressSpaceModel::new(AddressSpace::PartiallyShared);
         for pu in PuKind::ALL {
-            assert_eq!(m.addressability(pu, MemSpace::Shared), Addressability::OwnershipGated);
+            assert_eq!(
+                m.addressability(pu, MemSpace::Shared),
+                Addressability::OwnershipGated
+            );
         }
         assert!(m.duplicated_page_tables());
     }

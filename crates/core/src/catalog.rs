@@ -2,12 +2,11 @@
 //! Table I of the paper, as queryable data.
 
 use hetmem_dsl::AddressSpace;
-use serde::{Deserialize, Serialize};
 
 /// Address-space classification used in Table I (the survey includes one
 /// homogeneous accelerator, Rigel, whose "unified" space is within a single
 /// architecture).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CatalogSpace {
     /// Unified address space.
     Unified,
@@ -44,7 +43,7 @@ impl std::fmt::Display for CatalogSpace {
 }
 
 /// Hardware connection between the PUs (Table I "Connection").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Connection {
     /// PCI-Express link.
     PciE,
@@ -74,7 +73,7 @@ impl std::fmt::Display for Connection {
 }
 
 /// Consistency model (Table I "consistency").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Consistency {
     /// Weak consistency.
     Weak,
@@ -99,7 +98,7 @@ impl std::fmt::Display for Consistency {
 }
 
 /// One surveyed system — a row of Table I.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SystemEntry {
     /// System or programming-model name.
     pub name: &'static str,
@@ -322,7 +321,11 @@ mod tests {
     fn most_systems_are_disjoint() {
         // "Most proposed/existing systems have disjoint memory systems."
         let disjoint = by_space(CatalogSpace::Disjoint).len();
-        for s in [CatalogSpace::Unified, CatalogSpace::PartiallyShared, CatalogSpace::Adsm] {
+        for s in [
+            CatalogSpace::Unified,
+            CatalogSpace::PartiallyShared,
+            CatalogSpace::Adsm,
+        ] {
             assert!(disjoint >= by_space(s).len());
         }
         assert_eq!(disjoint, 6);
@@ -334,9 +337,15 @@ mod tests {
         let gmac = cat.iter().find(|e| e.name == "GMAC").expect("GMAC present");
         assert_eq!(gmac.space, CatalogSpace::Adsm);
         assert_eq!(gmac.connection, Connection::PciE);
-        let lrb = cat.iter().find(|e| e.name == "CPU+LRB").expect("LRB present");
+        let lrb = cat
+            .iter()
+            .find(|e| e.name == "CPU+LRB")
+            .expect("LRB present");
         assert_eq!(lrb.space, CatalogSpace::PartiallyShared);
-        let comic = cat.iter().find(|e| e.name == "COMIC").expect("COMIC present");
+        let comic = cat
+            .iter()
+            .find(|e| e.name == "COMIC")
+            .expect("COMIC present");
         assert_eq!(comic.consistency, Consistency::CentralizedRelease);
     }
 

@@ -23,14 +23,13 @@
 //! programs produce exactly their sequentially-consistent outcomes even
 //! under the weak model.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A shared-memory location in a litmus test (small namespace).
 pub type Loc = u8;
 
 /// One operation of a litmus-test thread.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Op {
     /// Write `value` to `loc`.
     Write {
@@ -60,7 +59,7 @@ pub enum Op {
 }
 
 /// Which memory-consistency model to enumerate under.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ConsistencyModel {
     /// Strong: one global interleaving, writes visible immediately.
     SequentialConsistency,
@@ -70,7 +69,7 @@ pub enum ConsistencyModel {
 
 /// An outcome: the values observed by each thread's reads, in program
 /// order. `outcome.0[t]` is thread `t`'s observation list.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Outcome(pub [Vec<u8>; 2]);
 
 const NUM_LOCS: usize = 4;
@@ -96,10 +95,7 @@ struct State {
 /// Panics if any operation names a location `>= 4` (the engine's small,
 /// exhaustively-enumerable namespace).
 #[must_use]
-pub fn enumerate_outcomes(
-    threads: &[Vec<Op>; 2],
-    model: ConsistencyModel,
-) -> BTreeSet<Outcome> {
+pub fn enumerate_outcomes(threads: &[Vec<Op>; 2], model: ConsistencyModel) -> BTreeSet<Outcome> {
     for t in threads {
         for op in t {
             let loc = match op {
@@ -154,8 +150,7 @@ fn explore(
     if !visited.insert(state.clone()) {
         return;
     }
-    let done =
-        state.pc[0] == threads[0].len() && state.pc[1] == threads[1].len();
+    let done = state.pc[0] == threads[0].len() && state.pc[1] == threads[1].len();
     if done && state.buffers.iter().all(Vec::is_empty) {
         outcomes.insert(Outcome(state.observed.clone()));
         return;
@@ -175,7 +170,9 @@ fn explore(
 
     // Thread steps.
     for t in 0..2 {
-        let Some(op) = threads[t].get(state.pc[t]).copied() else { continue };
+        let Some(op) = threads[t].get(state.pc[t]).copied() else {
+            continue;
+        };
         let mut next = state.clone();
         next.pc[t] += 1;
         match op {
@@ -232,11 +229,7 @@ fn explore(
 /// Convenience: whether `outcome` is producible by the program under
 /// `model`.
 #[must_use]
-pub fn allows(
-    threads: &[Vec<Op>; 2],
-    model: ConsistencyModel,
-    outcome: &Outcome,
-) -> bool {
+pub fn allows(threads: &[Vec<Op>; 2], model: ConsistencyModel, outcome: &Outcome) -> bool {
     enumerate_outcomes(threads, model).contains(outcome)
 }
 
@@ -283,8 +276,10 @@ mod tests {
 
     #[test]
     fn fences_restore_sc_for_store_buffering() {
-        let fenced: [Vec<Op>; 2] =
-            [vec![w(X, 1), Op::Fence, r(Y)], vec![w(Y, 1), Op::Fence, r(X)]];
+        let fenced: [Vec<Op>; 2] = [
+            vec![w(X, 1), Op::Fence, r(Y)],
+            vec![w(Y, 1), Op::Fence, r(X)],
+        ];
         let sc = enumerate_outcomes(&fenced, ConsistencyModel::SequentialConsistency);
         let weak = enumerate_outcomes(&fenced, ConsistencyModel::Weak);
         assert_eq!(sc, weak);
@@ -296,7 +291,11 @@ mod tests {
         // lets T1 see flag=1 but stale data=0.
         let mp: [Vec<Op>; 2] = [vec![w(X, 42), w(Y, 1)], vec![r(Y), r(X)]];
         let stale = Outcome([vec![], vec![1, 0]]);
-        assert!(!allows(&mp, ConsistencyModel::SequentialConsistency, &stale));
+        assert!(!allows(
+            &mp,
+            ConsistencyModel::SequentialConsistency,
+            &stale
+        ));
         assert!(allows(&mp, ConsistencyModel::Weak, &stale));
     }
 
@@ -322,9 +321,11 @@ mod tests {
         // Without the release, the consumer can never acquire (thread 0
         // owns everything initially), so its read never executes — the
         // enumeration has no terminal state with the read performed.
-        let no_release: [Vec<Op>; 2] =
-            [vec![w(X, 42)], vec![Op::Acquire { loc: X }, r(X)]];
-        for model in [ConsistencyModel::SequentialConsistency, ConsistencyModel::Weak] {
+        let no_release: [Vec<Op>; 2] = [vec![w(X, 42)], vec![Op::Acquire { loc: X }, r(X)]];
+        for model in [
+            ConsistencyModel::SequentialConsistency,
+            ConsistencyModel::Weak,
+        ] {
             let outcomes = enumerate_outcomes(&no_release, model);
             assert!(
                 outcomes.iter().all(|o| o.0[1].is_empty()),

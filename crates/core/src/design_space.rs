@@ -5,10 +5,9 @@
 use crate::locality::LocalityScheme;
 use hetmem_dsl::AddressSpace;
 use hetmem_sim::FabricKind;
-use serde::{Deserialize, Serialize};
 
 /// Who keeps shared data coherent.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CoherenceOption {
     /// No coherence between PUs (software copies everything).
     None,
@@ -42,7 +41,7 @@ impl std::fmt::Display for CoherenceOption {
 }
 
 /// One point in the design space.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct DesignPoint {
     /// Address-space organization.
     pub address_space: AddressSpace,
@@ -73,8 +72,7 @@ impl DesignPoint {
         if !self.locality.is_valid_for(self.address_space) {
             return false;
         }
-        if self.fabric == FabricKind::PciAperture && self.address_space == AddressSpace::Disjoint
-        {
+        if self.fabric == FabricKind::PciAperture && self.address_space == AddressSpace::Disjoint {
             return false;
         }
         match self.address_space {
@@ -85,7 +83,10 @@ impl DesignPoint {
                 // ADSM's definition: one side (the CPU/runtime) maintains
                 // coherent state — software or ownership, not symmetric
                 // hardware coherence, and not nothing.
-                matches!(self.coherence, CoherenceOption::Software | CoherenceOption::Ownership)
+                matches!(
+                    self.coherence,
+                    CoherenceOption::Software | CoherenceOption::Ownership
+                )
             }
         }
     }
@@ -98,7 +99,12 @@ impl DesignPoint {
             for fabric in FabricKind::ALL {
                 for locality in LocalityScheme::all() {
                     for coherence in CoherenceOption::ALL {
-                        let p = DesignPoint { address_space, fabric, locality, coherence };
+                        let p = DesignPoint {
+                            address_space,
+                            fabric,
+                            locality,
+                            coherence,
+                        };
                         if p.is_valid() {
                             out.push(p);
                         }

@@ -6,10 +6,9 @@ use crate::presets::EvaluatedSystem;
 use hetmem_dsl::AddressSpace;
 use hetmem_sim::{CommCosts, RunReport, System, SystemConfig};
 use hetmem_trace::kernels::{Kernel, KernelParams};
-use serde::{Deserialize, Serialize};
 
 /// Common knobs for all experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExperimentConfig {
     /// Trace scale divisor: 1 reproduces the paper's full-size traces,
     /// larger values run proportionally smaller inputs (for quick runs and
@@ -25,7 +24,11 @@ impl ExperimentConfig {
     /// Full-size paper configuration.
     #[must_use]
     pub fn paper() -> ExperimentConfig {
-        ExperimentConfig { scale: 1, system: SystemConfig::baseline(), costs: CommCosts::paper() }
+        ExperimentConfig {
+            scale: 1,
+            system: SystemConfig::baseline(),
+            costs: CommCosts::paper(),
+        }
     }
 
     /// Down-scaled configuration for fast runs.
@@ -36,7 +39,10 @@ impl ExperimentConfig {
     #[must_use]
     pub fn scaled(scale: u32) -> ExperimentConfig {
         assert!(scale > 0, "scale must be non-zero");
-        ExperimentConfig { scale, ..ExperimentConfig::paper() }
+        ExperimentConfig {
+            scale,
+            ..ExperimentConfig::paper()
+        }
     }
 
     fn params(&self) -> KernelParams {
@@ -45,7 +51,7 @@ impl ExperimentConfig {
 }
 
 /// One Figure 5/6 measurement: a kernel on an evaluated system.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CaseStudyRun {
     /// The system configuration.
     pub system: EvaluatedSystem,
@@ -66,7 +72,11 @@ pub fn run_case_study(
     let mut sim = System::with_costs(&config.system, config.costs);
     let mut comm = system.comm_model(config.costs);
     let report = sim.run(&trace, &mut comm);
-    CaseStudyRun { system, kernel, report }
+    CaseStudyRun {
+        system,
+        kernel,
+        report,
+    }
 }
 
 /// Runs the full Figure 5/6 grid: every kernel on every evaluated system.
@@ -80,7 +90,11 @@ pub fn run_case_studies(config: &ExperimentConfig) -> Vec<CaseStudyRun> {
             let mut sim = System::with_costs(&config.system, config.costs);
             let mut comm = system.comm_model(config.costs);
             let report = sim.run(&trace, &mut comm);
-            out.push(CaseStudyRun { system, kernel, report });
+            out.push(CaseStudyRun {
+                system,
+                kernel,
+                report,
+            });
         }
     }
     out
@@ -89,7 +103,7 @@ pub fn run_case_studies(config: &ExperimentConfig) -> Vec<CaseStudyRun> {
 /// One Figure 7 measurement: a kernel under an address-space option with
 /// idealized communication (shared cache, free transfers — only the API
 /// instruction overhead remains).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SpaceRun {
     /// The address-space option.
     pub space: AddressSpace,
@@ -110,7 +124,11 @@ pub fn run_address_space(
     let mut sim = System::with_costs(&config.system, config.costs);
     let mut comm = IdealSpaceComm::new(space, config.costs);
     let report = sim.run(&trace, &mut comm);
-    SpaceRun { space, kernel, report }
+    SpaceRun {
+        space,
+        kernel,
+        report,
+    }
 }
 
 /// Runs the full Figure 7 grid.
@@ -123,7 +141,11 @@ pub fn run_address_spaces(config: &ExperimentConfig) -> Vec<SpaceRun> {
             let mut sim = System::with_costs(&config.system, config.costs);
             let mut comm = IdealSpaceComm::new(space, config.costs);
             let report = sim.run(&trace, &mut comm);
-            out.push(SpaceRun { space, kernel, report });
+            out.push(SpaceRun {
+                space,
+                kernel,
+                report,
+            });
         }
     }
     out
@@ -132,7 +154,7 @@ pub fn run_address_spaces(config: &ExperimentConfig) -> Vec<SpaceRun> {
 /// One row of the GPU page-size study (§II-A1: a virtually unified or
 /// partially shared space lets the GPU use large pages for stream
 /// locality).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PageSizeRow {
     /// GPU page size in bytes.
     pub gpu_page_bytes: u64,
@@ -175,7 +197,7 @@ pub fn run_page_size_study(
 }
 
 /// One row of the work-partitioning sweep.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PartitionRow {
     /// Percentage of the parallel work on the GPU.
     pub gpu_share_pct: u32,
@@ -202,7 +224,10 @@ pub fn run_partition_sweep(
             let mut sim = System::with_costs(&config.system, config.costs);
             let mut comm = system.comm_model(config.costs);
             let report = sim.run(&trace, &mut comm);
-            PartitionRow { gpu_share_pct, total_ticks: report.total_ticks() }
+            PartitionRow {
+                gpu_share_pct,
+                total_ticks: report.total_ticks(),
+            }
         })
         .collect()
 }
@@ -214,7 +239,9 @@ pub fn run_partition_sweep(
 /// Panics on an empty sweep.
 #[must_use]
 pub fn best_partition(rows: &[PartitionRow]) -> &PartitionRow {
-    rows.iter().min_by_key(|r| r.total_ticks).expect("non-empty sweep")
+    rows.iter()
+        .min_by_key(|r| r.total_ticks)
+        .expect("non-empty sweep")
 }
 
 #[cfg(test)]
@@ -230,8 +257,9 @@ mod tests {
     fn ideal_hetero_is_never_slower() {
         // Figure 5's shape: IDEAL-HETERO lower-bounds every system.
         for kernel in [Kernel::Reduction, Kernel::MergeSort] {
-            let ideal =
-                run_case_study(EvaluatedSystem::IdealHetero, kernel, &cfg()).report.total_ticks();
+            let ideal = run_case_study(EvaluatedSystem::IdealHetero, kernel, &cfg())
+                .report
+                .total_ticks();
             for sys in EvaluatedSystem::ALL {
                 let t = run_case_study(sys, kernel, &cfg()).report.total_ticks();
                 assert!(t >= ideal, "{sys}/{kernel}: {t} < ideal {ideal}");
@@ -244,10 +272,18 @@ mod tests {
         // "CPU+GPU, LRB and GMAC have a longer execution time than those of
         // IDEAL-HETERO and Fusion."
         let kernel = Kernel::MergeSort;
-        let comm = |sys| run_case_study(sys, kernel, &cfg()).report.communication_ticks;
+        let comm = |sys| {
+            run_case_study(sys, kernel, &cfg())
+                .report
+                .communication_ticks
+        };
         let fusion = comm(EvaluatedSystem::Fusion);
         let ideal = comm(EvaluatedSystem::IdealHetero);
-        for pci in [EvaluatedSystem::CpuGpuCuda, EvaluatedSystem::Lrb, EvaluatedSystem::Gmac] {
+        for pci in [
+            EvaluatedSystem::CpuGpuCuda,
+            EvaluatedSystem::Lrb,
+            EvaluatedSystem::Gmac,
+        ] {
             let c = comm(pci);
             assert!(c > fusion, "{pci} comm {c} <= Fusion {fusion}");
             assert!(c > ideal, "{pci} comm {c} <= ideal {ideal}");
@@ -308,13 +344,23 @@ mod tests {
         );
         assert_eq!(rows.len(), 6);
         let best = best_partition(&rows);
-        assert!(best.gpu_share_pct <= 25, "best share {} of {rows:?}", best.gpu_share_pct);
+        assert!(
+            best.gpu_share_pct <= 25,
+            "best share {} of {rows:?}",
+            best.gpu_share_pct
+        );
         // Once the GPU is the bottleneck, more GPU work is strictly worse.
-        let ticks: Vec<u64> =
-            rows.iter().filter(|r| r.gpu_share_pct >= 25).map(|r| r.total_ticks).collect();
+        let ticks: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.gpu_share_pct >= 25)
+            .map(|r| r.total_ticks)
+            .collect();
         assert!(ticks.windows(2).all(|w| w[0] < w[1]), "{rows:?}");
         let worst = rows.iter().map(|r| r.total_ticks).max().expect("non-empty");
-        assert!(worst > best.total_ticks * 2, "sweep must discriminate strongly");
+        assert!(
+            worst > best.total_ticks * 2,
+            "sweep must discriminate strongly"
+        );
     }
 
     #[test]

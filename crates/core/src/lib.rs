@@ -46,13 +46,16 @@ mod ownership;
 mod presets;
 pub mod report;
 
-pub use address_space::{Addressability, AddressSpaceModel, IdealSpaceComm};
+pub use address_space::{AddressSpaceModel, Addressability, IdealSpaceComm};
 pub use catalog::{by_space, catalog, CatalogSpace, Connection, Consistency, SystemEntry};
 pub use consistency::{allows, enumerate_outcomes, ConsistencyModel, Op, Outcome};
 pub use design_space::{CoherenceOption, DesignPoint};
 pub use hetmem_dsl::AddressSpace;
 pub use locality::{LocalityControl, LocalityScheme, SharedLocality};
 pub use locality_study::{run_locality_study, LocalityStudyRow, SharedLocalityVariant};
-pub use metrics::{evaluate_energy, evaluate_systems, hardware_cost, pareto_frontier, programmer_burden, EnergyEval, Evaluation};
+pub use metrics::{
+    evaluate_energy, evaluate_systems, hardware_cost, pareto_frontier, programmer_burden,
+    EnergyEval, Evaluation,
+};
 pub use ownership::{OwnershipError, OwnershipTracker};
 pub use presets::{EvaluatedSystem, GmacModel, LrbModel, PresetCommModel};

@@ -8,10 +8,9 @@
 //! partially shared address space admits the most combinations.
 
 use hetmem_dsl::AddressSpace;
-use serde::{Deserialize, Serialize};
 
 /// Who manages locality at one level of the hierarchy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LocalityControl {
     /// Hardware caching decides placement and eviction.
     Implicit,
@@ -29,7 +28,7 @@ impl std::fmt::Display for LocalityControl {
 }
 
 /// How the shared space's locality is managed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SharedLocality {
     /// Hardware-managed shared cache.
     Implicit,
@@ -53,7 +52,7 @@ impl std::fmt::Display for SharedLocality {
 /// A complete locality-management scheme: one control per private hierarchy
 /// plus the shared space (absent for the disjoint address space, which has
 /// only private caches).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocalityScheme {
     /// CPU private caches.
     pub cpu_private: LocalityControl,
@@ -137,7 +136,11 @@ impl LocalityScheme {
         let mut s = if self.cpu_private == self.gpu_private {
             format!("{}-pri", pri(self.cpu_private))
         } else {
-            format!("{}-pri-{}-pri", pri(self.cpu_private), pri(self.gpu_private))
+            format!(
+                "{}-pri-{}-pri",
+                pri(self.cpu_private),
+                pri(self.gpu_private)
+            )
         };
         match self.shared {
             None => {}
@@ -185,7 +188,11 @@ impl LocalityScheme {
         for cpu in controls {
             for gpu in controls {
                 for shared in shareds {
-                    out.push(LocalityScheme { cpu_private: cpu, gpu_private: gpu, shared });
+                    out.push(LocalityScheme {
+                        cpu_private: cpu,
+                        gpu_private: gpu,
+                        shared,
+                    });
                 }
             }
         }
@@ -195,7 +202,10 @@ impl LocalityScheme {
     /// The schemes available under `space`.
     #[must_use]
     pub fn options_for(space: AddressSpace) -> Vec<LocalityScheme> {
-        LocalityScheme::all().into_iter().filter(|s| s.is_valid_for(space)).collect()
+        LocalityScheme::all()
+            .into_iter()
+            .filter(|s| s.is_valid_for(space))
+            .collect()
     }
 }
 
@@ -214,14 +224,25 @@ mod tests {
         // Conclusion 3 of the paper.
         let count = |s| LocalityScheme::options_for(s).len();
         let pas = count(AddressSpace::PartiallyShared);
-        for other in [AddressSpace::Unified, AddressSpace::Disjoint, AddressSpace::Adsm] {
-            assert!(pas > count(other), "PAS ({pas}) must beat {other} ({})", count(other));
+        for other in [
+            AddressSpace::Unified,
+            AddressSpace::Disjoint,
+            AddressSpace::Adsm,
+        ] {
+            assert!(
+                pas > count(other),
+                "PAS ({pas}) must beat {other} ({})",
+                count(other)
+            );
         }
     }
 
     #[test]
     fn option_counts_per_space() {
-        assert_eq!(LocalityScheme::options_for(AddressSpace::PartiallyShared).len(), 12);
+        assert_eq!(
+            LocalityScheme::options_for(AddressSpace::PartiallyShared).len(),
+            12
+        );
         assert_eq!(LocalityScheme::options_for(AddressSpace::Adsm).len(), 8);
         assert_eq!(LocalityScheme::options_for(AddressSpace::Unified).len(), 4);
         assert_eq!(LocalityScheme::options_for(AddressSpace::Disjoint).len(), 4);
@@ -237,21 +258,29 @@ mod tests {
             LocalityScheme::mixed_private_implicit_shared(),
             LocalityScheme::hybrid_shared(),
         ] {
-            assert!(scheme.is_valid_for(AddressSpace::PartiallyShared), "{scheme}");
+            assert!(
+                scheme.is_valid_for(AddressSpace::PartiallyShared),
+                "{scheme}"
+            );
         }
     }
 
     #[test]
     fn unified_rejects_explicit_shared() {
-        assert!(!LocalityScheme::implicit_private_explicit_shared()
-            .is_valid_for(AddressSpace::Unified));
-        assert!(LocalityScheme::explicit_private_implicit_shared()
-            .is_valid_for(AddressSpace::Unified));
+        assert!(
+            !LocalityScheme::implicit_private_explicit_shared().is_valid_for(AddressSpace::Unified)
+        );
+        assert!(
+            LocalityScheme::explicit_private_implicit_shared().is_valid_for(AddressSpace::Unified)
+        );
     }
 
     #[test]
     fn paper_names_render() {
-        assert_eq!(LocalityScheme::all_implicit().paper_name(), "impl-pri-impl-shared");
+        assert_eq!(
+            LocalityScheme::all_implicit().paper_name(),
+            "impl-pri-impl-shared"
+        );
         assert_eq!(
             LocalityScheme::mixed_private_explicit_shared().paper_name(),
             "impl-pri-expl-pri-expl-shared"

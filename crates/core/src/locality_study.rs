@@ -17,10 +17,9 @@ use hetmem_trace::kernels::layout;
 use hetmem_trace::{
     CacheLevel, Inst, Phase, PhaseSegment, PhasedTrace, PuKind, SpecialOp, TraceStream,
 };
-use serde::{Deserialize, Serialize};
 
 /// The locality-management variants compared.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SharedLocalityVariant {
     /// Hardware caching only; no pushes (implicit-shared).
     Implicit,
@@ -58,7 +57,7 @@ impl std::fmt::Display for SharedLocalityVariant {
 }
 
 /// One measured variant.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LocalityStudyRow {
     /// The variant measured.
     pub variant: SharedLocalityVariant,
@@ -89,7 +88,11 @@ fn build_trace(explicit_push: bool, scale: u32) -> PhasedTrace {
             addr: layout::SHARED_BASE,
             bytes: TABLE_BYTES,
         }));
-        trace.push_segment(PhaseSegment::new(Phase::Sequential, setup, TraceStream::new()));
+        trace.push_segment(PhaseSegment::new(
+            Phase::Sequential,
+            setup,
+            TraceStream::new(),
+        ));
     }
 
     let make_stream = |pu: PuKind| -> TraceStream {
@@ -100,16 +103,28 @@ fn build_trace(explicit_push: bool, scale: u32) -> PhasedTrace {
         let mut s = TraceStream::with_capacity(iterations as usize * 6);
         // Deterministic table-walk: a coprime stride covers the whole table.
         let table_slots = TABLE_BYTES / 64;
-        let mut slot: u64 = if pu == PuKind::Cpu { 0 } else { table_slots / 2 };
+        let mut slot: u64 = if pu == PuKind::Cpu {
+            0
+        } else {
+            table_slots / 2
+        };
         for i in 0..iterations {
             slot = (slot + 97) % table_slots;
-            s.push(Inst::Load { addr: layout::SHARED_BASE + slot * 64, bytes: access });
+            s.push(Inst::Load {
+                addr: layout::SHARED_BASE + slot * 64,
+                bytes: access,
+            });
             s.push(Inst::IntAlu);
             for k in 0..3u64 {
                 let addr = private_base + ((i * 3 + k) * 64) % STREAM_BYTES;
-                s.push(Inst::Load { addr, bytes: access });
+                s.push(Inst::Load {
+                    addr,
+                    bytes: access,
+                });
             }
-            s.push(Inst::Branch { taken: i + 1 != iterations });
+            s.push(Inst::Branch {
+                taken: i + 1 != iterations,
+            });
         }
         s
     };
@@ -162,7 +177,10 @@ mod tests {
     fn hybrid_push_beats_implicit_management() {
         let rows = study();
         let get = |v| {
-            rows.iter().find(|r| r.variant == v).expect("variant present").clone()
+            rows.iter()
+                .find(|r| r.variant == v)
+                .expect("variant present")
+                .clone()
         };
         let implicit = get(SharedLocalityVariant::Implicit);
         let hybrid = get(SharedLocalityVariant::ExplicitHybrid);
@@ -179,7 +197,10 @@ mod tests {
     fn ignoring_the_locality_bit_squanders_the_push() {
         let rows = study();
         let get = |v| {
-            rows.iter().find(|r| r.variant == v).expect("variant present").clone()
+            rows.iter()
+                .find(|r| r.variant == v)
+                .expect("variant present")
+                .clone()
         };
         let hybrid = get(SharedLocalityVariant::ExplicitHybrid);
         let ignored = get(SharedLocalityVariant::ExplicitIgnored);

@@ -24,7 +24,6 @@ use crate::locality::SharedLocality;
 use crate::presets::EvaluatedSystem;
 use hetmem_dsl::{paper_loc_table, AddressSpace};
 use hetmem_sim::FabricKind;
-use serde::{Deserialize, Serialize};
 
 /// Abstract hardware-cost score of a design point (higher = more silicon,
 /// design, and verification effort). The rubric:
@@ -83,7 +82,7 @@ pub fn programmer_burden(space: AddressSpace) -> f64 {
 }
 
 /// One evaluated point on all three axes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Evaluation {
     /// The system evaluated.
     pub system: EvaluatedSystem,
@@ -150,9 +149,7 @@ pub fn evaluate_systems(config: &ExperimentConfig) -> Vec<Evaluation> {
                 .filter(|r| r.system == system)
                 .map(|r| r.report.total_ticks() as f64)
                 .collect();
-            let geomean = (totals.iter().map(|t| t.ln()).sum::<f64>()
-                / totals.len() as f64)
-                .exp();
+            let geomean = (totals.iter().map(|t| t.ln()).sum::<f64>() / totals.len() as f64).exp();
             Evaluation {
                 system,
                 perf_ticks: geomean,
@@ -168,12 +165,17 @@ pub fn evaluate_systems(config: &ExperimentConfig) -> Vec<Evaluation> {
 #[must_use]
 pub fn pareto_frontier(evals: &[Evaluation]) -> Vec<usize> {
     (0..evals.len())
-        .filter(|&i| !evals.iter().enumerate().any(|(j, e)| j != i && e.dominates(&evals[i])))
+        .filter(|&i| {
+            !evals
+                .iter()
+                .enumerate()
+                .any(|(j, e)| j != i && e.dominates(&evals[i]))
+        })
         .collect()
 }
 
 /// One system × kernel energy estimate.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EnergyEval {
     /// The system.
     pub system: EvaluatedSystem,
@@ -205,12 +207,19 @@ pub fn evaluate_energy(config: &ExperimentConfig) -> Vec<EnergyEval> {
             let mut comm = system.comm_model(config.costs);
             let report = sim.run(&trace, &mut comm);
             let traffic = match system {
-                EvaluatedSystem::CpuGpuCuda => CommTraffic { pci_bytes: total, memctl_bytes: 0 },
+                EvaluatedSystem::CpuGpuCuda => CommTraffic {
+                    pci_bytes: total,
+                    memctl_bytes: 0,
+                },
                 // Shared windows: results stay in place, only inputs move.
-                EvaluatedSystem::Lrb | EvaluatedSystem::Gmac => {
-                    CommTraffic { pci_bytes: h2d, memctl_bytes: 0 }
-                }
-                EvaluatedSystem::Fusion => CommTraffic { pci_bytes: 0, memctl_bytes: total },
+                EvaluatedSystem::Lrb | EvaluatedSystem::Gmac => CommTraffic {
+                    pci_bytes: h2d,
+                    memctl_bytes: 0,
+                },
+                EvaluatedSystem::Fusion => CommTraffic {
+                    pci_bytes: 0,
+                    memctl_bytes: total,
+                },
                 EvaluatedSystem::IdealHetero => CommTraffic::default(),
             };
             out.push(EnergyEval {
@@ -249,7 +258,10 @@ mod tests {
         let adsm = programmer_burden(AddressSpace::Adsm);
         let dis = programmer_burden(AddressSpace::Disjoint);
         assert_eq!(uni, 0.0);
-        assert!(uni < pas && pas < adsm && adsm < dis, "{uni} {pas} {adsm} {dis}");
+        assert!(
+            uni < pas && pas < adsm && adsm < dis,
+            "{uni} {pas} {adsm} {dis}"
+        );
     }
 
     #[test]
@@ -260,7 +272,10 @@ mod tests {
             hardware_cost: 5,
             programmer_burden: 7.0,
         };
-        let b = Evaluation { perf_ticks: 90.0, ..a.clone() };
+        let b = Evaluation {
+            perf_ticks: 90.0,
+            ..a.clone()
+        };
         assert!(!a.dominates(&a));
         assert!(b.dominates(&a));
         assert!(!a.dominates(&b));
@@ -274,14 +289,23 @@ mod tests {
         for &i in &frontier {
             for (j, e) in evals.iter().enumerate() {
                 if j != i {
-                    assert!(!e.dominates(&evals[i]), "{} dominated by {}", evals[i].system, e.system);
+                    assert!(
+                        !e.dominates(&evals[i]),
+                        "{} dominated by {}",
+                        evals[i].system,
+                        e.system
+                    );
                 }
             }
         }
         // Every non-frontier point is dominated by someone.
         for i in 0..evals.len() {
             if !frontier.contains(&i) {
-                assert!(evals.iter().any(|e| e.dominates(&evals[i])), "{}", evals[i].system);
+                assert!(
+                    evals.iter().any(|e| e.dominates(&evals[i])),
+                    "{}",
+                    evals[i].system
+                );
             }
         }
     }

@@ -9,11 +9,10 @@
 //! (Figure 2b).
 
 use hetmem_trace::{Addr, PuKind};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A violation of the ownership protocol.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OwnershipError {
     /// A PU tried to acquire an object the peer still owns.
     StillOwnedByPeer {
@@ -63,14 +62,14 @@ impl std::fmt::Display for OwnershipError {
 
 impl std::error::Error for OwnershipError {}
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct SharedObject {
     bytes: u64,
     owner: Option<PuKind>,
 }
 
 /// Tracks ownership of shared-space objects and checks the protocol.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct OwnershipTracker {
     objects: BTreeMap<Addr, SharedObject>,
     acquires: u64,
@@ -87,7 +86,13 @@ impl OwnershipTracker {
     /// Registers a shared object (a `sharedmalloc`). Initial owner is the
     /// CPU, which allocated and initializes it.
     pub fn register(&mut self, addr: Addr, bytes: u64) {
-        self.objects.insert(addr, SharedObject { bytes, owner: Some(PuKind::Cpu) });
+        self.objects.insert(
+            addr,
+            SharedObject {
+                bytes,
+                owner: Some(PuKind::Cpu),
+            },
+        );
     }
 
     /// The object covering `addr`, if any.
@@ -113,12 +118,11 @@ impl OwnershipTracker {
     /// released first — this is what prevents concurrent updates without
     /// coherence hardware).
     pub fn acquire(&mut self, pu: PuKind, addr: Addr) -> Result<(), OwnershipError> {
-        let (base, obj) =
-            self.object_at(addr).ok_or(OwnershipError::UnknownObject { addr })?;
+        let (base, obj) = self
+            .object_at(addr)
+            .ok_or(OwnershipError::UnknownObject { addr })?;
         match obj.owner {
-            Some(owner) if owner != pu => {
-                Err(OwnershipError::StillOwnedByPeer { addr, owner })
-            }
+            Some(owner) if owner != pu => Err(OwnershipError::StillOwnedByPeer { addr, owner }),
             _ => {
                 self.objects.get_mut(&base).expect("present").owner = Some(pu);
                 self.acquires += 1;
@@ -134,8 +138,9 @@ impl OwnershipTracker {
     ///
     /// Fails if the object is unknown or `pu` is not its owner.
     pub fn release(&mut self, pu: PuKind, addr: Addr) -> Result<(), OwnershipError> {
-        let (base, obj) =
-            self.object_at(addr).ok_or(OwnershipError::UnknownObject { addr })?;
+        let (base, obj) = self
+            .object_at(addr)
+            .ok_or(OwnershipError::UnknownObject { addr })?;
         if obj.owner != Some(pu) {
             return Err(OwnershipError::ReleaseWithoutOwnership { addr });
         }
@@ -173,11 +178,16 @@ mod tests {
     fn figure_2b_protocol_runs_clean() {
         // releaseOwnership(a,b,c); GPU kernel; acquireOwnership(c); CPU use.
         let mut t = OwnershipTracker::new();
-        for (addr, bytes) in [(0x3000_0000u64, 256), (0x3000_0100, 256), (0x3000_0200, 256)] {
+        for (addr, bytes) in [
+            (0x3000_0000u64, 256),
+            (0x3000_0100, 256),
+            (0x3000_0200, 256),
+        ] {
             t.register(addr, bytes);
         }
         for addr in [0x3000_0000u64, 0x3000_0100, 0x3000_0200] {
-            t.release(PuKind::Cpu, addr).expect("CPU owns after allocation");
+            t.release(PuKind::Cpu, addr)
+                .expect("CPU owns after allocation");
             t.acquire(PuKind::Gpu, addr).expect("free to acquire");
         }
         assert_eq!(t.check_access(PuKind::Gpu, 0x3000_0080), Ok(()));
@@ -194,7 +204,10 @@ mod tests {
         t.register(0x1000, 64);
         assert_eq!(
             t.acquire(PuKind::Gpu, 0x1000),
-            Err(OwnershipError::StillOwnedByPeer { addr: 0x1000, owner: PuKind::Cpu })
+            Err(OwnershipError::StillOwnedByPeer {
+                addr: 0x1000,
+                owner: PuKind::Cpu
+            })
         );
     }
 
@@ -204,7 +217,10 @@ mod tests {
         t.register(0x1000, 64);
         assert_eq!(
             t.check_access(PuKind::Gpu, 0x1020),
-            Err(OwnershipError::AccessWithoutOwnership { addr: 0x1020, by: PuKind::Gpu })
+            Err(OwnershipError::AccessWithoutOwnership {
+                addr: 0x1020,
+                by: PuKind::Gpu
+            })
         );
         // Private addresses are unaffected.
         assert_eq!(t.check_access(PuKind::Gpu, 0x9999_0000), Ok(()));
@@ -233,7 +249,13 @@ mod tests {
     #[test]
     fn unknown_objects_are_errors() {
         let mut t = OwnershipTracker::new();
-        assert_eq!(t.acquire(PuKind::Cpu, 0x42), Err(OwnershipError::UnknownObject { addr: 0x42 }));
-        assert_eq!(t.release(PuKind::Cpu, 0x42), Err(OwnershipError::UnknownObject { addr: 0x42 }));
+        assert_eq!(
+            t.acquire(PuKind::Cpu, 0x42),
+            Err(OwnershipError::UnknownObject { addr: 0x42 })
+        );
+        assert_eq!(
+            t.release(PuKind::Cpu, 0x42),
+            Err(OwnershipError::UnknownObject { addr: 0x42 })
+        );
     }
 }

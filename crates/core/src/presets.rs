@@ -19,11 +19,10 @@
 use hetmem_dsl::AddressSpace;
 use hetmem_sim::{CommAction, CommCosts, CommModel, FabricKind, SynchronousFabric};
 use hetmem_trace::{CommEvent, TransferDirection};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One of the five evaluated system configurations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EvaluatedSystem {
     /// Disjoint memory over PCI-E, CUDA-style explicit memcpys.
     CpuGpuCuda,
@@ -89,16 +88,16 @@ impl EvaluatedSystem {
             EvaluatedSystem::CpuGpuCuda => {
                 PresetCommModel::Sync(SynchronousFabric::new(FabricKind::PciExpress, costs))
             }
-            EvaluatedSystem::Fusion => PresetCommModel::Sync(SynchronousFabric::new(
-                FabricKind::MemoryController,
-                costs,
-            )),
+            EvaluatedSystem::Fusion => {
+                PresetCommModel::Sync(SynchronousFabric::new(FabricKind::MemoryController, costs))
+            }
             EvaluatedSystem::IdealHetero => {
                 PresetCommModel::Sync(SynchronousFabric::new(FabricKind::Ideal, costs))
             }
-            EvaluatedSystem::Lrb => {
-                PresetCommModel::Lrb(LrbModel { costs, touched_pages: BTreeSet::new() })
-            }
+            EvaluatedSystem::Lrb => PresetCommModel::Lrb(LrbModel {
+                costs,
+                touched_pages: BTreeSet::new(),
+            }),
             EvaluatedSystem::Gmac => PresetCommModel::Gmac(GmacModel { costs }),
         }
     }
@@ -147,7 +146,9 @@ impl CommModel for LrbModel {
                 let faults = self.page_faults(event);
                 let ticks = self.costs.cpu_cycles_ticks(self.costs.api_acq_cycles)
                     + FabricKind::PciAperture.transfer_ticks(event.bytes, &self.costs)
-                    + self.costs.cpu_cycles_ticks(faults * self.costs.lib_pf_cycles);
+                    + self
+                        .costs
+                        .cpu_cycles_ticks(faults * self.costs.lib_pf_cycles);
                 CommAction::Synchronous { ticks }
             }
             TransferDirection::DeviceToHost => {
@@ -179,8 +180,7 @@ impl CommModel for GmacModel {
     fn plan(&mut self, event: &CommEvent) -> CommAction {
         match event.direction {
             TransferDirection::HostToDevice => {
-                let transfer =
-                    FabricKind::PciExpress.transfer_ticks(event.bytes, &self.costs);
+                let transfer = FabricKind::PciExpress.transfer_ticks(event.bytes, &self.costs);
                 let sync_part = transfer * GMAC_SYNC_TRANSFER_PCT / 100;
                 CommAction::Asynchronous {
                     // The demand-stalled portion plus the runtime call block
@@ -228,16 +228,33 @@ mod tests {
     use hetmem_trace::CommKind;
 
     fn event(direction: TransferDirection, bytes: u64, addr: u64) -> CommEvent {
-        CommEvent { direction, bytes, kind: CommKind::InitialInput, addr }
+        CommEvent {
+            direction,
+            bytes,
+            kind: CommKind::InitialInput,
+            addr,
+        }
     }
 
     #[test]
     fn names_and_spaces() {
-        assert_eq!(EvaluatedSystem::CpuGpuCuda.address_space(), AddressSpace::Disjoint);
-        assert_eq!(EvaluatedSystem::Lrb.address_space(), AddressSpace::PartiallyShared);
+        assert_eq!(
+            EvaluatedSystem::CpuGpuCuda.address_space(),
+            AddressSpace::Disjoint
+        );
+        assert_eq!(
+            EvaluatedSystem::Lrb.address_space(),
+            AddressSpace::PartiallyShared
+        );
         assert_eq!(EvaluatedSystem::Gmac.address_space(), AddressSpace::Adsm);
-        assert_eq!(EvaluatedSystem::Fusion.address_space(), AddressSpace::Disjoint);
-        assert_eq!(EvaluatedSystem::IdealHetero.address_space(), AddressSpace::Unified);
+        assert_eq!(
+            EvaluatedSystem::Fusion.address_space(),
+            AddressSpace::Disjoint
+        );
+        assert_eq!(
+            EvaluatedSystem::IdealHetero.address_space(),
+            AddressSpace::Unified
+        );
         assert_eq!(EvaluatedSystem::ALL.len(), 5);
     }
 
@@ -252,7 +269,10 @@ mod tests {
         else {
             panic!("LRB transfers are synchronous");
         };
-        assert!(up > down, "input pays aperture+fault, result only ownership");
+        assert!(
+            up > down,
+            "input pays aperture+fault, result only ownership"
+        );
         assert_eq!(down, costs.cpu_cycles_ticks(costs.api_acq_cycles));
     }
 

@@ -17,7 +17,10 @@ impl TextTable {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> TextTable {
-        TextTable { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -78,10 +81,13 @@ pub fn render_figure5(runs: &[CaseStudyRun]) -> String {
         "comm%",
     ]);
     for kernel in Kernel::ALL {
-        let of_kernel: Vec<&CaseStudyRun> =
-            runs.iter().filter(|r| r.kernel == kernel).collect();
-        let slowest =
-            of_kernel.iter().map(|r| r.report.total_ticks()).max().unwrap_or(1).max(1);
+        let of_kernel: Vec<&CaseStudyRun> = runs.iter().filter(|r| r.kernel == kernel).collect();
+        let slowest = of_kernel
+            .iter()
+            .map(|r| r.report.total_ticks())
+            .max()
+            .unwrap_or(1)
+            .max(1);
         for sys in EvaluatedSystem::ALL {
             if let Some(run) = of_kernel.iter().find(|r| r.system == sys) {
                 let rep = &run.report;
@@ -106,9 +112,7 @@ pub fn render_figure6(runs: &[CaseStudyRun]) -> String {
     let mut table = TextTable::new(&["kernel", "system", "comm(µs)", "comm%"]);
     for kernel in Kernel::ALL {
         for sys in EvaluatedSystem::ALL {
-            if let Some(run) =
-                runs.iter().find(|r| r.kernel == kernel && r.system == sys)
-            {
+            if let Some(run) = runs.iter().find(|r| r.kernel == kernel && r.system == sys) {
                 table.row(vec![
                     kernel.name().to_owned(),
                     sys.name().to_owned(),
@@ -128,17 +132,21 @@ pub fn render_figure6(runs: &[CaseStudyRun]) -> String {
 /// the unified space per kernel.
 #[must_use]
 pub fn render_figure7(runs: &[SpaceRun]) -> String {
-    let mut table =
-        TextTable::new(&["kernel", "UNI", "PAS", "DIS", "ADSM", "max spread %"]);
+    let mut table = TextTable::new(&["kernel", "UNI", "PAS", "DIS", "ADSM", "max spread %"]);
     for kernel in Kernel::ALL {
         let get = |space| {
             runs.iter()
                 .find(|r| r.kernel == kernel && r.space == space)
                 .map(|r| r.report.total_ticks())
         };
-        let Some(uni) = get(AddressSpace::Unified) else { continue };
+        let Some(uni) = get(AddressSpace::Unified) else {
+            continue;
+        };
         let norm = |space| {
-            get(space).map_or_else(|| "-".to_owned(), |t| format!("{:.4}", t as f64 / uni as f64))
+            get(space).map_or_else(
+                || "-".to_owned(),
+                |t| format!("{:.4}", t as f64 / uni as f64),
+            )
         };
         let all: Vec<u64> = AddressSpace::ALL.iter().filter_map(|&s| get(s)).collect();
         let max = *all.iter().max().unwrap_or(&1);

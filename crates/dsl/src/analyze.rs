@@ -4,10 +4,9 @@
 //! inputs).
 
 use crate::ast::{BufId, Program, Step, Target};
-use serde::{Deserialize, Serialize};
 
 /// Severity of a finding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// Almost certainly a bug.
     Warning,
@@ -16,7 +15,7 @@ pub enum Severity {
 }
 
 /// A static-analysis finding.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Lint {
     /// A buffer is declared but never referenced by any step.
     UnusedBuffer {
@@ -75,12 +74,17 @@ impl std::fmt::Display for Lint {
             Lint::UnusedBuffer { name, .. } => {
                 write!(f, "warning: buffer {name:?} is never used")
             }
-            Lint::UninitializedRead { name, step_index, .. } => write!(
+            Lint::UninitializedRead {
+                name, step_index, ..
+            } => write!(
                 f,
                 "warning: buffer {name:?} is read at step {step_index} before it is written"
             ),
             Lint::DeadResult { name, .. } => {
-                write!(f, "warning: buffer {name:?} is written but its result is never read")
+                write!(
+                    f,
+                    "warning: buffer {name:?} is written but its result is never read"
+                )
             }
             Lint::SharedCandidate { name, .. } => write!(
                 f,
@@ -123,11 +127,30 @@ fn visit(
             Step::HostInit { bufs } => {
                 order(facts, &[], bufs, Some(Target::Cpu), current, StepKind::Init);
             }
-            Step::Kernel { target, reads, writes, .. } => {
-                order(facts, reads, writes, Some(*target), current, StepKind::Kernel);
+            Step::Kernel {
+                target,
+                reads,
+                writes,
+                ..
+            } => {
+                order(
+                    facts,
+                    reads,
+                    writes,
+                    Some(*target),
+                    current,
+                    StepKind::Kernel,
+                );
             }
             Step::Seq { reads, writes, .. } => {
-                order(facts, reads, writes, Some(Target::Cpu), current, StepKind::Seq);
+                order(
+                    facts,
+                    reads,
+                    writes,
+                    Some(Target::Cpu),
+                    current,
+                    StepKind::Seq,
+                );
             }
             Step::Loop { body, .. } => {
                 // Loop bodies execute repeatedly: a read in the body may
@@ -148,7 +171,9 @@ fn visit(
 /// Panics if the program fails [`Program::validate`].
 #[must_use]
 pub fn analyze(program: &Program) -> Vec<Lint> {
-    program.validate().expect("analyze() requires a valid program");
+    program
+        .validate()
+        .expect("analyze() requires a valid program");
     let n = program.buffers.len();
     let mut facts = vec![BufFacts::default(); n];
 
@@ -196,10 +221,17 @@ pub fn analyze(program: &Program) -> Vec<Lint> {
             continue;
         }
         if let Some(step_index) = f.read_before_first_write {
-            lints.push(Lint::UninitializedRead { buf, name: name.clone(), step_index });
+            lints.push(Lint::UninitializedRead {
+                buf,
+                name: name.clone(),
+                step_index,
+            });
         }
         if f.written && !f.read_after_last_write && f.last_writer_was_kernel {
-            lints.push(Lint::DeadResult { buf, name: name.clone() });
+            lints.push(Lint::DeadResult {
+                buf,
+                name: name.clone(),
+            });
         }
         if f.cpu_touched && f.gpu_touched {
             lints.push(Lint::SharedCandidate { buf, name });
@@ -215,7 +247,10 @@ mod tests {
     use crate::programs;
 
     fn warnings(p: &Program) -> Vec<Lint> {
-        analyze(p).into_iter().filter(|l| l.severity() == Severity::Warning).collect()
+        analyze(p)
+            .into_iter()
+            .filter(|l| l.severity() == Severity::Warning)
+            .collect()
     }
 
     #[test]
@@ -244,15 +279,24 @@ mod tests {
             name: "t".into(),
             buffers: vec![Buffer::new("used", 64), Buffer::new("ghost", 64)],
             steps: vec![
-                Step::HostInit { bufs: vec![BufId(0)] },
-                Step::Seq { name: "s".into(), reads: vec![BufId(0)], writes: vec![] },
+                Step::HostInit {
+                    bufs: vec![BufId(0)],
+                },
+                Step::Seq {
+                    name: "s".into(),
+                    reads: vec![BufId(0)],
+                    writes: vec![],
+                },
             ],
             compute_lines: 1,
         };
         let lints = analyze(&p);
-        assert!(lints
-            .iter()
-            .any(|l| matches!(l, Lint::UnusedBuffer { buf: BufId(1), .. })), "{lints:?}");
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l, Lint::UnusedBuffer { buf: BufId(1), .. })),
+            "{lints:?}"
+        );
     }
 
     #[test]
@@ -260,14 +304,25 @@ mod tests {
         let p = Program {
             name: "t".into(),
             buffers: vec![Buffer::new("x", 64)],
-            steps: vec![Step::Seq { name: "use".into(), reads: vec![BufId(0)], writes: vec![] }],
+            steps: vec![Step::Seq {
+                name: "use".into(),
+                reads: vec![BufId(0)],
+                writes: vec![],
+            }],
             compute_lines: 1,
         };
         let lints = analyze(&p);
-        assert!(lints
-            .iter()
-            .any(|l| matches!(l, Lint::UninitializedRead { buf: BufId(0), step_index: 0, .. })),
-            "{lints:?}");
+        assert!(
+            lints.iter().any(|l| matches!(
+                l,
+                Lint::UninitializedRead {
+                    buf: BufId(0),
+                    step_index: 0,
+                    ..
+                }
+            )),
+            "{lints:?}"
+        );
     }
 
     #[test]
@@ -276,7 +331,9 @@ mod tests {
             name: "t".into(),
             buffers: vec![Buffer::new("in", 64), Buffer::new("out", 64)],
             steps: vec![
-                Step::HostInit { bufs: vec![BufId(0)] },
+                Step::HostInit {
+                    bufs: vec![BufId(0)],
+                },
                 Step::Kernel {
                     target: Target::Gpu,
                     name: "k".into(),
@@ -288,9 +345,12 @@ mod tests {
             compute_lines: 1,
         };
         let lints = analyze(&p);
-        assert!(lints
-            .iter()
-            .any(|l| matches!(l, Lint::DeadResult { buf: BufId(1), .. })), "{lints:?}");
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l, Lint::DeadResult { buf: BufId(1), .. })),
+            "{lints:?}"
+        );
     }
 
     #[test]
@@ -301,7 +361,9 @@ mod tests {
             name: "t".into(),
             buffers: vec![Buffer::new("data", 64), Buffer::new("acc", 64)],
             steps: vec![
-                Step::HostInit { bufs: vec![BufId(0), BufId(1)] },
+                Step::HostInit {
+                    bufs: vec![BufId(0), BufId(1)],
+                },
                 Step::Loop {
                     iterations: 3,
                     body: vec![
@@ -319,7 +381,11 @@ mod tests {
                         },
                     ],
                 },
-                Step::Seq { name: "final".into(), reads: vec![BufId(0)], writes: vec![] },
+                Step::Seq {
+                    name: "final".into(),
+                    reads: vec![BufId(0)],
+                    writes: vec![],
+                },
             ],
             compute_lines: 1,
         };
@@ -327,12 +393,18 @@ mod tests {
             .into_iter()
             .filter(|l| matches!(l, Lint::DeadResult { buf: BufId(1), .. }))
             .collect();
-        assert!(dead.is_empty(), "loop-carried accumulator is not dead: {dead:?}");
+        assert!(
+            dead.is_empty(),
+            "loop-carried accumulator is not dead: {dead:?}"
+        );
     }
 
     #[test]
     fn display_messages_are_actionable() {
-        let l = Lint::SharedCandidate { buf: BufId(0), name: "c".into() };
+        let l = Lint::SharedCandidate {
+            buf: BufId(0),
+            name: "c".into(),
+        };
         assert!(l.to_string().contains("both PUs"));
         assert_eq!(l.severity(), Severity::Note);
     }

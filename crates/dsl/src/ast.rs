@@ -7,14 +7,12 @@
 //! forces on the programmer, exactly as the paper's Figures 2–3 contrast the
 //! same reduction written for different models.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a buffer within its [`Program`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BufId(pub usize);
 
 /// A data buffer in the program.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Buffer {
     /// Source-level name (`a`, `b`, `points`, …).
     pub name: String,
@@ -26,12 +24,15 @@ impl Buffer {
     /// Creates a buffer.
     #[must_use]
     pub fn new(name: impl Into<String>, bytes: u64) -> Buffer {
-        Buffer { name: name.into(), bytes }
+        Buffer {
+            name: name.into(),
+            bytes,
+        }
     }
 }
 
 /// Which processing unit executes a kernel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Target {
     /// The host CPU (its half of the data-parallel work).
     Cpu,
@@ -49,7 +50,7 @@ impl std::fmt::Display for Target {
 }
 
 /// One step of a program.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Step {
     /// Host-side initialization of the given buffers.
     HostInit {
@@ -92,7 +93,7 @@ pub enum Step {
 }
 
 /// A complete model-agnostic program.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Program {
     /// Program (kernel) name, matching the paper's Table V rows.
     pub name: String,
@@ -148,14 +149,19 @@ impl Program {
     pub fn validate(&self) -> Result<(), ProgramError> {
         fn walk(steps: &[Step], n: usize) -> Result<(), ProgramError> {
             let check = |ids: &[BufId]| {
-                ids.iter().find(|b| b.0 >= n).map_or(Ok(()), |b| {
-                    Err(ProgramError::UnknownBuffer { buf: *b })
-                })
+                ids.iter()
+                    .find(|b| b.0 >= n)
+                    .map_or(Ok(()), |b| Err(ProgramError::UnknownBuffer { buf: *b }))
             };
             for step in steps {
                 match step {
                     Step::HostInit { bufs } => check(bufs)?,
-                    Step::Kernel { name, reads, writes, .. } => {
+                    Step::Kernel {
+                        name,
+                        reads,
+                        writes,
+                        ..
+                    } => {
                         if reads.is_empty() && writes.is_empty() {
                             return Err(ProgramError::EmptyKernel { name: name.clone() });
                         }
@@ -186,7 +192,12 @@ impl Program {
         fn walk(steps: &[Step], acc: &mut Vec<BufId>) {
             for step in steps {
                 match step {
-                    Step::Kernel { target: Target::Gpu, reads, writes, .. } => {
+                    Step::Kernel {
+                        target: Target::Gpu,
+                        reads,
+                        writes,
+                        ..
+                    } => {
                         for b in reads.iter().chain(writes) {
                             if !acc.contains(b) {
                                 acc.push(*b);
@@ -210,7 +221,10 @@ impl Program {
             steps
                 .iter()
                 .map(|s| match s {
-                    Step::Kernel { target: Target::Gpu, .. } => 1,
+                    Step::Kernel {
+                        target: Target::Gpu,
+                        ..
+                    } => 1,
                     Step::Loop { body, .. } => walk(body),
                     _ => 0,
                 })
@@ -239,7 +253,9 @@ mod tests {
             name: "tiny".into(),
             buffers: vec![Buffer::new("a", 64), Buffer::new("b", 64)],
             steps: vec![
-                Step::HostInit { bufs: vec![BufId(0)] },
+                Step::HostInit {
+                    bufs: vec![BufId(0)],
+                },
                 Step::Kernel {
                     target: Target::Gpu,
                     name: "k".into(),
@@ -247,7 +263,11 @@ mod tests {
                     writes: vec![BufId(1)],
                     args_upload: false,
                 },
-                Step::Seq { name: "use".into(), reads: vec![BufId(1)], writes: vec![] },
+                Step::Seq {
+                    name: "use".into(),
+                    reads: vec![BufId(1)],
+                    writes: vec![],
+                },
             ],
             compute_lines: 10,
         }
@@ -261,14 +281,24 @@ mod tests {
     #[test]
     fn unknown_buffer_is_caught() {
         let mut p = tiny();
-        p.steps.push(Step::Seq { name: "oops".into(), reads: vec![BufId(9)], writes: vec![] });
-        assert_eq!(p.validate(), Err(ProgramError::UnknownBuffer { buf: BufId(9) }));
+        p.steps.push(Step::Seq {
+            name: "oops".into(),
+            reads: vec![BufId(9)],
+            writes: vec![],
+        });
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::UnknownBuffer { buf: BufId(9) })
+        );
     }
 
     #[test]
     fn degenerate_loop_is_caught() {
         let mut p = tiny();
-        p.steps.push(Step::Loop { iterations: 0, body: vec![tiny().steps[0].clone()] });
+        p.steps.push(Step::Loop {
+            iterations: 0,
+            body: vec![tiny().steps[0].clone()],
+        });
         assert_eq!(p.validate(), Err(ProgramError::DegenerateLoop));
     }
 
@@ -282,7 +312,10 @@ mod tests {
             writes: vec![],
             args_upload: false,
         });
-        assert!(matches!(p.validate(), Err(ProgramError::EmptyKernel { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::EmptyKernel { .. })
+        ));
     }
 
     #[test]
@@ -296,7 +329,10 @@ mod tests {
     fn loops_count_sites_once() {
         let mut p = tiny();
         let kernel = p.steps[1].clone();
-        p.steps = vec![Step::Loop { iterations: 3, body: vec![kernel] }];
+        p.steps = vec![Step::Loop {
+            iterations: 3,
+            body: vec![kernel],
+        }];
         assert_eq!(p.gpu_kernel_sites(), 1);
     }
 }

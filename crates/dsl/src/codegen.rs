@@ -15,8 +15,8 @@ use crate::lower::Lowered;
 use crate::stmt::Stmt;
 use hetmem_trace::kernels::layout;
 use hetmem_trace::{
-    CommEvent, CommKind, Inst, MemSpace, Phase, PhaseSegment, PhasedTrace, SpecialOp,
-    TraceStream, TransferDirection,
+    CommEvent, CommKind, Inst, MemSpace, Phase, PhaseSegment, PhasedTrace, SpecialOp, TraceStream,
+    TransferDirection,
 };
 use std::collections::HashMap;
 
@@ -33,7 +33,10 @@ pub struct CodegenOptions {
 
 impl Default for CodegenOptions {
     fn default() -> CodegenOptions {
-        CodegenOptions { bytes_per_inst: 4, arg_upload_bytes: 2_048 }
+        CodegenOptions {
+            bytes_per_inst: 4,
+            arg_upload_bytes: 2_048,
+        }
     }
 }
 
@@ -158,7 +161,8 @@ impl Codegen {
         let cpu = self.pending_cpu.take().unwrap_or_default();
         let gpu = self.pending_gpu.take().unwrap_or_default();
         if !cpu.is_empty() || !gpu.is_empty() {
-            self.trace.push_segment(PhaseSegment::new(Phase::Parallel, cpu, gpu));
+            self.trace
+                .push_segment(PhaseSegment::new(Phase::Parallel, cpu, gpu));
         }
     }
 
@@ -175,7 +179,10 @@ impl Codegen {
             let inst = match i % 8 {
                 0 | 4 => {
                     let addr = base + (i as u64 * stride) % footprint;
-                    Inst::Load { addr, bytes: access }
+                    Inst::Load {
+                        addr,
+                        bytes: access,
+                    }
                 }
                 1 | 5 => {
                     if target == Target::Gpu {
@@ -187,9 +194,14 @@ impl Codegen {
                 2 | 6 => Inst::IntAlu,
                 3 => {
                     let addr = base + (i as u64 * stride) % footprint;
-                    Inst::Store { addr, bytes: access }
+                    Inst::Store {
+                        addr,
+                        bytes: access,
+                    }
                 }
-                _ => Inst::Branch { taken: i % 64 != 63 },
+                _ => Inst::Branch {
+                    taken: i % 64 != 63,
+                },
             };
             s.push(inst);
         }
@@ -205,7 +217,12 @@ impl Codegen {
         if direction == TransferDirection::HostToDevice {
             self.seen_h2d = true;
         }
-        self.pending_comm.push(Inst::Comm(CommEvent { direction, bytes, kind, addr }));
+        self.pending_comm.push(Inst::Comm(CommEvent {
+            direction,
+            bytes,
+            kind,
+            addr,
+        }));
     }
 
     fn emit(&mut self, stmt: &Stmt, iteration: u32) {
@@ -264,17 +281,28 @@ impl Codegen {
             Stmt::FreeDevice { bufs } => {
                 for b in bufs {
                     let addr = self.addr(b);
-                    self.pending_comm.push(Inst::Special(SpecialOp::Free { addr }));
+                    self.pending_comm
+                        .push(Inst::Special(SpecialOp::Free { addr }));
                 }
             }
             Stmt::InitCode { bytes, .. } => {
                 self.flush_parallel();
                 self.flush_comm();
                 let cpu = self.synth_kernel(Target::Cpu, layout::CPU_BASE, *bytes);
-                self.trace
-                    .push_segment(PhaseSegment::new(Phase::Sequential, cpu, TraceStream::new()));
+                self.trace.push_segment(PhaseSegment::new(
+                    Phase::Sequential,
+                    cpu,
+                    TraceStream::new(),
+                ));
             }
-            Stmt::KernelCall { target, args, parallel, arg_bytes, args_upload, .. } => {
+            Stmt::KernelCall {
+                target,
+                args,
+                parallel,
+                arg_bytes,
+                args_upload,
+                ..
+            } => {
                 let base = args.first().map_or(layout::CPU_BASE, |b| self.addr(b));
                 match (target, parallel) {
                     (Target::Gpu, _) => {
@@ -295,16 +323,14 @@ impl Codegen {
                             self.flush_parallel();
                         }
                         self.flush_comm();
-                        self.pending_gpu =
-                            Some(self.synth_kernel(Target::Gpu, base, *arg_bytes));
+                        self.pending_gpu = Some(self.synth_kernel(Target::Gpu, base, *arg_bytes));
                     }
                     (Target::Cpu, true) => {
                         if self.pending_cpu.is_some() {
                             self.flush_parallel();
                         }
                         self.flush_comm();
-                        self.pending_cpu =
-                            Some(self.synth_kernel(Target::Cpu, base, *arg_bytes));
+                        self.pending_cpu = Some(self.synth_kernel(Target::Cpu, base, *arg_bytes));
                     }
                     (Target::Cpu, false) => {
                         self.flush_parallel();
@@ -386,8 +412,11 @@ mod tests {
     #[test]
     fn parallel_segments_pair_gpu_with_cpu_work() {
         let t = generate_trace(&lower(&programs::reduction(), AddressSpace::Unified));
-        let par: Vec<_> =
-            t.segments().iter().filter(|s| s.phase() == Phase::Parallel).collect();
+        let par: Vec<_> = t
+            .segments()
+            .iter()
+            .filter(|s| s.phase() == Phase::Parallel)
+            .collect();
         assert_eq!(par.len(), 1);
         assert!(!par[0].stream(PuKind::Cpu).is_empty());
         assert!(!par[0].stream(PuKind::Gpu).is_empty());
@@ -429,7 +458,10 @@ mod tests {
         let l = lower(&programs::reduction(), AddressSpace::Unified);
         let _ = generate_trace_with(
             &l,
-            &CodegenOptions { bytes_per_inst: 0, arg_upload_bytes: 0 },
+            &CodegenOptions {
+                bytes_per_inst: 0,
+                arg_upload_bytes: 0,
+            },
         );
     }
 }

@@ -40,8 +40,8 @@ mod loc;
 mod lower;
 mod model;
 mod parse;
-pub mod programs;
 mod pretty;
+pub mod programs;
 mod stmt;
 
 pub use analyze::{analyze, Lint, Severity};

@@ -9,10 +9,9 @@
 use crate::lower::lower;
 use crate::model::AddressSpace;
 use crate::programs;
-use serde::{Deserialize, Serialize};
 
 /// One row of Table V.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LocRow {
     /// Kernel name.
     pub kernel: String,

@@ -25,10 +25,9 @@
 use crate::ast::{BufId, Program, Step, Target};
 use crate::model::AddressSpace;
 use crate::stmt::Stmt;
-use serde::{Deserialize, Serialize};
 
 /// A lowered program: the source lines of one memory model's version.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Lowered {
     /// The program this was lowered from.
     pub program_name: String,
@@ -88,10 +87,16 @@ impl LowerCtx<'_> {
             let id = BufId(i);
             match self.model {
                 AddressSpace::PartiallyShared if self.is_gpu_buf(id) => {
-                    self.out.push(Stmt::SharedAlloc { buf: buf.name.clone(), bytes: buf.bytes });
+                    self.out.push(Stmt::SharedAlloc {
+                        buf: buf.name.clone(),
+                        bytes: buf.bytes,
+                    });
                 }
                 _ => {
-                    self.out.push(Stmt::HostAlloc { buf: buf.name.clone(), bytes: buf.bytes });
+                    self.out.push(Stmt::HostAlloc {
+                        buf: buf.name.clone(),
+                        bytes: buf.bytes,
+                    });
                 }
             }
         }
@@ -108,7 +113,10 @@ impl LowerCtx<'_> {
             AddressSpace::Adsm => {
                 for &b in &self.gpu_bufs.clone() {
                     let buf = self.program.buffer(b);
-                    self.out.push(Stmt::AdsmAlloc { buf: buf.name.clone(), bytes: buf.bytes });
+                    self.out.push(Stmt::AdsmAlloc {
+                        buf: buf.name.clone(),
+                        bytes: buf.bytes,
+                    });
                 }
             }
             AddressSpace::Unified | AddressSpace::PartiallyShared => {}
@@ -121,7 +129,9 @@ impl LowerCtx<'_> {
                 if !self.gpu_bufs.is_empty() {
                     self.out.push(Stmt::Sync);
                     for &b in &self.gpu_bufs.clone() {
-                        self.out.push(Stmt::FreeDevice { bufs: vec![self.name(b)] });
+                        self.out.push(Stmt::FreeDevice {
+                            bufs: vec![self.name(b)],
+                        });
                     }
                 }
             }
@@ -143,8 +153,10 @@ impl LowerCtx<'_> {
         }
         for &b in bufs {
             if self.loc[b.0] == Loc::DeviceOnly {
-                self.out
-                    .push(Stmt::MemcpyD2H { buf: self.name(b), bytes: self.program.buffer(b).bytes });
+                self.out.push(Stmt::MemcpyD2H {
+                    buf: self.name(b),
+                    bytes: self.program.buffer(b).bytes,
+                });
                 self.loc[b.0] = Loc::Both;
             }
         }
@@ -184,11 +196,17 @@ impl LowerCtx<'_> {
                 }
             }
             AddressSpace::Adsm => {
-                let needing: Vec<BufId> =
-                    reads.iter().copied().filter(|b| self.host_dirty[b.0]).collect();
+                let needing: Vec<BufId> = reads
+                    .iter()
+                    .copied()
+                    .filter(|b| self.host_dirty[b.0])
+                    .collect();
                 if !needing.is_empty() {
                     let bytes = needing.iter().map(|&b| self.program.buffer(b).bytes).sum();
-                    self.out.push(Stmt::AdsmCopyToDevice { bufs: self.names(&needing), bytes });
+                    self.out.push(Stmt::AdsmCopyToDevice {
+                        bufs: self.names(&needing),
+                        bytes,
+                    });
                     for b in needing {
                         self.host_dirty[b.0] = false;
                     }
@@ -203,7 +221,9 @@ impl LowerCtx<'_> {
                         touched.push(w);
                     }
                 }
-                self.out.push(Stmt::ReleaseOwnership { bufs: self.names(&touched) });
+                self.out.push(Stmt::ReleaseOwnership {
+                    bufs: self.names(&touched),
+                });
             }
         }
 
@@ -226,7 +246,9 @@ impl LowerCtx<'_> {
         match self.model {
             AddressSpace::PartiallyShared => {
                 // Re-acquire the results before the host may touch them.
-                self.out.push(Stmt::AcquireOwnership { bufs: self.names(writes) });
+                self.out.push(Stmt::AcquireOwnership {
+                    bufs: self.names(writes),
+                });
             }
             AddressSpace::Disjoint => {
                 for &w in writes {
@@ -243,13 +265,20 @@ impl LowerCtx<'_> {
         for step in steps {
             let writes: &[BufId] = match step {
                 Step::HostInit { bufs } => bufs,
-                Step::Kernel { target: Target::Cpu, writes, .. } => writes,
+                Step::Kernel {
+                    target: Target::Cpu,
+                    writes,
+                    ..
+                } => writes,
                 Step::Seq { writes, .. } => writes,
                 Step::Loop { body, .. } => {
                     LowerCtx::host_written_in(body, acc);
                     &[]
                 }
-                Step::Kernel { target: Target::Gpu, .. } => &[],
+                Step::Kernel {
+                    target: Target::Gpu,
+                    ..
+                } => &[],
             };
             for &b in writes {
                 if !acc.contains(&b) {
@@ -264,7 +293,11 @@ impl LowerCtx<'_> {
     fn gpu_read_in(steps: &[Step], acc: &mut Vec<BufId>) {
         for step in steps {
             match step {
-                Step::Kernel { target: Target::Gpu, reads, .. } => {
+                Step::Kernel {
+                    target: Target::Gpu,
+                    reads,
+                    ..
+                } => {
                     for &b in reads {
                         if !acc.contains(&b) {
                             acc.push(b);
@@ -282,8 +315,10 @@ impl LowerCtx<'_> {
         LowerCtx::host_written_in(body, &mut host_written);
         let mut gpu_reads = Vec::new();
         LowerCtx::gpu_read_in(body, &mut gpu_reads);
-        let invariant: Vec<BufId> =
-            gpu_reads.into_iter().filter(|b| !host_written.contains(b)).collect();
+        let invariant: Vec<BufId> = gpu_reads
+            .into_iter()
+            .filter(|b| !host_written.contains(b))
+            .collect();
 
         match self.model {
             AddressSpace::Disjoint => {
@@ -298,11 +333,17 @@ impl LowerCtx<'_> {
                 }
             }
             AddressSpace::Adsm => {
-                let needing: Vec<BufId> =
-                    invariant.iter().copied().filter(|b| self.host_dirty[b.0]).collect();
+                let needing: Vec<BufId> = invariant
+                    .iter()
+                    .copied()
+                    .filter(|b| self.host_dirty[b.0])
+                    .collect();
                 if !needing.is_empty() {
                     let bytes = needing.iter().map(|&b| self.program.buffer(b).bytes).sum();
-                    self.out.push(Stmt::AdsmCopyToDevice { bufs: self.names(&needing), bytes });
+                    self.out.push(Stmt::AdsmCopyToDevice {
+                        bufs: self.names(&needing),
+                        bytes,
+                    });
                     for b in needing {
                         self.host_dirty[b.0] = false;
                     }
@@ -317,13 +358,28 @@ impl LowerCtx<'_> {
             match step {
                 Step::HostInit { bufs } => {
                     let bytes = bufs.iter().map(|&b| self.program.buffer(b).bytes).sum();
-                    self.out.push(Stmt::InitCode { bufs: self.names(bufs), bytes });
+                    self.out.push(Stmt::InitCode {
+                        bufs: self.names(bufs),
+                        bytes,
+                    });
                     self.host_writes(bufs);
                 }
-                Step::Kernel { target: Target::Gpu, name, reads, writes, args_upload } => {
+                Step::Kernel {
+                    target: Target::Gpu,
+                    name,
+                    reads,
+                    writes,
+                    args_upload,
+                } => {
                     self.gpu_kernel(name, reads, writes, *args_upload);
                 }
-                Step::Kernel { target: Target::Cpu, name, reads, writes, .. } => {
+                Step::Kernel {
+                    target: Target::Cpu,
+                    name,
+                    reads,
+                    writes,
+                    ..
+                } => {
                     self.host_reads(reads);
                     let mut args = self.names(reads);
                     args.extend(self.names(writes));
@@ -338,7 +394,11 @@ impl LowerCtx<'_> {
                     });
                     self.host_writes(writes);
                 }
-                Step::Seq { name, reads, writes } => {
+                Step::Seq {
+                    name,
+                    reads,
+                    writes,
+                } => {
                     self.host_reads(reads);
                     let mut args = self.names(reads);
                     args.extend(self.names(writes));
@@ -360,7 +420,9 @@ impl LowerCtx<'_> {
                     // would be written (and as the paper's communication
                     // counts assume).
                     self.hoist_loop_invariant_inputs(body);
-                    self.out.push(Stmt::LoopHead { iterations: *iterations });
+                    self.out.push(Stmt::LoopHead {
+                        iterations: *iterations,
+                    });
                     self.walk(body);
                     self.out.push(Stmt::LoopTail);
                 }
@@ -377,7 +439,9 @@ impl LowerCtx<'_> {
 /// programs.
 #[must_use]
 pub fn lower(program: &Program, model: AddressSpace) -> Lowered {
-    program.validate().expect("lower() requires a valid program");
+    program
+        .validate()
+        .expect("lower() requires a valid program");
     let n = program.buffers.len();
     let mut ctx = LowerCtx {
         program,
@@ -391,7 +455,11 @@ pub fn lower(program: &Program, model: AddressSpace) -> Lowered {
     let steps = program.steps.clone();
     ctx.walk(&steps);
     ctx.epilogue();
-    Lowered { program_name: program.name.clone(), model, stmts: ctx.out }
+    Lowered {
+        program_name: program.name.clone(),
+        model,
+        stmts: ctx.out,
+    }
 }
 
 #[cfg(test)]
@@ -412,7 +480,9 @@ mod tests {
                 Buffer::new("f", 64),
             ],
             steps: vec![
-                Step::HostInit { bufs: vec![BufId(0), BufId(1), BufId(3), BufId(4)] },
+                Step::HostInit {
+                    bufs: vec![BufId(0), BufId(1), BufId(3), BufId(4)],
+                },
                 Step::Kernel {
                     target: Target::Gpu,
                     name: "addGPUTwoVectors".into(),
@@ -455,7 +525,15 @@ mod tests {
         let kernel = l
             .stmts
             .iter()
-            .position(|s| matches!(s, Stmt::KernelCall { target: Target::Gpu, .. }))
+            .position(|s| {
+                matches!(
+                    s,
+                    Stmt::KernelCall {
+                        target: Target::Gpu,
+                        ..
+                    }
+                )
+            })
             .expect("kernel present");
         let acquire = l
             .stmts
@@ -470,8 +548,16 @@ mod tests {
         let l = lower(&reduction_like(), AddressSpace::Disjoint);
         // decl + alloc + 2 H2D + 1 D2H + sync + 3 frees = 9 (Table V).
         assert_eq!(l.comm_overhead_lines(), 9);
-        let h2d = l.stmts.iter().filter(|s| matches!(s, Stmt::MemcpyH2D { .. })).count();
-        let d2h = l.stmts.iter().filter(|s| matches!(s, Stmt::MemcpyD2H { .. })).count();
+        let h2d = l
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::MemcpyH2D { .. }))
+            .count();
+        let d2h = l
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::MemcpyD2H { .. }))
+            .count();
         assert_eq!((h2d, d2h), (2, 1));
     }
 
@@ -497,8 +583,11 @@ mod tests {
     fn kernel_calls_survive_all_lowerings() {
         for model in AddressSpace::ALL {
             let l = lower(&reduction_like(), model);
-            let calls =
-                l.stmts.iter().filter(|s| matches!(s, Stmt::KernelCall { .. })).count();
+            let calls = l
+                .stmts
+                .iter()
+                .filter(|s| matches!(s, Stmt::KernelCall { .. }))
+                .count();
             assert_eq!(calls, 3, "{model}: one GPU + one CPU kernel + one merge");
         }
     }
@@ -506,6 +595,9 @@ mod tests {
     #[test]
     fn lowering_is_deterministic() {
         let p = reduction_like();
-        assert_eq!(lower(&p, AddressSpace::Disjoint), lower(&p, AddressSpace::Disjoint));
+        assert_eq!(
+            lower(&p, AddressSpace::Disjoint),
+            lower(&p, AddressSpace::Disjoint)
+        );
     }
 }

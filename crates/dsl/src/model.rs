@@ -1,9 +1,7 @@
 //! The four memory-address-space design options of §II-A.
 
-use serde::{Deserialize, Serialize};
-
 /// A memory-address-space design option (Figure 1 of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AddressSpace {
     /// One address space spans both PUs; no explicit transfers
     /// (§II-A1). Maximum programmability, maximum hardware burden.

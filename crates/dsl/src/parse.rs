@@ -116,7 +116,12 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(src: &'s str) -> Lexer<'s> {
-        Lexer { src: src.as_bytes(), idx: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            idx: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn peek_byte(&self) -> Option<u8> {
@@ -155,7 +160,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn next_token(&mut self) -> Result<(Tok, Pos), ParseError> {
@@ -235,8 +243,7 @@ impl<'s> Lexer<'s> {
                         break;
                     }
                 }
-                let s = std::str::from_utf8(&self.src[start..self.idx])
-                    .expect("ASCII ident bytes");
+                let s = std::str::from_utf8(&self.src[start..self.idx]).expect("ASCII ident bytes");
                 Tok::Ident(s.to_owned())
             }
             other => {
@@ -271,7 +278,10 @@ impl Parser {
     }
 
     fn err<T>(&self, pos: Pos, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { pos, message: message.into() })
+        Err(ParseError {
+            pos,
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, want: &Tok) -> Result<Pos, ParseError> {
@@ -314,11 +324,12 @@ impl Parser {
 
     fn buf_ref(&mut self) -> Result<BufId, ParseError> {
         let (name, pos) = self.expect_ident()?;
-        self.by_name
-            .get(&name)
-            .copied()
-            .ok_or(())
-            .or_else(|()| self.err(pos, format!("unknown buffer {name:?} (declare it with `buffer`)")))
+        self.by_name.get(&name).copied().ok_or(()).or_else(|()| {
+            self.err(
+                pos,
+                format!("unknown buffer {name:?} (declare it with `buffer`)"),
+            )
+        })
     }
 
     fn ident_list(&mut self) -> Result<Vec<BufId>, ParseError> {
@@ -361,7 +372,11 @@ impl Parser {
                 Ok(Step::HostInit { bufs })
             }
             "gpu" | "cpu" => {
-                let target = if kw == "gpu" { Target::Gpu } else { Target::Cpu };
+                let target = if kw == "gpu" {
+                    Target::Gpu
+                } else {
+                    Target::Cpu
+                };
                 let (name, _) = self.expect_ident()?;
                 self.expect(&Tok::LParen)?;
                 let (reads, writes) = self.io()?;
@@ -373,7 +388,13 @@ impl Parser {
                     args_upload = true;
                 }
                 self.expect(&Tok::Semi)?;
-                Ok(Step::Kernel { target, name, reads, writes, args_upload })
+                Ok(Step::Kernel {
+                    target,
+                    name,
+                    reads,
+                    writes,
+                    args_upload,
+                })
             }
             "seq" => {
                 let (name, _) = self.expect_ident()?;
@@ -381,7 +402,11 @@ impl Parser {
                 let (reads, writes) = self.io()?;
                 self.expect(&Tok::RParen)?;
                 self.expect(&Tok::Semi)?;
-                Ok(Step::Seq { name, reads, writes })
+                Ok(Step::Seq {
+                    name,
+                    reads,
+                    writes,
+                })
             }
             "loop" => {
                 let (iterations, ipos) = self.expect_int()?;
@@ -428,7 +453,12 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
             break;
         }
     }
-    let mut p = Parser { toks, idx: 0, buffers: Vec::new(), by_name: HashMap::new() };
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        buffers: Vec::new(),
+        by_name: HashMap::new(),
+    };
 
     p.expect_keyword("program")?;
     // Program names may be bare identifiers or quoted strings (the paper's
@@ -481,7 +511,12 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         }
     }
 
-    let program = Program { name, buffers: p.buffers, steps, compute_lines };
+    let program = Program {
+        name,
+        buffers: p.buffers,
+        steps,
+        compute_lines,
+    };
     if let Err(e) = program.validate() {
         return Err(ParseError {
             pos: Pos { line: 1, col: 1 },
@@ -497,12 +532,19 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 #[must_use]
 pub fn write_program(program: &Program) -> String {
     fn idents(program: &Program, ids: &[BufId]) -> String {
-        ids.iter().map(|&b| program.buffer(b).name.clone()).collect::<Vec<_>>().join(", ")
+        ids.iter()
+            .map(|&b| program.buffer(b).name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
     fn io(program: &Program, reads: &[BufId], writes: &[BufId]) -> String {
         match (reads.is_empty(), writes.is_empty()) {
             (false, false) => {
-                format!("read {}; write {}", idents(program, reads), idents(program, writes))
+                format!(
+                    "read {}; write {}",
+                    idents(program, reads),
+                    idents(program, writes)
+                )
             }
             (false, true) => format!("read {}", idents(program, reads)),
             (true, false) => format!("write {}", idents(program, writes)),
@@ -516,7 +558,13 @@ pub fn write_program(program: &Program) -> String {
                 Step::HostInit { bufs } => {
                     out.push_str(&format!("{pad}init {};\n", idents(program, bufs)));
                 }
-                Step::Kernel { target, name, reads, writes, args_upload } => {
+                Step::Kernel {
+                    target,
+                    name,
+                    reads,
+                    writes,
+                    args_upload,
+                } => {
                     let t = match target {
                         Target::Gpu => "gpu",
                         Target::Cpu => "cpu",
@@ -527,8 +575,15 @@ pub fn write_program(program: &Program) -> String {
                         io(program, reads, writes)
                     ));
                 }
-                Step::Seq { name, reads, writes } => {
-                    out.push_str(&format!("{pad}seq {name}({});\n", io(program, reads, writes)));
+                Step::Seq {
+                    name,
+                    reads,
+                    writes,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}seq {name}({});\n",
+                        io(program, reads, writes)
+                    ));
                 }
                 Step::Loop { iterations, body } => {
                     out.push_str(&format!("{pad}loop {iterations} {{\n"));
@@ -540,7 +595,10 @@ pub fn write_program(program: &Program) -> String {
     }
 
     let is_bare_ident = !program.name.is_empty()
-        && program.name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && program
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !program.name.starts_with(|c: char| c.is_ascii_digit());
     let mut out = if is_bare_ident {
         format!("program {} {{\n", program.name)
@@ -609,7 +667,10 @@ mod tests {
         let p = parse_program(src).expect("valid");
         assert_eq!(p.gpu_kernel_sites(), 1);
         match &p.steps[1] {
-            Step::Loop { iterations: 2, body } => match &body[0] {
+            Step::Loop {
+                iterations: 2,
+                body,
+            } => match &body[0] {
                 Step::Loop { iterations: 3, .. } => {}
                 other => panic!("expected inner loop, got {other:?}"),
             },
@@ -621,7 +682,13 @@ mod tests {
     fn uploads_args_flag() {
         let src = "program p { buffer x: 64; init x; gpu k(read x; write x) uploads args; }";
         let p = parse_program(src).expect("valid");
-        assert!(matches!(&p.steps[1], Step::Kernel { args_upload: true, .. }));
+        assert!(matches!(
+            &p.steps[1],
+            Step::Kernel {
+                args_upload: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -688,8 +755,7 @@ mod tests {
     fn all_paper_programs_round_trip_through_text() {
         for p in programs::all() {
             let src = write_program(&p);
-            let reparsed = parse_program(&src)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", p.name));
+            let reparsed = parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", p.name));
             assert_eq!(reparsed, p, "{}", p.name);
         }
     }

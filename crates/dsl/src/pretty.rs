@@ -16,7 +16,10 @@ pub fn render(lowered: &Lowered) -> String {
         lowered.model,
         lowered.comm_overhead_lines()
     ));
-    out.push_str(&format!("int kernel_{}(...)\n{{\n", sanitize(&lowered.program_name)));
+    out.push_str(&format!(
+        "int kernel_{}(...)\n{{\n",
+        sanitize(&lowered.program_name)
+    ));
     let mut indent = 1usize;
     for stmt in &lowered.stmts {
         if matches!(stmt, Stmt::LoopTail) {
@@ -37,7 +40,9 @@ pub fn render(lowered: &Lowered) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 #[cfg(test)]

@@ -38,7 +38,9 @@ fn seq(name: &str, reads: &[usize], writes: &[usize]) -> Step {
 }
 
 fn init(bufs: &[usize]) -> Step {
-    Step::HostInit { bufs: bufs.iter().map(|&i| BufId(i)).collect() }
+    Step::HostInit {
+        bufs: bufs.iter().map(|&i| BufId(i)).collect(),
+    }
 }
 
 /// The reduction of Figures 2–3: `c = a + b` on the GPU, `f = d + e` on the
@@ -182,7 +184,14 @@ pub fn k_means() -> Program {
 /// All six programs, in the paper's Table V row order.
 #[must_use]
 pub fn all() -> Vec<Program> {
-    vec![matrix_mul(), merge_sort(), dct(), reduction(), convolution(), k_means()]
+    vec![
+        matrix_mul(),
+        merge_sort(),
+        dct(),
+        reduction(),
+        convolution(),
+        k_means(),
+    ]
 }
 
 /// Looks up a program by its paper name.
@@ -367,7 +376,14 @@ mod tests {
         let names: Vec<_> = all().into_iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            vec!["matrix mul", "merge sort", "dct", "reduction", "convolution", "k-mean"]
+            vec![
+                "matrix mul",
+                "merge sort",
+                "dct",
+                "reduction",
+                "convolution",
+                "k-mean"
+            ]
         );
     }
 

@@ -8,10 +8,9 @@
 //! themselves are the "Comp" baseline.
 
 use crate::ast::Target;
-use serde::{Deserialize, Serialize};
 
 /// One lowered source line.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Stmt {
     /// `int *a = malloc(...);` — ordinary host allocation (Comp baseline).
     HostAlloc {
@@ -203,8 +202,16 @@ mod tests {
     #[test]
     fn overhead_classification_matches_table_v_semantics() {
         // Baseline lines.
-        assert!(!Stmt::HostAlloc { buf: "a".into(), bytes: 64 }.is_comm_overhead());
-        assert!(!Stmt::SharedAlloc { buf: "a".into(), bytes: 64 }.is_comm_overhead());
+        assert!(!Stmt::HostAlloc {
+            buf: "a".into(),
+            bytes: 64
+        }
+        .is_comm_overhead());
+        assert!(!Stmt::SharedAlloc {
+            buf: "a".into(),
+            bytes: 64
+        }
+        .is_comm_overhead());
         assert!(!Stmt::KernelCall {
             target: Target::Gpu,
             name: "k".into(),
@@ -215,29 +222,60 @@ mod tests {
         }
         .is_comm_overhead());
         // Communication-handling lines.
-        assert!(Stmt::MemcpyH2D { buf: "a".into(), bytes: 64 }.is_comm_overhead());
-        assert!(Stmt::ReleaseOwnership { bufs: vec!["a".into()] }.is_comm_overhead());
-        assert!(Stmt::AdsmAlloc { buf: "a".into(), bytes: 64 }.is_comm_overhead());
+        assert!(Stmt::MemcpyH2D {
+            buf: "a".into(),
+            bytes: 64
+        }
+        .is_comm_overhead());
+        assert!(Stmt::ReleaseOwnership {
+            bufs: vec!["a".into()]
+        }
+        .is_comm_overhead());
+        assert!(Stmt::AdsmAlloc {
+            buf: "a".into(),
+            bytes: 64
+        }
+        .is_comm_overhead());
         assert!(Stmt::Sync.is_comm_overhead());
     }
 
     #[test]
     fn display_looks_like_the_paper_figures() {
         assert_eq!(
-            Stmt::MemcpyH2D { buf: "a".into(), bytes: 64 }.to_string(),
+            Stmt::MemcpyH2D {
+                buf: "a".into(),
+                bytes: 64
+            }
+            .to_string(),
             "Memcpy(gpu_a, a, MemcpyHosttoDevice);"
         );
         assert_eq!(
-            Stmt::ReleaseOwnership { bufs: vec!["a".into(), "b".into(), "c".into()] }.to_string(),
+            Stmt::ReleaseOwnership {
+                bufs: vec!["a".into(), "b".into(), "c".into()]
+            }
+            .to_string(),
             "releaseOwnership(a, b, c);"
         );
-        assert_eq!(Stmt::AdsmAlloc { buf: "c".into(), bytes: 64 }.to_string(), "c = adsmAlloc(64);");
         assert_eq!(
-            Stmt::FreeDevice { bufs: vec!["a".into(), "b".into()] }.to_string(),
+            Stmt::AdsmAlloc {
+                buf: "c".into(),
+                bytes: 64
+            }
+            .to_string(),
+            "c = adsmAlloc(64);"
+        );
+        assert_eq!(
+            Stmt::FreeDevice {
+                bufs: vec!["a".into(), "b".into()]
+            }
+            .to_string(),
             "accfree(a); accfree(b);"
         );
         assert_eq!(
-            Stmt::DeclDevicePtrs { bufs: vec!["a".into(), "b".into()] }.to_string(),
+            Stmt::DeclDevicePtrs {
+                bufs: vec!["a".into(), "b".into()]
+            }
+            .to_string(),
             "int *gpu_a, *gpu_b;"
         );
     }

@@ -8,10 +8,8 @@
 //! ~55 %-taken branches of merge sort mispredict frequently — exactly the
 //! contrast the kernels are designed to exhibit.
 
-use serde::{Deserialize, Serialize};
-
 /// A gshare predictor: global history XOR-indexed into 2-bit counters.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Gshare {
     history: u64,
     history_mask: u64,
@@ -117,7 +115,11 @@ mod tests {
             let taken = (state >> 33) % 100 < 95;
             p.predict_and_train(taken);
         }
-        assert!(p.misprediction_rate() < 0.12, "rate {}", p.misprediction_rate());
+        assert!(
+            p.misprediction_rate() < 0.12,
+            "rate {}",
+            p.misprediction_rate()
+        );
     }
 
     #[test]
@@ -130,7 +132,11 @@ mod tests {
         // After warmup the pattern should be nearly perfectly predicted.
         let warm = Gshare::new(12, 12);
         drop(warm);
-        assert!(p.misprediction_rate() < 0.05, "rate {}", p.misprediction_rate());
+        assert!(
+            p.misprediction_rate() < 0.05,
+            "rate {}",
+            p.misprediction_rate()
+        );
     }
 
     #[test]
@@ -138,10 +144,16 @@ mod tests {
         let mut p = Gshare::new(12, 12);
         let mut state = 0x9E37_79B9u64;
         for _ in 0..10_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             p.predict_and_train((state >> 40) & 1 == 1);
         }
-        assert!(p.misprediction_rate() > 0.35, "rate {}", p.misprediction_rate());
+        assert!(
+            p.misprediction_rate() > 0.35,
+            "rate {}",
+            p.misprediction_rate()
+        );
     }
 
     #[test]

@@ -9,10 +9,9 @@
 //! capacity so implicit traffic always retains at least one way per set.
 
 use crate::config::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 /// How a block came to be in the cache (the tag's locality bit).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Brought in by ordinary hardware caching.
     #[default]
@@ -42,7 +41,7 @@ pub struct Lookup {
     pub bypassed: bool,
 }
 
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 struct Line {
     tag: u64,
     valid: bool,
@@ -52,7 +51,7 @@ struct Line {
 }
 
 /// Hit/miss/eviction counters for one cache.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -80,7 +79,7 @@ impl CacheStats {
 }
 
 /// A set-associative, write-back, write-allocate cache.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Cache {
     sets: Vec<Vec<Line>>,
     line_bytes: u64,
@@ -111,7 +110,10 @@ impl Cache {
     #[must_use]
     pub fn with_locality(config: &CacheConfig, honor_locality: bool) -> Cache {
         let sets = config.sets();
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
         let assoc = config.associativity as usize;
         Cache {
             sets: vec![vec![Line::default(); assoc]; sets as usize],
@@ -128,7 +130,10 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.line_bytes;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Line size in bytes.
@@ -167,9 +172,7 @@ impl Cache {
             // ordinary access never downgrades one) — but the upgrade is
             // subject to the same footprint cap as explicit fills: the
             // explicitly managed region must stay below the set size.
-            if placement == Placement::Explicit
-                && set[idx].placement != Placement::Explicit
-            {
+            if placement == Placement::Explicit && set[idx].placement != Placement::Explicit {
                 let explicit_others = set
                     .iter()
                     .enumerate()
@@ -180,7 +183,11 @@ impl Cache {
                 }
             }
             self.stats.hits += 1;
-            return Lookup { hit: true, evicted: None, bypassed: false };
+            return Lookup {
+                hit: true,
+                evicted: None,
+                bypassed: false,
+            };
         }
 
         self.stats.misses += 1;
@@ -210,7 +217,11 @@ impl Cache {
         let Some(victim) = victim else {
             // Whole set explicitly managed: implicit traffic bypasses.
             self.stats.bypasses += 1;
-            return Lookup { hit: false, evicted: None, bypassed: true };
+            return Lookup {
+                hit: false,
+                evicted: None,
+                bypassed: true,
+            };
         };
 
         // Cap the explicit footprint below the set size.
@@ -236,14 +247,26 @@ impl Cache {
             }
             let set_bits = self.set_mask.count_ones();
             let line = (old.tag << set_bits) | set_idx as u64;
-            Some(Evicted { addr: line * self.line_bytes, dirty: old.dirty })
+            Some(Evicted {
+                addr: line * self.line_bytes,
+                dirty: old.dirty,
+            })
         } else {
             None
         };
 
-        set[victim] =
-            Line { tag, valid: true, dirty: write, placement, last_use: clock };
-        Lookup { hit: false, evicted, bypassed: false }
+        set[victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            placement,
+            last_use: clock,
+        };
+        Lookup {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
     }
 
     /// Explicitly places every line of `[addr, addr + bytes)` in the cache
@@ -327,7 +350,13 @@ mod tests {
         // Touch line 0 so line 1 becomes LRU, then force an eviction.
         c.access(0, false, Placement::Implicit);
         let look = c.access(4 * stride, false, Placement::Implicit);
-        assert_eq!(look.evicted, Some(Evicted { addr: stride, dirty: false }));
+        assert_eq!(
+            look.evicted,
+            Some(Evicted {
+                addr: stride,
+                dirty: false
+            })
+        );
         assert!(c.contains(0));
         assert!(!c.contains(stride));
     }
@@ -354,7 +383,13 @@ mod tests {
         c.access(3 * stride, false, Placement::Implicit);
         // A new implicit fill may only displace the one implicit line.
         let look = c.access(4 * stride, false, Placement::Implicit);
-        assert_eq!(look.evicted, Some(Evicted { addr: 3 * stride, dirty: false }));
+        assert_eq!(
+            look.evicted,
+            Some(Evicted {
+                addr: 3 * stride,
+                dirty: false
+            })
+        );
         for i in 0..3u64 {
             assert!(c.contains(i * stride), "explicit line {i} must survive");
         }
@@ -408,7 +443,13 @@ mod tests {
         }
         let look = c.access(4 * stride, false, Placement::Implicit);
         // Plain LRU: the oldest (explicit) line is displaced.
-        assert_eq!(look.evicted, Some(Evicted { addr: 0, dirty: false }));
+        assert_eq!(
+            look.evicted,
+            Some(Evicted {
+                addr: 0,
+                dirty: false
+            })
+        );
     }
 
     #[test]

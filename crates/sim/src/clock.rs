@@ -12,8 +12,6 @@
 //! | GPU    | 1.5 GHz   | 28            |
 //! | DRAM   | 666.7 MHz | 63            |
 
-use serde::{Deserialize, Serialize};
-
 /// A point in (or duration of) global simulation time, in 42 GHz ticks.
 pub type Tick = u64;
 
@@ -21,18 +19,24 @@ pub type Tick = u64;
 pub const TICKS_PER_SECOND: u64 = 42_000_000_000;
 
 /// A fixed-frequency clock domain expressed as ticks per cycle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClockDomain {
     ticks_per_cycle: u64,
 }
 
 impl ClockDomain {
     /// The 3.5 GHz CPU domain.
-    pub const CPU: ClockDomain = ClockDomain { ticks_per_cycle: 12 };
+    pub const CPU: ClockDomain = ClockDomain {
+        ticks_per_cycle: 12,
+    };
     /// The 1.5 GHz GPU domain.
-    pub const GPU: ClockDomain = ClockDomain { ticks_per_cycle: 28 };
+    pub const GPU: ClockDomain = ClockDomain {
+        ticks_per_cycle: 28,
+    };
     /// The 666.7 MHz DDR3-1333 bus domain.
-    pub const DRAM: ClockDomain = ClockDomain { ticks_per_cycle: 63 };
+    pub const DRAM: ClockDomain = ClockDomain {
+        ticks_per_cycle: 63,
+    };
 
     /// Creates a domain with an explicit tick-per-cycle count.
     ///
@@ -41,7 +45,10 @@ impl ClockDomain {
     /// Panics if `ticks_per_cycle` is zero.
     #[must_use]
     pub fn from_ticks_per_cycle(ticks_per_cycle: u64) -> ClockDomain {
-        assert!(ticks_per_cycle > 0, "a clock domain needs a non-zero period");
+        assert!(
+            ticks_per_cycle > 0,
+            "a clock domain needs a non-zero period"
+        );
         ClockDomain { ticks_per_cycle }
     }
 

@@ -9,11 +9,10 @@
 //! to the requester.
 
 use hetmem_trace::PuKind;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-PU state of a line in the directory.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum LineState {
     /// Not present in this PU's private caches.
     #[default]
@@ -42,7 +41,7 @@ impl Intervention {
 }
 
 /// Directory statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoherenceStats {
     /// Peer invalidations performed.
     pub invalidations: u64,
@@ -50,7 +49,7 @@ pub struct CoherenceStats {
     pub peer_writebacks: u64,
 }
 
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 struct Entry {
     cpu: LineState,
     gpu: LineState,
@@ -73,7 +72,7 @@ impl Entry {
 }
 
 /// The MSI directory.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Directory {
     lines: HashMap<u64, Entry>,
     stats: CoherenceStats,
@@ -95,7 +94,9 @@ impl Directory {
     /// The state `pu` currently holds `line` in (line = address / 64).
     #[must_use]
     pub fn state(&self, pu: PuKind, line: u64) -> LineState {
-        self.lines.get(&line).map_or(LineState::Invalid, |e| e.get(pu))
+        self.lines
+            .get(&line)
+            .map_or(LineState::Invalid, |e| e.get(pu))
     }
 
     /// Records an access by `pu` and returns the intervention the requester
@@ -123,7 +124,14 @@ impl Directory {
         if action.writeback_from_peer {
             self.stats.peer_writebacks += 1;
         }
-        entry.set(pu, if write { LineState::Modified } else { LineState::Shared });
+        entry.set(
+            pu,
+            if write {
+                LineState::Modified
+            } else {
+                LineState::Shared
+            },
+        );
         action
     }
 

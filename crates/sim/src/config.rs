@@ -5,10 +5,8 @@
 //! DDR3-1333. The paper simplifies both PUs to a single core since only the
 //! memory system is under study.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and latency of one cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -29,7 +27,10 @@ impl CacheConfig {
     /// associativity, or capacity not a multiple of `line × assoc`).
     #[must_use]
     pub fn sets(&self) -> u64 {
-        assert!(self.line_bytes > 0 && self.associativity > 0, "degenerate cache geometry");
+        assert!(
+            self.line_bytes > 0 && self.associativity > 0,
+            "degenerate cache geometry"
+        );
         let way_bytes = u64::from(self.line_bytes) * u64::from(self.associativity);
         assert!(
             way_bytes > 0 && self.capacity_bytes.is_multiple_of(way_bytes),
@@ -42,7 +43,7 @@ impl CacheConfig {
 }
 
 /// CPU core parameters (Table II, left column).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CpuConfig {
     /// Superscalar issue width.
     pub issue_width: u32,
@@ -92,7 +93,7 @@ impl Default for CpuConfig {
 }
 
 /// GPU core parameters (Table II, right column).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GpuConfig {
     /// SIMD width (8 in the baseline).
     pub simd_width: u32,
@@ -130,7 +131,7 @@ impl Default for GpuConfig {
 }
 
 /// Shared last-level cache parameters (32-way 8 MB, 4 tiles, 20 cycles).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LlcConfig {
     /// Per-tile cache geometry.
     pub tile: CacheConfig,
@@ -154,7 +155,7 @@ impl Default for LlcConfig {
 
 /// On-chip interconnect topology (the "Connection" axis of Table I spans
 /// buses, rings, and richer interconnection networks).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum NocTopology {
     /// Ring bus (the baseline, Table II): latency scales with hop count.
     #[default]
@@ -168,7 +169,7 @@ pub enum NocTopology {
 }
 
 /// Interconnect parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NocConfig {
     /// Topology.
     pub topology: NocTopology,
@@ -180,12 +181,16 @@ pub struct NocConfig {
 
 impl Default for NocConfig {
     fn default() -> NocConfig {
-        NocConfig { topology: NocTopology::Ring, hop_cycles: 2, bus_occupancy_cycles: 4 }
+        NocConfig {
+            topology: NocTopology::Ring,
+            hop_cycles: 2,
+            bus_occupancy_cycles: 4,
+        }
     }
 }
 
 /// DRAM scheduling policy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DramPolicy {
     /// First-ready, first-come-first-served: the row buffer stays open and
     /// row hits are served at CAS latency (the baseline; Table II).
@@ -197,7 +202,7 @@ pub enum DramPolicy {
 }
 
 /// DDR3-1333 DRAM parameters (Table II: 4 controllers, 41.6 GB/s, FR-FCFS).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DramConfig {
     /// Number of channels / controllers.
     pub channels: u32,
@@ -239,7 +244,7 @@ impl Default for DramConfig {
 /// (§II-A1 — "GPUs can have large page size to accommodate high stream
 /// locality"), at the price of more complex TLB/MMU designs. The baseline
 /// uses 4 KB on both.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MmuConfig {
     /// CPU page size in bytes.
     pub cpu_page_bytes: u64,
@@ -253,12 +258,17 @@ pub struct MmuConfig {
 
 impl Default for MmuConfig {
     fn default() -> MmuConfig {
-        MmuConfig { cpu_page_bytes: 4096, gpu_page_bytes: 4096, tlb_entries: 64, walk_cycles: 50 }
+        MmuConfig {
+            cpu_page_bytes: 4096,
+            gpu_page_bytes: 4096,
+            tlb_entries: 64,
+            walk_cycles: 50,
+        }
     }
 }
 
 /// The complete baseline system configuration (Table II).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SystemConfig {
     /// CPU core and private caches.
     pub cpu: CpuConfig,
@@ -296,7 +306,10 @@ mod tests {
         assert_eq!(c.cpu.l2.latency_cycles, 8);
         assert_eq!(c.gpu.simd_width, 8);
         assert_eq!(c.gpu.scratchpad_bytes, 16 * 1024);
-        assert_eq!(u64::from(c.llc.tiles) * c.llc.tile.capacity_bytes, 8 * 1024 * 1024);
+        assert_eq!(
+            u64::from(c.llc.tiles) * c.llc.tile.capacity_bytes,
+            8 * 1024 * 1024
+        );
         assert_eq!(c.llc.tile.associativity, 32);
         assert_eq!(c.llc.tile.latency_cycles, 20);
         assert_eq!(c.dram.channels, 4);

@@ -15,11 +15,10 @@ use crate::fabric::CommCosts;
 use crate::hierarchy::MemoryHierarchy;
 use crate::Gshare;
 use hetmem_trace::{CacheLevel, Inst, PuKind, SpecialOp};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Cycle-accounting statistics for the CPU core.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CpuStats {
     /// Dynamic instructions executed.
     pub instructions: u64,
@@ -217,7 +216,10 @@ mod tests {
 
     fn setup() -> (CpuCore, MemoryHierarchy) {
         let cfg = SystemConfig::baseline();
-        (CpuCore::new(&cfg.cpu, CommCosts::paper()), MemoryHierarchy::new(&cfg))
+        (
+            CpuCore::new(&cfg.cpu, CommCosts::paper()),
+            MemoryHierarchy::new(&cfg),
+        )
     }
 
     #[test]
@@ -235,24 +237,41 @@ mod tests {
     fn cache_misses_slow_execution() {
         let (mut core, mut hier) = setup();
         // Streaming loads over 1 MiB: mostly misses at line granularity.
-        let miss_insts: Vec<Inst> =
-            (0..4096).map(|i| Inst::Load { addr: i * 256, bytes: 8 }).collect();
+        let miss_insts: Vec<Inst> = (0..4096)
+            .map(|i| Inst::Load {
+                addr: i * 256,
+                bytes: 8,
+            })
+            .collect();
         let miss_end = core.begin(&miss_insts, 0).run_to_end(&mut hier);
 
         let (mut core2, mut hier2) = setup();
         // Same count of loads, all to one line: hits after the first.
-        let hit_insts: Vec<Inst> = (0..4096).map(|_| Inst::Load { addr: 64, bytes: 8 }).collect();
+        let hit_insts: Vec<Inst> = (0..4096)
+            .map(|_| Inst::Load { addr: 64, bytes: 8 })
+            .collect();
         let hit_end = core2.begin(&hit_insts, 0).run_to_end(&mut hier2);
 
-        assert!(miss_end > 2 * hit_end, "misses {miss_end} vs hits {hit_end}");
+        assert!(
+            miss_end > 2 * hit_end,
+            "misses {miss_end} vs hits {hit_end}"
+        );
     }
 
     #[test]
     fn rob_limits_memory_level_parallelism() {
         let (mut core, mut hier) = setup();
-        let insts: Vec<Inst> = (0..2048).map(|i| Inst::Load { addr: i * 4096, bytes: 8 }).collect();
+        let insts: Vec<Inst> = (0..2048)
+            .map(|i| Inst::Load {
+                addr: i * 4096,
+                bytes: 8,
+            })
+            .collect();
         let _ = core.begin(&insts, 0).run_to_end(&mut hier);
-        assert!(core.stats().rob_stall_ticks > 0, "2048 TLB-missing loads must pressure the ROB");
+        assert!(
+            core.stats().rob_stall_ticks > 0,
+            "2048 TLB-missing loads must pressure the ROB"
+        );
     }
 
     #[test]
@@ -263,8 +282,12 @@ mod tests {
         let mut bad = Vec::new();
         let mut state = 1u64;
         for _ in 0..4000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            bad.push(Inst::Branch { taken: (state >> 62) & 1 == 1 });
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            bad.push(Inst::Branch {
+                taken: (state >> 62) & 1 == 1,
+            });
         }
         let bad_end = core.begin(&bad, 0).run_to_end(&mut hier);
         let bad_mispredicts = core.stats().mispredictions;
@@ -321,8 +344,11 @@ mod tests {
     fn retirement_is_monotone() {
         let (mut core, mut hier) = setup();
         let insts = vec![
-            Inst::Load { addr: 0x8000, bytes: 8 }, // slow (DRAM)
-            Inst::IntAlu,                          // fast, must retire after the load
+            Inst::Load {
+                addr: 0x8000,
+                bytes: 8,
+            }, // slow (DRAM)
+            Inst::IntAlu, // fast, must retire after the load
         ];
         let mut run = core.begin(&insts, 0);
         run.step(&mut hier);

@@ -11,10 +11,9 @@
 
 use crate::clock::{ClockDomain, Tick};
 use crate::config::{DramConfig, DramPolicy};
-use serde::{Deserialize, Serialize};
 
 /// Counters for the DRAM subsystem.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Read requests serviced.
     pub reads: u64,
@@ -42,20 +41,20 @@ impl DramStats {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 struct Bank {
     open_row: Option<u64>,
     free_at: Tick,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct Channel {
     banks: Vec<Bank>,
     bus_free_at: Tick,
 }
 
 /// The DRAM subsystem: address-interleaved channels of banked DDR3.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dram {
     channels: Vec<Channel>,
     config: DramConfig,
@@ -80,7 +79,10 @@ impl Dram {
     /// Panics if the configuration has zero channels or banks.
     #[must_use]
     pub fn new(config: &DramConfig) -> Dram {
-        assert!(config.channels > 0 && config.banks_per_channel > 0, "degenerate DRAM geometry");
+        assert!(
+            config.channels > 0 && config.banks_per_channel > 0,
+            "degenerate DRAM geometry"
+        );
         let channel = Channel {
             banks: vec![Bank::default(); config.banks_per_channel as usize],
             bus_free_at: 0,
@@ -163,8 +165,9 @@ impl Dram {
     /// sanity reference in tests and reports.
     #[must_use]
     pub fn idle_latency_ticks(&self) -> Tick {
-        ClockDomain::DRAM
-            .cycles_to_ticks(self.config.rcd_cycles + self.config.cas_cycles + self.config.burst_cycles)
+        ClockDomain::DRAM.cycles_to_ticks(
+            self.config.rcd_cycles + self.config.cas_cycles + self.config.burst_cycles,
+        )
     }
 }
 
@@ -173,7 +176,10 @@ mod tests {
     use super::*;
 
     fn dram(policy: DramPolicy) -> Dram {
-        Dram::new(&DramConfig { policy, ..DramConfig::default() })
+        Dram::new(&DramConfig {
+            policy,
+            ..DramConfig::default()
+        })
     }
 
     #[test]
@@ -229,7 +235,7 @@ mod tests {
         let mut d = dram(DramPolicy::FrFcfs);
         let a = d.request(0, 0, false); // channel 0
         let b = d.request(0, 64, false); // channel 1
-        // Identical timing: full overlap across channels.
+                                         // Identical timing: full overlap across channels.
         assert_eq!(a.done_at, b.done_at);
     }
 
@@ -244,7 +250,10 @@ mod tests {
         }
         let ns = crate::clock::ticks_to_ns(done);
         let gbps = (lines * 64) as f64 / ns; // bytes per ns = GB/s
-        assert!(gbps > 30.0 && gbps < 45.0, "streaming bandwidth {gbps} GB/s");
+        assert!(
+            gbps > 30.0 && gbps < 45.0,
+            "streaming bandwidth {gbps} GB/s"
+        );
     }
 
     #[test]

@@ -10,10 +10,9 @@
 //! a tunable field).
 
 use crate::stats::RunReport;
-use serde::{Deserialize, Serialize};
 
 /// Per-event energy constants, in picojoules.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyParams {
     /// Energy per CPU instruction's core pipeline work.
     pub cpu_inst_pj: f64,
@@ -52,7 +51,7 @@ impl Default for EnergyParams {
 }
 
 /// An energy estimate, broken down by component (all in microjoules).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Core pipelines (both PUs).
     pub cores_uj: f64,
@@ -77,7 +76,7 @@ impl EnergyBreakdown {
 /// Bytes moved across the inter-PU fabric, needed for the communication
 /// term (the report's counters do not retain per-event byte totals, so the
 /// caller supplies them — `PhasedTrace::comm_bytes()` for a whole trace).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommTraffic {
     /// Bytes that crossed a PCI-class link.
     pub pci_bytes: u64,
@@ -140,7 +139,10 @@ mod tests {
         let (report, bytes) = run(Kernel::Reduction);
         let e = estimate_energy(
             &report,
-            CommTraffic { pci_bytes: bytes, memctl_bytes: 0 },
+            CommTraffic {
+                pci_bytes: bytes,
+                memctl_bytes: 0,
+            },
             &EnergyParams::default(),
         );
         assert!(e.cores_uj > 0.0);
@@ -157,10 +159,22 @@ mod tests {
         let (small, b1) = run(Kernel::Reduction);
         let (large, b2) = run(Kernel::KMeans);
         let p = EnergyParams::default();
-        let e_small =
-            estimate_energy(&small, CommTraffic { pci_bytes: b1, memctl_bytes: 0 }, &p);
-        let e_large =
-            estimate_energy(&large, CommTraffic { pci_bytes: b2, memctl_bytes: 0 }, &p);
+        let e_small = estimate_energy(
+            &small,
+            CommTraffic {
+                pci_bytes: b1,
+                memctl_bytes: 0,
+            },
+            &p,
+        );
+        let e_large = estimate_energy(
+            &large,
+            CommTraffic {
+                pci_bytes: b2,
+                memctl_bytes: 0,
+            },
+            &p,
+        );
         assert!(e_large.total_uj() > e_small.total_uj());
     }
 
@@ -169,10 +183,22 @@ mod tests {
         // The energy side of the Fusion-vs-PCI comparison.
         let (report, bytes) = run(Kernel::Reduction);
         let p = EnergyParams::default();
-        let pci =
-            estimate_energy(&report, CommTraffic { pci_bytes: bytes, memctl_bytes: 0 }, &p);
-        let mc =
-            estimate_energy(&report, CommTraffic { pci_bytes: 0, memctl_bytes: bytes }, &p);
+        let pci = estimate_energy(
+            &report,
+            CommTraffic {
+                pci_bytes: bytes,
+                memctl_bytes: 0,
+            },
+            &p,
+        );
+        let mc = estimate_energy(
+            &report,
+            CommTraffic {
+                pci_bytes: 0,
+                memctl_bytes: bytes,
+            },
+            &p,
+        );
         assert!(mc.comm_uj < pci.comm_uj);
     }
 

@@ -11,13 +11,12 @@
 
 use crate::clock::{ClockDomain, Tick, TICKS_PER_SECOND};
 use hetmem_trace::{CommEvent, SpecialOp};
-use serde::{Deserialize, Serialize};
 
 /// Latency parameters for communication and programming-model operations.
 ///
 /// The first four fields are Table IV verbatim (in CPU cycles); the rest are
 /// modelling constants for operations the paper uses but does not tabulate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CommCosts {
     /// `api-pci`: fixed cost of a PCI-E memcpy call (CPU cycles).
     pub api_pci_cycles: u64,
@@ -111,7 +110,7 @@ impl CommCosts {
 }
 
 /// The hardware mechanisms that can move data between the PUs' memories.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FabricKind {
     /// A PCI-Express 2.0 link driven by memcpy APIs (`api-pci`).
     PciExpress,
@@ -221,7 +220,9 @@ impl CommModel for SynchronousFabric {
     fn plan(&mut self, event: &CommEvent) -> CommAction {
         match self.fabric {
             FabricKind::Ideal => CommAction::Elide,
-            f => CommAction::Synchronous { ticks: f.transfer_ticks(event.bytes, &self.costs) },
+            f => CommAction::Synchronous {
+                ticks: f.transfer_ticks(event.bytes, &self.costs),
+            },
         }
     }
 }
@@ -288,7 +289,10 @@ mod tests {
             c.special_ticks(&SpecialOp::Acquire { addr: 0, bytes: 64 }),
             c.cpu_cycles_ticks(1000)
         );
-        assert_eq!(c.special_ticks(&SpecialOp::PageFault { addr: 0 }), c.cpu_cycles_ticks(42_000));
+        assert_eq!(
+            c.special_ticks(&SpecialOp::PageFault { addr: 0 }),
+            c.cpu_cycles_ticks(42_000)
+        );
         // Push of 1 KiB = 16 lines at 1 cycle each.
         assert_eq!(
             c.special_ticks(&SpecialOp::Push {

@@ -13,10 +13,9 @@ use crate::config::GpuConfig;
 use crate::fabric::CommCosts;
 use crate::hierarchy::MemoryHierarchy;
 use hetmem_trace::{CacheLevel, Inst, PuKind, SpecialOp};
-use serde::{Deserialize, Serialize};
 
 /// Cycle-accounting statistics for the GPU core.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GpuStats {
     /// Dynamic instructions executed.
     pub instructions: u64,
@@ -36,7 +35,7 @@ pub struct GpuStats {
 
 /// The software-managed scratchpad: a set of explicitly mapped regions with
 /// FIFO replacement when capacity is exceeded.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Scratchpad {
     regions: Vec<(u64, u64)>, // (start, end)
     capacity: u64,
@@ -46,7 +45,10 @@ impl Scratchpad {
     /// Creates a scratchpad of `capacity` bytes.
     #[must_use]
     pub fn new(capacity: u64) -> Scratchpad {
-        Scratchpad { regions: Vec::new(), capacity }
+        Scratchpad {
+            regions: Vec::new(),
+            capacity,
+        }
     }
 
     /// Bytes currently mapped.
@@ -153,7 +155,10 @@ impl GpuRun<'_> {
     /// extended by any misses still in flight.
     #[must_use]
     pub fn finish_tick(&self) -> Tick {
-        self.pending_misses.iter().copied().fold(self.now, Tick::max)
+        self.pending_misses
+            .iter()
+            .copied()
+            .fold(self.now, Tick::max)
     }
 
     /// Executes one instruction.
@@ -195,11 +200,8 @@ impl GpuRun<'_> {
                         // outstanding-miss limit is reached, then the core
                         // stalls for the oldest miss.
                         let completion = self.now + res.latency;
-                        if self.pending_misses.len()
-                            >= cfg.max_outstanding_misses.max(1) as usize
-                        {
-                            let oldest =
-                                self.pending_misses.pop_front().expect("non-empty");
+                        if self.pending_misses.len() >= cfg.max_outstanding_misses.max(1) as usize {
+                            let oldest = self.pending_misses.pop_front().expect("non-empty");
                             if oldest > self.now {
                                 self.core.stats.memory_stall_ticks += oldest - self.now;
                                 self.now = oldest;
@@ -253,7 +255,10 @@ mod tests {
 
     fn setup() -> (GpuCore, MemoryHierarchy) {
         let cfg = SystemConfig::baseline();
-        (GpuCore::new(&cfg.gpu, CommCosts::paper()), MemoryHierarchy::new(&cfg))
+        (
+            GpuCore::new(&cfg.gpu, CommCosts::paper()),
+            MemoryHierarchy::new(&cfg),
+        )
     }
 
     #[test]
@@ -283,8 +288,14 @@ mod tests {
                 addr: 0x2000_0000,
                 bytes: 8192,
             }),
-            Inst::Load { addr: 0x2000_0100, bytes: 32 },
-            Inst::Load { addr: 0x2000_0200, bytes: 32 },
+            Inst::Load {
+                addr: 0x2000_0100,
+                bytes: 32,
+            },
+            Inst::Load {
+                addr: 0x2000_0200,
+                bytes: 32,
+            },
         ];
         let _ = core.begin(&insts, 0).run_to_end(&mut hier);
         assert_eq!(core.stats().scratchpad_hits, 2);
@@ -296,8 +307,12 @@ mod tests {
     fn blocking_loads_stall_the_core() {
         let (mut core, mut hier) = setup();
         // Strided misses.
-        let insts: Vec<Inst> =
-            (0..256).map(|i| Inst::Load { addr: 0x2000_0000 + i * 4096, bytes: 32 }).collect();
+        let insts: Vec<Inst> = (0..256)
+            .map(|i| Inst::Load {
+                addr: 0x2000_0000 + i * 4096,
+                bytes: 32,
+            })
+            .collect();
         let end = core.begin(&insts, 0).run_to_end(&mut hier);
         // Even with 8 misses in flight, 256 strided misses cost far more
         // than 256 issue cycles.
@@ -311,13 +326,21 @@ mod tests {
         // Stride chosen to spread misses across DRAM channels and banks so
         // memory-level parallelism is actually available.
         let make_insts = || -> Vec<Inst> {
-            (0..256).map(|i| Inst::Load { addr: 0x2000_0000 + i * 4160, bytes: 32 }).collect()
+            (0..256)
+                .map(|i| Inst::Load {
+                    addr: 0x2000_0000 + i * 4160,
+                    bytes: 32,
+                })
+                .collect()
         };
         let mut wide = GpuCore::new(&cfg.gpu, CommCosts::paper());
         let mut hier1 = MemoryHierarchy::new(&cfg);
         let wide_end = wide.begin(&make_insts(), 0).run_to_end(&mut hier1);
 
-        let narrow_cfg = GpuConfig { max_outstanding_misses: 1, ..cfg.gpu };
+        let narrow_cfg = GpuConfig {
+            max_outstanding_misses: 1,
+            ..cfg.gpu
+        };
         let mut narrow = GpuCore::new(&narrow_cfg, CommCosts::paper());
         let mut hier2 = MemoryHierarchy::new(&cfg);
         let narrow_end = narrow.begin(&make_insts(), 0).run_to_end(&mut hier2);

@@ -15,10 +15,9 @@ use crate::dram::{Dram, DramStats};
 use crate::noc::Interconnect;
 use crate::tlb::{Tlb, TlbStats};
 use hetmem_trace::PuKind;
-use serde::{Deserialize, Serialize};
 
 /// Which level ultimately serviced an access.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ServiceLevel {
     /// The PU's private L1 data cache.
     L1,
@@ -42,7 +41,7 @@ pub struct AccessResult {
 }
 
 /// Aggregated hierarchy statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HierarchyStats {
     /// CPU L1 data cache counters.
     pub cpu_l1d: CacheStats,
@@ -173,7 +172,11 @@ impl MemoryHierarchy {
                     self.invalidate_peer_private(pu, addr);
                 }
             }
-            return AccessResult { latency, level: ServiceLevel::L1, intervention: intervention_taken };
+            return AccessResult {
+                latency,
+                level: ServiceLevel::L1,
+                intervention: intervention_taken,
+            };
         }
         if let Some(ev) = l1_look.evicted {
             self.handle_private_eviction(pu, ev.addr, ev.dirty, now);
@@ -189,7 +192,8 @@ impl MemoryHierarchy {
             if let Some(ev) = look.evicted {
                 // L2 eviction: if dirty, write back into the LLC.
                 self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
-                self.directory.on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
+                self.directory
+                    .on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
             }
             if look.hit {
                 if write {
@@ -234,13 +238,21 @@ impl MemoryHierarchy {
             }
         }
         if llc_look.hit {
-            return AccessResult { latency, level: ServiceLevel::Llc, intervention: intervention_taken };
+            return AccessResult {
+                latency,
+                level: ServiceLevel::Llc,
+                intervention: intervention_taken,
+            };
         }
 
         // DRAM.
         let resp = self.dram.request(now + latency, addr, false);
         latency = resp.done_at.saturating_sub(now);
-        AccessResult { latency, level: ServiceLevel::Dram, intervention: intervention_taken }
+        AccessResult {
+            latency,
+            level: ServiceLevel::Dram,
+            intervention: intervention_taken,
+        }
     }
 
     /// Next-line stream prefetcher at the CPU L2: when a miss continues a
@@ -268,7 +280,8 @@ impl MemoryHierarchy {
             let look = self.cpu_l2.access(paddr, false, Placement::Implicit);
             if let Some(ev) = look.evicted {
                 self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
-                self.directory.on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
+                self.directory
+                    .on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
             }
             let _ = self.directory.on_access(PuKind::Cpu, pline, false);
             let _ = self.dram.request(now, paddr, false);
@@ -312,7 +325,8 @@ impl MemoryHierarchy {
                 let look = self.cpu_l2.access(addr, true, Placement::Implicit);
                 if let Some(ev) = look.evicted {
                     self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
-                    self.directory.on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
+                    self.directory
+                        .on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
                 }
             }
             PuKind::Gpu => {
@@ -500,7 +514,10 @@ mod tests {
         let first = h.access(PuKind::Cpu, 0x7000, false, 0).latency;
         // Same page, new line: no walk this time, still a DRAM miss.
         let second = h.access(PuKind::Cpu, 0x7040, false, first).latency;
-        assert!(first > second, "page walk should make the first access slower");
+        assert!(
+            first > second,
+            "page walk should make the first access slower"
+        );
     }
 
     #[test]

@@ -11,13 +11,12 @@
 use crate::clock::{ClockDomain, Tick};
 use crate::config::{NocConfig, NocTopology};
 use hetmem_trace::PuKind;
-use serde::{Deserialize, Serialize};
 
 /// Number of stops on the baseline ring (2 PUs + 4 LLC tiles).
 pub const RING_STOPS: u32 = 6;
 
 /// The interconnect.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Interconnect {
     topology: NocTopology,
     hop_cycles: u64,
@@ -97,8 +96,7 @@ impl Interconnect {
                 let start = now.max(self.bus_free_at);
                 let wait = start - now;
                 self.bus_wait_ticks += wait;
-                let occupancy =
-                    ClockDomain::CPU.cycles_to_ticks(self.bus_occupancy_cycles);
+                let occupancy = ClockDomain::CPU.cycles_to_ticks(self.bus_occupancy_cycles);
                 self.bus_free_at = start + occupancy;
                 wait + wire + occupancy
             }
@@ -117,7 +115,10 @@ mod tests {
     use super::*;
 
     fn cfg(topology: NocTopology) -> NocConfig {
-        NocConfig { topology, ..NocConfig::default() }
+        NocConfig {
+            topology,
+            ..NocConfig::default()
+        }
     }
 
     #[test]
@@ -156,7 +157,9 @@ mod tests {
     #[test]
     fn crossbar_latency_is_flat() {
         let xbar = Interconnect::new(&cfg(NocTopology::Crossbar));
-        let lat: Vec<Tick> = (0..4).map(|t| xbar.traverse_ticks(PuKind::Cpu, t)).collect();
+        let lat: Vec<Tick> = (0..4)
+            .map(|t| xbar.traverse_ticks(PuKind::Cpu, t))
+            .collect();
         assert!(lat.windows(2).all(|w| w[0] == w[1]));
         // And never slower than the ring's best case.
         let ring = Interconnect::new(&cfg(NocTopology::Ring));

@@ -6,10 +6,9 @@ use crate::cpu::CpuStats;
 use crate::gpu::GpuStats;
 use crate::hierarchy::HierarchyStats;
 use hetmem_trace::Phase;
-use serde::{Deserialize, Serialize};
 
 /// The result of simulating one kernel trace on one design point.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// Kernel name the trace was generated from.
     pub kernel: String,
@@ -73,10 +72,8 @@ impl RunReport {
     #[must_use]
     pub fn derived(&self) -> DerivedStats {
         let safe_div = |num: f64, den: f64| if den == 0.0 { 0.0 } else { num / den };
-        let cpu_cycles =
-            crate::clock::ClockDomain::CPU.ticks_to_cycles(self.total_ticks()) as f64;
-        let gpu_cycles =
-            crate::clock::ClockDomain::GPU.ticks_to_cycles(self.total_ticks()) as f64;
+        let cpu_cycles = crate::clock::ClockDomain::CPU.ticks_to_cycles(self.total_ticks()) as f64;
+        let gpu_cycles = crate::clock::ClockDomain::GPU.ticks_to_cycles(self.total_ticks()) as f64;
         let per_kilo = |events: u64, insts: u64| safe_div(events as f64 * 1000.0, insts as f64);
         let dram_bytes = (self.hierarchy.dram.reads + self.hierarchy.dram.writes) * 64;
         DerivedStats {
@@ -96,7 +93,7 @@ impl RunReport {
 
 /// Rates derived from a [`RunReport`]'s raw counters: IPC per PU, misses
 /// per kilo-instruction, and achieved DRAM bandwidth.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DerivedStats {
     /// CPU instructions per CPU cycle (over total runtime).
     pub cpu_ipc: f64,
@@ -161,7 +158,10 @@ mod tests {
         assert_eq!(d.cpu_ipc, 0.0);
         assert_eq!(d.dram_bandwidth_gbps, 0.0);
 
-        let mut r = RunReport { parallel_ticks: 12_000, ..RunReport::default() };
+        let mut r = RunReport {
+            parallel_ticks: 12_000,
+            ..RunReport::default()
+        };
         r.cpu.instructions = 4_000; // 1000 CPU cycles at 12 ticks/cycle
         r.cpu.mispredictions = 40;
         r.hierarchy.cpu_l1d.misses = 80;
@@ -173,7 +173,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let r = RunReport { kernel: "reduction".into(), parallel_ticks: 42_000, ..RunReport::default() };
+        let r = RunReport {
+            kernel: "reduction".into(),
+            parallel_ticks: 42_000,
+            ..RunReport::default()
+        };
         let s = r.to_string();
         assert!(s.contains("reduction"));
         assert!(s.contains("par"));

@@ -263,7 +263,8 @@ mod tests {
             fn plan(&mut self, event: &CommEvent) -> CommAction {
                 CommAction::Asynchronous {
                     setup: 1_000,
-                    transfer: FabricKind::PciExpress.transfer_ticks(event.bytes, &CommCosts::paper()),
+                    transfer: FabricKind::PciExpress
+                        .transfer_ticks(event.bytes, &CommCosts::paper()),
                 }
             }
         }
@@ -286,7 +287,10 @@ mod tests {
         struct AsyncModel;
         impl CommModel for AsyncModel {
             fn plan(&mut self, _: &CommEvent) -> CommAction {
-                CommAction::Asynchronous { setup: 10, transfer: 1_000_000 }
+                CommAction::Asynchronous {
+                    setup: 10,
+                    transfer: 1_000_000,
+                }
             }
         }
         let mut b = hetmem_trace::TraceBuilder::new("tail", 0);
@@ -337,7 +341,11 @@ mod tests {
         b.sequential(
             500,
             hetmem_trace::InstMix::serial(),
-            hetmem_trace::AddressPattern::Stream { base: 0x1000, len: 4096, stride: 8 },
+            hetmem_trace::AddressPattern::Stream {
+                base: 0x1000,
+                len: 4096,
+                stride: 8,
+            },
         );
         let mut sys = System::new(&SystemConfig::baseline());
         let report = sys.run(&b.finish(), &mut pci_model());
@@ -352,8 +360,14 @@ mod tests {
         use hetmem_trace::SpecialOp;
         let mut trace = PhasedTrace::new("own");
         let cpu: hetmem_trace::TraceStream = [
-            hetmem_trace::Inst::Special(SpecialOp::Release { addr: 0x3000_0000, bytes: 64 }),
-            hetmem_trace::Inst::Special(SpecialOp::Acquire { addr: 0x3000_0000, bytes: 64 }),
+            hetmem_trace::Inst::Special(SpecialOp::Release {
+                addr: 0x3000_0000,
+                bytes: 64,
+            }),
+            hetmem_trace::Inst::Special(SpecialOp::Acquire {
+                addr: 0x3000_0000,
+                bytes: 64,
+            }),
         ]
         .into_iter()
         .collect();

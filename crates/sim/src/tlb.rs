@@ -7,10 +7,8 @@
 //! walks, which this module models; the *policy* costs (page faults on first
 //! touch of shared pages, `lib-pf`) are charged by the communication model.
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics for one TLB.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// Translations that hit.
     pub hits: u64,
@@ -32,7 +30,7 @@ impl TlbStats {
 }
 
 /// A fully-associative, LRU translation look-aside buffer.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Tlb {
     entries: Vec<(u64, u64)>, // (page number, last use)
     capacity: usize,
@@ -50,7 +48,10 @@ impl Tlb {
     #[must_use]
     pub fn new(entries: u32, page_bytes: u64) -> Tlb {
         assert!(entries > 0, "TLB needs at least one entry");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             entries: Vec::with_capacity(entries as usize),
             capacity: entries as usize,

@@ -199,7 +199,11 @@ impl AddressPattern {
             AddressPattern::Irregular { seed, .. } => SplitMix64::new(*seed),
             _ => SplitMix64::new(0),
         };
-        AddressGen { pattern: self, step: 0, rng }
+        AddressGen {
+            pattern: self,
+            step: 0,
+            rng,
+        }
     }
 }
 
@@ -221,7 +225,12 @@ impl AddressGen {
                 let len = (*len).max(*stride);
                 base + (step * stride) % len
             }
-            AddressPattern::RowColumn { base, len, row_bytes, elem } => {
+            AddressPattern::RowColumn {
+                base,
+                len,
+                row_bytes,
+                elem,
+            } => {
                 let len = (*len).max(*elem);
                 if step.is_multiple_of(2) {
                     // Row-major stream through A.
@@ -231,7 +240,12 @@ impl AddressGen {
                     base + (step / 2 * row_bytes + (step / (2 * 64)) * elem) % len
                 }
             }
-            AddressPattern::Window { base, len, width, elem } => {
+            AddressPattern::Window {
+                base,
+                len,
+                width,
+                elem,
+            } => {
                 let len = (*len).max(*elem);
                 let width = (*width).max(1);
                 let pos = step / width; // window index
@@ -244,7 +258,9 @@ impl AddressGen {
                 let rev = idx.reverse_bits() >> (64 - log2_n);
                 base + rev * elem
             }
-            AddressPattern::Irregular { base, len, elem, .. } => {
+            AddressPattern::Irregular {
+                base, len, elem, ..
+            } => {
                 let slots = ((*len).max(*elem)) / (*elem).max(1);
                 base + self.rng.below(slots.max(1)) * elem
             }
@@ -275,12 +291,18 @@ impl TraceBuilder {
     /// seed for branch outcomes.
     #[must_use]
     pub fn new(name: impl Into<String>, seed: u64) -> TraceBuilder {
-        TraceBuilder { trace: PhasedTrace::new(name), rng: SplitMix64::new(seed) }
+        TraceBuilder {
+            trace: PhasedTrace::new(name),
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// Emits exactly `count` instructions following `mix` into a stream.
     fn emit(&mut self, count: usize, mix: InstMix, pattern: AddressPattern) -> TraceStream {
-        assert!(mix.body_len() > 0, "instruction mix must have at least one class");
+        assert!(
+            mix.body_len() > 0,
+            "instruction mix must have at least one class"
+        );
         let mut stream = TraceStream::with_capacity(count);
         let mut addrs = pattern.into_gen();
         let mut emitted = 0usize;
@@ -290,7 +312,10 @@ impl TraceBuilder {
                 if emitted == count {
                     break 'outer;
                 }
-                stream.push(Inst::Load { addr: addrs.next_addr(), bytes: mix.access_bytes });
+                stream.push(Inst::Load {
+                    addr: addrs.next_addr(),
+                    bytes: mix.access_bytes,
+                });
                 emitted += 1;
             }
             for _ in 0..mix.int_ops {
@@ -304,14 +329,21 @@ impl TraceBuilder {
                 if emitted == count {
                     break 'outer;
                 }
-                stream.push(if mix.simd { Inst::SimdAlu { lanes: 8 } } else { Inst::FpAlu });
+                stream.push(if mix.simd {
+                    Inst::SimdAlu { lanes: 8 }
+                } else {
+                    Inst::FpAlu
+                });
                 emitted += 1;
             }
             for _ in 0..mix.stores {
                 if emitted == count {
                     break 'outer;
                 }
-                stream.push(Inst::Store { addr: addrs.next_addr(), bytes: mix.access_bytes });
+                stream.push(Inst::Store {
+                    addr: addrs.next_addr(),
+                    bytes: mix.access_bytes,
+                });
                 emitted += 1;
             }
             for _ in 0..mix.branches {
@@ -331,8 +363,11 @@ impl TraceBuilder {
     /// instructions.
     pub fn sequential(&mut self, count: usize, mix: InstMix, pattern: AddressPattern) {
         let cpu = self.emit(count, mix, pattern);
-        self.trace
-            .push_segment(PhaseSegment::new(Phase::Sequential, cpu, TraceStream::new()));
+        self.trace.push_segment(PhaseSegment::new(
+            Phase::Sequential,
+            cpu,
+            TraceStream::new(),
+        ));
     }
 
     /// Appends a parallel segment with exactly `cpu_count` CPU instructions
@@ -349,16 +384,23 @@ impl TraceBuilder {
     ) {
         let cpu = self.emit(cpu_count, cpu_mix, cpu_pattern);
         let gpu = self.emit(gpu_count, gpu_mix, gpu_pattern);
-        self.trace.push_segment(PhaseSegment::new(Phase::Parallel, cpu, gpu));
+        self.trace
+            .push_segment(PhaseSegment::new(Phase::Parallel, cpu, gpu));
     }
 
     /// Appends a communication segment containing the given events (host
     /// side, in order).
     pub fn communication(&mut self, events: impl IntoIterator<Item = CommEvent>) {
         let cpu: TraceStream = events.into_iter().map(Inst::Comm).collect();
-        assert!(cpu.comm_count() > 0, "communication segment needs at least one event");
-        self.trace
-            .push_segment(PhaseSegment::new(Phase::Communication, cpu, TraceStream::new()));
+        assert!(
+            cpu.comm_count() > 0,
+            "communication segment needs at least one event"
+        );
+        self.trace.push_segment(PhaseSegment::new(
+            Phase::Communication,
+            cpu,
+            TraceStream::new(),
+        ));
     }
 
     /// Appends an already-built segment (used by the DSL code generator for
@@ -400,7 +442,11 @@ mod tests {
             let s = b.emit(
                 count,
                 InstMix::cpu_compute(),
-                AddressPattern::Stream { base: 0, len: 1024, stride: 8 },
+                AddressPattern::Stream {
+                    base: 0,
+                    len: 1024,
+                    stride: 8,
+                },
             );
             assert_eq!(s.len(), count);
         }
@@ -413,7 +459,11 @@ mod tests {
         let s = b.emit(
             700,
             mix,
-            AddressPattern::Stream { base: 0, len: 4096, stride: 8 },
+            AddressPattern::Stream {
+                base: 0,
+                len: 4096,
+                stride: 8,
+            },
         );
         assert_eq!(s.class_count(InstClass::Load), 200);
         assert_eq!(s.class_count(InstClass::IntOp), 100);
@@ -429,7 +479,12 @@ mod tests {
             b.emit(
                 500,
                 InstMix::gpu_compute(),
-                AddressPattern::Irregular { base: 0x100, len: 8192, elem: 4, seed: 7 },
+                AddressPattern::Irregular {
+                    base: 0x100,
+                    len: 8192,
+                    elem: 4,
+                    seed: 7,
+                },
             )
         };
         assert_eq!(make(), make());
@@ -437,7 +492,12 @@ mod tests {
 
     #[test]
     fn stream_pattern_wraps_in_region() {
-        let mut g = AddressPattern::Stream { base: 0x1000, len: 64, stride: 8 }.into_gen();
+        let mut g = AddressPattern::Stream {
+            base: 0x1000,
+            len: 64,
+            stride: 8,
+        }
+        .into_gen();
         let addrs: Vec<_> = (0..10).map(|_| g.next_addr()).collect();
         assert_eq!(addrs[0], 0x1000);
         assert_eq!(addrs[7], 0x1038);
@@ -449,7 +509,12 @@ mod tests {
 
     #[test]
     fn butterfly_pattern_stays_in_region() {
-        let mut g = AddressPattern::Butterfly { base: 0, log2_n: 4, elem: 8 }.into_gen();
+        let mut g = AddressPattern::Butterfly {
+            base: 0,
+            log2_n: 4,
+            elem: 8,
+        }
+        .into_gen();
         for _ in 0..64 {
             let a = g.next_addr();
             assert!(a < 16 * 8);
@@ -458,8 +523,13 @@ mod tests {
 
     #[test]
     fn irregular_pattern_is_aligned_and_bounded() {
-        let mut g =
-            AddressPattern::Irregular { base: 0x2000, len: 4096, elem: 4, seed: 3 }.into_gen();
+        let mut g = AddressPattern::Irregular {
+            base: 0x2000,
+            len: 4096,
+            elem: 4,
+            seed: 3,
+        }
+        .into_gen();
         for _ in 0..1000 {
             let a = g.next_addr();
             assert!((0x2000..0x3000).contains(&a));
@@ -486,15 +556,27 @@ mod tests {
         b.parallel(
             10,
             InstMix::cpu_compute(),
-            AddressPattern::Stream { base: 0x1000, len: 256, stride: 8 },
+            AddressPattern::Stream {
+                base: 0x1000,
+                len: 256,
+                stride: 8,
+            },
             20,
             InstMix::gpu_compute(),
-            AddressPattern::Stream { base: 0x2000, len: 256, stride: 32 },
+            AddressPattern::Stream {
+                base: 0x2000,
+                len: 256,
+                stride: 32,
+            },
         );
         b.sequential(
             5,
             InstMix::serial(),
-            AddressPattern::Stream { base: 0x1000, len: 256, stride: 8 },
+            AddressPattern::Stream {
+                base: 0x1000,
+                len: 256,
+                stride: 8,
+            },
         );
         let t = b.finish();
         assert_eq!(t.segments().len(), 3);

@@ -3,12 +3,11 @@
 use crate::inst::CommKind;
 use crate::phase::{Phase, PhasedTrace};
 use crate::PuKind;
-use serde::{Deserialize, Serialize};
 
 /// The per-kernel statistics the paper reports in Table III: dynamic
 /// instruction counts (parallel-phase CPU, parallel-phase GPU, serial),
 /// number of communications, and the initial transfer size.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Characteristics {
     /// Kernel name.
     pub name: String,
@@ -32,7 +31,11 @@ impl Characteristics {
         let initial: u64 = trace
             .segments()
             .iter()
-            .flat_map(|s| s.stream(PuKind::Cpu).iter().chain(s.stream(PuKind::Gpu).iter()))
+            .flat_map(|s| {
+                s.stream(PuKind::Cpu)
+                    .iter()
+                    .chain(s.stream(PuKind::Gpu).iter())
+            })
             .filter_map(|i| i.comm_event())
             .filter(|ev| ev.kind == CommKind::InitialInput)
             .map(|ev| ev.bytes)
@@ -87,10 +90,18 @@ mod tests {
         b.parallel(
             30,
             InstMix::cpu_compute(),
-            AddressPattern::Stream { base: 0, len: 512, stride: 8 },
+            AddressPattern::Stream {
+                base: 0,
+                len: 512,
+                stride: 8,
+            },
             40,
             InstMix::gpu_compute(),
-            AddressPattern::Stream { base: 0x1000, len: 512, stride: 32 },
+            AddressPattern::Stream {
+                base: 0x1000,
+                len: 512,
+                stride: 32,
+            },
         );
         b.communication([CommEvent {
             direction: TransferDirection::DeviceToHost,
@@ -101,7 +112,11 @@ mod tests {
         b.sequential(
             20,
             InstMix::serial(),
-            AddressPattern::Stream { base: 0, len: 512, stride: 8 },
+            AddressPattern::Stream {
+                base: 0,
+                len: 512,
+                stride: 8,
+            },
         );
         let c = b.finish().characteristics();
         assert_eq!(c.cpu_instructions, 30);

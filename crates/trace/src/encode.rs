@@ -31,9 +31,7 @@
 //! tested, including property tests over random traces) and reports errors
 //! with line numbers.
 
-use crate::inst::{
-    CacheLevel, CommEvent, CommKind, Inst, MemSpace, SpecialOp, TransferDirection,
-};
+use crate::inst::{CacheLevel, CommEvent, CommKind, Inst, MemSpace, SpecialOp, TransferDirection};
 use crate::phase::{Phase, PhaseSegment, PhasedTrace};
 use crate::stream::TraceStream;
 use crate::PuKind;
@@ -50,7 +48,11 @@ pub struct TraceParseError {
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -111,7 +113,13 @@ fn encode_inst(out: &mut String, inst: &Inst) {
                 TransferDirection::HostToDevice => "h2d",
                 TransferDirection::DeviceToHost => "d2h",
             };
-            let _ = write!(out, "C {dir} {} {} {:#x}", kind_name(ev.kind), ev.bytes, ev.addr);
+            let _ = write!(
+                out,
+                "C {dir} {} {} {:#x}",
+                kind_name(ev.kind),
+                ev.bytes,
+                ev.addr
+            );
         }
         Inst::Special(op) => match op {
             SpecialOp::Acquire { addr, bytes } => {
@@ -170,7 +178,10 @@ type Fields<'a> = Vec<&'a str>;
 
 impl<'s> Decoder<'s> {
     fn err<T>(line: u32, message: impl Into<String>) -> Result<T, TraceParseError> {
-        Err(TraceParseError { line, message: message.into() })
+        Err(TraceParseError {
+            line,
+            message: message.into(),
+        })
     }
 
     /// Next meaningful line: (1-based number, raw trimmed text, fields).
@@ -181,7 +192,11 @@ impl<'s> Decoder<'s> {
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            return Some((idx as u32 + 1, trimmed, trimmed.split_whitespace().collect()));
+            return Some((
+                idx as u32 + 1,
+                trimmed,
+                trimmed.split_whitespace().collect(),
+            ));
         }
     }
 }
@@ -192,13 +207,18 @@ fn parse_u64(line: u32, s: &str) -> Result<u64, TraceParseError> {
     } else {
         s.parse::<u64>()
     };
-    parsed.map_err(|_| TraceParseError { line, message: format!("bad number {s:?}") })
+    parsed.map_err(|_| TraceParseError {
+        line,
+        message: format!("bad number {s:?}"),
+    })
 }
 
 fn parse_u8(line: u32, s: &str) -> Result<u8, TraceParseError> {
     let n = parse_u64(line, s)?;
-    u8::try_from(n)
-        .map_err(|_| TraceParseError { line, message: format!("{n} does not fit in u8") })
+    u8::try_from(n).map_err(|_| TraceParseError {
+        line,
+        message: format!("{n} does not fit in u8"),
+    })
 }
 
 fn decode_inst(line: u32, fields: &Fields<'_>) -> Result<Inst, TraceParseError> {
@@ -208,7 +228,12 @@ fn decode_inst(line: u32, fields: &Fields<'_>) -> Result<Inst, TraceParseError> 
         } else {
             Decoder::err(
                 line,
-                format!("opcode {:?} expects {} fields, found {}", fields[0], n, fields.len()),
+                format!(
+                    "opcode {:?} expects {} fields, found {}",
+                    fields[0],
+                    n,
+                    fields.len()
+                ),
             )
         }
     };
@@ -227,22 +252,33 @@ fn decode_inst(line: u32, fields: &Fields<'_>) -> Result<Inst, TraceParseError> 
         }
         "V" => {
             want(2)?;
-            Ok(Inst::SimdAlu { lanes: parse_u8(line, fields[1])? })
+            Ok(Inst::SimdAlu {
+                lanes: parse_u8(line, fields[1])?,
+            })
         }
         "L" => {
             want(3)?;
-            Ok(Inst::Load { bytes: parse_u8(line, fields[1])?, addr: parse_u64(line, fields[2])? })
+            Ok(Inst::Load {
+                bytes: parse_u8(line, fields[1])?,
+                addr: parse_u64(line, fields[2])?,
+            })
         }
         "S" => {
             want(3)?;
-            Ok(Inst::Store { bytes: parse_u8(line, fields[1])?, addr: parse_u64(line, fields[2])? })
+            Ok(Inst::Store {
+                bytes: parse_u8(line, fields[1])?,
+                addr: parse_u64(line, fields[2])?,
+            })
         }
         "B" => {
             want(2)?;
             match fields[1] {
                 "t" => Ok(Inst::Branch { taken: true }),
                 "n" => Ok(Inst::Branch { taken: false }),
-                other => Decoder::err(line, format!("branch outcome must be t or n, got {other:?}")),
+                other => Decoder::err(
+                    line,
+                    format!("branch outcome must be t or n, got {other:?}"),
+                ),
             }
         }
         "C" => {
@@ -277,7 +313,9 @@ fn decode_inst(line: u32, fields: &Fields<'_>) -> Result<Inst, TraceParseError> 
         }
         "pf" => {
             want(2)?;
-            Ok(Inst::Special(SpecialOp::PageFault { addr: parse_u64(line, fields[1])? }))
+            Ok(Inst::Special(SpecialOp::PageFault {
+                addr: parse_u64(line, fields[1])?,
+            }))
         }
         "push" => {
             want(4)?;
@@ -318,7 +356,9 @@ fn decode_inst(line: u32, fields: &Fields<'_>) -> Result<Inst, TraceParseError> 
         }
         "free" => {
             want(2)?;
-            Ok(Inst::Special(SpecialOp::Free { addr: parse_u64(line, fields[1])? }))
+            Ok(Inst::Special(SpecialOp::Free {
+                addr: parse_u64(line, fields[1])?,
+            }))
         }
         other => Decoder::err(line, format!("unknown opcode {other:?}")),
     }
@@ -331,7 +371,9 @@ fn decode_inst(line: u32, fields: &Fields<'_>) -> Result<Inst, TraceParseError> 
 /// Returns a [`TraceParseError`] with a line number on any malformed input,
 /// including traces that violate the phased-trace shape invariants.
 pub fn parse_trace(src: &str) -> Result<PhasedTrace, TraceParseError> {
-    let mut d = Decoder { lines: src.lines().enumerate() };
+    let mut d = Decoder {
+        lines: src.lines().enumerate(),
+    };
 
     let Some((line, _, header)) = d.next_line() else {
         return Decoder::err(0, "empty input");
@@ -363,16 +405,18 @@ pub fn parse_trace(src: &str) -> Result<PhasedTrace, TraceParseError> {
     let mut current_pu = PuKind::Cpu;
     let mut ended = false;
 
-    let flush =
-        |trace: &mut PhasedTrace, phase: &mut Option<Phase>, cpu: &mut TraceStream, gpu: &mut TraceStream| {
-            if let Some(p) = phase.take() {
-                trace.push_segment(PhaseSegment::new(
-                    p,
-                    std::mem::take(cpu),
-                    std::mem::take(gpu),
-                ));
-            }
-        };
+    let flush = |trace: &mut PhasedTrace,
+                 phase: &mut Option<Phase>,
+                 cpu: &mut TraceStream,
+                 gpu: &mut TraceStream| {
+        if let Some(p) = phase.take() {
+            trace.push_segment(PhaseSegment::new(
+                p,
+                std::mem::take(cpu),
+                std::mem::take(gpu),
+            ));
+        }
+    };
 
     while let Some((line, _, fields)) = d.next_line() {
         match fields[0] {

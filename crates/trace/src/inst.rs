@@ -6,8 +6,6 @@
 //! payloads for the communication / programming-model operations whose cost
 //! depends on the memory-model design point under evaluation.
 
-use serde::{Deserialize, Serialize};
-
 /// A virtual memory address in the modelled system.
 pub type Addr = u64;
 
@@ -15,7 +13,7 @@ pub type Addr = u64;
 ///
 /// The paper's locality-management discussion (§II-B) uses `push` statements
 /// that place data into a chosen level of the storage hierarchy (Figure 4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CacheLevel {
     /// The PU's private first-level cache (`CPU.P` / `GPU.P` in the paper).
     PrivateL1,
@@ -43,7 +41,7 @@ impl std::fmt::Display for CacheLevel {
 /// Address-space *kinds* (unified / disjoint / partially shared / ADSM) are a
 /// property of the design point (see `hetmem-core`); a trace only records
 /// which logical region a datum was placed in.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemSpace {
     /// CPU-private memory.
     CpuPrivate,
@@ -64,7 +62,7 @@ impl std::fmt::Display for MemSpace {
 }
 
 /// Direction of a bulk data transfer between the two PUs' memories.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TransferDirection {
     /// Host (CPU) memory to device (GPU) memory.
     HostToDevice,
@@ -97,7 +95,7 @@ impl std::fmt::Display for TransferDirection {
 /// Table III reports the *number of communications* per kernel; the kind lets
 /// design points treat them differently (e.g. ADSM does not need the final
 /// result transfer, GMAC overlaps input transfers asynchronously).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CommKind {
     /// The initial distribution of input data to the accelerator.
     InitialInput,
@@ -126,7 +124,7 @@ impl std::fmt::Display for CommKind {
 /// cost. This is what lets one kernel trace be replayed under every memory
 /// model, exactly as the paper varies its special-instruction latencies
 /// (Table IV).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CommEvent {
     /// Direction of the transfer.
     pub direction: TransferDirection,
@@ -145,7 +143,7 @@ pub struct CommEvent {
 /// faults on first touch of shared pages (`lib-pf`), and the explicit
 /// locality `push` of §II-B. Their latency is assigned by the simulator
 /// according to the active design point.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SpecialOp {
     /// Acquire ownership of a shared-space object (LRB model, `api-acq`).
     Acquire {
@@ -203,7 +201,7 @@ pub enum SpecialOp {
 /// cache hierarchy and MMU can be exercised; [`Inst::Comm`] and
 /// [`Inst::Special`] carry the semantic operations whose cost depends on the
 /// memory-model design point.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// Integer ALU operation (1-cycle class).
     IntAlu,
@@ -243,7 +241,7 @@ pub enum Inst {
 
 /// Coarse classification of instructions, used by statistics and the cores'
 /// issue logic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InstClass {
     /// Integer / multiply ALU work.
     IntOp,
@@ -317,7 +315,11 @@ mod tests {
         // The full matrix-multiply trace materializes ~17M instructions; keep
         // the representation within 32 bytes so that stays in the hundreds of
         // megabytes, not gigabytes.
-        assert!(std::mem::size_of::<Inst>() <= 32, "{}", std::mem::size_of::<Inst>());
+        assert!(
+            std::mem::size_of::<Inst>() <= 32,
+            "{}",
+            std::mem::size_of::<Inst>()
+        );
     }
 
     #[test]
@@ -341,15 +343,32 @@ mod tests {
 
     #[test]
     fn mem_addr_only_for_memory_ops() {
-        assert_eq!(Inst::Load { addr: 0x40, bytes: 8 }.mem_addr(), Some(0x40));
-        assert_eq!(Inst::Store { addr: 0x80, bytes: 4 }.mem_addr(), Some(0x80));
+        assert_eq!(
+            Inst::Load {
+                addr: 0x40,
+                bytes: 8
+            }
+            .mem_addr(),
+            Some(0x40)
+        );
+        assert_eq!(
+            Inst::Store {
+                addr: 0x80,
+                bytes: 4
+            }
+            .mem_addr(),
+            Some(0x80)
+        );
         assert_eq!(Inst::IntAlu.mem_addr(), None);
         assert_eq!(Inst::Branch { taken: false }.mem_addr(), None);
     }
 
     #[test]
     fn direction_reverse_is_involution() {
-        for d in [TransferDirection::HostToDevice, TransferDirection::DeviceToHost] {
+        for d in [
+            TransferDirection::HostToDevice,
+            TransferDirection::DeviceToHost,
+        ] {
             assert_eq!(d.reverse().reverse(), d);
             assert_ne!(d.reverse(), d);
         }

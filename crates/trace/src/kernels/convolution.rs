@@ -47,8 +47,18 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
         access_bytes: 32,
         branch_taken_pct: 97,
     };
-    let cpu_pat = AddressPattern::Window { base: layout::CPU_BASE, len: input, width: WINDOW, elem: 4 };
-    let gpu_pat = AddressPattern::Window { base: layout::GPU_BASE, len: input, width: WINDOW, elem: 32 };
+    let cpu_pat = AddressPattern::Window {
+        base: layout::CPU_BASE,
+        len: input,
+        width: WINDOW,
+        elem: 4,
+    };
+    let gpu_pat = AddressPattern::Window {
+        base: layout::GPU_BASE,
+        len: input,
+        width: WINDOW,
+        elem: 32,
+    };
 
     let mut b = TraceBuilder::new("convolution", 0x5EED_0003);
     b.communication([CommEvent {
@@ -58,7 +68,14 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
         addr: layout::CPU_BASE,
     }]);
     // Row pass.
-    b.parallel(cpu_halves[0], cpu_mix, cpu_pat.clone(), gpu_halves[0], gpu_mix, gpu_pat.clone());
+    b.parallel(
+        cpu_halves[0],
+        cpu_mix,
+        cpu_pat.clone(),
+        gpu_halves[0],
+        gpu_mix,
+        gpu_pat.clone(),
+    );
     // Mid-computation halo exchange.
     b.communication([CommEvent {
         direction: TransferDirection::DeviceToHost,
@@ -70,10 +87,21 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.sequential(
         serial,
         InstMix::serial(),
-        AddressPattern::Stream { base: layout::CPU_BASE, len: input, stride: 8 },
+        AddressPattern::Stream {
+            base: layout::CPU_BASE,
+            len: input,
+            stride: 8,
+        },
     );
     // Column pass.
-    b.parallel(cpu_halves[1], cpu_mix, cpu_pat, gpu_halves[1], gpu_mix, gpu_pat);
+    b.parallel(
+        cpu_halves[1],
+        cpu_mix,
+        cpu_pat,
+        gpu_halves[1],
+        gpu_mix,
+        gpu_pat,
+    );
     b.communication([CommEvent {
         direction: TransferDirection::DeviceToHost,
         bytes: params.bytes(RESULT_BYTES),
@@ -92,7 +120,10 @@ mod tests {
     #[test]
     fn matches_paper_characteristics() {
         let t = generate(&KernelParams::full());
-        assert_eq!(t.characteristics(), Kernel::Convolution.paper_characteristics());
+        assert_eq!(
+            t.characteristics(),
+            Kernel::Convolution.paper_characteristics()
+        );
     }
 
     #[test]

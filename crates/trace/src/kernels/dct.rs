@@ -56,10 +56,18 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.parallel(
         cpu_par,
         cpu_mix,
-        AddressPattern::Butterfly { base: layout::CPU_BASE, log2_n, elem: 4 },
+        AddressPattern::Butterfly {
+            base: layout::CPU_BASE,
+            log2_n,
+            elem: 4,
+        },
         gpu_par,
         gpu_mix,
-        AddressPattern::Butterfly { base: layout::GPU_BASE, log2_n, elem: 4 },
+        AddressPattern::Butterfly {
+            base: layout::GPU_BASE,
+            log2_n,
+            elem: 4,
+        },
     );
     b.communication([CommEvent {
         direction: TransferDirection::DeviceToHost,
@@ -70,7 +78,11 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.sequential(
         serial,
         InstMix::serial(),
-        AddressPattern::Stream { base: layout::CPU_BASE, len: input, stride: 8 },
+        AddressPattern::Stream {
+            base: layout::CPU_BASE,
+            len: input,
+            stride: 8,
+        },
     );
     b.finish()
 }

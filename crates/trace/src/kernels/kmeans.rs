@@ -79,8 +79,11 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
             },
         );
         // The GPU returns its partial cluster sums...
-        let kind =
-            if iter + 1 == ITERATIONS { CommKind::ResultReturn } else { CommKind::Intermediate };
+        let kind = if iter + 1 == ITERATIONS {
+            CommKind::ResultReturn
+        } else {
+            CommKind::Intermediate
+        };
         b.communication([CommEvent {
             direction: TransferDirection::DeviceToHost,
             bytes: params.bytes(PARTIAL_BYTES),
@@ -126,10 +129,16 @@ mod tests {
     fn has_six_communications_in_iterated_shape() {
         let t = generate(&KernelParams::scaled(32));
         assert_eq!(t.comm_count(), 6);
-        let parallels =
-            t.segments().iter().filter(|s| s.phase() == Phase::Parallel).count();
-        let sequentials =
-            t.segments().iter().filter(|s| s.phase() == Phase::Sequential).count();
+        let parallels = t
+            .segments()
+            .iter()
+            .filter(|s| s.phase() == Phase::Parallel)
+            .count();
+        let sequentials = t
+            .segments()
+            .iter()
+            .filter(|s| s.phase() == Phase::Sequential)
+            .count();
         assert_eq!(parallels, ITERATIONS);
         assert_eq!(sequentials, ITERATIONS);
     }

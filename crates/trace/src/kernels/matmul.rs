@@ -57,10 +57,20 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.parallel(
         cpu_par,
         cpu_mix,
-        AddressPattern::RowColumn { base: layout::CPU_BASE, len: input, row_bytes: ROW_BYTES, elem: 4 },
+        AddressPattern::RowColumn {
+            base: layout::CPU_BASE,
+            len: input,
+            row_bytes: ROW_BYTES,
+            elem: 4,
+        },
         gpu_par,
         gpu_mix,
-        AddressPattern::RowColumn { base: layout::GPU_BASE, len: input, row_bytes: ROW_BYTES, elem: 32 },
+        AddressPattern::RowColumn {
+            base: layout::GPU_BASE,
+            len: input,
+            row_bytes: ROW_BYTES,
+            elem: 32,
+        },
     );
     b.communication([CommEvent {
         direction: TransferDirection::DeviceToHost,
@@ -71,7 +81,11 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.sequential(
         serial,
         InstMix::serial(),
-        AddressPattern::Stream { base: layout::CPU_BASE, len: result.max(64), stride: 8 },
+        AddressPattern::Stream {
+            base: layout::CPU_BASE,
+            len: result.max(64),
+            stride: 8,
+        },
     );
     b.finish()
 }
@@ -85,7 +99,10 @@ mod tests {
     #[test]
     fn matches_paper_characteristics() {
         let t = generate(&KernelParams::full());
-        assert_eq!(t.characteristics(), Kernel::MatrixMul.paper_characteristics());
+        assert_eq!(
+            t.characteristics(),
+            Kernel::MatrixMul.paper_characteristics()
+        );
     }
 
     #[test]
@@ -96,7 +113,12 @@ mod tests {
         let phases: Vec<_> = t.segments().iter().map(|s| s.phase()).collect();
         assert_eq!(
             phases,
-            vec![Phase::Communication, Phase::Parallel, Phase::Communication, Phase::Sequential]
+            vec![
+                Phase::Communication,
+                Phase::Parallel,
+                Phase::Communication,
+                Phase::Sequential
+            ]
         );
     }
 }

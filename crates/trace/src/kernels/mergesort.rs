@@ -64,10 +64,20 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.parallel(
         cpu_par,
         cpu_mix,
-        AddressPattern::Irregular { base: layout::CPU_BASE, len: input, elem: 4, seed: 0xA11CE },
+        AddressPattern::Irregular {
+            base: layout::CPU_BASE,
+            len: input,
+            elem: 4,
+            seed: 0xA11CE,
+        },
         gpu_par,
         gpu_mix,
-        AddressPattern::Irregular { base: layout::GPU_BASE, len: input, elem: 4, seed: 0xB0B },
+        AddressPattern::Irregular {
+            base: layout::GPU_BASE,
+            len: input,
+            elem: 4,
+            seed: 0xB0B,
+        },
     );
     b.communication([CommEvent {
         direction: TransferDirection::DeviceToHost,
@@ -78,7 +88,11 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.sequential(
         serial,
         serial_mix,
-        AddressPattern::Stream { base: layout::CPU_BASE, len: input * 2, stride: 4 },
+        AddressPattern::Stream {
+            base: layout::CPU_BASE,
+            len: input * 2,
+            stride: 4,
+        },
     );
     b.finish()
 }
@@ -92,7 +106,10 @@ mod tests {
     #[test]
     fn matches_paper_characteristics() {
         let t = generate(&KernelParams::full());
-        assert_eq!(t.characteristics(), Kernel::MergeSort.paper_characteristics());
+        assert_eq!(
+            t.characteristics(),
+            Kernel::MergeSort.paper_characteristics()
+        );
     }
 
     #[test]

@@ -22,7 +22,6 @@ mod reduction;
 
 use crate::characteristics::Characteristics;
 use crate::phase::PhasedTrace;
-use serde::{Deserialize, Serialize};
 
 /// Logical base addresses of the modelled data regions.
 ///
@@ -41,7 +40,7 @@ pub mod layout {
 }
 
 /// The six kernels evaluated in the paper (Table III).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Kernel {
     /// Parallel → merge → sequential tree reduction.
     Reduction,
@@ -172,13 +171,15 @@ impl std::str::FromStr for Kernel {
             "dct" => Ok(Kernel::Dct),
             "mergesort" | "msort" => Ok(Kernel::MergeSort),
             "kmean" | "kmeans" => Ok(Kernel::KMeans),
-            _ => Err(ParseKernelError { input: s.to_owned() }),
+            _ => Err(ParseKernelError {
+                input: s.to_owned(),
+            }),
         }
     }
 }
 
 /// Generation parameters for kernel traces.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KernelParams {
     /// Divides all instruction counts and transfer sizes. `1` reproduces the
     /// paper's full-size traces; larger values generate proportionally
@@ -196,7 +197,10 @@ impl KernelParams {
     /// Full-size generation (`scale == 1`), matching Table III exactly.
     #[must_use]
     pub fn full() -> KernelParams {
-        KernelParams { scale: 1, gpu_share_pct: None }
+        KernelParams {
+            scale: 1,
+            gpu_share_pct: None,
+        }
     }
 
     /// Down-scaled generation.
@@ -207,7 +211,10 @@ impl KernelParams {
     #[must_use]
     pub fn scaled(scale: u32) -> KernelParams {
         assert!(scale > 0, "scale must be non-zero");
-        KernelParams { scale, gpu_share_pct: None }
+        KernelParams {
+            scale,
+            gpu_share_pct: None,
+        }
     }
 
     /// Sets the GPU's share of the parallel work.
@@ -217,7 +224,10 @@ impl KernelParams {
     /// Panics unless `1 <= pct <= 99`.
     #[must_use]
     pub fn with_gpu_share(mut self, pct: u32) -> KernelParams {
-        assert!((1..=99).contains(&pct), "gpu share must be within 1..=99, got {pct}");
+        assert!(
+            (1..=99).contains(&pct),
+            "gpu share must be within 1..=99, got {pct}"
+        );
         self.gpu_share_pct = Some(pct);
         self
     }
@@ -295,7 +305,10 @@ mod tests {
             let f = full.pu_len(PuKind::Cpu) + full.pu_len(PuKind::Gpu);
             let h = half.pu_len(PuKind::Cpu) + half.pu_len(PuKind::Gpu);
             // Halving the size should roughly halve the instruction count.
-            assert!(h * 2 <= f + 16 && f <= h * 2 + f / 4, "kernel {k}: {f} vs {h}");
+            assert!(
+                h * 2 <= f + 16 && f <= h * 2 + f / 4,
+                "kernel {k}: {f} vs {h}"
+            );
         }
     }
 
@@ -335,8 +348,14 @@ mod tests {
             // Total parallel work is preserved (±rounding across loop splits).
             let gh_total = gpu_heavy.cpu_instructions + gpu_heavy.gpu_instructions;
             assert!(gh_total.abs_diff(total) <= 4, "{k}: {gh_total} vs {total}");
-            assert!(gpu_heavy.gpu_instructions > 3 * gpu_heavy.cpu_instructions, "{k}");
-            assert!(cpu_heavy.cpu_instructions > 3 * cpu_heavy.gpu_instructions, "{k}");
+            assert!(
+                gpu_heavy.gpu_instructions > 3 * gpu_heavy.cpu_instructions,
+                "{k}"
+            );
+            assert!(
+                cpu_heavy.cpu_instructions > 3 * cpu_heavy.gpu_instructions,
+                "{k}"
+            );
             // Phase structure and communication are unaffected.
             assert_eq!(gpu_heavy.communications, even.communications, "{k}");
         }

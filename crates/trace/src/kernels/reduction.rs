@@ -53,10 +53,18 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.parallel(
         cpu_par,
         cpu_mix,
-        AddressPattern::Stream { base: layout::CPU_BASE, len: input, stride: 4 },
+        AddressPattern::Stream {
+            base: layout::CPU_BASE,
+            len: input,
+            stride: 4,
+        },
         gpu_par,
         gpu_mix,
-        AddressPattern::Stream { base: layout::GPU_BASE, len: input, stride: 32 },
+        AddressPattern::Stream {
+            base: layout::GPU_BASE,
+            len: input,
+            stride: 32,
+        },
     );
     b.communication([CommEvent {
         direction: TransferDirection::DeviceToHost,
@@ -67,7 +75,11 @@ pub(super) fn generate(params: &KernelParams) -> PhasedTrace {
     b.sequential(
         serial,
         InstMix::serial(),
-        AddressPattern::Stream { base: layout::CPU_BASE, len: input, stride: 8 },
+        AddressPattern::Stream {
+            base: layout::CPU_BASE,
+            len: input,
+            stride: 8,
+        },
     );
     b.finish()
 }
@@ -81,7 +93,10 @@ mod tests {
     #[test]
     fn matches_paper_characteristics() {
         let t = generate(&KernelParams::full());
-        assert_eq!(t.characteristics(), Kernel::Reduction.paper_characteristics());
+        assert_eq!(
+            t.characteristics(),
+            Kernel::Reduction.paper_characteristics()
+        );
     }
 
     #[test]
@@ -90,7 +105,12 @@ mod tests {
         let phases: Vec<_> = t.segments().iter().map(|s| s.phase()).collect();
         assert_eq!(
             phases,
-            vec![Phase::Communication, Phase::Parallel, Phase::Communication, Phase::Sequential]
+            vec![
+                Phase::Communication,
+                Phase::Parallel,
+                Phase::Communication,
+                Phase::Sequential
+            ]
         );
     }
 

@@ -46,20 +46,17 @@ pub use builder::{AddressPattern, InstMix, TraceBuilder};
 pub use characteristics::Characteristics;
 pub use encode::{parse_trace, write_trace, TraceParseError};
 pub use inst::{
-    Addr, CacheLevel, CommEvent, CommKind, Inst, InstClass, MemSpace, SpecialOp,
-    TransferDirection,
+    Addr, CacheLevel, CommEvent, CommKind, Inst, InstClass, MemSpace, SpecialOp, TransferDirection,
 };
 pub use phase::{Phase, PhaseSegment, PhasedTrace};
 pub use stream::TraceStream;
-
-use serde::{Deserialize, Serialize};
 
 /// The two classes of processing unit in the modelled heterogeneous system.
 ///
 /// The paper uses the term *processing unit (PU)* for either; the baseline
 /// system has one CPU (out-of-order, 3.5 GHz) and one GPU (in-order 8-wide
 /// SIMD, 1.5 GHz).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PuKind {
     /// General-purpose out-of-order core.
     Cpu,

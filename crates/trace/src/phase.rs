@@ -11,11 +11,9 @@
 use crate::inst::{Inst, InstClass};
 use crate::stream::TraceStream;
 use crate::PuKind;
-use serde::{Deserialize, Serialize};
 
 /// Execution-time category of a trace segment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Phase {
     /// Single-threaded work on the CPU (initialization, merges, final steps).
     #[default]
@@ -49,13 +47,12 @@ impl std::fmt::Display for Phase {
 /// * `Communication` segments hold the host-side stream containing the
 ///   [`Inst::Comm`] events (plus any special operations the programming
 ///   model inserted around them).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseSegment {
     phase: Phase,
     cpu: TraceStream,
     gpu: TraceStream,
 }
-
 
 impl PhaseSegment {
     /// Creates a segment in `phase` with the given per-PU streams.
@@ -101,7 +98,7 @@ impl PhaseSegment {
 }
 
 /// A complete, phase-structured kernel trace.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhasedTrace {
     name: String,
     segments: Vec<PhaseSegment>,
@@ -111,7 +108,10 @@ impl PhasedTrace {
     /// Creates an empty trace for a kernel called `name`.
     #[must_use]
     pub fn new(name: impl Into<String>) -> PhasedTrace {
-        PhasedTrace { name: name.into(), segments: Vec::new() }
+        PhasedTrace {
+            name: name.into(),
+            segments: Vec::new(),
+        }
     }
 
     /// The kernel name this trace was generated from.
@@ -176,7 +176,11 @@ impl PhasedTrace {
     pub fn comm_bytes_in(&self, direction: crate::TransferDirection) -> u64 {
         self.segments
             .iter()
-            .flat_map(|s| s.stream(PuKind::Cpu).iter().chain(s.stream(PuKind::Gpu).iter()))
+            .flat_map(|s| {
+                s.stream(PuKind::Cpu)
+                    .iter()
+                    .chain(s.stream(PuKind::Gpu).iter())
+            })
             .filter_map(Inst::comm_event)
             .filter(|ev| ev.direction == direction)
             .map(|ev| ev.bytes)
@@ -213,17 +217,13 @@ impl PhasedTrace {
                     // Ownership-only segments (e.g. the partially shared
                     // space's acquire/release with no bulk transfer) are
                     // legal: at least one comm event *or* special operation.
-                    if host.comm_count() == 0
-                        && host.class_count(InstClass::Special) == 0
-                    {
+                    if host.comm_count() == 0 && host.class_count(InstClass::Special) == 0 {
                         return Err(TraceShapeError::EmptyCommunication { segment: idx });
                     }
                     let plain = host
                         .iter()
                         .chain(seg.stream(PuKind::Gpu).iter())
-                        .filter(|i| {
-                            !matches!(i.class(), InstClass::Comm | InstClass::Special)
-                        })
+                        .filter(|i| !matches!(i.class(), InstClass::Comm | InstClass::Special))
                         .count();
                     if plain != 0 {
                         return Err(TraceShapeError::ComputeInCommunication { segment: idx });
@@ -231,8 +231,8 @@ impl PhasedTrace {
                 }
             }
             if seg.phase() != Phase::Communication {
-                let comm_here = seg.stream(PuKind::Cpu).comm_count()
-                    + seg.stream(PuKind::Gpu).comm_count();
+                let comm_here =
+                    seg.stream(PuKind::Cpu).comm_count() + seg.stream(PuKind::Gpu).comm_count();
                 if comm_here != 0 {
                     return Err(TraceShapeError::CommOutsideCommunication { segment: idx });
                 }
@@ -278,16 +278,28 @@ impl std::fmt::Display for TraceShapeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceShapeError::GpuWorkInSequential { segment } => {
-                write!(f, "segment {segment}: sequential segment contains GPU instructions")
+                write!(
+                    f,
+                    "segment {segment}: sequential segment contains GPU instructions"
+                )
             }
             TraceShapeError::EmptyCommunication { segment } => {
-                write!(f, "segment {segment}: communication segment has no communication event")
+                write!(
+                    f,
+                    "segment {segment}: communication segment has no communication event"
+                )
             }
             TraceShapeError::ComputeInCommunication { segment } => {
-                write!(f, "segment {segment}: communication segment contains compute instructions")
+                write!(
+                    f,
+                    "segment {segment}: communication segment contains compute instructions"
+                )
             }
             TraceShapeError::CommOutsideCommunication { segment } => {
-                write!(f, "segment {segment}: communication event outside a communication segment")
+                write!(
+                    f,
+                    "segment {segment}: communication event outside a communication segment"
+                )
             }
         }
     }
@@ -355,7 +367,10 @@ mod tests {
             TraceStream::new(),
             [Inst::IntAlu].into_iter().collect(),
         ));
-        assert_eq!(t.validate(), Err(TraceShapeError::GpuWorkInSequential { segment: 0 }));
+        assert_eq!(
+            t.validate(),
+            Err(TraceShapeError::GpuWorkInSequential { segment: 0 })
+        );
     }
 
     #[test]
@@ -366,7 +381,10 @@ mod tests {
             [comm_inst(8)].into_iter().collect(),
             TraceStream::new(),
         ));
-        assert_eq!(t.validate(), Err(TraceShapeError::CommOutsideCommunication { segment: 0 }));
+        assert_eq!(
+            t.validate(),
+            Err(TraceShapeError::CommOutsideCommunication { segment: 0 })
+        );
     }
 
     #[test]
@@ -377,7 +395,10 @@ mod tests {
             TraceStream::new(),
             TraceStream::new(),
         ));
-        assert_eq!(t.validate(), Err(TraceShapeError::EmptyCommunication { segment: 0 }));
+        assert_eq!(
+            t.validate(),
+            Err(TraceShapeError::EmptyCommunication { segment: 0 })
+        );
 
         let mut t = PhasedTrace::new("bad2");
         t.push_segment(PhaseSegment::new(
@@ -385,6 +406,9 @@ mod tests {
             [comm_inst(8), Inst::IntAlu].into_iter().collect(),
             TraceStream::new(),
         ));
-        assert_eq!(t.validate(), Err(TraceShapeError::ComputeInCommunication { segment: 0 }));
+        assert_eq!(
+            t.validate(),
+            Err(TraceShapeError::ComputeInCommunication { segment: 0 })
+        );
     }
 }

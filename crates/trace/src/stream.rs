@@ -1,14 +1,13 @@
 //! A sequence of dynamic instructions executed by one processing unit.
 
 use crate::inst::{Inst, InstClass};
-use serde::{Deserialize, Serialize};
 
 /// An ordered sequence of dynamic instructions for a single PU.
 ///
 /// Streams are the unit the simulator's cores consume. They are plain data:
 /// building them is the job of [`crate::TraceBuilder`] and the kernel
 /// generators.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceStream {
     insts: Vec<Inst>,
 }
@@ -23,7 +22,9 @@ impl TraceStream {
     /// Creates an empty stream with room for `cap` instructions.
     #[must_use]
     pub fn with_capacity(cap: usize) -> TraceStream {
-        TraceStream { insts: Vec::with_capacity(cap) }
+        TraceStream {
+            insts: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of dynamic instructions in the stream.
@@ -69,7 +70,11 @@ impl TraceStream {
     /// Total bytes moved by the communication events in this stream.
     #[must_use]
     pub fn comm_bytes(&self) -> u64 {
-        self.insts.iter().filter_map(Inst::comm_event).map(|ev| ev.bytes).sum()
+        self.insts
+            .iter()
+            .filter_map(Inst::comm_event)
+            .map(|ev| ev.bytes)
+            .sum()
     }
 
     /// Number of communication events in this stream.
@@ -81,7 +86,9 @@ impl TraceStream {
 
 impl FromIterator<Inst> for TraceStream {
     fn from_iter<T: IntoIterator<Item = Inst>>(iter: T) -> TraceStream {
-        TraceStream { insts: iter.into_iter().collect() }
+        TraceStream {
+            insts: iter.into_iter().collect(),
+        }
     }
 }
 

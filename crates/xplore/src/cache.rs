@@ -1,0 +1,175 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each job's result is stored in one file named by the FNV-1a hash of the
+//! job's *content key*: the job identity (kind, kernel, target, scale), the
+//! full hardware/cost configuration fingerprint, and the crate version.
+//! Any change to those inputs changes the key, so stale entries are never
+//! returned — they are simply never addressed again. Corrupt or
+//! half-written files are treated as misses and overwritten.
+
+use crate::ser::SweepRecord;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A directory of memoized sweep results with hit/miss counters.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// FNV-1a, 64-bit: stable across platforms and builds, fast, and collision
+/// resistance far beyond the few thousand keys a sweep produces.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl DiskCache {
+    /// Opens (and creates if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory cannot be created.
+    pub fn open(dir: &Path) -> std::io::Result<DiskCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DiskCache {
+            dir: dir.to_owned(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The file path addressing `content_key`.
+    #[must_use]
+    pub fn path_for(&self, content_key: &str) -> PathBuf {
+        self.dir
+            .join(format!("xp-{:016x}.json", fnv1a(content_key.as_bytes())))
+    }
+
+    /// Fetches the record stored under `content_key`, counting a hit or a
+    /// miss. Unreadable or corrupt entries count as misses.
+    pub fn get(&self, content_key: &str) -> Option<SweepRecord> {
+        let loaded = std::fs::read_to_string(self.path_for(content_key))
+            .ok()
+            .and_then(|text| crate::json::parse(&text).ok())
+            .and_then(|value| SweepRecord::from_json(&value).ok());
+        match loaded {
+            Some(record) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `record` under `content_key`. Write failures are reported but
+    /// must not abort a sweep — the result is still in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the entry cannot be written.
+    pub fn put(&self, content_key: &str, record: &SweepRecord) -> std::io::Result<()> {
+        let path = self.path_for(content_key);
+        // Write-then-rename so readers never observe a half-written entry.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, record.to_json().render())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Cache hits counted so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses counted so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_sim::RunReport;
+
+    fn record(id: u64) -> SweepRecord {
+        SweepRecord {
+            id,
+            kind: "case-study".into(),
+            kernel: "reduction".into(),
+            target: "Fusion".into(),
+            scale: 64,
+            design_point: "p".into(),
+            report: RunReport {
+                kernel: "reduction".into(),
+                parallel_ticks: 7,
+                ..RunReport::default()
+            },
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hetmem-xplore-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"hetmem"), fnv1a(b"hetmem"));
+        assert_ne!(fnv1a(b"hetmem"), fnv1a(b"hetmem "));
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let cache = DiskCache::open(&dir).expect("open");
+        assert_eq!(cache.get("key-a"), None);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let rec = record(3);
+        cache.put("key-a", &rec).expect("put");
+        assert_eq!(cache.get("key-a"), Some(rec));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = DiskCache::open(&dir).expect("open");
+        std::fs::write(cache.path_for("key-b"), "{not json").expect("write");
+        assert_eq!(cache.get("key-b"), None);
+        assert_eq!(cache.misses(), 1);
+        // And the entry can be repaired by a put.
+        cache.put("key-b", &record(0)).expect("put");
+        assert!(cache.get("key-b").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_keys_use_distinct_files() {
+        let dir = temp_dir("distinct");
+        let cache = DiskCache::open(&dir).expect("open");
+        assert_ne!(cache.path_for("a"), cache.path_for("b"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

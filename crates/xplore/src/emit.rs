@@ -1,0 +1,154 @@
+//! Result emission: JSON-lines, CSV, and aligned text tables.
+
+use crate::ser::{SweepRecord, CSV_HEADER};
+use hetmem_core::report::TextTable;
+
+/// How to render sweep output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// One JSON object per line.
+    Json,
+    /// CSV with a header row.
+    Csv,
+    /// An aligned human-readable table.
+    #[default]
+    Table,
+}
+
+impl OutputFormat {
+    /// Parses `json` / `csv` / `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on unknown names.
+    pub fn parse(s: &str) -> Result<OutputFormat, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "json" | "jsonl" => Ok(OutputFormat::Json),
+            "csv" => Ok(OutputFormat::Csv),
+            "table" | "text" => Ok(OutputFormat::Table),
+            other => Err(format!("unknown format {other:?} (json|csv|table)")),
+        }
+    }
+
+    /// Renders `records` in this format (with trailing newline).
+    #[must_use]
+    pub fn render(self, records: &[SweepRecord]) -> String {
+        match self {
+            OutputFormat::Json => to_jsonl(records),
+            OutputFormat::Csv => to_csv(records),
+            OutputFormat::Table => to_table(records),
+        }
+    }
+}
+
+/// Renders records as JSON-lines: one compact object per record.
+#[must_use]
+pub fn to_jsonl(records: &[SweepRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json().render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders records as CSV with a header row.
+#[must_use]
+pub fn to_csv(records: &[SweepRecord]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders records as an aligned text table of the headline columns.
+#[must_use]
+pub fn to_table(records: &[SweepRecord]) -> String {
+    let mut table = TextTable::new(&[
+        "id",
+        "kind",
+        "kernel",
+        "target",
+        "scale",
+        "total(µs)",
+        "seq%",
+        "par%",
+        "comm%",
+    ]);
+    for r in records {
+        let total = r.report.total_ticks().max(1) as f64;
+        let pct = |ticks: u64| format!("{:.1}", 100.0 * ticks as f64 / total);
+        table.row(vec![
+            r.id.to_string(),
+            r.kind.clone(),
+            r.kernel.clone(),
+            r.target.clone(),
+            r.scale.to_string(),
+            format!("{:.1}", r.report.total_ns() / 1000.0),
+            pct(r.report.sequential_ticks),
+            pct(r.report.parallel_ticks),
+            pct(r.report.communication_ticks),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_sim::RunReport;
+
+    fn records() -> Vec<SweepRecord> {
+        vec![SweepRecord {
+            id: 0,
+            kind: "case-study".into(),
+            kernel: "reduction".into(),
+            target: "Fusion".into(),
+            scale: 64,
+            design_point: "p".into(),
+            report: RunReport {
+                kernel: "reduction".into(),
+                sequential_ticks: 25,
+                parallel_ticks: 50,
+                communication_ticks: 25,
+                ..RunReport::default()
+            },
+        }]
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(OutputFormat::parse("json"), Ok(OutputFormat::Json));
+        assert_eq!(OutputFormat::parse("CSV"), Ok(OutputFormat::Csv));
+        assert_eq!(OutputFormat::parse("table"), Ok(OutputFormat::Table));
+        assert!(OutputFormat::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let out = to_jsonl(&records());
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.starts_with("{\"id\":0,"));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn csv_has_header_plus_rows() {
+        let out = to_csv(&records());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines[1].starts_with("0,case-study,reduction,Fusion,64,100,"));
+    }
+
+    #[test]
+    fn table_shows_phase_split() {
+        let out = to_table(&records());
+        assert!(out.contains("reduction"));
+        assert!(out.contains("50.0"));
+        assert!(out.contains("25.0"));
+    }
+}

@@ -1,0 +1,432 @@
+//! The sweep executor: a `std::thread` worker pool over a shared job
+//! queue, with optional content-addressed result caching.
+//!
+//! Jobs are independent single-threaded simulations, so they shard
+//! perfectly; the pool pulls indices from an atomic cursor and results are
+//! written back into per-job slots, making the collected output identical
+//! for any worker count. Generated traces are shared across jobs of the
+//! same (kernel, scale) through a small in-memory store so a five-system
+//! case-study row pays trace generation once, not five times.
+
+use crate::cache::DiskCache;
+use crate::ser::SweepRecord;
+use crate::spec::{Job, JobKind, SweepSpec};
+use hetmem_core::experiment::{CaseStudyRun, ExperimentConfig, SpaceRun};
+use hetmem_core::IdealSpaceComm;
+use hetmem_sim::System;
+use hetmem_trace::kernels::KernelParams;
+use hetmem_trace::PhasedTrace;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Execution knobs for a sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `0` uses the host's available parallelism.
+    pub workers: usize,
+    /// Cache directory; `None` disables memoization.
+    pub cache_dir: Option<PathBuf>,
+    /// Emit a live progress line on stderr.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// Options with `n` workers and no cache.
+    #[must_use]
+    pub fn with_workers(n: usize) -> SweepOptions {
+        SweepOptions {
+            workers: n,
+            ..SweepOptions::default()
+        }
+    }
+}
+
+/// What a finished sweep did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Jobs executed (including cache hits).
+    pub jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs answered from the cache.
+    pub cache_hits: u64,
+    /// Jobs simulated live.
+    pub cache_misses: u64,
+    /// Wall-clock duration of the whole sweep.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} jobs on {} workers in {:.2} s ({} cache hits, {} misses)",
+            self.jobs,
+            self.workers,
+            self.wall.as_secs_f64(),
+            self.cache_hits,
+            self.cache_misses
+        )
+    }
+}
+
+/// A finished sweep: records sorted by job ordinal, plus run statistics.
+#[derive(Clone, Debug)]
+pub struct SweepOutput {
+    /// One record per job, sorted by `id`.
+    pub records: Vec<SweepRecord>,
+    /// Execution statistics.
+    pub stats: SweepStats,
+}
+
+/// Shares generated traces between jobs of the same (kernel, scale).
+#[derive(Default)]
+struct TraceStore {
+    map: Mutex<HashMap<(&'static str, u32), Arc<PhasedTrace>>>,
+}
+
+impl TraceStore {
+    fn get(&self, job: &Job) -> Arc<PhasedTrace> {
+        let key = (job.kernel.name(), job.scale);
+        if let Some(t) = self.map.lock().expect("trace store lock").get(&key) {
+            return Arc::clone(t);
+        }
+        // Generate outside the lock so other kernels proceed; a racing
+        // duplicate generation is wasted work but still deterministic.
+        let trace = Arc::new(job.kernel.generate(&KernelParams::scaled(job.scale)));
+        let mut map = self.map.lock().expect("trace store lock");
+        Arc::clone(map.entry(key).or_insert(trace))
+    }
+}
+
+/// The content key addressing one job's cache entry: everything that
+/// influences its result — job coordinates, the full hardware and cost
+/// configuration, and the crate version.
+#[must_use]
+pub fn content_key(job: &Job, config: &ExperimentConfig) -> String {
+    format!(
+        "hetmem-xplore v{} | {} | system={:?} | costs={:?}",
+        env!("CARGO_PKG_VERSION"),
+        job.identity(),
+        config.system,
+        config.costs,
+    )
+}
+
+/// Simulates one job on a pre-generated trace.
+#[must_use]
+pub fn execute_job(job: &Job, config: &ExperimentConfig, trace: &PhasedTrace) -> SweepRecord {
+    let mut sim = System::with_costs(&config.system, config.costs);
+    let report = match job.kind {
+        JobKind::CaseStudy { system } => {
+            let mut comm = system.comm_model(config.costs);
+            sim.run(trace, &mut comm)
+        }
+        JobKind::AddressSpace { space } => {
+            let mut comm = IdealSpaceComm::new(space, config.costs);
+            sim.run(trace, &mut comm)
+        }
+    };
+    SweepRecord {
+        id: job.id,
+        kind: job.kind_name().to_owned(),
+        kernel: job.kernel.name().to_owned(),
+        target: job.target_name().to_owned(),
+        scale: job.scale,
+        design_point: job.design_point_label(),
+        report,
+    }
+}
+
+/// Expands `spec` and runs every job. See [`run_jobs`].
+///
+/// # Errors
+///
+/// Returns an error when the cache directory cannot be opened.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    config: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> std::io::Result<SweepOutput> {
+    run_jobs(&spec.expand(), config, opts)
+}
+
+/// Runs `jobs` on the worker pool. The returned records are sorted by job
+/// ordinal and are bit-identical for any worker count and any cache state.
+///
+/// # Errors
+///
+/// Returns an error when the cache directory cannot be opened.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated by `std::thread::scope`).
+pub fn run_jobs(
+    jobs: &[Job],
+    config: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> std::io::Result<SweepOutput> {
+    let start = Instant::now();
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(DiskCache::open(dir).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("cannot open cache dir {}: {e}", dir.display()),
+            )
+        })?),
+        None => None,
+    };
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        opts.workers
+    }
+    .min(jobs.len().max(1));
+
+    let cursor = AtomicUsize::new(0);
+    let traces = TraceStore::default();
+    let (tx, rx) = mpsc::channel::<(usize, SweepRecord)>();
+    let mut slots: Vec<Option<SweepRecord>> = vec![None; jobs.len()];
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let traces = &traces;
+            let cache = cache.as_ref();
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index) else { break };
+                let key = content_key(job, config);
+                let record = match cache.and_then(|c| c.get(&key)) {
+                    Some(mut cached) => {
+                        // Ordinals belong to this sweep, not the cache entry
+                        // (a differently-filtered sweep may have stored it).
+                        cached.id = job.id;
+                        cached
+                    }
+                    None => {
+                        let record = execute_job(job, config, &traces.get(job));
+                        if let Some(c) = cache {
+                            if let Err(e) = c.put(&key, &record) {
+                                eprintln!("warning: cache write failed: {e}");
+                            }
+                        }
+                        record
+                    }
+                };
+                if tx.send((index, record)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        for (done, (index, record)) in rx.into_iter().enumerate() {
+            if opts.progress {
+                let mut err = std::io::stderr().lock();
+                let _ = write!(
+                    err,
+                    "\r[{:>width$}/{}] {} {}/{}        ",
+                    done + 1,
+                    jobs.len(),
+                    record.kind,
+                    record.kernel,
+                    record.target,
+                    width = jobs.len().to_string().len(),
+                );
+                let _ = err.flush();
+            }
+            slots[index] = Some(record);
+        }
+        if opts.progress {
+            eprintln!();
+        }
+    });
+
+    let mut records: Vec<SweepRecord> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every job completed"))
+        .collect();
+    // Slots are already ordinal-ordered; the sort is a cheap invariant
+    // guard for callers that concatenate job lists.
+    records.sort_by_key(|r| r.id);
+
+    let (cache_hits, cache_misses) = match &cache {
+        Some(c) => (c.hits(), c.misses()),
+        None => (0, u64::try_from(jobs.len()).expect("job count fits")),
+    };
+    Ok(SweepOutput {
+        records,
+        stats: SweepStats {
+            jobs: jobs.len(),
+            workers,
+            cache_hits,
+            cache_misses,
+            wall: start.elapsed(),
+        },
+    })
+}
+
+/// The Figure 5/6 grid (every kernel × evaluated system) through the
+/// engine: parallel and, when a cache directory is given, memoized. The
+/// returned runs are ordered exactly like
+/// `hetmem_core::experiment::run_case_studies` and carry identical reports.
+///
+/// # Errors
+///
+/// Returns an error when the cache directory cannot be opened.
+pub fn run_case_studies(
+    config: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> std::io::Result<(Vec<CaseStudyRun>, SweepStats)> {
+    let spec = SweepSpec {
+        spaces: vec![],
+        ..SweepSpec::full(config.scale)
+    };
+    let jobs = spec.expand();
+    let output = run_jobs(&jobs, config, opts)?;
+    let runs = jobs
+        .iter()
+        .zip(&output.records)
+        .map(|(job, record)| {
+            let JobKind::CaseStudy { system } = job.kind else {
+                unreachable!("spec contains only case-study jobs")
+            };
+            CaseStudyRun {
+                system,
+                kernel: job.kernel,
+                report: record.report.clone(),
+            }
+        })
+        .collect();
+    Ok((runs, output.stats))
+}
+
+/// The Figure 7 grid (every kernel × address space) through the engine.
+/// Ordered exactly like `hetmem_core::experiment::run_address_spaces`.
+///
+/// # Errors
+///
+/// Returns an error when the cache directory cannot be opened.
+pub fn run_address_spaces(
+    config: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> std::io::Result<(Vec<SpaceRun>, SweepStats)> {
+    let spec = SweepSpec {
+        systems: vec![],
+        ..SweepSpec::full(config.scale)
+    };
+    let jobs = spec.expand();
+    let output = run_jobs(&jobs, config, opts)?;
+    let runs = jobs
+        .iter()
+        .zip(&output.records)
+        .map(|(job, record)| {
+            let JobKind::AddressSpace { space } = job.kind else {
+                unreachable!("spec contains only address-space jobs")
+            };
+            SpaceRun {
+                space,
+                kernel: job.kernel,
+                report: record.report.clone(),
+            }
+        })
+        .collect();
+    Ok((runs, output.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_core::experiment;
+    use hetmem_core::EvaluatedSystem;
+    use hetmem_trace::kernels::Kernel;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::scaled(512)
+    }
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            kernels: vec![Kernel::Reduction, Kernel::Dct],
+            systems: vec![EvaluatedSystem::Fusion, EvaluatedSystem::IdealHetero],
+            spaces: vec![hetmem_core::AddressSpace::Unified],
+            scales: vec![512],
+        }
+    }
+
+    #[test]
+    fn engine_matches_serial_runners() {
+        let config = cfg();
+        let (runs, _) = run_case_studies(&config, &SweepOptions::with_workers(4)).expect("runs");
+        let serial = experiment::run_case_studies(&config);
+        assert_eq!(runs.len(), serial.len());
+        for (a, b) in runs.iter().zip(&serial) {
+            assert_eq!(a.system, b.system);
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.report, b.report, "{}/{}", a.system, a.kernel.name());
+        }
+    }
+
+    #[test]
+    fn space_engine_matches_serial_runner() {
+        let config = cfg();
+        let (runs, _) = run_address_spaces(&config, &SweepOptions::with_workers(4)).expect("runs");
+        let serial = experiment::run_address_spaces(&config);
+        assert_eq!(runs.len(), serial.len());
+        for (a, b) in runs.iter().zip(&serial) {
+            assert_eq!(a.space, b.space);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let config = cfg();
+        let spec = small_spec();
+        let one = run_sweep(&spec, &config, &SweepOptions::with_workers(1)).expect("runs");
+        let many = run_sweep(&spec, &config, &SweepOptions::with_workers(8)).expect("runs");
+        assert_eq!(one.records, many.records);
+        assert_eq!(one.stats.workers, 1);
+    }
+
+    #[test]
+    fn content_keys_separate_configs_and_jobs() {
+        let spec = small_spec();
+        let jobs = spec.expand();
+        let a = content_key(&jobs[0], &cfg());
+        let b = content_key(&jobs[1], &cfg());
+        assert_ne!(a, b, "different jobs must have different keys");
+        let mut other = cfg();
+        other.costs.api_acq_cycles += 1;
+        assert_ne!(content_key(&jobs[0], &cfg()), content_key(&jobs[0], &other));
+    }
+
+    #[test]
+    fn cache_round_trip_hits_every_job() {
+        let dir =
+            std::env::temp_dir().join(format!("hetmem-xplore-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions {
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            progress: false,
+        };
+        let config = cfg();
+        let spec = small_spec();
+        let cold = run_sweep(&spec, &config, &opts).expect("cold run");
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert_eq!(cold.stats.cache_misses as usize, cold.stats.jobs);
+
+        let warm = run_sweep(&spec, &config, &opts).expect("warm run");
+        assert_eq!(warm.stats.cache_misses, 0);
+        assert_eq!(warm.stats.cache_hits as usize, warm.stats.jobs);
+        assert_eq!(cold.records, warm.records);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,9 +5,7 @@
 //! Run with `cargo run --release --example custom_kernel`.
 
 use hetmem::core::EvaluatedSystem;
-use hetmem::dsl::{
-    generate_trace, lower, AddressSpace, BufId, Buffer, Program, Step, Target,
-};
+use hetmem::dsl::{generate_trace, lower, AddressSpace, BufId, Buffer, Program, Step, Target};
 use hetmem::sim::{CommCosts, System, SystemConfig};
 
 fn histogram() -> Program {
@@ -20,7 +18,9 @@ fn histogram() -> Program {
             Buffer::new("binsC", 4_096),      // CPU's partial histogram
         ],
         steps: vec![
-            Step::HostInit { bufs: vec![BufId(0), BufId(1)] },
+            Step::HostInit {
+                bufs: vec![BufId(0), BufId(1)],
+            },
             Step::Kernel {
                 target: Target::Gpu,
                 name: "histGPU".into(),

@@ -37,11 +37,18 @@ fn main() {
 
     println!("Programmability across memory models (communication-handling lines):");
     for model in AddressSpace::ALL {
-        println!("  {:<4} {:>2}", model.abbrev(), lower(&program, model).comm_overhead_lines());
+        println!(
+            "  {:<4} {:>2}",
+            model.abbrev(),
+            lower(&program, model).comm_overhead_lines()
+        );
     }
 
     println!("\nThe partially shared lowering:\n");
-    println!("{}", render(&lower(&program, AddressSpace::PartiallyShared)));
+    println!(
+        "{}",
+        render(&lower(&program, AddressSpace::PartiallyShared))
+    );
 
     // The textual form round-trips.
     let rewritten = write_program(&program);

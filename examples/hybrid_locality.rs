@@ -53,7 +53,11 @@ fn main() {
             "  locality bit {:<8} {survivors:>5} / {pinned_lines} pinned lines survive",
             if honored { "honored:" } else { "ignored:" },
         );
-        let placement = if honored { Placement::Explicit } else { Placement::Implicit };
+        let placement = if honored {
+            Placement::Explicit
+        } else {
+            Placement::Implicit
+        };
         let _ = placement; // (the bit travels with the push; shown for clarity)
     }
 

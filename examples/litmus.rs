@@ -9,7 +9,10 @@ use hetmem::core::consistency::{enumerate_outcomes, ConsistencyModel, Op};
 
 fn show(name: &str, threads: &[Vec<Op>; 2]) {
     println!("== {name} ==");
-    for model in [ConsistencyModel::SequentialConsistency, ConsistencyModel::Weak] {
+    for model in [
+        ConsistencyModel::SequentialConsistency,
+        ConsistencyModel::Weak,
+    ] {
         let outcomes = enumerate_outcomes(threads, model);
         let rendered: Vec<String> = outcomes
             .iter()
@@ -47,7 +50,10 @@ fn main() {
     // The same producer/consumer written with ownership (Figure 2b style).
     show(
         "MP with ownership: T0: x=42; release(x)   T1: acquire(x); r(x)",
-        &[vec![w(X, 42), Op::Release { loc: X }], vec![Op::Acquire { loc: X }, r(X)]],
+        &[
+            vec![w(X, 42), Op::Release { loc: X }],
+            vec![Op::Acquire { loc: X }, r(X)],
+        ],
     );
     println!("With release/acquire the weak model's outcomes collapse to exactly the");
     println!("sequentially-consistent ones — the partially shared space needs no");

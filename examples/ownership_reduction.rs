@@ -35,8 +35,12 @@ fn main() {
         tracker.register(addr, bytes);
     }
     for addr in [a, b, c] {
-        tracker.release(PuKind::Cpu, addr).expect("CPU owns freshly allocated objects");
-        tracker.acquire(PuKind::Gpu, addr).expect("released objects are acquirable");
+        tracker
+            .release(PuKind::Cpu, addr)
+            .expect("CPU owns freshly allocated objects");
+        tracker
+            .acquire(PuKind::Gpu, addr)
+            .expect("released objects are acquirable");
     }
     println!("  GPU owns a, b, c — kernel may run.");
     assert!(tracker.check_access(PuKind::Gpu, a + 128).is_ok());

@@ -8,7 +8,8 @@ fn main() {
     let command = match hetmem::cli::parse_args(&args) {
         Ok(c) => c,
         Err(msg) => {
-            eprintln!("{msg}");
+            eprintln!("hetmem: {msg}");
+            eprintln!("{}", hetmem::cli::USAGE);
             std::process::exit(2);
         }
     };

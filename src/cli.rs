@@ -4,21 +4,31 @@
 //! ```text
 //! hetmem tables                         # regenerate Tables I–V
 //! hetmem fig 5 [--scale N]              # regenerate Figure 5 (also 6, 7)
+//! hetmem sweep [filters]                # parallel, cached design-space sweep
 //! hetmem loc <program.hdsl>             # programmability of a DSL source file
 //! hetmem lower <program.hdsl> <model>   # print one lowering (uni|pas|dis|adsm)
 //! hetmem trace <kernel> [--scale N]     # dump a kernel trace (.hmt) to stdout
 //! hetmem sim <trace.hmt> <system>       # simulate a trace file on a system
 //! hetmem catalog                        # the Table I survey
 //! ```
+//!
+//! Argument contract: unknown commands and unknown flags are errors — the
+//! binary prints a one-line `hetmem: ...` diagnostic plus usage on stderr
+//! and exits with status 2. Runtime failures (unreadable files, malformed
+//! traces) exit with status 1.
 
-use hetmem_core::experiment::{run_address_spaces, run_case_studies, ExperimentConfig};
+use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::report::{render_figure5, render_figure6, render_figure7, TextTable};
 use hetmem_core::EvaluatedSystem;
 use hetmem_dsl::AddressSpace;
 use hetmem_trace::kernels::{Kernel, KernelParams};
+use hetmem_xplore::{
+    parse_kernel, parse_space, parse_system, Json, OutputFormat, SweepOptions, SweepSpec,
+};
+use std::path::PathBuf;
 
 /// A parsed command.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// Regenerate Tables I–V.
     Tables,
@@ -28,6 +38,23 @@ pub enum Command {
         number: u8,
         /// Trace scale divisor.
         scale: u32,
+        /// Output format (`Table` renders the paper's figure).
+        format: OutputFormat,
+        /// Worker threads (0 = auto).
+        jobs: usize,
+        /// Optional result cache directory.
+        cache_dir: Option<PathBuf>,
+    },
+    /// Run a parallel, cached sweep over the design-space grid.
+    Sweep {
+        /// The axes to cover.
+        spec: SweepSpec,
+        /// Output format.
+        format: OutputFormat,
+        /// Worker threads (0 = auto).
+        jobs: usize,
+        /// Optional result cache directory.
+        cache_dir: Option<PathBuf>,
     },
     /// Report the Table V row for a DSL source file.
     Loc {
@@ -54,6 +81,8 @@ pub enum Command {
         path: String,
         /// Which system.
         system: EvaluatedSystem,
+        /// Output format (`Table` is the one-line human report).
+        format: OutputFormat,
     },
     /// Run the DSL static analyzer over a source file.
     Lint {
@@ -70,103 +99,279 @@ pub enum Command {
 pub const USAGE: &str = "usage: hetmem <command>
 commands:
   tables                        regenerate Tables I-V
-  fig <5|6|7> [--scale N]       regenerate a figure (default full scale)
+  fig <5|6|7> [--scale N] [--format json|csv|table] [--jobs N] [--cache-dir D]
+                                regenerate a figure (default full scale)
+  sweep [--kernel K] [--system S] [--space A] [--scale N] [--jobs N]
+        [--cache-dir D] [--format json|csv|table]
+                                parallel cached sweep over the design space
+                                (filters repeat or take comma lists; default
+                                covers every kernel x system x space at scale 1)
   loc <program.hdsl>            programmability (Table V row) of a DSL file
   lint <program.hdsl>           static analysis of a DSL file
   lower <program.hdsl> <model>  print a lowering (uni|pas|dis|adsm)
   trace <kernel> [--scale N]    dump a kernel trace (.hmt) to stdout
-  sim <trace.hmt> <system>      simulate a trace (cpu+gpu|lrb|gmac|fusion|ideal)
+  sim <trace.hmt> <system> [--format json|csv|table]
+                                simulate a trace (cpu+gpu|lrb|gmac|fusion|ideal)
   catalog                       the Table I survey
   help                          this message";
 
-fn parse_scale(args: &[String]) -> Result<u32, String> {
-    match args.iter().position(|a| a == "--scale") {
-        None => Ok(1),
-        Some(i) => args
-            .get(i + 1)
-            .and_then(|v| v.parse::<u32>().ok())
-            .filter(|&v| v > 0)
-            .ok_or_else(|| "--scale needs a positive integer".to_owned()),
+/// Recognized `--flag value` occurrences, in argument order.
+type Flags<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits `args` into positionals and recognized `--flag value` pairs.
+/// Unknown flags are errors; every listed flag takes one value and may
+/// repeat.
+fn split_flags<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> Result<(Vec<&'a str>, Flags<'a>), String> {
+    let mut positionals = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(name) = arg.strip_prefix("--") {
+            if !allowed.contains(&name) {
+                return Err(format!("unknown flag --{name}"));
+            }
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.is_empty())
+                .ok_or_else(|| format!("--{name} needs a value"))?
+                .as_str();
+            flags.push((name, value));
+            i += 2;
+        } else if arg.starts_with('-') && arg.len() > 1 {
+            return Err(format!("unknown flag {arg}"));
+        } else {
+            positionals.push(arg);
+            i += 1;
+        }
+    }
+    Ok((positionals, flags))
+}
+
+/// Values of every occurrence of `name`, with comma lists split.
+fn flag_values<'a>(flags: &[(&'a str, &'a str)], name: &str) -> Vec<&'a str> {
+    flags
+        .iter()
+        .filter(|(n, _)| *n == name)
+        .flat_map(|(_, v)| v.split(','))
+        .filter(|v| !v.is_empty())
+        .collect()
+}
+
+fn parse_scale_value(v: &str) -> Result<u32, String> {
+    v.parse::<u32>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| "--scale needs a positive integer".to_owned())
+}
+
+fn parse_single_scale(flags: &[(&str, &str)]) -> Result<u32, String> {
+    match flag_values(flags, "scale").as_slice() {
+        [] => Ok(1),
+        [v] => parse_scale_value(v),
+        _ => Err("--scale given more than once".to_owned()),
     }
 }
 
-fn parse_system(s: &str) -> Result<EvaluatedSystem, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "cpu+gpu" | "cuda" | "cpugpu" => Ok(EvaluatedSystem::CpuGpuCuda),
-        "lrb" => Ok(EvaluatedSystem::Lrb),
-        "gmac" => Ok(EvaluatedSystem::Gmac),
-        "fusion" => Ok(EvaluatedSystem::Fusion),
-        "ideal" | "ideal-hetero" => Ok(EvaluatedSystem::IdealHetero),
-        other => Err(format!("unknown system {other:?} (cpu+gpu|lrb|gmac|fusion|ideal)")),
+fn parse_jobs(flags: &[(&str, &str)]) -> Result<usize, String> {
+    match flag_values(flags, "jobs").as_slice() {
+        [] => Ok(0),
+        [v] => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| "--jobs needs a positive integer".to_owned()),
+        _ => Err("--jobs given more than once".to_owned()),
     }
 }
 
-fn parse_model(s: &str) -> Result<AddressSpace, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "uni" | "unified" => Ok(AddressSpace::Unified),
-        "pas" | "partial" | "partially-shared" => Ok(AddressSpace::PartiallyShared),
-        "dis" | "disjoint" => Ok(AddressSpace::Disjoint),
-        "adsm" => Ok(AddressSpace::Adsm),
-        other => Err(format!("unknown model {other:?} (uni|pas|dis|adsm)")),
+fn parse_format(flags: &[(&str, &str)]) -> Result<OutputFormat, String> {
+    match flag_values(flags, "format").as_slice() {
+        [] => Ok(OutputFormat::Table),
+        [v] => OutputFormat::parse(v),
+        _ => Err("--format given more than once".to_owned()),
     }
+}
+
+fn parse_cache_dir(flags: &[(&str, &str)]) -> Option<PathBuf> {
+    flag_values(flags, "cache-dir").last().map(PathBuf::from)
+}
+
+fn parse_list<T>(
+    values: &[&str],
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    values.iter().map(|v| parse(v)).collect()
+}
+
+fn expect_no_positionals(positionals: &[&str], command: &str) -> Result<(), String> {
+    match positionals.first() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument {extra:?} for {command}")),
+    }
+}
+
+fn parse_sweep(args: &[String]) -> Result<Command, String> {
+    let (positionals, flags) = split_flags(
+        args,
+        &[
+            "kernel",
+            "system",
+            "space",
+            "scale",
+            "jobs",
+            "cache-dir",
+            "format",
+        ],
+    )?;
+    expect_no_positionals(&positionals, "sweep")?;
+
+    let kernel_names = flag_values(&flags, "kernel");
+    let kernels = if kernel_names.is_empty() {
+        Kernel::ALL.to_vec()
+    } else {
+        parse_list(&kernel_names, parse_kernel)?
+    };
+
+    let system_names = flag_values(&flags, "system");
+    let space_names = flag_values(&flags, "space");
+    // With no target filter, cover both families; a filter on one family
+    // narrows the sweep to it unless the other is filtered too.
+    let (systems, spaces) = if system_names.is_empty() && space_names.is_empty() {
+        (EvaluatedSystem::ALL.to_vec(), AddressSpace::ALL.to_vec())
+    } else {
+        (
+            parse_list(&system_names, parse_system)?,
+            parse_list(&space_names, parse_space)?,
+        )
+    };
+
+    let scale_values = flag_values(&flags, "scale");
+    let scales = if scale_values.is_empty() {
+        vec![1]
+    } else {
+        parse_list(&scale_values, parse_scale_value)?
+    };
+
+    Ok(Command::Sweep {
+        spec: SweepSpec {
+            kernels,
+            systems,
+            spaces,
+            scales,
+        },
+        format: parse_format(&flags)?,
+        jobs: parse_jobs(&flags)?,
+        cache_dir: parse_cache_dir(&flags),
+    })
 }
 
 /// Parses command-line arguments (without the program name).
 ///
 /// # Errors
 ///
-/// Returns a usage-style message on malformed input.
+/// Returns a one-line message on malformed input; the binary prints it
+/// with usage and exits 2.
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let Some(cmd) = args.first() else {
         return Ok(Command::Help);
     };
+    let rest = &args[1..];
     match cmd.as_str() {
-        "tables" => Ok(Command::Tables),
+        "tables" => {
+            expect_no_positionals(&split_flags(rest, &[])?.0, "tables")?;
+            Ok(Command::Tables)
+        }
         "fig" => {
-            let number = args
-                .get(1)
+            let (positionals, flags) =
+                split_flags(rest, &["scale", "format", "jobs", "cache-dir"])?;
+            let number = positionals
+                .first()
                 .and_then(|v| v.parse::<u8>().ok())
                 .filter(|n| matches!(n, 5..=7))
                 .ok_or_else(|| "fig needs a figure number: 5, 6, or 7".to_owned())?;
-            Ok(Command::Fig { number, scale: parse_scale(args)? })
+            expect_no_positionals(&positionals[1..], "fig")?;
+            Ok(Command::Fig {
+                number,
+                scale: parse_single_scale(&flags)?,
+                format: parse_format(&flags)?,
+                jobs: parse_jobs(&flags)?,
+                cache_dir: parse_cache_dir(&flags),
+            })
         }
+        "sweep" => parse_sweep(rest),
         "loc" => {
-            let path =
-                args.get(1).cloned().ok_or_else(|| "loc needs a source path".to_owned())?;
+            let (positionals, _) = split_flags(rest, &[])?;
+            let path = positionals
+                .first()
+                .map(|s| (*s).to_owned())
+                .ok_or_else(|| "loc needs a source path".to_owned())?;
+            expect_no_positionals(&positionals[1..], "loc")?;
             Ok(Command::Loc { path })
         }
         "lint" => {
-            let path =
-                args.get(1).cloned().ok_or_else(|| "lint needs a source path".to_owned())?;
+            let (positionals, _) = split_flags(rest, &[])?;
+            let path = positionals
+                .first()
+                .map(|s| (*s).to_owned())
+                .ok_or_else(|| "lint needs a source path".to_owned())?;
+            expect_no_positionals(&positionals[1..], "lint")?;
             Ok(Command::Lint { path })
         }
         "lower" => {
-            let path =
-                args.get(1).cloned().ok_or_else(|| "lower needs a source path".to_owned())?;
-            let model = parse_model(
-                args.get(2).ok_or_else(|| "lower needs a model (uni|pas|dis|adsm)".to_owned())?,
+            let (positionals, _) = split_flags(rest, &[])?;
+            let path = positionals
+                .first()
+                .map(|s| (*s).to_owned())
+                .ok_or_else(|| "lower needs a source path".to_owned())?;
+            let model = parse_space(
+                positionals
+                    .get(1)
+                    .ok_or_else(|| "lower needs a model (uni|pas|dis|adsm)".to_owned())?,
             )?;
+            expect_no_positionals(&positionals[2..], "lower")?;
             Ok(Command::Lower { path, model })
         }
         "trace" => {
-            let kernel: Kernel = args
-                .get(1)
-                .ok_or_else(|| "trace needs a kernel name".to_owned())?
-                .parse()
-                .map_err(|e| format!("{e}"))?;
-            Ok(Command::Trace { kernel, scale: parse_scale(args)? })
+            let (positionals, flags) = split_flags(rest, &["scale"])?;
+            let kernel = parse_kernel(
+                positionals
+                    .first()
+                    .ok_or_else(|| "trace needs a kernel name".to_owned())?,
+            )?;
+            expect_no_positionals(&positionals[1..], "trace")?;
+            Ok(Command::Trace {
+                kernel,
+                scale: parse_single_scale(&flags)?,
+            })
         }
         "sim" => {
-            let path =
-                args.get(1).cloned().ok_or_else(|| "sim needs a trace path".to_owned())?;
+            let (positionals, flags) = split_flags(rest, &["format"])?;
+            let path = positionals
+                .first()
+                .map(|s| (*s).to_owned())
+                .ok_or_else(|| "sim needs a trace path".to_owned())?;
             let system = parse_system(
-                args.get(2).ok_or_else(|| "sim needs a system name".to_owned())?,
+                positionals
+                    .get(1)
+                    .ok_or_else(|| "sim needs a system name".to_owned())?,
             )?;
-            Ok(Command::Sim { path, system })
+            expect_no_positionals(&positionals[2..], "sim")?;
+            Ok(Command::Sim {
+                path,
+                system,
+                format: parse_format(&flags)?,
+            })
         }
-        "catalog" => Ok(Command::Catalog),
+        "catalog" => {
+            expect_no_positionals(&split_flags(rest, &[])?.0, "catalog")?;
+            Ok(Command::Catalog)
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(format!("unknown command {other:?}")),
     }
 }
 
@@ -185,14 +390,31 @@ pub fn execute(command: &Command) -> Result<(), String> {
             print_characteristics();
         }
         Command::Catalog => print_catalog(),
-        Command::Fig { number, scale } => {
-            let cfg = ExperimentConfig::scaled(*scale);
-            match number {
-                5 => println!("{}", render_figure5(&run_case_studies(&cfg))),
-                6 => println!("{}", render_figure6(&run_case_studies(&cfg))),
-                7 => println!("{}", render_figure7(&run_address_spaces(&cfg))),
-                _ => unreachable!("validated at parse time"),
-            }
+        Command::Fig {
+            number,
+            scale,
+            format,
+            jobs,
+            cache_dir,
+        } => {
+            execute_fig(*number, *scale, *format, *jobs, cache_dir.clone())?;
+        }
+        Command::Sweep {
+            spec,
+            format,
+            jobs,
+            cache_dir,
+        } => {
+            let config = ExperimentConfig::paper();
+            let opts = SweepOptions {
+                workers: *jobs,
+                cache_dir: cache_dir.clone(),
+                progress: true,
+            };
+            let out = hetmem_xplore::run_sweep(spec, &config, &opts)
+                .map_err(|e| format!("sweep failed: {e}"))?;
+            print!("{}", format.render(&out.records));
+            eprintln!("sweep: {}", out.stats);
         }
         Command::Loc { path } => {
             let program = load_program(path)?;
@@ -223,28 +445,101 @@ pub fn execute(command: &Command) -> Result<(), String> {
         }
         Command::Lower { path, model } => {
             let program = load_program(path)?;
-            println!("{}", hetmem_dsl::render(&hetmem_dsl::lower(&program, *model)));
+            println!(
+                "{}",
+                hetmem_dsl::render(&hetmem_dsl::lower(&program, *model))
+            );
         }
         Command::Trace { kernel, scale } => {
             let trace = kernel.generate(&KernelParams::scaled(*scale));
             print!("{}", hetmem_trace::write_trace(&trace));
         }
-        Command::Sim { path, system } => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+        Command::Sim {
+            path,
+            system,
+            format,
+        } => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let trace = hetmem_trace::parse_trace(&text).map_err(|e| e.to_string())?;
             let mut sim = hetmem_sim::System::new(&hetmem_sim::SystemConfig::baseline());
             let mut comm = system.comm_model(hetmem_sim::CommCosts::paper());
             let report = sim.run(&trace, &mut comm);
-            println!("{}: {report}", system.name());
+            match format {
+                OutputFormat::Table => println!("{}: {report}", system.name()),
+                OutputFormat::Json => {
+                    let value = Json::obj(vec![
+                        ("system", Json::Str(system.name().to_owned())),
+                        ("total_ticks", Json::UInt(report.total_ticks())),
+                        ("report", hetmem_xplore::report_to_json(&report)),
+                    ]);
+                    println!("{}", value.render());
+                }
+                OutputFormat::Csv => {
+                    return Err("sim supports --format json|table".to_owned());
+                }
+            }
         }
     }
     Ok(())
 }
 
+/// Figures 5–7 through the sweep engine: parallel and optionally cached.
+fn execute_fig(
+    number: u8,
+    scale: u32,
+    format: OutputFormat,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+) -> Result<(), String> {
+    let config = ExperimentConfig::scaled(scale);
+    let opts = SweepOptions {
+        workers: jobs,
+        cache_dir,
+        progress: false,
+    };
+    // The table format renders the paper's figure; json/csv emit the raw
+    // sweep records for scripting.
+    if format == OutputFormat::Table {
+        match number {
+            5 => {
+                let (runs, _) = hetmem_xplore::run_case_studies(&config, &opts)
+                    .map_err(|e| format!("fig {number} failed: {e}"))?;
+                println!("{}", render_figure5(&runs));
+            }
+            6 => {
+                let (runs, _) = hetmem_xplore::run_case_studies(&config, &opts)
+                    .map_err(|e| format!("fig {number} failed: {e}"))?;
+                println!("{}", render_figure6(&runs));
+            }
+            7 => {
+                let (runs, _) = hetmem_xplore::run_address_spaces(&config, &opts)
+                    .map_err(|e| format!("fig {number} failed: {e}"))?;
+                println!("{}", render_figure7(&runs));
+            }
+            _ => unreachable!("validated at parse time"),
+        }
+        return Ok(());
+    }
+    let spec = match number {
+        5 | 6 => SweepSpec {
+            spaces: vec![],
+            ..SweepSpec::full(scale)
+        },
+        7 => SweepSpec {
+            systems: vec![],
+            ..SweepSpec::full(scale)
+        },
+        _ => unreachable!("validated at parse time"),
+    };
+    let out = hetmem_xplore::run_sweep(&spec, &config, &opts)
+        .map_err(|e| format!("fig {number} failed: {e}"))?;
+    print!("{}", format.render(&out.records));
+    Ok(())
+}
+
 fn load_program(path: &str) -> Result<hetmem_dsl::Program, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     hetmem_dsl::parse_program(&text).map_err(|e| e.to_string())
 }
 
@@ -308,29 +603,119 @@ mod tests {
         assert_eq!(parse_args(&args(&["help"])), Ok(Command::Help));
         assert_eq!(
             parse_args(&args(&["fig", "5"])),
-            Ok(Command::Fig { number: 5, scale: 1 })
+            Ok(Command::Fig {
+                number: 5,
+                scale: 1,
+                format: OutputFormat::Table,
+                jobs: 0,
+                cache_dir: None
+            })
         );
         assert_eq!(
-            parse_args(&args(&["fig", "7", "--scale", "64"])),
-            Ok(Command::Fig { number: 7, scale: 64 })
+            parse_args(&args(&["fig", "7", "--scale", "64", "--format", "json"])),
+            Ok(Command::Fig {
+                number: 7,
+                scale: 64,
+                format: OutputFormat::Json,
+                jobs: 0,
+                cache_dir: None
+            })
         );
         assert_eq!(
             parse_args(&args(&["trace", "reduction", "--scale", "8"])),
-            Ok(Command::Trace { kernel: Kernel::Reduction, scale: 8 })
+            Ok(Command::Trace {
+                kernel: Kernel::Reduction,
+                scale: 8
+            })
         );
         assert_eq!(
             parse_args(&args(&["sim", "t.hmt", "fusion"])),
-            Ok(Command::Sim { path: "t.hmt".into(), system: EvaluatedSystem::Fusion })
+            Ok(Command::Sim {
+                path: "t.hmt".into(),
+                system: EvaluatedSystem::Fusion,
+                format: OutputFormat::Table
+            })
         );
         assert_eq!(
             parse_args(&args(&["lower", "p.hdsl", "adsm"])),
-            Ok(Command::Lower { path: "p.hdsl".into(), model: AddressSpace::Adsm })
+            Ok(Command::Lower {
+                path: "p.hdsl".into(),
+                model: AddressSpace::Adsm
+            })
         );
-        assert_eq!(parse_args(&args(&["loc", "p.hdsl"])), Ok(Command::Loc { path: "p.hdsl".into() }));
+        assert_eq!(
+            parse_args(&args(&["loc", "p.hdsl"])),
+            Ok(Command::Loc {
+                path: "p.hdsl".into()
+            })
+        );
         assert_eq!(
             parse_args(&args(&["lint", "p.hdsl"])),
-            Ok(Command::Lint { path: "p.hdsl".into() })
+            Ok(Command::Lint {
+                path: "p.hdsl".into()
+            })
         );
+    }
+
+    #[test]
+    fn parses_sweep_defaults_and_filters() {
+        let Ok(Command::Sweep {
+            spec,
+            format,
+            jobs,
+            cache_dir,
+        }) = parse_args(&args(&["sweep"]))
+        else {
+            panic!("sweep must parse");
+        };
+        assert_eq!(spec, SweepSpec::full(1));
+        assert_eq!(format, OutputFormat::Table);
+        assert_eq!(jobs, 0);
+        assert_eq!(cache_dir, None);
+
+        let Ok(Command::Sweep {
+            spec,
+            format,
+            jobs,
+            cache_dir,
+        }) = parse_args(&args(&[
+            "sweep",
+            "--kernel",
+            "kmeans,dct",
+            "--system",
+            "fusion",
+            "--scale",
+            "64",
+            "--jobs",
+            "8",
+            "--cache-dir",
+            "/tmp/c",
+            "--format",
+            "csv",
+        ]))
+        else {
+            panic!("filtered sweep must parse");
+        };
+        assert_eq!(spec.kernels, vec![Kernel::KMeans, Kernel::Dct]);
+        assert_eq!(spec.systems, vec![EvaluatedSystem::Fusion]);
+        assert!(
+            spec.spaces.is_empty(),
+            "a system filter narrows to case studies"
+        );
+        assert_eq!(spec.scales, vec![64]);
+        assert_eq!(format, OutputFormat::Csv);
+        assert_eq!(jobs, 8);
+        assert_eq!(cache_dir, Some(PathBuf::from("/tmp/c")));
+    }
+
+    #[test]
+    fn sweep_space_filter_selects_isolation_family() {
+        let Ok(Command::Sweep { spec, .. }) = parse_args(&args(&["sweep", "--space", "uni,adsm"]))
+        else {
+            panic!("sweep must parse");
+        };
+        assert!(spec.systems.is_empty());
+        assert_eq!(spec.spaces, vec![AddressSpace::Unified, AddressSpace::Adsm]);
     }
 
     #[test]
@@ -345,10 +730,28 @@ mod tests {
     }
 
     #[test]
+    fn rejects_unknown_flags_and_extra_arguments() {
+        assert!(parse_args(&args(&["fig", "5", "--bogus", "1"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--turbo", "on"])).is_err());
+        assert!(parse_args(&args(&["sweep", "extra"])).is_err());
+        assert!(parse_args(&args(&["tables", "--scale", "2"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--jobs", "0"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--jobs"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--format", "yaml"])).is_err());
+        assert!(parse_args(&args(&["sim", "t.hmt", "fusion", "extra"])).is_err());
+    }
+
+    #[test]
     fn system_and_model_aliases() {
         assert_eq!(parse_system("CUDA"), Ok(EvaluatedSystem::CpuGpuCuda));
-        assert_eq!(parse_system("ideal-hetero"), Ok(EvaluatedSystem::IdealHetero));
-        assert_eq!(parse_model("partially-shared"), Ok(AddressSpace::PartiallyShared));
-        assert_eq!(parse_model("UNIFIED"), Ok(AddressSpace::Unified));
+        assert_eq!(
+            parse_system("ideal-hetero"),
+            Ok(EvaluatedSystem::IdealHetero)
+        );
+        assert_eq!(
+            parse_space("partially-shared"),
+            Ok(AddressSpace::PartiallyShared)
+        );
+        assert_eq!(parse_space("UNIFIED"), Ok(AddressSpace::Unified));
     }
 }

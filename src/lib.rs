@@ -17,6 +17,8 @@
 //!   evaluated systems, and the experiment runners for Figures 5–7.
 //! * [`dsl`] (`hetmem-dsl`) — the heterogeneous-programming DSL whose
 //!   per-model lowering reproduces the Table V programmability metric.
+//! * [`xplore`] (`hetmem-xplore`) — the parallel, cached design-space sweep
+//!   engine behind `hetmem sweep` and the figure runners.
 //!
 //! ## Quickstart
 //!
@@ -40,3 +42,4 @@ pub use hetmem_core as core;
 pub use hetmem_dsl as dsl;
 pub use hetmem_sim as sim;
 pub use hetmem_trace as trace;
+pub use hetmem_xplore as xplore;

@@ -45,7 +45,11 @@ fn trace_dump_then_simulate_round_trips() {
     std::fs::write(&path, &text).expect("write trace");
 
     let sim = hetmem(&["sim", path.to_str().expect("utf8 path"), "fusion"]);
-    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
     let report = stdout(&sim);
     assert!(report.contains("Fusion"), "{report}");
     assert!(report.contains("par"), "{report}");
@@ -65,7 +69,11 @@ fn loc_and_lower_consume_dsl_sources() {
     let p = path.to_str().expect("utf8 path");
 
     let loc = hetmem(&["loc", p]);
-    assert!(loc.status.success(), "{}", String::from_utf8_lossy(&loc.stderr));
+    assert!(
+        loc.status.success(),
+        "{}",
+        String::from_utf8_lossy(&loc.stderr)
+    );
     let text = stdout(&loc);
     assert!(text.contains("UNI    0"), "{text}");
     assert!(text.contains("PAS    2"), "{text}");
@@ -73,7 +81,10 @@ fn loc_and_lower_consume_dsl_sources() {
     let lower = hetmem(&["lower", p, "dis"]);
     assert!(lower.status.success());
     let text = stdout(&lower);
-    assert!(text.contains("Memcpy(gpu_x, x, MemcpyHosttoDevice);"), "{text}");
+    assert!(
+        text.contains("Memcpy(gpu_x, x, MemcpyHosttoDevice);"),
+        "{text}"
+    );
     assert!(text.contains("// [comm]"), "{text}");
 }
 
@@ -84,6 +95,153 @@ fn fig7_runs_at_small_scale() {
     let text = stdout(&out);
     assert!(text.contains("UNI"), "{text}");
     assert!(text.contains("reduction"), "{text}");
+}
+
+#[test]
+fn unknown_flags_exit_nonzero_with_one_line_error_and_usage() {
+    for argv in [
+        vec!["sweep", "--turbo", "on"],
+        vec!["fig", "5", "--bogus", "1"],
+        vec!["tables", "--scale", "2"],
+        vec!["sim", "t.hmt", "fusion", "extra"],
+    ] {
+        let out = hetmem(&argv);
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        let first = err.lines().next().unwrap_or_default();
+        assert!(first.starts_with("hetmem: "), "{argv:?}: {first}");
+        assert!(err.contains("usage: hetmem"), "{argv:?}: {err}");
+    }
+}
+
+#[test]
+fn sweep_is_deterministic_across_worker_counts() {
+    let serial = hetmem(&["sweep", "--scale", "512", "--jobs", "1", "--format", "json"]);
+    let threaded = hetmem(&["sweep", "--scale", "512", "--jobs", "8", "--format", "json"]);
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    assert!(
+        threaded.status.success(),
+        "{}",
+        String::from_utf8_lossy(&threaded.stderr)
+    );
+    assert!(!serial.stdout.is_empty());
+    assert_eq!(
+        serial.stdout, threaded.stdout,
+        "--jobs must not change results"
+    );
+    // 6 kernels × (5 systems + 4 spaces) = one record per grid cell.
+    assert_eq!(stdout(&serial).lines().count(), 54);
+}
+
+#[test]
+fn sweep_warm_cache_hits_everything_and_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("hetmem-cli-sweep-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.to_str().expect("utf8 path");
+    let args = [
+        "sweep",
+        "--kernel",
+        "kmeans",
+        "--scale",
+        "512",
+        "--jobs",
+        "4",
+        "--cache-dir",
+        cache,
+        "--format",
+        "json",
+    ];
+    let cold = hetmem(&args);
+    let warm = hetmem(&args);
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm run must reproduce cold bytes"
+    );
+
+    let cold_stats = String::from_utf8_lossy(&cold.stderr).into_owned();
+    let warm_stats = String::from_utf8_lossy(&warm.stderr).into_owned();
+    assert!(
+        cold_stats.contains("0 cache hits, 9 misses"),
+        "{cold_stats}"
+    );
+    assert!(
+        warm_stats.contains("9 cache hits, 0 misses"),
+        "{warm_stats}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_filters_and_csv_header() {
+    let out = hetmem(&[
+        "sweep", "--kernel", "dct", "--system", "fusion", "--scale", "512", "--format", "csv",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    assert!(
+        lines[0].starts_with("id,kind,kernel,target,scale,total_ticks"),
+        "{text}"
+    );
+    assert!(
+        lines[1].starts_with("0,case-study,dct,Fusion,512,"),
+        "{text}"
+    );
+}
+
+#[test]
+fn sim_and_fig_emit_json() {
+    let dump = hetmem(&["trace", "dct", "--scale", "512"]);
+    assert!(dump.status.success());
+    let dir = std::env::temp_dir().join("hetmem-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("dct.hmt");
+    std::fs::write(&path, stdout(&dump)).expect("write trace");
+
+    let sim = hetmem(&[
+        "sim",
+        path.to_str().expect("utf8 path"),
+        "gmac",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
+    let text = stdout(&sim);
+    assert!(
+        text.starts_with("{\"system\":\"GMAC\",\"total_ticks\":"),
+        "{text}"
+    );
+    assert!(text.contains("\"report\":{"), "{text}");
+
+    let fig = hetmem(&["fig", "7", "--scale", "512", "--format", "json"]);
+    assert!(fig.status.success());
+    let text = stdout(&fig);
+    // 6 kernels × 4 address spaces.
+    assert_eq!(text.lines().count(), 24, "{text}");
+    assert!(text.contains("\"kind\":\"address-space\""), "{text}");
 }
 
 #[test]

@@ -27,8 +27,14 @@ fn case_studies_are_deterministic() {
 #[test]
 fn full_grid_is_deterministic() {
     let cfg = ExperimentConfig::scaled(256);
-    let a: Vec<u64> = run_case_studies(&cfg).iter().map(|r| r.report.total_ticks()).collect();
-    let b: Vec<u64> = run_case_studies(&cfg).iter().map(|r| r.report.total_ticks()).collect();
+    let a: Vec<u64> = run_case_studies(&cfg)
+        .iter()
+        .map(|r| r.report.total_ticks())
+        .collect();
+    let b: Vec<u64> = run_case_studies(&cfg)
+        .iter()
+        .map(|r| r.report.total_ticks())
+        .collect();
     assert_eq!(a, b);
 }
 
@@ -39,7 +45,12 @@ fn lowering_and_codegen_are_deterministic() {
             let a = lower(&program, model);
             let b = lower(&program, model);
             assert_eq!(a, b, "{} / {model}", program.name);
-            assert_eq!(generate_trace(&a), generate_trace(&b), "{} / {model}", program.name);
+            assert_eq!(
+                generate_trace(&a),
+                generate_trace(&b),
+                "{} / {model}",
+                program.name
+            );
         }
     }
 }

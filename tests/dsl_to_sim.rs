@@ -49,7 +49,11 @@ fn dsl_traces_reproduce_the_figure7_equality() {
         let max = *totals.iter().max().expect("non-empty");
         let min = *totals.iter().min().expect("non-empty");
         let spread = (max - min) as f64 / max as f64;
-        assert!(spread < 0.06, "{}: spread {spread:.4} ({totals:?})", program.name);
+        assert!(
+            spread < 0.06,
+            "{}: spread {spread:.4} ({totals:?})",
+            program.name
+        );
     }
 }
 

@@ -74,7 +74,10 @@ fn fig5_pci_systems_slower_than_fusion_and_ideal() {
         let ideal = total(kernel, EvaluatedSystem::IdealHetero);
         assert!(fusion >= ideal, "{kernel}");
         for pci in [EvaluatedSystem::CpuGpuCuda, EvaluatedSystem::Lrb] {
-            assert!(total(kernel, pci) > fusion, "{kernel}: {pci} should exceed Fusion");
+            assert!(
+                total(kernel, pci) > fusion,
+                "{kernel}: {pci} should exceed Fusion"
+            );
         }
     }
 }
@@ -110,9 +113,15 @@ fn fig6_fabric_ordering_per_kernel() {
         let fusion = comm(kernel, EvaluatedSystem::Fusion);
         let ideal = comm(kernel, EvaluatedSystem::IdealHetero);
         assert_eq!(ideal, 0, "{kernel}");
-        assert!(gmac < cuda, "{kernel}: GMAC ({gmac}) must hide copies vs CUDA ({cuda})");
+        assert!(
+            gmac < cuda,
+            "{kernel}: GMAC ({gmac}) must hide copies vs CUDA ({cuda})"
+        );
         assert!(lrb < cuda, "{kernel}: LRB ({lrb}) must beat CUDA ({cuda})");
-        assert!(fusion < cuda / 2, "{kernel}: Fusion ({fusion}) should be far below PCI-E");
+        assert!(
+            fusion < cuda / 2,
+            "{kernel}: Fusion ({fusion}) should be far below PCI-E"
+        );
     }
 }
 

@@ -29,7 +29,11 @@ fn table_v_ordering_claim_holds() {
         assert_eq!(row.uni, 0, "{}", row.kernel);
         assert!(row.pas > row.uni, "{}", row.kernel);
         // The trend across the table (k-mean is the paper's own <= case).
-        assert!(row.pas <= row.adsm || row.kernel == "k-mean", "{}", row.kernel);
+        assert!(
+            row.pas <= row.adsm || row.kernel == "k-mean",
+            "{}",
+            row.kernel
+        );
         assert!(row.adsm <= row.dis, "{}", row.kernel);
     }
 }
@@ -41,9 +45,7 @@ fn table_i_observations_hold() {
     assert_eq!(cat.len(), 13);
     // No unified + fully coherent + strongly consistent system exists.
     assert!(!cat.iter().any(|e| {
-        e.space == CatalogSpace::Unified
-            && e.fully_coherent
-            && e.consistency == Consistency::Strong
+        e.space == CatalogSpace::Unified && e.fully_coherent && e.consistency == Consistency::Strong
     }));
     // Disjoint is the most common organization.
     let count = |s| cat.iter().filter(|e| e.space == s).count();
@@ -71,7 +73,10 @@ fn table_ii_baseline_matches_the_paper() {
     assert_eq!(cfg.gpu.simd_width, 8);
     assert_eq!(cfg.cpu.l1d.capacity_bytes, 32 * 1024);
     assert_eq!(cfg.cpu.l2.capacity_bytes, 256 * 1024);
-    assert_eq!(u64::from(cfg.llc.tiles) * cfg.llc.tile.capacity_bytes, 8 << 20);
+    assert_eq!(
+        u64::from(cfg.llc.tiles) * cfg.llc.tile.capacity_bytes,
+        8 << 20
+    );
     assert_eq!(cfg.dram.channels, 4);
     assert_eq!(cfg.gpu.scratchpad_bytes, 16 * 1024);
 }

@@ -1,7 +1,10 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the stack: caches, DRAM timing, TLBs, the branch
-//! predictor, the ownership protocol, trace generation, and the lowering
-//! passes.
+//! Property-based tests on the core data structures and invariants of the
+//! stack: caches, DRAM timing, TLBs, the branch predictor, the ownership
+//! protocol, trace generation, and the lowering passes.
+//!
+//! The generators run on a small in-repo xorshift harness (the container
+//! has no registry access, so `proptest` is not available); seeds are fixed
+//! so every run explores the same deterministic case set.
 
 use hetmem::core::consistency::{enumerate_outcomes, ConsistencyModel, Op};
 use hetmem::core::OwnershipTracker;
@@ -9,105 +12,181 @@ use hetmem::dsl::{generate_trace, lower, AddressSpace, BufId, Buffer, Program, S
 use hetmem::sim::{Cache, CacheConfig, Dram, DramConfig, Gshare, Placement, Tlb};
 use hetmem::trace::kernels::{Kernel, KernelParams};
 use hetmem::trace::{
-    parse_trace, write_trace, CommEvent, CommKind, Inst, Phase, PhaseSegment, PhasedTrace,
-    PuKind, SpecialOp, TraceStream, TransferDirection,
+    parse_trace, write_trace, CommEvent, CommKind, Inst, Phase, PhaseSegment, PhasedTrace, PuKind,
+    SpecialOp, TraceStream, TransferDirection,
 };
-use proptest::prelude::*;
 
-fn small_cache_cfg() -> CacheConfig {
-    CacheConfig { capacity_bytes: 4096, associativity: 4, line_bytes: 64, latency_cycles: 1 }
+/// Deterministic xorshift64* generator — the harness behind every property.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        usize::try_from(self.range(lo as u64, hi as u64)).expect("fits")
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A vector of `len in [min_len, max_len)` draws from `f`.
+    fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_range(min_len, max_len);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// Picks one element of `options`.
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.usize_range(0, options.len())]
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    // ---------- cache ----------
+fn small_cache_cfg() -> CacheConfig {
+    CacheConfig {
+        capacity_bytes: 4096,
+        associativity: 4,
+        line_bytes: 64,
+        latency_cycles: 1,
+    }
+}
 
-    #[test]
-    fn cache_access_then_contains(addrs in prop::collection::vec(0u64..1 << 20, 1..200)) {
+// ---------- cache ----------
+
+#[test]
+fn cache_access_then_contains() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for _ in 0..CASES {
+        let addrs = rng.vec(1, 200, |r| r.range(0, 1 << 20));
         let mut c = Cache::new(&small_cache_cfg());
         for &a in &addrs {
             let look = c.access(a, false, Placement::Implicit);
             if !look.bypassed {
-                prop_assert!(c.contains(a), "just-filled line must be resident");
+                assert!(c.contains(a), "just-filled line must be resident");
             }
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        assert_eq!(s.hits + s.misses, addrs.len() as u64);
     }
+}
 
-    #[test]
-    fn cache_occupancy_bounded(
-        ops in prop::collection::vec((0u64..1 << 18, any::<bool>(), any::<bool>()), 1..300)
-    ) {
+#[test]
+fn cache_occupancy_bounded() {
+    let mut rng = Rng::new(0xBEEF);
+    for _ in 0..CASES {
+        let ops = rng.vec(1, 300, |r| (r.range(0, 1 << 18), r.bool(), r.bool()));
         let cfg = small_cache_cfg();
         let mut c = Cache::new(&cfg);
         for &(addr, write, explicit) in &ops {
-            let placement = if explicit { Placement::Explicit } else { Placement::Implicit };
+            let placement = if explicit {
+                Placement::Explicit
+            } else {
+                Placement::Implicit
+            };
             let _ = c.access(addr, write, placement);
         }
         let (implicit, explicit) = c.occupancy();
         let lines = cfg.capacity_bytes / u64::from(cfg.line_bytes);
         let sets = cfg.sets();
-        prop_assert!(implicit + explicit <= lines);
+        assert!(implicit + explicit <= lines);
         // §II-B5 constraint: the explicit footprint stays below capacity —
         // at most (associativity - 1) ways per set.
-        prop_assert!(explicit <= sets * u64::from(cfg.associativity - 1));
+        assert!(explicit <= sets * u64::from(cfg.associativity - 1));
     }
+}
 
-    #[test]
-    fn cache_explicit_lines_survive_implicit_streams(
-        pinned in 0u64..64,
-        stream in prop::collection::vec(1u64 << 16..1 << 20, 1..500)
-    ) {
+#[test]
+fn cache_explicit_lines_survive_implicit_streams() {
+    let mut rng = Rng::new(0x5EED);
+    for _ in 0..CASES {
+        let pinned = rng.range(0, 64);
+        let stream = rng.vec(1, 500, |r| r.range(1 << 16, 1 << 20));
         let mut c = Cache::new(&small_cache_cfg());
         let pinned_addr = pinned * 64;
         let _ = c.access(pinned_addr, false, Placement::Explicit);
         for &a in &stream {
             let _ = c.access(a, false, Placement::Implicit);
         }
-        prop_assert!(c.contains(pinned_addr), "explicit block evicted by implicit traffic");
+        assert!(
+            c.contains(pinned_addr),
+            "explicit block evicted by implicit traffic"
+        );
     }
+}
 
-    // ---------- DRAM ----------
+// ---------- DRAM ----------
 
-    #[test]
-    fn dram_completion_after_arrival(
-        reqs in prop::collection::vec((0u64..1_000_000, 0u64..1 << 24, any::<bool>()), 1..200)
-    ) {
-        let mut reqs = reqs;
+#[test]
+fn dram_completion_after_arrival() {
+    let mut rng = Rng::new(0xD3AD);
+    for _ in 0..CASES {
+        let mut reqs = rng.vec(1, 200, |r| {
+            (r.range(0, 1_000_000), r.range(0, 1 << 24), r.bool())
+        });
         reqs.sort_by_key(|r| r.0);
         let mut d = Dram::new(&DramConfig::default());
-        let min_latency = 0; // burst at least
         for &(arrival, addr, write) in &reqs {
             let resp = d.request(arrival, addr * 64, write);
-            prop_assert!(resp.done_at > arrival + min_latency);
+            assert!(resp.done_at > arrival, "completion must follow arrival");
         }
         let s = d.stats();
-        prop_assert_eq!(s.reads + s.writes, reqs.len() as u64);
-        prop_assert_eq!(s.row_hits + s.row_misses, reqs.len() as u64);
+        assert_eq!(s.reads + s.writes, reqs.len() as u64);
+        assert_eq!(s.row_hits + s.row_misses, reqs.len() as u64);
     }
+}
 
-    #[test]
-    fn dram_same_bank_requests_serialize(
-        count in 2usize..40,
-        row in 0u64..16
-    ) {
+#[test]
+fn dram_same_bank_requests_serialize() {
+    let mut rng = Rng::new(0xBA2C);
+    for _ in 0..CASES {
+        let count = rng.usize_range(2, 40);
+        let row = rng.range(0, 16);
         let mut d = Dram::new(&DramConfig::default());
         // Same channel/bank: line multiples of channels*banks (= 32 lines).
         let addr = row * 8192;
         let mut last = 0;
         for _ in 0..count {
             let resp = d.request(0, addr, false);
-            prop_assert!(resp.done_at > last, "same-bank responses must strictly serialize");
+            assert!(
+                resp.done_at > last,
+                "same-bank responses must strictly serialize"
+            );
             last = resp.done_at;
         }
     }
+}
 
-    // ---------- TLB ----------
+// ---------- TLB ----------
 
-    #[test]
-    fn tlb_repeat_hits(pages in prop::collection::vec(0u64..32, 1..100)) {
+#[test]
+fn tlb_repeat_hits() {
+    let mut rng = Rng::new(0x71B);
+    for _ in 0..CASES {
+        let pages = rng.vec(1, 100, |r| r.range(0, 32));
         let mut t = Tlb::new(64, 4096);
         // 32 distinct pages fit in a 64-entry TLB: after a first pass every
         // later access hits.
@@ -115,29 +194,35 @@ proptest! {
             let _ = t.translate(p * 4096);
         }
         for &p in &pages {
-            prop_assert!(t.translate(p * 4096), "resident page must hit");
+            assert!(t.translate(p * 4096), "resident page must hit");
         }
     }
+}
 
-    // ---------- branch predictor ----------
+// ---------- branch predictor ----------
 
-    #[test]
-    fn gshare_counts_are_consistent(outcomes in prop::collection::vec(any::<bool>(), 1..500)) {
+#[test]
+fn gshare_counts_are_consistent() {
+    let mut rng = Rng::new(0x6543);
+    for _ in 0..CASES {
+        let outcomes = rng.vec(1, 500, Rng::bool);
         let mut g = Gshare::new(10, 8);
         for &t in &outcomes {
             let _ = g.predict_and_train(t);
         }
-        prop_assert_eq!(g.predictions(), outcomes.len() as u64);
-        prop_assert!(g.mispredictions() <= g.predictions());
-        prop_assert!((0.0..=1.0).contains(&g.misprediction_rate()));
+        assert_eq!(g.predictions(), outcomes.len() as u64);
+        assert!(g.mispredictions() <= g.predictions());
+        assert!((0.0..=1.0).contains(&g.misprediction_rate()));
     }
+}
 
-    // ---------- ownership protocol ----------
+// ---------- ownership protocol ----------
 
-    #[test]
-    fn ownership_never_concurrent(
-        ops in prop::collection::vec((any::<bool>(), any::<bool>(), 0u64..4), 1..200)
-    ) {
+#[test]
+fn ownership_never_concurrent() {
+    let mut rng = Rng::new(0x04E2);
+    for _ in 0..CASES {
+        let ops = rng.vec(1, 200, |r| (r.bool(), r.bool(), r.range(0, 4)));
         let mut t = OwnershipTracker::new();
         for obj in 0..4u64 {
             t.register(obj * 0x1000, 0x800);
@@ -148,90 +233,106 @@ proptest! {
             if acquire {
                 let before = t.owner_of(addr);
                 match t.acquire(pu, addr) {
-                    Ok(()) => prop_assert_eq!(t.owner_of(addr), Some(pu)),
+                    Ok(()) => assert_eq!(t.owner_of(addr), Some(pu)),
                     Err(_) => {
                         // Acquire fails only when the peer owns it, and
                         // ownership must be unchanged.
-                        prop_assert_eq!(before, Some(pu.peer()));
-                        prop_assert_eq!(t.owner_of(addr), before);
+                        assert_eq!(before, Some(pu.peer()));
+                        assert_eq!(t.owner_of(addr), before);
                     }
                 }
             } else {
                 let before = t.owner_of(addr);
                 match t.release(pu, addr) {
-                    Ok(()) => prop_assert_eq!(t.owner_of(addr), None),
-                    Err(_) => prop_assert_ne!(before, Some(pu)),
+                    Ok(()) => assert_eq!(t.owner_of(addr), None),
+                    Err(_) => assert_ne!(before, Some(pu)),
                 }
             }
             // The core invariant: at most one owner at any time (trivially
             // true with Option, but exercised via accesses).
             if let Some(owner) = t.owner_of(addr) {
-                prop_assert!(t.check_access(owner, addr).is_ok());
-                prop_assert!(t.check_access(owner.peer(), addr).is_err());
+                assert!(t.check_access(owner, addr).is_ok());
+                assert!(t.check_access(owner.peer(), addr).is_err());
             }
         }
     }
+}
 
-    // ---------- trace generation ----------
+// ---------- trace generation ----------
 
-    #[test]
-    fn scaled_kernels_stay_well_formed(scale in 1u32..5000, idx in 0usize..6) {
-        let kernel = Kernel::ALL[idx];
+#[test]
+fn scaled_kernels_stay_well_formed() {
+    let mut rng = Rng::new(0x7ACE);
+    for _ in 0..24 {
         // Skip the slow full-size generations; scale >= 8 is instant.
-        prop_assume!(scale >= 8);
+        let scale = u32::try_from(rng.range(8, 5000)).expect("fits");
+        let kernel = rng.pick(&Kernel::ALL);
         let trace = kernel.generate(&KernelParams::scaled(scale));
-        prop_assert_eq!(trace.validate(), Ok(()));
-        prop_assert_eq!(trace.comm_count(), kernel.paper_characteristics().communications);
+        assert_eq!(trace.validate(), Ok(()));
+        assert_eq!(
+            trace.comm_count(),
+            kernel.paper_characteristics().communications
+        );
         let c = trace.characteristics();
-        prop_assert!(c.cpu_instructions > 0);
-        prop_assert!(c.gpu_instructions > 0);
+        assert!(c.cpu_instructions > 0);
+        assert!(c.gpu_instructions > 0);
     }
 }
 
 // ---------- lowering invariants over random programs ----------
 
-/// Strategy: a random but well-formed heterogeneous program.
-fn arb_program() -> impl Strategy<Value = Program> {
-    let n_bufs = 2usize..6;
-    n_bufs.prop_flat_map(|n| {
-        let buffers: Vec<Buffer> =
-            (0..n).map(|i| Buffer::new(format!("b{i}"), 64 * (i as u64 + 1))).collect();
-        let buf_id = 0..n;
-        let step = (any::<bool>(), buf_id.clone(), 0..n, prop::bool::ANY).prop_map(
-            move |(gpu, r, w, upload)| Step::Kernel {
-                target: if gpu { Target::Gpu } else { Target::Cpu },
-                name: if gpu { "kG".into() } else { "kC".into() },
-                reads: vec![BufId(r)],
-                writes: vec![BufId(w)],
-                args_upload: upload,
-            },
-        );
-        let steps = prop::collection::vec(step, 1..8);
-        steps.prop_map(move |mut steps| {
-            // Always initialize buffer 0 first and end with a host use so
-            // the program is meaningful.
-            steps.insert(0, Step::HostInit { bufs: vec![BufId(0)] });
-            steps.push(Step::Seq {
-                name: "finish".into(),
-                reads: vec![BufId(0)],
-                writes: vec![],
-            });
-            Program { name: "random".into(), buffers: buffers.clone(), steps, compute_lines: 10 }
-        })
-    })
+/// A random but well-formed heterogeneous program.
+fn arb_program(rng: &mut Rng) -> Program {
+    let n = rng.usize_range(2, 6);
+    let buffers: Vec<Buffer> = (0..n)
+        .map(|i| Buffer::new(format!("b{i}"), 64 * (i as u64 + 1)))
+        .collect();
+    let mut steps: Vec<Step> = rng.vec(1, 8, |r| {
+        let gpu = r.bool();
+        Step::Kernel {
+            target: if gpu { Target::Gpu } else { Target::Cpu },
+            name: if gpu { "kG".into() } else { "kC".into() },
+            reads: vec![BufId(r.usize_range(0, n))],
+            writes: vec![BufId(r.usize_range(0, n))],
+            args_upload: r.bool(),
+        }
+    });
+    // Always initialize buffer 0 first and end with a host use so the
+    // program is meaningful.
+    steps.insert(
+        0,
+        Step::HostInit {
+            bufs: vec![BufId(0)],
+        },
+    );
+    steps.push(Step::Seq {
+        name: "finish".into(),
+        reads: vec![BufId(0)],
+        writes: vec![],
+    });
+    Program {
+        name: "random".into(),
+        buffers,
+        steps,
+        compute_lines: 10,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lowering_invariants_hold_for_random_programs(program in arb_program()) {
-        prop_assert_eq!(program.validate(), Ok(()));
+#[test]
+fn lowering_invariants_hold_for_random_programs() {
+    let mut rng = Rng::new(0x10EF);
+    for _ in 0..64 {
+        let program = arb_program(&mut rng);
+        assert_eq!(program.validate(), Ok(()));
         let uni = lower(&program, AddressSpace::Unified);
-        prop_assert_eq!(uni.comm_overhead_lines(), 0, "unified is always overhead-free");
+        assert_eq!(
+            uni.comm_overhead_lines(),
+            0,
+            "unified is always overhead-free"
+        );
 
         let pas = lower(&program, AddressSpace::PartiallyShared);
-        prop_assert_eq!(
+        assert_eq!(
             pas.comm_overhead_lines(),
             2 * program.gpu_kernel_sites(),
             "PAS overhead is exactly one release+acquire pair per GPU kernel site"
@@ -239,19 +340,23 @@ proptest! {
 
         let dis = lower(&program, AddressSpace::Disjoint).comm_overhead_lines();
         let adsm = lower(&program, AddressSpace::Adsm).comm_overhead_lines();
-        prop_assert!(adsm <= dis, "ADSM never needs more lines than disjoint");
+        assert!(adsm <= dis, "ADSM never needs more lines than disjoint");
         if program.gpu_kernel_sites() > 0 {
-            prop_assert!(dis > 0);
+            assert!(dis > 0);
         }
     }
+}
 
-    #[test]
-    fn codegen_valid_for_random_programs(program in arb_program()) {
+#[test]
+fn codegen_valid_for_random_programs() {
+    let mut rng = Rng::new(0xC0DE);
+    for _ in 0..64 {
+        let program = arb_program(&mut rng);
         for model in AddressSpace::ALL {
             let trace = generate_trace(&lower(&program, model));
-            prop_assert_eq!(trace.validate(), Ok(()), "{}", model);
+            assert_eq!(trace.validate(), Ok(()), "{model}");
             if model == AddressSpace::Unified {
-                prop_assert_eq!(trace.comm_bytes(), 0);
+                assert_eq!(trace.comm_bytes(), 0);
             }
         }
     }
@@ -259,128 +364,145 @@ proptest! {
 
 // ---------- trace encoding round-trips over random traces ----------
 
-fn arb_compute_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        Just(Inst::IntAlu),
-        Just(Inst::Mul),
-        Just(Inst::FpAlu),
-        (1u8..=8).prop_map(|lanes| Inst::SimdAlu { lanes }),
-        (0u64..1 << 32, prop_oneof![Just(4u8), Just(8), Just(32)])
-            .prop_map(|(addr, bytes)| Inst::Load { addr, bytes }),
-        (0u64..1 << 32, prop_oneof![Just(4u8), Just(8), Just(32)])
-            .prop_map(|(addr, bytes)| Inst::Store { addr, bytes }),
-        any::<bool>().prop_map(|taken| Inst::Branch { taken }),
-    ]
-}
-
-fn arb_special_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (0u64..1 << 32, 1u64..1 << 20)
-            .prop_map(|(addr, bytes)| Inst::Special(SpecialOp::Acquire { addr, bytes })),
-        (0u64..1 << 32, 1u64..1 << 20)
-            .prop_map(|(addr, bytes)| Inst::Special(SpecialOp::Release { addr, bytes })),
-        (0u64..1 << 32).prop_map(|addr| Inst::Special(SpecialOp::PageFault { addr })),
-        Just(Inst::Special(SpecialOp::Sync)),
-        Just(Inst::Special(SpecialOp::KernelLaunch)),
-        (0u64..1 << 32).prop_map(|addr| Inst::Special(SpecialOp::Free { addr })),
-    ]
-}
-
-fn arb_comm_inst() -> impl Strategy<Value = Inst> {
-    (
-        any::<bool>(),
-        prop_oneof![
-            Just(CommKind::InitialInput),
-            Just(CommKind::ResultReturn),
-            Just(CommKind::Intermediate)
-        ],
-        1u64..1 << 24,
-        0u64..1 << 32,
-    )
-        .prop_map(|(h2d, kind, bytes, addr)| {
-            Inst::Comm(CommEvent {
-                direction: if h2d {
-                    TransferDirection::HostToDevice
-                } else {
-                    TransferDirection::DeviceToHost
-                },
-                kind,
-                bytes,
-                addr,
-            })
-        })
-}
-
-fn arb_trace() -> impl Strategy<Value = PhasedTrace> {
-    let seq = prop::collection::vec(arb_compute_inst(), 1..30).prop_map(|insts| {
-        PhaseSegment::new(Phase::Sequential, insts.into_iter().collect(), TraceStream::new())
-    });
-    let par = (
-        prop::collection::vec(arb_compute_inst(), 0..30),
-        prop::collection::vec(arb_compute_inst(), 0..30),
-    )
-        .prop_map(|(c, g)| {
-            PhaseSegment::new(
-                Phase::Parallel,
-                c.into_iter().collect(),
-                g.into_iter().collect(),
-            )
-        });
-    let comm = prop::collection::vec(
-        prop_oneof![arb_comm_inst(), arb_special_inst()],
-        1..8,
-    )
-    .prop_map(|insts| {
-        PhaseSegment::new(Phase::Communication, insts.into_iter().collect(), TraceStream::new())
-    });
-    let segment = prop_oneof![seq, par, comm];
-    ("[a-z][a-z0-9 _-]{0,20}", prop::collection::vec(segment, 1..8)).prop_map(
-        |(name, segments)| {
-            let mut t = PhasedTrace::new(name);
-            for s in segments {
-                t.push_segment(s);
-            }
-            t
+fn arb_compute_inst(rng: &mut Rng) -> Inst {
+    match rng.range(0, 7) {
+        0 => Inst::IntAlu,
+        1 => Inst::Mul,
+        2 => Inst::FpAlu,
+        3 => Inst::SimdAlu {
+            lanes: u8::try_from(rng.range(1, 9)).expect("fits"),
         },
-    )
+        4 => Inst::Load {
+            addr: rng.range(0, 1 << 32),
+            bytes: rng.pick(&[4u8, 8, 32]),
+        },
+        5 => Inst::Store {
+            addr: rng.range(0, 1 << 32),
+            bytes: rng.pick(&[4u8, 8, 32]),
+        },
+        _ => Inst::Branch { taken: rng.bool() },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_special_inst(rng: &mut Rng) -> Inst {
+    match rng.range(0, 6) {
+        0 => Inst::Special(SpecialOp::Acquire {
+            addr: rng.range(0, 1 << 32),
+            bytes: rng.range(1, 1 << 20),
+        }),
+        1 => Inst::Special(SpecialOp::Release {
+            addr: rng.range(0, 1 << 32),
+            bytes: rng.range(1, 1 << 20),
+        }),
+        2 => Inst::Special(SpecialOp::PageFault {
+            addr: rng.range(0, 1 << 32),
+        }),
+        3 => Inst::Special(SpecialOp::Sync),
+        4 => Inst::Special(SpecialOp::KernelLaunch),
+        _ => Inst::Special(SpecialOp::Free {
+            addr: rng.range(0, 1 << 32),
+        }),
+    }
+}
 
-    #[test]
-    fn random_traces_round_trip_through_hmt(trace in arb_trace()) {
+fn arb_comm_inst(rng: &mut Rng) -> Inst {
+    Inst::Comm(CommEvent {
+        direction: if rng.bool() {
+            TransferDirection::HostToDevice
+        } else {
+            TransferDirection::DeviceToHost
+        },
+        kind: rng.pick(&[
+            CommKind::InitialInput,
+            CommKind::ResultReturn,
+            CommKind::Intermediate,
+        ]),
+        bytes: rng.range(1, 1 << 24),
+        addr: rng.range(0, 1 << 32),
+    })
+}
+
+fn arb_trace(rng: &mut Rng) -> PhasedTrace {
+    const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 _-";
+    let mut name = String::from("t");
+    for _ in 0..rng.usize_range(0, 20) {
+        name.push(char::from(NAME_CHARS[rng.usize_range(0, NAME_CHARS.len())]));
+    }
+    let mut t = PhasedTrace::new(name);
+    for _ in 0..rng.usize_range(1, 8) {
+        let segment = match rng.range(0, 3) {
+            0 => PhaseSegment::new(
+                Phase::Sequential,
+                rng.vec(1, 30, arb_compute_inst).into_iter().collect(),
+                TraceStream::new(),
+            ),
+            1 => PhaseSegment::new(
+                Phase::Parallel,
+                rng.vec(0, 30, arb_compute_inst).into_iter().collect(),
+                rng.vec(0, 30, arb_compute_inst).into_iter().collect(),
+            ),
+            _ => PhaseSegment::new(
+                Phase::Communication,
+                rng.vec(1, 8, |r| {
+                    if r.bool() {
+                        arb_comm_inst(r)
+                    } else {
+                        arb_special_inst(r)
+                    }
+                })
+                .into_iter()
+                .collect(),
+                TraceStream::new(),
+            ),
+        };
+        t.push_segment(segment);
+    }
+    t
+}
+
+#[test]
+fn random_traces_round_trip_through_hmt() {
+    let mut rng = Rng::new(0x2077);
+    for _ in 0..64 {
+        let trace = arb_trace(&mut rng);
         // Only well-formed traces are encodable-by-contract; random
         // composition above always satisfies the shape invariants.
-        prop_assert_eq!(trace.validate(), Ok(()));
+        assert_eq!(trace.validate(), Ok(()));
         let text = write_trace(&trace);
         let decoded = parse_trace(&text).expect("own output must parse");
-        prop_assert_eq!(decoded, trace);
+        assert_eq!(decoded, trace);
     }
+}
 
-    // ---------- consistency: weak is always a relaxation ----------
+// ---------- consistency: weak is always a relaxation ----------
 
-    #[test]
-    fn weak_outcomes_contain_sc_outcomes(
-        a in prop::collection::vec(arb_litmus_op(), 0..4),
-        b in prop::collection::vec(arb_litmus_op(), 0..4),
-    ) {
+/// Litmus ops over 2 locations and 2 values; no ownership ops (those can
+/// block, which makes outcome-set comparison vacuous).
+fn arb_litmus_op(rng: &mut Rng) -> Op {
+    match rng.range(0, 3) {
+        0 => Op::Write {
+            loc: u8::try_from(rng.range(0, 2)).expect("fits"),
+            value: u8::try_from(rng.range(1, 3)).expect("fits"),
+        },
+        1 => Op::Read {
+            loc: u8::try_from(rng.range(0, 2)).expect("fits"),
+        },
+        _ => Op::Fence,
+    }
+}
+
+#[test]
+fn weak_outcomes_contain_sc_outcomes() {
+    let mut rng = Rng::new(0x11FF);
+    for _ in 0..64 {
+        let a = rng.vec(0, 4, arb_litmus_op);
+        let b = rng.vec(0, 4, arb_litmus_op);
         let threads = [a, b];
         let sc = enumerate_outcomes(&threads, ConsistencyModel::SequentialConsistency);
         let weak = enumerate_outcomes(&threads, ConsistencyModel::Weak);
-        prop_assert!(
+        assert!(
             sc.is_subset(&weak),
             "SC outcomes must be weak-reachable: sc={sc:?} weak={weak:?}"
         );
     }
-}
-
-/// Litmus ops over 2 locations and 2 values; no ownership ops (those can
-/// block, which makes outcome-set comparison vacuous).
-fn arb_litmus_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..2, 1u8..3).prop_map(|(loc, value)| Op::Write { loc, value }),
-        (0u8..2).prop_map(|loc| Op::Read { loc }),
-        Just(Op::Fence),
-    ]
 }

@@ -6,8 +6,8 @@ use hetmem::core::experiment::{
     best_partition, run_page_size_study, run_partition_sweep, ExperimentConfig,
 };
 use hetmem::core::{
-    evaluate_energy, evaluate_systems, pareto_frontier, run_locality_study,
-    EvaluatedSystem, SharedLocalityVariant,
+    evaluate_energy, evaluate_systems, pareto_frontier, run_locality_study, EvaluatedSystem,
+    SharedLocalityVariant,
 };
 use hetmem::trace::kernels::Kernel;
 
@@ -15,7 +15,11 @@ use hetmem::trace::kernels::Kernel;
 fn locality_study_orders_variants() {
     let rows = run_locality_study(&ExperimentConfig::scaled(16));
     assert_eq!(rows.len(), 3);
-    let get = |v| rows.iter().find(|r| r.variant == v).expect("variant present");
+    let get = |v| {
+        rows.iter()
+            .find(|r| r.variant == v)
+            .expect("variant present")
+    };
     let implicit = get(SharedLocalityVariant::Implicit);
     let hybrid = get(SharedLocalityVariant::ExplicitHybrid);
     let ignored = get(SharedLocalityVariant::ExplicitIgnored);
@@ -69,7 +73,10 @@ fn partition_study_beats_the_even_split() {
         &[1, 5, 10, 25, 50],
     );
     let best = best_partition(&rows);
-    let even = rows.iter().find(|r| r.gpu_share_pct == 50).expect("50 swept");
+    let even = rows
+        .iter()
+        .find(|r| r.gpu_share_pct == 50)
+        .expect("50 swept");
     assert!(best.total_ticks < even.total_ticks);
 }
 
