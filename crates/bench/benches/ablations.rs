@@ -9,9 +9,31 @@ use hetmem_bench::harness::{BenchmarkId, Criterion};
 use hetmem_bench::{criterion_group, criterion_main};
 use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::EvaluatedSystem;
-use hetmem_sim::{CommCosts, DramPolicy, FabricKind, SynchronousFabric, System, SystemConfig};
+use hetmem_sim::{
+    CommCosts, CommModel, DramPolicy, FabricKind, RunReport, Simulation, SynchronousFabric,
+    SystemConfig,
+};
 use hetmem_trace::kernels::{Kernel, KernelParams};
+use hetmem_trace::PhasedTrace;
 use std::hint::black_box;
+
+fn simulate(
+    cfg: SystemConfig,
+    costs: CommCosts,
+    honor_llc_locality: bool,
+    comm: impl CommModel + 'static,
+    trace: &PhasedTrace,
+) -> RunReport {
+    Simulation::builder()
+        .config(cfg)
+        .costs(costs)
+        .llc_locality(honor_llc_locality)
+        .comm_model(comm)
+        .build()
+        .expect("bench config is valid")
+        .run(trace)
+        .expect("generated traces are well-formed")
+}
 
 fn dram_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_dram_policy");
@@ -28,9 +50,8 @@ fn dram_policy(c: &mut Criterion) {
                 b.iter(|| {
                     let mut cfg = SystemConfig::baseline();
                     cfg.dram.policy = policy;
-                    let mut sys = System::new(&cfg);
-                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
-                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                    let comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(simulate(cfg, CommCosts::paper(), true, comm, &trace).total_ticks())
                 });
             },
         );
@@ -52,13 +73,10 @@ fn llc_locality(c: &mut Criterion) {
                 let trace = Kernel::Convolution.generate(&params);
                 b.iter(|| {
                     let cfg = SystemConfig::baseline();
-                    let mut sys = if honored {
-                        System::new(&cfg)
-                    } else {
-                        System::without_llc_locality(&cfg)
-                    };
-                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
-                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                    let comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(
+                        simulate(cfg, CommCosts::paper(), honored, comm, &trace).total_ticks(),
+                    )
                 });
             },
         );
@@ -76,16 +94,14 @@ fn gmac_async(c: &mut Criterion) {
     let trace = Kernel::Reduction.generate(&params);
     group.bench_function("async_on", |b| {
         b.iter(|| {
-            let mut sys = System::with_costs(&cfg.system, cfg.costs);
-            let mut comm = EvaluatedSystem::Gmac.comm_model(cfg.costs);
-            black_box(sys.run(&trace, &mut comm).communication_ticks)
+            let comm = EvaluatedSystem::Gmac.comm_model(cfg.costs);
+            black_box(simulate(cfg.system, cfg.costs, true, comm, &trace).communication_ticks)
         });
     });
     group.bench_function("async_off_sync_pci", |b| {
         b.iter(|| {
-            let mut sys = System::with_costs(&cfg.system, cfg.costs);
-            let mut comm = SynchronousFabric::new(FabricKind::PciExpress, cfg.costs);
-            black_box(sys.run(&trace, &mut comm).communication_ticks)
+            let comm = SynchronousFabric::new(FabricKind::PciExpress, cfg.costs);
+            black_box(simulate(cfg.system, cfg.costs, true, comm, &trace).communication_ticks)
         });
     });
     group.finish();
@@ -101,16 +117,14 @@ fn aperture_vs_pci(c: &mut Criterion) {
     let trace = Kernel::KMeans.generate(&params);
     group.bench_function("lrb_aperture", |b| {
         b.iter(|| {
-            let mut sys = System::with_costs(&cfg.system, cfg.costs);
-            let mut comm = EvaluatedSystem::Lrb.comm_model(cfg.costs);
-            black_box(sys.run(&trace, &mut comm).communication_ticks)
+            let comm = EvaluatedSystem::Lrb.comm_model(cfg.costs);
+            black_box(simulate(cfg.system, cfg.costs, true, comm, &trace).communication_ticks)
         });
     });
     group.bench_function("plain_pci", |b| {
         b.iter(|| {
-            let mut sys = System::with_costs(&cfg.system, cfg.costs);
-            let mut comm = SynchronousFabric::new(FabricKind::PciExpress, cfg.costs);
-            black_box(sys.run(&trace, &mut comm).communication_ticks)
+            let comm = SynchronousFabric::new(FabricKind::PciExpress, cfg.costs);
+            black_box(simulate(cfg.system, cfg.costs, true, comm, &trace).communication_ticks)
         });
     });
     group.finish();
@@ -131,9 +145,8 @@ fn l2_prefetch(c: &mut Criterion) {
                 b.iter(|| {
                     let mut cfg = SystemConfig::baseline();
                     cfg.cpu.l2_prefetch_degree = degree;
-                    let mut sys = System::new(&cfg);
-                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
-                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                    let comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(simulate(cfg, CommCosts::paper(), true, comm, &trace).total_ticks())
                 });
             },
         );
@@ -156,9 +169,8 @@ fn gpu_page_size(c: &mut Criterion) {
                 b.iter(|| {
                     let mut cfg = SystemConfig::baseline();
                     cfg.mmu.gpu_page_bytes = page;
-                    let mut sys = System::new(&cfg);
-                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
-                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                    let comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(simulate(cfg, CommCosts::paper(), true, comm, &trace).total_ticks())
                 });
             },
         );
@@ -182,9 +194,8 @@ fn noc_topology(c: &mut Criterion) {
                 b.iter(|| {
                     let mut cfg = SystemConfig::baseline();
                     cfg.noc.topology = topo;
-                    let mut sys = System::new(&cfg);
-                    let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
-                    black_box(sys.run(&trace, &mut comm).total_ticks())
+                    let comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
+                    black_box(simulate(cfg, CommCosts::paper(), true, comm, &trace).total_ticks())
                 });
             },
         );

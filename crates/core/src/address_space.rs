@@ -3,7 +3,7 @@
 //! isolation experiment (Figure 7).
 
 use hetmem_dsl::AddressSpace;
-use hetmem_sim::{CommAction, CommCosts, CommModel};
+use hetmem_sim::{CommAction, CommCostClass, CommCosts, CommModel};
 use hetmem_trace::{CommEvent, MemSpace, PuKind};
 
 /// What a PU may do with an address in a given logical space.
@@ -113,6 +113,15 @@ impl IdealSpaceComm {
 }
 
 impl CommModel for IdealSpaceComm {
+    fn cost_class(&self, _event: &CommEvent) -> CommCostClass {
+        match self.overhead_cycles() {
+            0 => CommCostClass::Elided,
+            // Every non-unified space pays API-call-shaped instruction
+            // overhead; `api-acq` is the representative class.
+            _ => CommCostClass::ApiAcq,
+        }
+    }
+
     fn plan(&mut self, _event: &CommEvent) -> CommAction {
         match self.overhead_cycles() {
             0 => CommAction::Elide,

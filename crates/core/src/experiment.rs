@@ -4,8 +4,28 @@
 use crate::address_space::IdealSpaceComm;
 use crate::presets::EvaluatedSystem;
 use hetmem_dsl::AddressSpace;
-use hetmem_sim::{CommCosts, RunReport, System, SystemConfig};
+use hetmem_sim::{CommCosts, CommModel, RunReport, Simulation, SystemConfig};
 use hetmem_trace::kernels::{Kernel, KernelParams};
+use hetmem_trace::PhasedTrace;
+
+/// Runs `trace` on `system` hardware with `comm` communication via the
+/// builder API. Experiment configurations are constructed from validated
+/// presets, so failures here are programmer errors.
+fn simulate(
+    system: &SystemConfig,
+    costs: CommCosts,
+    comm: impl CommModel + 'static,
+    trace: &PhasedTrace,
+) -> RunReport {
+    Simulation::builder()
+        .config(*system)
+        .costs(costs)
+        .comm_model(comm)
+        .build()
+        .expect("experiment system configuration is valid")
+        .run(trace)
+        .expect("generated traces are well-formed")
+}
 
 /// Common knobs for all experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,9 +89,12 @@ pub fn run_case_study(
     config: &ExperimentConfig,
 ) -> CaseStudyRun {
     let trace = kernel.generate(&config.params());
-    let mut sim = System::with_costs(&config.system, config.costs);
-    let mut comm = system.comm_model(config.costs);
-    let report = sim.run(&trace, &mut comm);
+    let report = simulate(
+        &config.system,
+        config.costs,
+        system.comm_model(config.costs),
+        &trace,
+    );
     CaseStudyRun {
         system,
         kernel,
@@ -87,9 +110,12 @@ pub fn run_case_studies(config: &ExperimentConfig) -> Vec<CaseStudyRun> {
         // Generate once per kernel; systems share the trace.
         let trace = kernel.generate(&config.params());
         for system in EvaluatedSystem::ALL {
-            let mut sim = System::with_costs(&config.system, config.costs);
-            let mut comm = system.comm_model(config.costs);
-            let report = sim.run(&trace, &mut comm);
+            let report = simulate(
+                &config.system,
+                config.costs,
+                system.comm_model(config.costs),
+                &trace,
+            );
             out.push(CaseStudyRun {
                 system,
                 kernel,
@@ -121,9 +147,12 @@ pub fn run_address_space(
     config: &ExperimentConfig,
 ) -> SpaceRun {
     let trace = kernel.generate(&config.params());
-    let mut sim = System::with_costs(&config.system, config.costs);
-    let mut comm = IdealSpaceComm::new(space, config.costs);
-    let report = sim.run(&trace, &mut comm);
+    let report = simulate(
+        &config.system,
+        config.costs,
+        IdealSpaceComm::new(space, config.costs),
+        &trace,
+    );
     SpaceRun {
         space,
         kernel,
@@ -138,9 +167,12 @@ pub fn run_address_spaces(config: &ExperimentConfig) -> Vec<SpaceRun> {
     for kernel in Kernel::ALL {
         let trace = kernel.generate(&config.params());
         for space in AddressSpace::ALL {
-            let mut sim = System::with_costs(&config.system, config.costs);
-            let mut comm = IdealSpaceComm::new(space, config.costs);
-            let report = sim.run(&trace, &mut comm);
+            let report = simulate(
+                &config.system,
+                config.costs,
+                IdealSpaceComm::new(space, config.costs),
+                &trace,
+            );
             out.push(SpaceRun {
                 space,
                 kernel,
@@ -184,9 +216,12 @@ pub fn run_page_size_study(
         .map(|&gpu_page_bytes| {
             let mut system = config.system;
             system.mmu.gpu_page_bytes = gpu_page_bytes;
-            let mut sim = System::with_costs(&system, config.costs);
-            let mut comm = SynchronousFabric::new(FabricKind::Ideal, config.costs);
-            let report = sim.run(&trace, &mut comm);
+            let report = simulate(
+                &system,
+                config.costs,
+                SynchronousFabric::new(FabricKind::Ideal, config.costs),
+                &trace,
+            );
             PageSizeRow {
                 gpu_page_bytes,
                 total_ticks: report.total_ticks(),
@@ -221,9 +256,12 @@ pub fn run_partition_sweep(
         .map(|&gpu_share_pct| {
             let params = KernelParams::scaled(config.scale).with_gpu_share(gpu_share_pct);
             let trace = kernel.generate(&params);
-            let mut sim = System::with_costs(&config.system, config.costs);
-            let mut comm = system.comm_model(config.costs);
-            let report = sim.run(&trace, &mut comm);
+            let report = simulate(
+                &config.system,
+                config.costs,
+                system.comm_model(config.costs),
+                &trace,
+            );
             PartitionRow {
                 gpu_share_pct,
                 total_ticks: report.total_ticks(),

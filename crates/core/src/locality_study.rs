@@ -12,7 +12,7 @@
 //! bit ignored (plain LRU).
 
 use crate::experiment::ExperimentConfig;
-use hetmem_sim::{CommCosts, FabricKind, SynchronousFabric, System};
+use hetmem_sim::{CommCosts, FabricKind, Simulation, SynchronousFabric};
 use hetmem_trace::kernels::layout;
 use hetmem_trace::{
     CacheLevel, Inst, Phase, PhaseSegment, PhasedTrace, PuKind, SpecialOp, TraceStream,
@@ -149,13 +149,18 @@ pub fn run_locality_study(config: &ExperimentConfig) -> Vec<LocalityStudyRow> {
                 SharedLocalityVariant::ExplicitIgnored => (true, false),
             };
             let trace = build_trace(push, config.scale);
-            let mut sys = if honor {
-                System::with_costs(&config.system, config.costs)
-            } else {
-                System::without_llc_locality(&config.system)
-            };
-            let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
-            let report = sys.run(&trace, &mut comm);
+            let report = Simulation::builder()
+                .config(config.system)
+                .costs(config.costs)
+                .comm_model(SynchronousFabric::new(
+                    FabricKind::Ideal,
+                    CommCosts::paper(),
+                ))
+                .llc_locality(honor)
+                .build()
+                .expect("experiment system configuration is valid")
+                .run(&trace)
+                .expect("study traces are well-formed");
             LocalityStudyRow {
                 variant,
                 total_ticks: report.total_ticks(),

@@ -203,9 +203,14 @@ pub fn evaluate_energy(config: &ExperimentConfig) -> Vec<EnergyEval> {
         let h2d = trace.comm_bytes_in(TransferDirection::HostToDevice);
         let total = trace.comm_bytes();
         for system in EvaluatedSystem::ALL {
-            let mut sim = hetmem_sim::System::with_costs(&config.system, config.costs);
-            let mut comm = system.comm_model(config.costs);
-            let report = sim.run(&trace, &mut comm);
+            let report = hetmem_sim::Simulation::builder()
+                .config(config.system)
+                .costs(config.costs)
+                .comm_model(system.comm_model(config.costs))
+                .build()
+                .expect("experiment system configuration is valid")
+                .run(&trace)
+                .expect("generated traces are well-formed");
             let traffic = match system {
                 EvaluatedSystem::CpuGpuCuda => CommTraffic {
                     pci_bytes: total,

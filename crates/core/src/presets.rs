@@ -17,7 +17,7 @@
 //! * IDEAL-HETERO communicates for free.
 
 use hetmem_dsl::AddressSpace;
-use hetmem_sim::{CommAction, CommCosts, CommModel, FabricKind, SynchronousFabric};
+use hetmem_sim::{CommAction, CommCostClass, CommCosts, CommModel, FabricKind, SynchronousFabric};
 use hetmem_trace::{CommEvent, TransferDirection};
 use std::collections::BTreeSet;
 
@@ -138,6 +138,15 @@ impl LrbModel {
 }
 
 impl CommModel for LrbModel {
+    fn cost_class(&self, event: &CommEvent) -> CommCostClass {
+        match event.direction {
+            // Dominated by the aperture transfer (`api-tr`).
+            TransferDirection::HostToDevice => CommCostClass::ApiTr,
+            // Pure ownership acquire.
+            TransferDirection::DeviceToHost => CommCostClass::ApiAcq,
+        }
+    }
+
     fn plan(&mut self, event: &CommEvent) -> CommAction {
         match event.direction {
             TransferDirection::HostToDevice => {
@@ -177,6 +186,15 @@ pub struct GmacModel {
 }
 
 impl CommModel for GmacModel {
+    fn cost_class(&self, event: &CommEvent) -> CommCostClass {
+        match event.direction {
+            // Rolling PCI-E copies dominate the input path.
+            TransferDirection::HostToDevice => CommCostClass::ApiPci,
+            // Only the kernel-return synchronization remains.
+            TransferDirection::DeviceToHost => CommCostClass::ApiAcq,
+        }
+    }
+
     fn plan(&mut self, event: &CommEvent) -> CommAction {
         match event.direction {
             TransferDirection::HostToDevice => {
@@ -213,6 +231,14 @@ pub enum PresetCommModel {
 }
 
 impl CommModel for PresetCommModel {
+    fn cost_class(&self, event: &CommEvent) -> CommCostClass {
+        match self {
+            PresetCommModel::Sync(m) => m.cost_class(event),
+            PresetCommModel::Lrb(m) => m.cost_class(event),
+            PresetCommModel::Gmac(m) => m.cost_class(event),
+        }
+    }
+
     fn plan(&mut self, event: &CommEvent) -> CommAction {
         match self {
             PresetCommModel::Sync(m) => m.plan(event),

@@ -1,0 +1,321 @@
+//! The [`Simulation`] builder — the front door of the simulator.
+//!
+//! The historical entry point (`System::new(&cfg)` + `system.run(&trace,
+//! &mut comm)`) spread configuration, the communication model, and error
+//! handling across call sites, and offered no place to hang an observer.
+//! The builder gathers all of it behind one fluent chain:
+//!
+//! ```
+//! use hetmem_sim::{FabricKind, Simulation};
+//! use hetmem_trace::kernels::{Kernel, KernelParams};
+//!
+//! let trace = Kernel::Reduction.generate(&KernelParams::scaled(8));
+//! let report = Simulation::builder()
+//!     .fabric(FabricKind::PciExpress)
+//!     .build()
+//!     .expect("baseline config is valid")
+//!     .run(&trace)
+//!     .expect("generated traces are well-formed");
+//! assert!(report.total_ticks() > 0);
+//! ```
+//!
+//! Configuration problems surface at [`SimulationBuilder::build`] as
+//! [`SimError::InvalidConfig`] instead of panicking mid-run, and malformed
+//! or empty traces surface at [`Simulation::run`] as typed errors.
+
+use crate::config::SystemConfig;
+use crate::error::SimError;
+use crate::fabric::{CommCosts, CommModel, FabricKind, SynchronousFabric};
+use crate::obs::{NullObserver, SimObserver};
+use crate::stats::RunReport;
+use crate::system::System;
+use hetmem_trace::PhasedTrace;
+
+enum CommChoice {
+    Fabric(FabricKind),
+    Custom(Box<dyn CommModel>),
+}
+
+/// Fluent configuration for a [`Simulation`].
+///
+/// Defaults: the Table II baseline config, the paper's Table IV costs, a
+/// synchronous PCI-E fabric, locality-aware LLC replacement, and the
+/// zero-overhead [`NullObserver`].
+pub struct SimulationBuilder<O: SimObserver = NullObserver> {
+    config: SystemConfig,
+    costs: CommCosts,
+    comm: CommChoice,
+    llc_locality: bool,
+    observer: O,
+}
+
+impl Default for SimulationBuilder<NullObserver> {
+    fn default() -> SimulationBuilder<NullObserver> {
+        SimulationBuilder {
+            config: SystemConfig::baseline(),
+            costs: CommCosts::paper(),
+            comm: CommChoice::Fabric(FabricKind::PciExpress),
+            llc_locality: true,
+            observer: NullObserver,
+        }
+    }
+}
+
+impl SimulationBuilder<NullObserver> {
+    /// Starts from the defaults (equivalent to [`Simulation::builder`]).
+    #[must_use]
+    pub fn new() -> SimulationBuilder<NullObserver> {
+        SimulationBuilder::default()
+    }
+}
+
+impl<O: SimObserver> SimulationBuilder<O> {
+    /// Sets the system configuration (Table II baseline by default).
+    #[must_use]
+    pub fn config(mut self, config: SystemConfig) -> SimulationBuilder<O> {
+        self.config = config;
+        self
+    }
+
+    /// Sets the communication-cost parameters (Table IV by default).
+    #[must_use]
+    pub fn costs(mut self, costs: CommCosts) -> SimulationBuilder<O> {
+        self.costs = costs;
+        self
+    }
+
+    /// Realizes every communication event synchronously over `fabric`
+    /// (replacing any previously chosen fabric or model).
+    #[must_use]
+    pub fn fabric(mut self, fabric: FabricKind) -> SimulationBuilder<O> {
+        self.comm = CommChoice::Fabric(fabric);
+        self
+    }
+
+    /// Uses a custom communication model — a memory-model design point from
+    /// `hetmem-core`, or any other [`CommModel`].
+    #[must_use]
+    pub fn comm_model(mut self, model: impl CommModel + 'static) -> SimulationBuilder<O> {
+        self.comm = CommChoice::Custom(Box::new(model));
+        self
+    }
+
+    /// Selects whether the LLC honours the explicit locality bit (§II-B5);
+    /// `false` is the plain-LRU ablation.
+    #[must_use]
+    pub fn llc_locality(mut self, honor: bool) -> SimulationBuilder<O> {
+        self.llc_locality = honor;
+        self
+    }
+
+    /// Attaches an observer (an [`crate::EventTrace`], an
+    /// [`crate::IntervalProfiler`], a [`crate::Recorder`], or any
+    /// [`SimObserver`]). Statically dispatched: the default
+    /// [`NullObserver`] has zero overhead.
+    #[must_use]
+    pub fn observer<P: SimObserver>(self, observer: P) -> SimulationBuilder<P> {
+        SimulationBuilder {
+            config: self.config,
+            costs: self.costs,
+            comm: self.comm,
+            llc_locality: self.llc_locality,
+            observer,
+        }
+    }
+
+    /// Validates the configuration and assembles the simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if any cache geometry, DRAM, core, or MMU
+    /// parameter is degenerate.
+    pub fn build(self) -> Result<Simulation<O>, SimError> {
+        validate_config(&self.config)?;
+        let comm: Box<dyn CommModel> = match self.comm {
+            CommChoice::Fabric(fabric) => Box::new(SynchronousFabric::new(fabric, self.costs)),
+            CommChoice::Custom(model) => model,
+        };
+        Ok(Simulation {
+            system: System::with_costs_and_locality(&self.config, self.costs, self.llc_locality),
+            comm,
+            observer: self.observer,
+        })
+    }
+}
+
+fn validate_cache(name: &str, cache: &crate::config::CacheConfig) -> Result<(), SimError> {
+    let invalid = |msg: String| Err(SimError::InvalidConfig(msg));
+    if cache.line_bytes == 0 || cache.associativity == 0 || cache.capacity_bytes == 0 {
+        return invalid(format!(
+            "{name}: zero line size, associativity, or capacity"
+        ));
+    }
+    let way_bytes = u64::from(cache.line_bytes) * u64::from(cache.associativity);
+    if !cache.capacity_bytes.is_multiple_of(way_bytes) {
+        return invalid(format!(
+            "{name}: capacity {} is not a whole number of {way_bytes}-byte set rows",
+            cache.capacity_bytes
+        ));
+    }
+    Ok(())
+}
+
+fn validate_config(config: &SystemConfig) -> Result<(), SimError> {
+    let invalid = |msg: &str| Err(SimError::InvalidConfig(msg.to_owned()));
+    validate_cache("cpu.l1d", &config.cpu.l1d)?;
+    validate_cache("cpu.l2", &config.cpu.l2)?;
+    validate_cache("gpu.l1d", &config.gpu.l1d)?;
+    validate_cache("llc.tile", &config.llc.tile)?;
+    if config.llc.tiles == 0 {
+        return invalid("llc: zero tiles");
+    }
+    if config.cpu.issue_width == 0 || config.cpu.rob_entries == 0 {
+        return invalid("cpu: zero issue width or ROB entries");
+    }
+    if config.dram.channels == 0 || config.dram.banks_per_channel == 0 {
+        return invalid("dram: zero channels or banks");
+    }
+    if config.dram.row_bytes == 0 {
+        return invalid("dram: zero row size");
+    }
+    if config.mmu.tlb_entries == 0 {
+        return invalid("mmu: zero TLB entries");
+    }
+    if !config.mmu.cpu_page_bytes.is_power_of_two() || !config.mmu.gpu_page_bytes.is_power_of_two()
+    {
+        return invalid("mmu: page sizes must be non-zero powers of two");
+    }
+    Ok(())
+}
+
+/// A ready-to-run simulation: a [`System`], its communication model, and an
+/// observer, built by [`Simulation::builder`].
+pub struct Simulation<O: SimObserver = NullObserver> {
+    system: System,
+    comm: Box<dyn CommModel>,
+    observer: O,
+}
+
+impl Simulation<NullObserver> {
+    /// Starts configuring a simulation.
+    #[must_use]
+    pub fn builder() -> SimulationBuilder<NullObserver> {
+        SimulationBuilder::default()
+    }
+}
+
+impl<O: SimObserver> Simulation<O> {
+    /// Simulates `trace`, returning the per-phase breakdown. The simulation
+    /// carries core, cache, and observer state across calls, matching real
+    /// hardware warming up over repeated kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MalformedTrace`] if the trace violates the phased-trace
+    /// shape invariants; [`SimError::EmptyTrace`] if it has no segments.
+    pub fn run(&mut self, trace: &PhasedTrace) -> Result<RunReport, SimError> {
+        trace
+            .validate()
+            .map_err(|e| SimError::MalformedTrace(e.to_string()))?;
+        if trace.segments().is_empty() {
+            return Err(SimError::EmptyTrace);
+        }
+        Ok(self
+            .system
+            .execute(trace, &mut *self.comm, &mut self.observer))
+    }
+
+    /// The underlying system (for inspecting hierarchy or core state).
+    #[must_use]
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// The attached observer.
+    #[must_use]
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the simulation, returning the observer and its recordings.
+    #[must_use]
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+}
+
+impl<O: SimObserver> std::fmt::Debug for Simulation<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("config", self.system.config())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<O: SimObserver> std::fmt::Debug for SimulationBuilder<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("config", &self.config)
+            .field("llc_locality", &self.llc_locality)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    #[test]
+    fn default_build_succeeds() {
+        let sim = Simulation::builder().build();
+        assert!(sim.is_ok());
+    }
+
+    #[test]
+    fn degenerate_cache_geometry_is_rejected() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.cpu.l1d = CacheConfig {
+            capacity_bytes: 1000,
+            associativity: 8,
+            line_bytes: 64,
+            latency_cycles: 1,
+        };
+        match Simulation::builder().config(cfg).build() {
+            Err(SimError::InvalidConfig(msg)) => assert!(msg.contains("cpu.l1d"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_dram_channels_rejected() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.dram.channels = 0;
+        assert!(matches!(
+            Simulation::builder().config(cfg).build(),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn non_power_of_two_pages_rejected() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.mmu.gpu_page_bytes = 3000;
+        assert!(matches!(
+            Simulation::builder().config(cfg).build(),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let trace = PhasedTrace::new("empty");
+        let mut sim = Simulation::builder().build().expect("valid config");
+        assert_eq!(sim.run(&trace), Err(SimError::EmptyTrace));
+    }
+}

@@ -38,6 +38,44 @@ impl Intervention {
     pub fn is_needed(&self) -> bool {
         self.invalidate_peer || self.writeback_from_peer
     }
+
+    /// The kind of intervention performed, if any.
+    #[must_use]
+    pub fn kind(&self) -> Option<InterventionKind> {
+        if self.writeback_from_peer {
+            Some(InterventionKind::WritebackInvalidate)
+        } else if self.invalidate_peer {
+            Some(InterventionKind::Invalidate)
+        } else {
+            None
+        }
+    }
+}
+
+/// The observable classes of coherence intervention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InterventionKind {
+    /// The peer's clean copy was invalidated.
+    Invalidate,
+    /// The peer's dirty copy was written back, then invalidated.
+    WritebackInvalidate,
+}
+
+impl InterventionKind {
+    /// Short machine-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InterventionKind::Invalidate => "invalidate",
+            InterventionKind::WritebackInvalidate => "writeback-invalidate",
+        }
+    }
+}
+
+impl std::fmt::Display for InterventionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Directory statistics.
@@ -206,6 +244,22 @@ mod tests {
             }
         }
         assert_eq!(interventions, 9); // all but the very first write
+    }
+
+    #[test]
+    fn intervention_kind_classifies_actions() {
+        assert_eq!(Intervention::default().kind(), None);
+        let inv = Intervention {
+            invalidate_peer: true,
+            writeback_from_peer: false,
+        };
+        assert_eq!(inv.kind(), Some(InterventionKind::Invalidate));
+        let wb = Intervention {
+            invalidate_peer: true,
+            writeback_from_peer: true,
+        };
+        assert_eq!(wb.kind(), Some(InterventionKind::WritebackInvalidate));
+        assert_eq!(wb.kind().expect("needed").name(), "writeback-invalidate");
     }
 
     #[test]

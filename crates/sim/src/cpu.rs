@@ -13,6 +13,7 @@ use crate::clock::{ClockDomain, Tick};
 use crate::config::CpuConfig;
 use crate::fabric::CommCosts;
 use crate::hierarchy::MemoryHierarchy;
+use crate::obs::{NullObserver, SimObserver};
 use crate::Gshare;
 use hetmem_trace::{CacheLevel, Inst, PuKind, SpecialOp};
 use std::collections::VecDeque;
@@ -125,6 +126,16 @@ impl CpuRun<'_> {
     /// (those belong to communication segments, which the system executes
     /// directly).
     pub fn step(&mut self, hier: &mut MemoryHierarchy) {
+        self.step_observed(hier, &mut NullObserver);
+    }
+
+    /// [`CpuRun::step`] with observability hooks. With [`NullObserver`] this
+    /// compiles down to `step` exactly.
+    ///
+    /// # Panics
+    ///
+    /// As [`CpuRun::step`].
+    pub fn step_observed<O: SimObserver>(&mut self, hier: &mut MemoryHierarchy, obs: &mut O) {
         let inst = self.insts[self.idx];
         self.idx += 1;
         let cfg = self.core.config;
@@ -145,6 +156,7 @@ impl CpuRun<'_> {
         let t = self.next_issue;
         self.next_issue += slot;
         self.core.stats.instructions += 1;
+        obs.on_instruction(PuKind::Cpu, t);
 
         let completion = match inst {
             Inst::IntAlu => t + tpc,
@@ -152,14 +164,14 @@ impl CpuRun<'_> {
             Inst::FpAlu | Inst::SimdAlu { .. } => t + 4 * tpc,
             Inst::Load { addr, .. } => {
                 self.core.stats.loads += 1;
-                let res = hier.access(PuKind::Cpu, addr, false, t);
+                let res = hier.access_observed(PuKind::Cpu, addr, false, t, obs);
                 t + res.latency
             }
             Inst::Store { addr, .. } => {
                 self.core.stats.stores += 1;
                 // Write-buffered: the store updates the memory system but
                 // retires at L1 speed.
-                let _ = hier.access(PuKind::Cpu, addr, true, t);
+                let _ = hier.access_observed(PuKind::Cpu, addr, true, t, obs);
                 t + ClockDomain::CPU.cycles_to_ticks(cfg.l1d.latency_cycles)
             }
             Inst::Branch { taken } => {
@@ -177,6 +189,7 @@ impl CpuRun<'_> {
             Inst::Special(op) => {
                 self.core.stats.special_ops += 1;
                 let cost = self.core.costs.special_ticks(&op);
+                obs.on_special(PuKind::Cpu, &op, cost, t);
                 if let SpecialOp::Push { level, addr, bytes } = op {
                     if level == CacheLevel::SharedLlc {
                         let _ = hier.push_llc_region(addr, bytes);
@@ -201,9 +214,18 @@ impl CpuRun<'_> {
 
     /// Runs the stream to completion without interleaving (sequential
     /// phases), returning the finish tick.
-    pub fn run_to_end(mut self, hier: &mut MemoryHierarchy) -> Tick {
+    pub fn run_to_end(self, hier: &mut MemoryHierarchy) -> Tick {
+        self.run_to_end_observed(hier, &mut NullObserver)
+    }
+
+    /// [`CpuRun::run_to_end`] with observability hooks.
+    pub fn run_to_end_observed<O: SimObserver>(
+        mut self,
+        hier: &mut MemoryHierarchy,
+        obs: &mut O,
+    ) -> Tick {
         while !self.done() {
-            self.step(hier);
+            self.step_observed(hier, obs);
         }
         self.finish_tick()
     }

@@ -122,16 +122,20 @@ pub fn estimate_energy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fabric::{CommCosts, FabricKind, SynchronousFabric};
-    use crate::{System, SystemConfig};
+    use crate::builder::Simulation;
+    use crate::fabric::FabricKind;
     use hetmem_trace::kernels::{Kernel, KernelParams};
 
     fn run(kernel: Kernel) -> (RunReport, u64) {
         let trace = kernel.generate(&KernelParams::scaled(64));
         let bytes = trace.comm_bytes();
-        let mut sys = System::new(&SystemConfig::baseline());
-        let mut comm = SynchronousFabric::new(FabricKind::PciExpress, CommCosts::paper());
-        (sys.run(&trace, &mut comm), bytes)
+        let report = Simulation::builder()
+            .fabric(FabricKind::PciExpress)
+            .build()
+            .expect("baseline config is valid")
+            .run(&trace)
+            .expect("well-formed trace");
+        (report, bytes)
     }
 
     #[test]

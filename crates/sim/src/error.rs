@@ -1,0 +1,72 @@
+//! The simulator-wide error type and its process exit-code mapping.
+
+use std::fmt;
+
+/// Everything that can go wrong building or running a simulation.
+///
+/// One enum replaces the previous mix of ad-hoc `String` errors and panics
+/// across `hetmem-sim` and `hetmem-xplore`, and carries the CLI's uniform
+/// exit-code policy: usage errors exit 2, runtime errors exit 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The system configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// The trace contains no phase segments, so there is nothing to run.
+    EmptyTrace,
+    /// The trace is structurally malformed (wrong streams for its phases).
+    MalformedTrace(String),
+    /// Observer or result I/O failed (event/timeline files, cache dirs).
+    Io(String),
+    /// The invocation itself was wrong (bad flags, unsupported format).
+    Usage(String),
+}
+
+impl SimError {
+    /// Process exit code the CLI maps this error to.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SimError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::EmptyTrace => write!(f, "trace has no phase segments"),
+            SimError::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
+            SimError::Io(msg) => write!(f, "{msg}"),
+            SimError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<std::io::Error> for SimError {
+    fn from(err: std::io::Error) -> SimError {
+        SimError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_cli_policy() {
+        assert_eq!(SimError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(SimError::EmptyTrace.exit_code(), 1);
+        assert_eq!(SimError::Io("disk".into()).exit_code(), 1);
+        assert_eq!(SimError::InvalidConfig("zero sets".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let err = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert_eq!(SimError::from(err), SimError::Io("gone".into()));
+    }
+}

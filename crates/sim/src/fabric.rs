@@ -153,6 +153,63 @@ impl FabricKind {
     }
 }
 
+/// The Table IV cost class that dominates one communication action — the
+/// label observability attaches to every planned transfer so event traces
+/// can be reconciled against the paper's cost taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CommCostClass {
+    /// `api-pci`: a PCI-E memcpy API call.
+    ApiPci,
+    /// `api-tr`: a transfer within the partially shared window.
+    ApiTr,
+    /// `api-acq`: an ownership acquire/release action.
+    ApiAcq,
+    /// `lib-pf`: first-touch page-fault handling.
+    LibPf,
+    /// An on-chip memory-controller copy (Fusion-style).
+    MemCtl,
+    /// No cost: the shared address space elides the transfer.
+    Elided,
+    /// The model did not classify the event.
+    Unclassified,
+}
+
+impl CommCostClass {
+    /// Short machine-readable name (matches the paper's spelling where one
+    /// exists).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CommCostClass::ApiPci => "api-pci",
+            CommCostClass::ApiTr => "api-tr",
+            CommCostClass::ApiAcq => "api-acq",
+            CommCostClass::LibPf => "lib-pf",
+            CommCostClass::MemCtl => "memctl",
+            CommCostClass::Elided => "elided",
+            CommCostClass::Unclassified => "unclassified",
+        }
+    }
+}
+
+impl std::fmt::Display for CommCostClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FabricKind {
+    /// The cost class a plain transfer over this fabric falls under.
+    #[must_use]
+    pub fn cost_class(self) -> CommCostClass {
+        match self {
+            FabricKind::PciExpress => CommCostClass::ApiPci,
+            FabricKind::PciAperture => CommCostClass::ApiTr,
+            FabricKind::MemoryController => CommCostClass::MemCtl,
+            FabricKind::Ideal => CommCostClass::Elided,
+        }
+    }
+}
+
 impl std::fmt::Display for FabricKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -195,6 +252,15 @@ pub trait CommModel {
     /// trace order, so implementations may track first-touch state (e.g. for
     /// `lib-pf` page faults).
     fn plan(&mut self, event: &CommEvent) -> CommAction;
+
+    /// The Table IV cost class the *next* [`CommModel::plan`] call for
+    /// `event` would fall under. Observability queries this immediately
+    /// before `plan` (which may mutate first-touch state), so it must not
+    /// mutate. The default leaves events unclassified.
+    fn cost_class(&self, event: &CommEvent) -> CommCostClass {
+        let _ = event;
+        CommCostClass::Unclassified
+    }
 }
 
 /// The simplest model: every event is a synchronous transfer over one
@@ -224,6 +290,10 @@ impl CommModel for SynchronousFabric {
                 ticks: f.transfer_ticks(event.bytes, &self.costs),
             },
         }
+    }
+
+    fn cost_class(&self, _event: &CommEvent) -> CommCostClass {
+        self.fabric.cost_class()
     }
 }
 
@@ -313,5 +383,19 @@ mod tests {
         }
         let mut ideal = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
         assert_eq!(ideal.plan(&event(1024)), CommAction::Elide);
+    }
+
+    #[test]
+    fn fabrics_map_to_table_iv_cost_classes() {
+        assert_eq!(FabricKind::PciExpress.cost_class(), CommCostClass::ApiPci);
+        assert_eq!(FabricKind::PciAperture.cost_class(), CommCostClass::ApiTr);
+        assert_eq!(
+            FabricKind::MemoryController.cost_class(),
+            CommCostClass::MemCtl
+        );
+        assert_eq!(FabricKind::Ideal.cost_class(), CommCostClass::Elided);
+        assert_eq!(CommCostClass::ApiPci.name(), "api-pci");
+        let m = SynchronousFabric::new(FabricKind::PciAperture, CommCosts::paper());
+        assert_eq!(m.cost_class(&event(64)), CommCostClass::ApiTr);
     }
 }

@@ -12,6 +12,7 @@ use crate::clock::{ClockDomain, Tick};
 use crate::config::GpuConfig;
 use crate::fabric::CommCosts;
 use crate::hierarchy::MemoryHierarchy;
+use crate::obs::{NullObserver, SimObserver};
 use hetmem_trace::{CacheLevel, Inst, PuKind, SpecialOp};
 
 /// Cycle-accounting statistics for the GPU core.
@@ -167,11 +168,22 @@ impl GpuRun<'_> {
     ///
     /// Panics if called after [`GpuRun::done`], or on a communication event.
     pub fn step(&mut self, hier: &mut MemoryHierarchy) {
+        self.step_observed(hier, &mut NullObserver);
+    }
+
+    /// [`GpuRun::step`] with observability hooks. With [`NullObserver`] this
+    /// compiles down to `step` exactly.
+    ///
+    /// # Panics
+    ///
+    /// As [`GpuRun::step`].
+    pub fn step_observed<O: SimObserver>(&mut self, hier: &mut MemoryHierarchy, obs: &mut O) {
         let inst = self.insts[self.idx];
         self.idx += 1;
         let tpc = ClockDomain::GPU.ticks_per_cycle();
         let cfg = self.core.config;
         self.core.stats.instructions += 1;
+        obs.on_instruction(PuKind::Gpu, self.now);
 
         match inst {
             Inst::IntAlu | Inst::Mul | Inst::FpAlu | Inst::SimdAlu { .. } => {
@@ -190,7 +202,7 @@ impl GpuRun<'_> {
                     self.now += ClockDomain::GPU.cycles_to_ticks(cfg.scratchpad_latency);
                 } else {
                     self.core.stats.memory_loads += 1;
-                    let res = hier.access(PuKind::Gpu, addr, false, self.now);
+                    let res = hier.access_observed(PuKind::Gpu, addr, false, self.now, obs);
                     let l1 = ClockDomain::GPU.cycles_to_ticks(cfg.l1d.latency_cycles);
                     if res.latency <= l1 {
                         // L1 hit: pipelined.
@@ -215,13 +227,15 @@ impl GpuRun<'_> {
             Inst::Store { addr, .. } => {
                 self.core.stats.stores += 1;
                 if !self.core.scratchpad.contains(addr) {
-                    let _ = hier.access(PuKind::Gpu, addr, true, self.now);
+                    let _ = hier.access_observed(PuKind::Gpu, addr, true, self.now, obs);
                 }
                 // Stores are fire-and-forget through a small write queue.
                 self.now += tpc;
             }
             Inst::Special(op) => {
                 self.core.stats.special_ops += 1;
+                let cost = self.core.costs.special_ticks(&op);
+                obs.on_special(PuKind::Gpu, &op, cost, self.now);
                 if let SpecialOp::Push { level, addr, bytes } = op {
                     match level {
                         CacheLevel::Scratchpad => self.core.scratchpad.map(addr, bytes),
@@ -231,7 +245,7 @@ impl GpuRun<'_> {
                         _ => {}
                     }
                 }
-                self.now += self.core.costs.special_ticks(&op).max(tpc);
+                self.now += cost.max(tpc);
             }
             Inst::Comm(_) => {
                 panic!("communication events must be executed by the system, not a core")
@@ -240,9 +254,18 @@ impl GpuRun<'_> {
     }
 
     /// Runs the stream to completion without interleaving.
-    pub fn run_to_end(mut self, hier: &mut MemoryHierarchy) -> Tick {
+    pub fn run_to_end(self, hier: &mut MemoryHierarchy) -> Tick {
+        self.run_to_end_observed(hier, &mut NullObserver)
+    }
+
+    /// [`GpuRun::run_to_end`] with observability hooks.
+    pub fn run_to_end_observed<O: SimObserver>(
+        mut self,
+        hier: &mut MemoryHierarchy,
+        obs: &mut O,
+    ) -> Tick {
         while !self.done() {
-            self.step(hier);
+            self.step_observed(hier, obs);
         }
         self.finish_tick()
     }

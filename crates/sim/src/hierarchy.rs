@@ -13,6 +13,7 @@ use crate::coherence::{CoherenceStats, Directory};
 use crate::config::SystemConfig;
 use crate::dram::{Dram, DramStats};
 use crate::noc::Interconnect;
+use crate::obs::{NullObserver, SimObserver};
 use crate::tlb::{Tlb, TlbStats};
 use hetmem_trace::PuKind;
 
@@ -132,6 +133,20 @@ impl MemoryHierarchy {
     /// latency and the servicing level. All cache, directory, TLB, and DRAM
     /// state is updated.
     pub fn access(&mut self, pu: PuKind, addr: u64, write: bool, now: Tick) -> AccessResult {
+        self.access_observed(pu, addr, write, now, &mut NullObserver)
+    }
+
+    /// [`MemoryHierarchy::access`] with observability hooks: DRAM requests,
+    /// coherence interventions, and the final service level are reported to
+    /// `obs`. With [`NullObserver`] this compiles down to `access` exactly.
+    pub fn access_observed<O: SimObserver>(
+        &mut self,
+        pu: PuKind,
+        addr: u64,
+        write: bool,
+        now: Tick,
+        obs: &mut O,
+    ) -> AccessResult {
         let domain = match pu {
             PuKind::Cpu => ClockDomain::CPU,
             PuKind::Gpu => ClockDomain::GPU,
@@ -166,12 +181,14 @@ impl MemoryHierarchy {
             // A write hit may still require invalidating a peer copy.
             if write {
                 let action = self.directory.on_access(pu, line, true);
-                if action.is_needed() {
+                if let Some(kind) = action.kind() {
                     intervention_taken = true;
                     latency += self.intervention_ticks(pu, addr, action.writeback_from_peer);
                     self.invalidate_peer_private(pu, addr);
+                    obs.on_intervention(pu, kind, now);
                 }
             }
+            obs.on_access(pu, ServiceLevel::L1, write, latency, now);
             return AccessResult {
                 latency,
                 level: ServiceLevel::L1,
@@ -179,7 +196,7 @@ impl MemoryHierarchy {
             };
         }
         if let Some(ev) = l1_look.evicted {
-            self.handle_private_eviction(pu, ev.addr, ev.dirty, now);
+            self.handle_private_eviction(pu, ev.addr, ev.dirty, now, obs);
         }
 
         // CPU: private L2.
@@ -187,23 +204,25 @@ impl MemoryHierarchy {
             let look = self.cpu_l2.access(addr, write, Placement::Implicit);
             latency += ClockDomain::CPU.cycles_to_ticks(self.config.cpu.l2.latency_cycles);
             if !look.hit {
-                self.stream_prefetch(line, now + latency);
+                self.stream_prefetch(line, now + latency, obs);
             }
             if let Some(ev) = look.evicted {
                 // L2 eviction: if dirty, write back into the LLC.
-                self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
+                self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now, obs);
                 self.directory
                     .on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
             }
             if look.hit {
                 if write {
                     let action = self.directory.on_access(pu, line, true);
-                    if action.is_needed() {
+                    if let Some(kind) = action.kind() {
                         intervention_taken = true;
                         latency += self.intervention_ticks(pu, addr, action.writeback_from_peer);
                         self.invalidate_peer_private(pu, addr);
+                        obs.on_intervention(pu, kind, now);
                     }
                 }
+                obs.on_access(pu, ServiceLevel::L2, write, latency, now);
                 return AccessResult {
                     latency,
                     level: ServiceLevel::L2,
@@ -214,10 +233,11 @@ impl MemoryHierarchy {
 
         // Leaving the private hierarchy: consult the directory.
         let action = self.directory.on_access(pu, line, write);
-        if action.is_needed() {
+        if let Some(kind) = action.kind() {
             intervention_taken = true;
             latency += self.intervention_ticks(pu, addr, action.writeback_from_peer);
             self.invalidate_peer_private(pu, addr);
+            obs.on_intervention(pu, kind, now);
             if action.writeback_from_peer {
                 // The peer's dirty data lands in the LLC, making it a hit.
                 let tile = self.tile_of(addr) as usize;
@@ -234,10 +254,12 @@ impl MemoryHierarchy {
         if let Some(ev) = llc_look.evicted {
             if ev.dirty {
                 // Posted write-back: occupies DRAM but does not delay us.
-                let _ = self.dram.request(now + latency, ev.addr, true);
+                let resp = self.dram.request(now + latency, ev.addr, true);
+                obs.on_dram(true, resp.row_hit, now + latency);
             }
         }
         if llc_look.hit {
+            obs.on_access(pu, ServiceLevel::Llc, write, latency, now);
             return AccessResult {
                 latency,
                 level: ServiceLevel::Llc,
@@ -247,7 +269,9 @@ impl MemoryHierarchy {
 
         // DRAM.
         let resp = self.dram.request(now + latency, addr, false);
+        obs.on_dram(false, resp.row_hit, now + latency);
         latency = resp.done_at.saturating_sub(now);
+        obs.on_access(pu, ServiceLevel::Dram, write, latency, now);
         AccessResult {
             latency,
             level: ServiceLevel::Dram,
@@ -259,7 +283,7 @@ impl MemoryHierarchy {
     /// sequential line stream, the following `l2_prefetch_degree` lines are
     /// brought into the L2 in the background (posted DRAM reads — they
     /// consume bandwidth but add no latency to the triggering access).
-    fn stream_prefetch(&mut self, line: u64, now: Tick) {
+    fn stream_prefetch<O: SimObserver>(&mut self, line: u64, now: Tick, obs: &mut O) {
         let degree = self.config.cpu.l2_prefetch_degree;
         let streaming = line == self.last_cpu_miss_line + 1;
         self.last_cpu_miss_line = line;
@@ -279,12 +303,13 @@ impl MemoryHierarchy {
             }
             let look = self.cpu_l2.access(paddr, false, Placement::Implicit);
             if let Some(ev) = look.evicted {
-                self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
+                self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now, obs);
                 self.directory
                     .on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
             }
             let _ = self.directory.on_access(PuKind::Cpu, pline, false);
-            let _ = self.dram.request(now, paddr, false);
+            let resp = self.dram.request(now, paddr, false);
+            obs.on_dram(false, resp.row_hit, now);
             self.prefetches += 1;
         }
     }
@@ -316,7 +341,14 @@ impl MemoryHierarchy {
 
     /// A dirty line leaving a private L1 is absorbed by the next private
     /// level (CPU) or the LLC (GPU).
-    fn handle_private_eviction(&mut self, pu: PuKind, addr: u64, dirty: bool, now: Tick) {
+    fn handle_private_eviction<O: SimObserver>(
+        &mut self,
+        pu: PuKind,
+        addr: u64,
+        dirty: bool,
+        now: Tick,
+        obs: &mut O,
+    ) {
         if !dirty {
             return;
         }
@@ -324,18 +356,25 @@ impl MemoryHierarchy {
             PuKind::Cpu => {
                 let look = self.cpu_l2.access(addr, true, Placement::Implicit);
                 if let Some(ev) = look.evicted {
-                    self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now);
+                    self.writeback_to_llc(PuKind::Cpu, ev.addr, ev.dirty, now, obs);
                     self.directory
                         .on_evict(PuKind::Cpu, MemoryHierarchy::line_of(ev.addr));
                 }
             }
             PuKind::Gpu => {
-                self.writeback_to_llc(PuKind::Gpu, addr, true, now);
+                self.writeback_to_llc(PuKind::Gpu, addr, true, now, obs);
             }
         }
     }
 
-    fn writeback_to_llc(&mut self, _pu: PuKind, addr: u64, dirty: bool, now: Tick) {
+    fn writeback_to_llc<O: SimObserver>(
+        &mut self,
+        _pu: PuKind,
+        addr: u64,
+        dirty: bool,
+        now: Tick,
+        obs: &mut O,
+    ) {
         if !dirty {
             return;
         }
@@ -343,11 +382,13 @@ impl MemoryHierarchy {
         let look = self.llc_tiles[tile].access(addr, true, Placement::Implicit);
         if look.bypassed {
             // Fully explicit set: the write-back goes straight to memory.
-            let _ = self.dram.request(now, addr, true);
+            let resp = self.dram.request(now, addr, true);
+            obs.on_dram(true, resp.row_hit, now);
         }
         if let Some(ev) = look.evicted {
             if ev.dirty {
-                let _ = self.dram.request(now, ev.addr, true);
+                let resp = self.dram.request(now, ev.addr, true);
+                obs.on_dram(true, resp.row_hit, now);
             }
         }
     }

@@ -16,21 +16,43 @@
 //! ## Example
 //!
 //! ```
-//! use hetmem_sim::{CommCosts, FabricKind, SynchronousFabric, System, SystemConfig};
+//! use hetmem_sim::{FabricKind, Simulation};
 //! use hetmem_trace::kernels::{Kernel, KernelParams};
 //!
 //! let trace = Kernel::Reduction.generate(&KernelParams::scaled(64));
-//! let mut system = System::new(&SystemConfig::baseline());
-//! let mut comm = SynchronousFabric::new(FabricKind::PciExpress, CommCosts::paper());
-//! let report = system.run(&trace, &mut comm);
+//! let report = Simulation::builder()
+//!     .fabric(FabricKind::PciExpress)
+//!     .build()
+//!     .expect("baseline config is valid")
+//!     .run(&trace)
+//!     .expect("generated traces are well-formed");
 //! assert!(report.total_ticks() > 0);
 //! println!("{report}");
+//! ```
+//!
+//! To watch the run as it happens, attach an observer — an [`EventTrace`]
+//! for typed events, an [`IntervalProfiler`] for a counter timeline, or a
+//! [`Recorder`] bundling both:
+//!
+//! ```
+//! use hetmem_sim::{EventTrace, Simulation};
+//! use hetmem_trace::kernels::{Kernel, KernelParams};
+//!
+//! let trace = Kernel::Reduction.generate(&KernelParams::scaled(8));
+//! let mut sim = Simulation::builder()
+//!     .observer(EventTrace::new())
+//!     .build()
+//!     .expect("valid config");
+//! sim.run(&trace).expect("well-formed trace");
+//! let events = sim.into_observer();
+//! assert!(events.counts().dram_requests > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bpred;
+mod builder;
 mod cache;
 mod clock;
 mod coherence;
@@ -38,18 +60,21 @@ mod config;
 mod cpu;
 mod dram;
 mod energy;
+mod error;
 mod fabric;
 mod gpu;
 mod hierarchy;
 mod noc;
+mod obs;
 mod stats;
 mod system;
 mod tlb;
 
 pub use bpred::Gshare;
+pub use builder::{Simulation, SimulationBuilder};
 pub use cache::{Cache, CacheStats, Evicted, Lookup, Placement};
 pub use clock::{ticks_to_ns, ClockDomain, Tick, TICKS_PER_SECOND};
-pub use coherence::{CoherenceStats, Directory, Intervention, LineState};
+pub use coherence::{CoherenceStats, Directory, Intervention, InterventionKind, LineState};
 pub use config::{
     CacheConfig, CpuConfig, DramConfig, DramPolicy, GpuConfig, LlcConfig, MmuConfig, NocConfig,
     NocTopology, SystemConfig,
@@ -57,10 +82,16 @@ pub use config::{
 pub use cpu::{CpuCore, CpuRun, CpuStats};
 pub use dram::{Dram, DramResponse, DramStats};
 pub use energy::{estimate_energy, CommTraffic, EnergyBreakdown, EnergyParams};
-pub use fabric::{CommAction, CommCosts, CommModel, FabricKind, SynchronousFabric};
+pub use error::SimError;
+pub use fabric::{CommAction, CommCostClass, CommCosts, CommModel, FabricKind, SynchronousFabric};
 pub use gpu::{GpuCore, GpuRun, GpuStats, Scratchpad};
 pub use hierarchy::{AccessResult, HierarchyStats, MemoryHierarchy, ServiceLevel};
 pub use noc::{Interconnect, RingBus, RING_STOPS};
+pub use obs::{
+    EventCounts, EventTrace, IntervalProfiler, NullObserver, Recorder, SimEvent, SimObserver,
+    TimelineSample, TimelineSummary, DEFAULT_BURST_GAP, DEFAULT_EVENT_CAPACITY,
+    MAX_TIMELINE_SAMPLES,
+};
 pub use stats::{DerivedStats, RunReport};
 pub use system::System;
 pub use tlb::{Tlb, TlbStats};

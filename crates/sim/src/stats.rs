@@ -113,14 +113,17 @@ pub struct DerivedStats {
 
 impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let derived = self.derived();
         write!(
             f,
-            "{}: total {:.1} µs (seq {:.1}%, par {:.1}%, comm {:.1}%)",
+            "{}: total {:.1} µs (seq {:.1}%, par {:.1}%, comm {:.1}%) | IPC cpu {:.2} gpu {:.2}",
             self.kernel,
             self.total_ns() / 1000.0,
             100.0 * self.phase_fraction(Phase::Sequential),
             100.0 * self.phase_fraction(Phase::Parallel),
             100.0 * self.phase_fraction(Phase::Communication),
+            derived.cpu_ipc,
+            derived.gpu_ipc,
         )
     }
 }
@@ -173,13 +176,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let r = RunReport {
+        let mut r = RunReport {
             kernel: "reduction".into(),
-            parallel_ticks: 42_000,
+            parallel_ticks: 12_000,
             ..RunReport::default()
         };
+        r.cpu.instructions = 4_000; // IPC 4.00 at 1000 CPU cycles
         let s = r.to_string();
         assert!(s.contains("reduction"));
         assert!(s.contains("par"));
+        assert!(s.contains("IPC cpu 4.00"), "{s}");
     }
 }

@@ -19,6 +19,7 @@ use crate::cpu::CpuCore;
 use crate::fabric::{CommAction, CommCosts, CommModel};
 use crate::gpu::GpuCore;
 use crate::hierarchy::MemoryHierarchy;
+use crate::obs::{NullObserver, SimObserver};
 use crate::stats::RunReport;
 use hetmem_trace::{Inst, Phase, PhasedTrace, PuKind};
 
@@ -34,6 +35,7 @@ pub struct System {
 
 impl System {
     /// Builds the baseline system with the paper's Table IV costs.
+    #[deprecated(note = "use `Simulation::builder()` instead")]
     #[must_use]
     pub fn new(config: &SystemConfig) -> System {
         System::with_costs(config, CommCosts::paper())
@@ -42,12 +44,23 @@ impl System {
     /// Builds a system with explicit communication-cost parameters.
     #[must_use]
     pub fn with_costs(config: &SystemConfig, costs: CommCosts) -> System {
+        System::with_costs_and_locality(config, costs, true)
+    }
+
+    /// Builds a system, selecting whether the LLC honours the explicit
+    /// locality bit (`false` is the plain-LRU ablation of §II-B5).
+    #[must_use]
+    pub fn with_costs_and_locality(
+        config: &SystemConfig,
+        costs: CommCosts,
+        llc_locality: bool,
+    ) -> System {
         System {
             config: *config,
             costs,
             cpu: CpuCore::new(&config.cpu, costs),
             gpu: GpuCore::new(&config.gpu, costs),
-            hierarchy: MemoryHierarchy::new(config),
+            hierarchy: MemoryHierarchy::with_llc_locality(config, llc_locality),
         }
     }
 
@@ -55,14 +68,7 @@ impl System {
     /// hybrid-locality ablation).
     #[must_use]
     pub fn without_llc_locality(config: &SystemConfig) -> System {
-        let costs = CommCosts::paper();
-        System {
-            config: *config,
-            costs,
-            cpu: CpuCore::new(&config.cpu, costs),
-            gpu: GpuCore::new(&config.gpu, costs),
-            hierarchy: MemoryHierarchy::with_llc_locality(config, false),
-        }
+        System::with_costs_and_locality(config, CommCosts::paper(), false)
     }
 
     /// The system configuration.
@@ -90,9 +96,24 @@ impl System {
     ///
     /// Panics if the trace violates the phased-trace shape invariants (use
     /// [`PhasedTrace::validate`] on untrusted traces first).
+    #[deprecated(note = "use `Simulation::builder()` and `Simulation::run` instead")]
     pub fn run(&mut self, trace: &PhasedTrace, comm: &mut dyn CommModel) -> RunReport {
         trace.validate().expect("trace must be well-formed");
+        self.execute(trace, comm, &mut NullObserver)
+    }
 
+    /// Simulates a validated `trace` under `comm`, reporting every phase
+    /// transition, communication action, access, and DRAM request to `obs`.
+    ///
+    /// This is the engine behind [`crate::Simulation::run`], which performs
+    /// trace validation and error mapping; with [`NullObserver`] it compiles
+    /// down to the historical unobserved loop, tick for tick.
+    pub fn execute<O: SimObserver>(
+        &mut self,
+        trace: &PhasedTrace,
+        comm: &mut dyn CommModel,
+        obs: &mut O,
+    ) -> RunReport {
         let mut now: Tick = 0;
         let mut seq_ticks: Tick = 0;
         let mut par_ticks: Tick = 0;
@@ -101,11 +122,16 @@ impl System {
         // parallel segment's GPU work must wait for.
         let mut dma_ready: Tick = 0;
 
-        for segment in trace.segments() {
+        for (index, segment) in trace.segments().iter().enumerate() {
+            let seg_start = now;
+            obs.on_phase_start(index, segment.phase(), now);
             match segment.phase() {
                 Phase::Sequential => {
                     let insts = segment.stream(PuKind::Cpu).as_slice();
-                    let end = self.cpu.begin(insts, now).run_to_end(&mut self.hierarchy);
+                    let end = self
+                        .cpu
+                        .begin(insts, now)
+                        .run_to_end_observed(&mut self.hierarchy, obs);
                     seq_ticks += end - now;
                     now = end;
                 }
@@ -124,13 +150,13 @@ impl System {
                     loop {
                         match (cpu_run.done(), gpu_run.done()) {
                             (true, true) => break,
-                            (false, true) => cpu_run.step(&mut self.hierarchy),
-                            (true, false) => gpu_run.step(&mut self.hierarchy),
+                            (false, true) => cpu_run.step_observed(&mut self.hierarchy, obs),
+                            (true, false) => gpu_run.step_observed(&mut self.hierarchy, obs),
                             (false, false) => {
                                 if cpu_run.now() <= gpu_run.now() {
-                                    cpu_run.step(&mut self.hierarchy);
+                                    cpu_run.step_observed(&mut self.hierarchy, obs);
                                 } else {
-                                    gpu_run.step(&mut self.hierarchy);
+                                    gpu_run.step_observed(&mut self.hierarchy, obs);
                                 }
                             }
                         }
@@ -153,20 +179,28 @@ impl System {
                 Phase::Communication => {
                     for inst in segment.stream(PuKind::Cpu).iter() {
                         match inst {
-                            Inst::Comm(event) => match comm.plan(event) {
-                                CommAction::Elide => {}
-                                CommAction::Synchronous { ticks } => {
-                                    comm_ticks += ticks;
-                                    now += ticks;
+                            Inst::Comm(event) => {
+                                // Classify before planning: `plan` may mutate
+                                // first-touch state the class depends on.
+                                let class = comm.cost_class(event);
+                                let action = comm.plan(event);
+                                obs.on_comm(event, &action, class, now);
+                                match action {
+                                    CommAction::Elide => {}
+                                    CommAction::Synchronous { ticks } => {
+                                        comm_ticks += ticks;
+                                        now += ticks;
+                                    }
+                                    CommAction::Asynchronous { setup, transfer } => {
+                                        comm_ticks += setup;
+                                        now += setup;
+                                        dma_ready = dma_ready.max(now + transfer);
+                                    }
                                 }
-                                CommAction::Asynchronous { setup, transfer } => {
-                                    comm_ticks += setup;
-                                    now += setup;
-                                    dma_ready = dma_ready.max(now + transfer);
-                                }
-                            },
+                            }
                             Inst::Special(op) => {
                                 let ticks = self.costs.special_ticks(op);
+                                obs.on_special(PuKind::Cpu, op, ticks, now);
                                 comm_ticks += ticks;
                                 now += ticks;
                             }
@@ -178,6 +212,7 @@ impl System {
                     }
                 }
             }
+            obs.on_phase_end(index, segment.phase(), seg_start, now);
         }
 
         // Any asynchronous transfer still in flight must complete before the
@@ -186,7 +221,7 @@ impl System {
             comm_ticks += dma_ready - now;
             now = dma_ready;
         }
-        let _ = now;
+        obs.on_run_end(now);
 
         RunReport {
             kernel: trace.name().to_owned(),
@@ -203,19 +238,24 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::Simulation;
     use crate::fabric::{FabricKind, SynchronousFabric};
     use hetmem_trace::kernels::{Kernel, KernelParams};
     use hetmem_trace::{CommEvent, CommKind, TransferDirection};
 
-    fn pci_model() -> SynchronousFabric {
-        SynchronousFabric::new(FabricKind::PciExpress, CommCosts::paper())
+    fn run_over(trace: &PhasedTrace, fabric: FabricKind) -> RunReport {
+        Simulation::builder()
+            .fabric(fabric)
+            .build()
+            .expect("baseline config is valid")
+            .run(trace)
+            .expect("well-formed trace")
     }
 
     #[test]
     fn reduction_runs_and_attributes_all_phases() {
         let trace = Kernel::Reduction.generate(&KernelParams::scaled(8));
-        let mut sys = System::new(&SystemConfig::baseline());
-        let report = sys.run(&trace, &mut pci_model());
+        let report = run_over(&trace, FabricKind::PciExpress);
         assert!(report.sequential_ticks > 0);
         assert!(report.parallel_ticks > 0);
         assert!(report.communication_ticks > 0);
@@ -226,8 +266,7 @@ mod tests {
     fn parallel_phase_dominates() {
         // The paper's headline observation: most time is parallel compute.
         let trace = Kernel::MatrixMul.generate(&KernelParams::scaled(64));
-        let mut sys = System::new(&SystemConfig::baseline());
-        let report = sys.run(&trace, &mut pci_model());
+        let report = run_over(&trace, FabricKind::PciExpress);
         assert!(
             report.phase_fraction(hetmem_trace::Phase::Parallel) > 0.5,
             "{report}"
@@ -237,20 +276,15 @@ mod tests {
     #[test]
     fn ideal_fabric_has_zero_communication() {
         let trace = Kernel::Reduction.generate(&KernelParams::scaled(8));
-        let mut sys = System::new(&SystemConfig::baseline());
-        let mut ideal = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
-        let report = sys.run(&trace, &mut ideal);
+        let report = run_over(&trace, FabricKind::Ideal);
         assert_eq!(report.communication_ticks, 0);
     }
 
     #[test]
     fn pci_slower_than_memory_controller() {
         let trace = Kernel::MergeSort.generate(&KernelParams::scaled(8));
-        let mut pci_sys = System::new(&SystemConfig::baseline());
-        let pci = pci_sys.run(&trace, &mut pci_model());
-        let mut mc_sys = System::new(&SystemConfig::baseline());
-        let mut mc = SynchronousFabric::new(FabricKind::MemoryController, CommCosts::paper());
-        let fusion = mc_sys.run(&trace, &mut mc);
+        let pci = run_over(&trace, FabricKind::PciExpress);
+        let fusion = run_over(&trace, FabricKind::MemoryController);
         assert!(pci.communication_ticks > fusion.communication_ticks);
         assert!(pci.total_ticks() > fusion.total_ticks());
     }
@@ -269,10 +303,13 @@ mod tests {
             }
         }
         let trace = Kernel::Reduction.generate(&KernelParams::scaled(8));
-        let mut sync_sys = System::new(&SystemConfig::baseline());
-        let sync = sync_sys.run(&trace, &mut pci_model());
-        let mut async_sys = System::new(&SystemConfig::baseline());
-        let asy = async_sys.run(&trace, &mut AsyncModel);
+        let sync = run_over(&trace, FabricKind::PciExpress);
+        let asy = Simulation::builder()
+            .comm_model(AsyncModel)
+            .build()
+            .expect("valid config")
+            .run(&trace)
+            .expect("well-formed trace");
         assert!(
             asy.communication_ticks < sync.communication_ticks,
             "async {} vs sync {}",
@@ -301,8 +338,12 @@ mod tests {
             addr: 0,
         }]);
         let trace = b.finish();
-        let mut sys = System::new(&SystemConfig::baseline());
-        let report = sys.run(&trace, &mut AsyncModel);
+        let report = Simulation::builder()
+            .comm_model(AsyncModel)
+            .build()
+            .expect("valid config")
+            .run(&trace)
+            .expect("well-formed trace");
         assert_eq!(report.communication_ticks, 10 + 1_000_000);
     }
 
@@ -313,9 +354,14 @@ mod tests {
         let total = |topo| {
             let mut cfg = SystemConfig::baseline();
             cfg.noc.topology = topo;
-            let mut sys = System::new(&cfg);
-            let mut comm = SynchronousFabric::new(FabricKind::Ideal, CommCosts::paper());
-            sys.run(&trace, &mut comm).total_ticks()
+            Simulation::builder()
+                .config(cfg)
+                .fabric(FabricKind::Ideal)
+                .build()
+                .expect("valid config")
+                .run(&trace)
+                .expect("well-formed trace")
+                .total_ticks()
         };
         let ring = total(NocTopology::Ring);
         let xbar = total(NocTopology::Crossbar);
@@ -327,12 +373,22 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_runs_to_zero() {
+    #[allow(deprecated)]
+    fn deprecated_shim_runs_empty_trace_to_zero() {
+        // The legacy entry point keeps its run-to-zero semantics (the new
+        // API reports `SimError::EmptyTrace` instead) and must produce the
+        // same report as the builder path on a real trace.
         let trace = PhasedTrace::new("empty");
         let mut sys = System::new(&SystemConfig::baseline());
-        let report = sys.run(&trace, &mut pci_model());
+        let mut comm = SynchronousFabric::new(FabricKind::PciExpress, CommCosts::paper());
+        let report = sys.run(&trace, &mut comm);
         assert_eq!(report.total_ticks(), 0);
         assert_eq!(report.kernel, "empty");
+
+        let real = Kernel::Reduction.generate(&KernelParams::scaled(8));
+        let mut old_sys = System::new(&SystemConfig::baseline());
+        let old = old_sys.run(&real, &mut comm);
+        assert_eq!(old, run_over(&real, FabricKind::PciExpress));
     }
 
     #[test]
@@ -347,8 +403,7 @@ mod tests {
                 stride: 8,
             },
         );
-        let mut sys = System::new(&SystemConfig::baseline());
-        let report = sys.run(&b.finish(), &mut pci_model());
+        let report = run_over(&b.finish(), FabricKind::PciExpress);
         assert!(report.sequential_ticks > 0);
         assert_eq!(report.parallel_ticks, 0);
         assert_eq!(report.communication_ticks, 0);
@@ -376,8 +431,7 @@ mod tests {
             cpu,
             hetmem_trace::TraceStream::new(),
         ));
-        let mut sys = System::new(&SystemConfig::baseline());
-        let report = sys.run(&trace, &mut pci_model());
+        let report = run_over(&trace, FabricKind::PciExpress);
         let costs = CommCosts::paper();
         assert_eq!(
             report.communication_ticks,
@@ -388,10 +442,7 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let trace = Kernel::KMeans.generate(&KernelParams::scaled(32));
-        let run = || {
-            let mut sys = System::new(&SystemConfig::baseline());
-            sys.run(&trace, &mut pci_model())
-        };
+        let run = || run_over(&trace, FabricKind::PciExpress);
         assert_eq!(run(), run());
     }
 }

@@ -117,6 +117,7 @@ mod tests {
                 parallel_ticks: 7,
                 ..RunReport::default()
             },
+            timeline: None,
         }
     }
 

@@ -116,6 +116,7 @@ mod tests {
                 communication_ticks: 25,
                 ..RunReport::default()
             },
+            timeline: None,
         }]
     }
 

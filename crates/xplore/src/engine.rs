@@ -13,7 +13,7 @@ use crate::ser::SweepRecord;
 use crate::spec::{Job, JobKind, SweepSpec};
 use hetmem_core::experiment::{CaseStudyRun, ExperimentConfig, SpaceRun};
 use hetmem_core::IdealSpaceComm;
-use hetmem_sim::System;
+use hetmem_sim::{IntervalProfiler, NullObserver, SimError, SimObserver, Simulation};
 use hetmem_trace::kernels::KernelParams;
 use hetmem_trace::PhasedTrace;
 use std::collections::HashMap;
@@ -32,6 +32,10 @@ pub struct SweepOptions {
     pub cache_dir: Option<PathBuf>,
     /// Emit a live progress line on stderr.
     pub progress: bool,
+    /// Attach an [`IntervalProfiler`] with this window size to every job and
+    /// embed its [`hetmem_sim::TimelineSummary`] in the records. `None` (the
+    /// default) simulates unobserved and leaves cache keys untouched.
+    pub timeline_interval: Option<u64>,
 }
 
 impl SweepOptions {
@@ -108,30 +112,76 @@ impl TraceStore {
 /// configuration, and the crate version.
 #[must_use]
 pub fn content_key(job: &Job, config: &ExperimentConfig) -> String {
-    format!(
+    content_key_with(job, config, None)
+}
+
+/// [`content_key`] extended with the sweep's observability request. With
+/// `timeline_interval == None` the key is byte-identical to [`content_key`],
+/// so observer-off sweeps keep hitting entries written before observability
+/// existed; a requested timeline changes the record's content and therefore
+/// addresses a separate entry.
+#[must_use]
+pub fn content_key_with(
+    job: &Job,
+    config: &ExperimentConfig,
+    timeline_interval: Option<u64>,
+) -> String {
+    let mut key = format!(
         "hetmem-xplore v{} | {} | system={:?} | costs={:?}",
         env!("CARGO_PKG_VERSION"),
         job.identity(),
         config.system,
         config.costs,
-    )
+    );
+    if let Some(interval) = timeline_interval {
+        use std::fmt::Write as _;
+        let _ = write!(key, " | timeline={interval}");
+    }
+    key
 }
 
 /// Simulates one job on a pre-generated trace.
-#[must_use]
-pub fn execute_job(job: &Job, config: &ExperimentConfig, trace: &PhasedTrace) -> SweepRecord {
-    let mut sim = System::with_costs(&config.system, config.costs);
-    let report = match job.kind {
-        JobKind::CaseStudy { system } => {
-            let mut comm = system.comm_model(config.costs);
-            sim.run(trace, &mut comm)
-        }
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the hardware configuration is invalid or the
+/// trace is malformed.
+pub fn execute_job(
+    job: &Job,
+    config: &ExperimentConfig,
+    trace: &PhasedTrace,
+) -> Result<SweepRecord, SimError> {
+    execute_job_observed(job, config, trace, NullObserver).map(|(record, _)| record)
+}
+
+/// Simulates one job with `observer` attached, returning the record and the
+/// filled observer. The record's `timeline` field is left `None`; callers
+/// that want a summary embedded extract it from the observer (as
+/// [`run_jobs`] does for [`SweepOptions::timeline_interval`]).
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the hardware configuration is invalid or the
+/// trace is malformed.
+pub fn execute_job_observed<O: SimObserver>(
+    job: &Job,
+    config: &ExperimentConfig,
+    trace: &PhasedTrace,
+    observer: O,
+) -> Result<(SweepRecord, O), SimError> {
+    let builder = Simulation::builder()
+        .config(config.system)
+        .costs(config.costs)
+        .observer(observer);
+    let mut sim = match job.kind {
+        JobKind::CaseStudy { system } => builder.comm_model(system.comm_model(config.costs)),
         JobKind::AddressSpace { space } => {
-            let mut comm = IdealSpaceComm::new(space, config.costs);
-            sim.run(trace, &mut comm)
+            builder.comm_model(IdealSpaceComm::new(space, config.costs))
         }
-    };
-    SweepRecord {
+    }
+    .build()?;
+    let report = sim.run(trace)?;
+    let record = SweepRecord {
         id: job.id,
         kind: job.kind_name().to_owned(),
         kernel: job.kernel.name().to_owned(),
@@ -139,19 +189,22 @@ pub fn execute_job(job: &Job, config: &ExperimentConfig, trace: &PhasedTrace) ->
         scale: job.scale,
         design_point: job.design_point_label(),
         report,
-    }
+        timeline: None,
+    };
+    Ok((record, sim.into_observer()))
 }
 
 /// Expands `spec` and runs every job. See [`run_jobs`].
 ///
 /// # Errors
 ///
-/// Returns an error when the cache directory cannot be opened.
+/// Returns [`SimError`] when the cache directory cannot be opened, the
+/// hardware configuration is invalid, or a trace is malformed.
 pub fn run_sweep(
     spec: &SweepSpec,
     config: &ExperimentConfig,
     opts: &SweepOptions,
-) -> std::io::Result<SweepOutput> {
+) -> Result<SweepOutput, SimError> {
     run_jobs(&spec.expand(), config, opts)
 }
 
@@ -160,7 +213,10 @@ pub fn run_sweep(
 ///
 /// # Errors
 ///
-/// Returns an error when the cache directory cannot be opened.
+/// Returns [`SimError`] when the cache directory cannot be opened, the
+/// hardware configuration is invalid, or a trace is malformed. On a failed
+/// job the lowest-ordinal error is returned, so the outcome is deterministic
+/// for any worker count.
 ///
 /// # Panics
 ///
@@ -169,17 +225,15 @@ pub fn run_jobs(
     jobs: &[Job],
     config: &ExperimentConfig,
     opts: &SweepOptions,
-) -> std::io::Result<SweepOutput> {
+) -> Result<SweepOutput, SimError> {
     let start = Instant::now();
-    let cache = match &opts.cache_dir {
-        Some(dir) => Some(DiskCache::open(dir).map_err(|e| {
-            std::io::Error::new(
-                e.kind(),
-                format!("cannot open cache dir {}: {e}", dir.display()),
-            )
-        })?),
-        None => None,
-    };
+    let cache =
+        match &opts.cache_dir {
+            Some(dir) => Some(DiskCache::open(dir).map_err(|e| {
+                SimError::Io(format!("cannot open cache dir {}: {e}", dir.display()))
+            })?),
+            None => None,
+        };
     let workers = if opts.workers == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -189,8 +243,9 @@ pub fn run_jobs(
 
     let cursor = AtomicUsize::new(0);
     let traces = TraceStore::default();
-    let (tx, rx) = mpsc::channel::<(usize, SweepRecord)>();
-    let mut slots: Vec<Option<SweepRecord>> = vec![None; jobs.len()];
+    let (tx, rx) = mpsc::channel::<(usize, Result<SweepRecord, SimError>)>();
+    let mut slots: Vec<Option<Result<SweepRecord, SimError>>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -201,22 +256,35 @@ pub fn run_jobs(
             scope.spawn(move || loop {
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
-                let key = content_key(job, config);
+                let key = content_key_with(job, config, opts.timeline_interval);
                 let record = match cache.and_then(|c| c.get(&key)) {
                     Some(mut cached) => {
                         // Ordinals belong to this sweep, not the cache entry
                         // (a differently-filtered sweep may have stored it).
                         cached.id = job.id;
-                        cached
+                        Ok(cached)
                     }
                     None => {
-                        let record = execute_job(job, config, &traces.get(job));
-                        if let Some(c) = cache {
-                            if let Err(e) = c.put(&key, &record) {
+                        let trace = traces.get(job);
+                        let result = match opts.timeline_interval {
+                            Some(interval) => execute_job_observed(
+                                job,
+                                config,
+                                &trace,
+                                IntervalProfiler::new(interval),
+                            )
+                            .map(|(mut record, profiler)| {
+                                record.timeline = Some(profiler.summary());
+                                record
+                            }),
+                            None => execute_job(job, config, &trace),
+                        };
+                        if let (Ok(record), Some(c)) = (&result, cache) {
+                            if let Err(e) = c.put(&key, record) {
                                 eprintln!("warning: cache write failed: {e}");
                             }
                         }
-                        record
+                        result
                     }
                 };
                 if tx.send((index, record)).is_err() {
@@ -228,18 +296,20 @@ pub fn run_jobs(
 
         for (done, (index, record)) in rx.into_iter().enumerate() {
             if opts.progress {
-                let mut err = std::io::stderr().lock();
-                let _ = write!(
-                    err,
-                    "\r[{:>width$}/{}] {} {}/{}        ",
-                    done + 1,
-                    jobs.len(),
-                    record.kind,
-                    record.kernel,
-                    record.target,
-                    width = jobs.len().to_string().len(),
-                );
-                let _ = err.flush();
+                if let Ok(record) = &record {
+                    let mut err = std::io::stderr().lock();
+                    let _ = write!(
+                        err,
+                        "\r[{:>width$}/{}] {} {}/{}        ",
+                        done + 1,
+                        jobs.len(),
+                        record.kind,
+                        record.kernel,
+                        record.target,
+                        width = jobs.len().to_string().len(),
+                    );
+                    let _ = err.flush();
+                }
             }
             slots[index] = Some(record);
         }
@@ -248,10 +318,12 @@ pub fn run_jobs(
         }
     });
 
-    let mut records: Vec<SweepRecord> = slots
-        .into_iter()
-        .map(|slot| slot.expect("every job completed"))
-        .collect();
+    let mut records = Vec::with_capacity(jobs.len());
+    // Ordinal order, so a failing sweep reports the same (lowest-ordinal)
+    // error for any worker count.
+    for slot in slots {
+        records.push(slot.expect("every job completed")?);
+    }
     // Slots are already ordinal-ordered; the sort is a cheap invariant
     // guard for callers that concatenate job lists.
     records.sort_by_key(|r| r.id);
@@ -279,11 +351,12 @@ pub fn run_jobs(
 ///
 /// # Errors
 ///
-/// Returns an error when the cache directory cannot be opened.
+/// Returns [`SimError`] when the cache directory cannot be opened or a job
+/// fails (see [`run_jobs`]).
 pub fn run_case_studies(
     config: &ExperimentConfig,
     opts: &SweepOptions,
-) -> std::io::Result<(Vec<CaseStudyRun>, SweepStats)> {
+) -> Result<(Vec<CaseStudyRun>, SweepStats), SimError> {
     let spec = SweepSpec {
         spaces: vec![],
         ..SweepSpec::full(config.scale)
@@ -312,11 +385,12 @@ pub fn run_case_studies(
 ///
 /// # Errors
 ///
-/// Returns an error when the cache directory cannot be opened.
+/// Returns [`SimError`] when the cache directory cannot be opened or a job
+/// fails (see [`run_jobs`]).
 pub fn run_address_spaces(
     config: &ExperimentConfig,
     opts: &SweepOptions,
-) -> std::io::Result<(Vec<SpaceRun>, SweepStats)> {
+) -> Result<(Vec<SpaceRun>, SweepStats), SimError> {
     let spec = SweepSpec {
         systems: vec![],
         ..SweepSpec::full(config.scale)
@@ -408,6 +482,45 @@ mod tests {
     }
 
     #[test]
+    fn timeline_request_addresses_a_separate_cache_entry() {
+        let jobs = small_spec().expand();
+        let plain = content_key(&jobs[0], &cfg());
+        assert_eq!(
+            plain,
+            content_key_with(&jobs[0], &cfg(), None),
+            "observer-off keys must not change"
+        );
+        let observed = content_key_with(&jobs[0], &cfg(), Some(1_000_000));
+        assert_ne!(plain, observed);
+        assert!(observed.contains("timeline=1000000"), "{observed}");
+    }
+
+    #[test]
+    fn timeline_sweep_embeds_summaries_without_perturbing_reports() {
+        let config = cfg();
+        let spec = small_spec();
+        let plain = run_sweep(&spec, &config, &SweepOptions::with_workers(2)).expect("runs");
+        let observed = run_sweep(
+            &spec,
+            &config,
+            &SweepOptions {
+                workers: 2,
+                timeline_interval: Some(500_000),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("runs");
+        assert_eq!(plain.records.len(), observed.records.len());
+        for (p, o) in plain.records.iter().zip(&observed.records) {
+            assert_eq!(p.report, o.report, "observer must not change the run");
+            assert_eq!(p.timeline, None);
+            let t = o.timeline.expect("observed records carry a summary");
+            assert_eq!(t.interval, 500_000);
+            assert!(t.samples > 0);
+        }
+    }
+
+    #[test]
     fn cache_round_trip_hits_every_job() {
         let dir =
             std::env::temp_dir().join(format!("hetmem-xplore-engine-test-{}", std::process::id()));
@@ -415,7 +528,7 @@ mod tests {
         let opts = SweepOptions {
             workers: 2,
             cache_dir: Some(dir.clone()),
-            progress: false,
+            ..SweepOptions::default()
         };
         let config = cfg();
         let spec = small_spec();

@@ -39,15 +39,19 @@ pub mod cache;
 pub mod emit;
 pub mod engine;
 pub mod json;
+pub mod obs;
 pub mod ser;
 pub mod spec;
 
 pub use cache::DiskCache;
 pub use emit::{to_csv, to_jsonl, to_table, OutputFormat};
 pub use engine::{
-    content_key, execute_job, run_address_spaces, run_case_studies, run_jobs, run_sweep,
-    SweepOptions, SweepOutput, SweepStats,
+    content_key, content_key_with, execute_job, execute_job_observed, run_address_spaces,
+    run_case_studies, run_jobs, run_sweep, SweepOptions, SweepOutput, SweepStats,
 };
 pub use json::Json;
-pub use ser::{report_from_json, report_to_json, SweepRecord, CSV_HEADER};
+pub use obs::{events_to_jsonl, timeline_to_jsonl};
+pub use ser::{
+    report_from_json, report_to_json, timeline_from_json, timeline_to_json, SweepRecord, CSV_HEADER,
+};
 pub use spec::{parse_kernel, parse_space, parse_system, Job, JobKind, SweepSpec};

@@ -1,0 +1,227 @@
+//! JSONL emission for simulator observability output.
+//!
+//! [`hetmem_sim::EventTrace`] and [`hetmem_sim::IntervalProfiler`] collect
+//! typed in-memory data; this module renders them as JSON Lines — one
+//! self-describing object per line, each with a `"kind"` discriminator —
+//! through the same in-repo [`crate::json`] module the sweep records use,
+//! so downstream tooling needs exactly one parser. Both streams end with a
+//! `"summary"` line carrying the exact aggregate totals, which survive even
+//! when the bounded event ring dropped early events.
+
+use crate::json::Json;
+use hetmem_sim::{EventCounts, EventTrace, IntervalProfiler, SimEvent, TimelineSample};
+
+/// Renders one recorded event as an ordered JSON object.
+#[must_use]
+pub fn event_to_json(event: &SimEvent) -> Json {
+    let kind = ("kind", Json::Str(event.kind_name().to_owned()));
+    match *event {
+        SimEvent::PhaseStart { segment, phase, at } => Json::obj(vec![
+            kind,
+            ("segment", Json::UInt(segment as u64)),
+            ("phase", Json::Str(phase.to_string())),
+            ("at", Json::UInt(at)),
+        ]),
+        SimEvent::PhaseEnd {
+            segment,
+            phase,
+            at,
+            ticks,
+        } => Json::obj(vec![
+            kind,
+            ("segment", Json::UInt(segment as u64)),
+            ("phase", Json::Str(phase.to_string())),
+            ("at", Json::UInt(at)),
+            ("ticks", Json::UInt(ticks)),
+        ]),
+        SimEvent::Comm {
+            class,
+            kind: comm_kind,
+            direction,
+            bytes,
+            ticks,
+            overlapped_ticks,
+            at,
+        } => Json::obj(vec![
+            kind,
+            ("class", Json::Str(class.name().to_owned())),
+            ("comm_kind", Json::Str(comm_kind.to_string())),
+            ("direction", Json::Str(direction.to_string())),
+            ("bytes", Json::UInt(bytes)),
+            ("ticks", Json::UInt(ticks)),
+            ("overlapped_ticks", Json::UInt(overlapped_ticks)),
+            ("at", Json::UInt(at)),
+        ]),
+        SimEvent::Special { pu, ticks, at } => Json::obj(vec![
+            kind,
+            ("pu", Json::Str(pu.to_string())),
+            ("ticks", Json::UInt(ticks)),
+            ("at", Json::UInt(at)),
+        ]),
+        SimEvent::MissBurst {
+            pu,
+            level,
+            count,
+            ticks,
+            at,
+        } => Json::obj(vec![
+            kind,
+            ("pu", Json::Str(pu.to_string())),
+            ("level", Json::Str(format!("{level:?}"))),
+            ("count", Json::UInt(count)),
+            ("ticks", Json::UInt(ticks)),
+            ("at", Json::UInt(at)),
+        ]),
+        SimEvent::Dram { write, row_hit, at } => Json::obj(vec![
+            kind,
+            ("write", Json::Bool(write)),
+            ("row_hit", Json::Bool(row_hit)),
+            ("at", Json::UInt(at)),
+        ]),
+        SimEvent::Intervention { pu, kind: ik, at } => Json::obj(vec![
+            kind,
+            ("pu", Json::Str(pu.to_string())),
+            ("intervention", Json::Str(ik.name().to_owned())),
+            ("at", Json::UInt(at)),
+        ]),
+    }
+}
+
+/// Renders the exact per-family totals as a `"summary"` object.
+#[must_use]
+pub fn counts_to_json(counts: &EventCounts) -> Json {
+    Json::obj(vec![
+        ("kind", Json::Str("summary".to_owned())),
+        ("phase_starts", Json::UInt(counts.phase_starts)),
+        ("phase_ends", Json::UInt(counts.phase_ends)),
+        ("comm_events", Json::UInt(counts.comm_events)),
+        ("special_ops", Json::UInt(counts.special_ops)),
+        ("miss_bursts", Json::UInt(counts.miss_bursts)),
+        ("shared_accesses", Json::UInt(counts.shared_accesses)),
+        ("dram_requests", Json::UInt(counts.dram_requests)),
+        ("dram_row_misses", Json::UInt(counts.dram_row_misses)),
+        ("interventions", Json::UInt(counts.interventions)),
+    ])
+}
+
+/// Renders an event trace as JSON Lines: every retained event in order,
+/// then one `"summary"` line with the exact [`EventCounts`] totals and the
+/// number of events the bounded ring dropped.
+#[must_use]
+pub fn events_to_jsonl(trace: &EventTrace) -> String {
+    let mut out = String::new();
+    for event in trace.events() {
+        out.push_str(&event_to_json(event).render());
+        out.push('\n');
+    }
+    let mut summary = counts_to_json(&trace.counts());
+    if let Json::Obj(pairs) = &mut summary {
+        pairs.push(("dropped".to_owned(), Json::UInt(trace.dropped())));
+    }
+    out.push_str(&summary.render());
+    out.push('\n');
+    out
+}
+
+/// Renders one timeline window as an ordered JSON object.
+#[must_use]
+pub fn sample_to_json(sample: &TimelineSample) -> Json {
+    Json::obj(vec![
+        ("kind", Json::Str("window".to_owned())),
+        ("start", Json::UInt(sample.start)),
+        ("phase", Json::Str(sample.phase.to_string())),
+        ("cpu_instructions", Json::UInt(sample.cpu_instructions)),
+        ("gpu_instructions", Json::UInt(sample.gpu_instructions)),
+        ("shared_accesses", Json::UInt(sample.shared_accesses)),
+        ("llc_misses", Json::UInt(sample.llc_misses)),
+        ("dram_reads", Json::UInt(sample.dram_reads)),
+        ("dram_writes", Json::UInt(sample.dram_writes)),
+        ("dram_row_misses", Json::UInt(sample.dram_row_misses)),
+        ("interventions", Json::UInt(sample.interventions)),
+        ("comm_events", Json::UInt(sample.comm_events)),
+        ("comm_blocked_ticks", Json::UInt(sample.comm_blocked_ticks)),
+    ])
+}
+
+/// Renders a profiler's timeline as JSON Lines: one `"window"` line per
+/// sampling interval, then one `"summary"` line with the aggregate
+/// ([`crate::ser::timeline_to_json`] plus the discriminator).
+#[must_use]
+pub fn timeline_to_jsonl(profiler: &IntervalProfiler) -> String {
+    let mut out = String::new();
+    for sample in profiler.samples() {
+        out.push_str(&sample_to_json(sample).render());
+        out.push('\n');
+    }
+    let mut summary = crate::ser::timeline_to_json(&profiler.summary());
+    if let Json::Obj(pairs) = &mut summary {
+        pairs.insert(0, ("kind".to_owned(), Json::Str("summary".to_owned())));
+    }
+    out.push_str(&summary.render());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use hetmem_sim::{Recorder, Simulation};
+    use hetmem_trace::kernels::{Kernel, KernelParams};
+
+    fn recorded() -> Recorder {
+        let trace = Kernel::Reduction.generate(&KernelParams::scaled(64));
+        let mut sim = Simulation::builder()
+            .observer(Recorder::new(
+                Some(EventTrace::new()),
+                Some(IntervalProfiler::new(250_000)),
+            ))
+            .build()
+            .expect("baseline config is valid");
+        sim.run(&trace).expect("well-formed trace");
+        sim.into_observer()
+    }
+
+    #[test]
+    fn event_jsonl_lines_all_parse_and_carry_kinds() {
+        let recorder = recorded();
+        let events = recorder.events.expect("events recorded");
+        let jsonl = events_to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), events.len() + 1, "events plus summary");
+        for line in &lines {
+            let v = parse(line).expect("every line is valid JSON");
+            assert!(v.get("kind").is_some(), "{line}");
+        }
+        for kind in ["phase-start", "phase-end", "comm", "dram"] {
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.starts_with(&format!("{{\"kind\":\"{kind}\""))),
+                "missing {kind} line"
+            );
+        }
+        let summary = parse(lines.last().expect("summary line")).expect("parses");
+        assert_eq!(summary.get("kind").and_then(Json::as_str), Some("summary"));
+        assert_eq!(
+            summary.get("dram_requests").and_then(Json::as_u64),
+            Some(events.counts().dram_requests)
+        );
+    }
+
+    #[test]
+    fn timeline_jsonl_windows_match_profiler() {
+        let recorder = recorded();
+        let profiler = recorder.timeline.expect("timeline recorded");
+        let jsonl = timeline_to_jsonl(&profiler);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), profiler.samples().len() + 1);
+        let first = parse(lines[0]).expect("parses");
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("window"));
+        let summary = parse(lines.last().expect("summary")).expect("parses");
+        assert_eq!(
+            summary.get("samples").and_then(Json::as_u64),
+            Some(profiler.samples().len() as u64)
+        );
+    }
+}

@@ -7,7 +7,8 @@
 
 use crate::json::{Json, JsonError};
 use hetmem_sim::{
-    CacheStats, CoherenceStats, CpuStats, DramStats, GpuStats, HierarchyStats, RunReport, TlbStats,
+    CacheStats, CoherenceStats, CpuStats, DramStats, GpuStats, HierarchyStats, RunReport,
+    TimelineSummary, TlbStats,
 };
 
 /// One sweep result: the job coordinates plus the simulator's full report.
@@ -28,6 +29,11 @@ pub struct SweepRecord {
     pub design_point: String,
     /// The simulator's report.
     pub report: RunReport,
+    /// Timeline aggregate, present only when the sweep requested one
+    /// (`SweepOptions::timeline_interval`). Absent records serialize
+    /// byte-identically to records produced before the field existed, so
+    /// cache entries and goldens stay stable.
+    pub timeline: Option<TimelineSummary>,
 }
 
 /// The flat CSV header matching [`SweepRecord::csv_row`].
@@ -39,7 +45,7 @@ impl SweepRecord {
     /// The record as an ordered JSON object.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("id", Json::UInt(self.id)),
             ("kind", Json::Str(self.kind.clone())),
             ("kernel", Json::Str(self.kernel.clone())),
@@ -48,7 +54,11 @@ impl SweepRecord {
             ("design_point", Json::Str(self.design_point.clone())),
             ("total_ticks", Json::UInt(self.report.total_ticks())),
             ("report", report_to_json(&self.report)),
-        ])
+        ];
+        if let Some(t) = &self.timeline {
+            pairs.push(("timeline", timeline_to_json(t)));
+        }
+        Json::obj(pairs)
     }
 
     /// Rebuilds a record from [`SweepRecord::to_json`] output.
@@ -67,6 +77,7 @@ impl SweepRecord {
                 .map_err(|_| field_err("scale", "out of range"))?,
             design_point: get_str(value, "design_point")?,
             report,
+            timeline: value.get("timeline").map(timeline_from_json).transpose()?,
         })
     }
 
@@ -158,6 +169,37 @@ pub fn report_from_json(v: &Json) -> Result<RunReport, JsonError> {
         hierarchy: hierarchy_from_json(v.get("hierarchy").ok_or_else(missing("hierarchy"))?)?,
         cpu: cpu_from_json(v.get("cpu").ok_or_else(missing("cpu"))?)?,
         gpu: gpu_from_json(v.get("gpu").ok_or_else(missing("gpu"))?)?,
+    })
+}
+
+/// Serializes a [`TimelineSummary`].
+#[must_use]
+pub fn timeline_to_json(t: &TimelineSummary) -> Json {
+    Json::obj(vec![
+        ("interval", Json::UInt(t.interval)),
+        ("samples", Json::UInt(t.samples)),
+        ("skipped_windows", Json::UInt(t.skipped_windows)),
+        ("peak_dram_requests", Json::UInt(t.peak_dram_requests)),
+        ("peak_llc_misses", Json::UInt(t.peak_llc_misses)),
+        ("peak_interventions", Json::UInt(t.peak_interventions)),
+        ("busiest_window_start", Json::UInt(t.busiest_window_start)),
+    ])
+}
+
+/// Deserializes [`timeline_to_json`] output.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when a field is missing or mistyped.
+pub fn timeline_from_json(v: &Json) -> Result<TimelineSummary, JsonError> {
+    Ok(TimelineSummary {
+        interval: get_u64(v, "interval")?,
+        samples: get_u64(v, "samples")?,
+        skipped_windows: get_u64(v, "skipped_windows")?,
+        peak_dram_requests: get_u64(v, "peak_dram_requests")?,
+        peak_llc_misses: get_u64(v, "peak_llc_misses")?,
+        peak_interventions: get_u64(v, "peak_interventions")?,
+        busiest_window_start: get_u64(v, "busiest_window_start")?,
     })
 }
 
@@ -324,6 +366,7 @@ mod tests {
             scale: 64,
             design_point: "disjoint / pci-e / explicit / none coherence".into(),
             report,
+            timeline: None,
         }
     }
 
@@ -353,6 +396,29 @@ mod tests {
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn timeline_round_trips_and_absence_is_tolerated() {
+        let mut record = sample_record();
+        let without = record.to_json().render();
+        assert!(!without.contains("timeline"), "{without}");
+        record.timeline = Some(TimelineSummary {
+            interval: 1_000_000,
+            samples: 12,
+            skipped_windows: 0,
+            peak_dram_requests: 55,
+            peak_llc_misses: 21,
+            peak_interventions: 3,
+            busiest_window_start: 4_000_000,
+        });
+        let with = record.to_json().render();
+        assert!(with.contains("\"timeline\""), "{with}");
+        let back = SweepRecord::from_json(&parse(&with).expect("parses")).expect("decodes");
+        assert_eq!(back, record);
+        // Old records (no timeline field) still decode.
+        let old = SweepRecord::from_json(&parse(&without).expect("parses")).expect("decodes");
+        assert_eq!(old.timeline, None);
     }
 
     #[test]

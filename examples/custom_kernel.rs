@@ -6,7 +6,7 @@
 
 use hetmem::core::EvaluatedSystem;
 use hetmem::dsl::{generate_trace, lower, AddressSpace, BufId, Buffer, Program, Step, Target};
-use hetmem::sim::{CommCosts, System, SystemConfig};
+use hetmem::sim::{CommCosts, Simulation};
 
 fn histogram() -> Program {
     Program {
@@ -71,9 +71,12 @@ fn main() {
     );
 
     for system in [EvaluatedSystem::CpuGpuCuda, EvaluatedSystem::Fusion] {
-        let mut sim = System::with_costs(&SystemConfig::baseline(), CommCosts::paper());
-        let mut comm = system.comm_model(CommCosts::paper());
-        let report = sim.run(&trace, &mut comm);
+        let report = Simulation::builder()
+            .comm_model(system.comm_model(CommCosts::paper()))
+            .build()
+            .expect("baseline config is valid")
+            .run(&trace)
+            .expect("generated traces are well-formed");
         println!("  {:>8}: {report}", system.name());
     }
 }

@@ -1,0 +1,69 @@
+//! Watch a simulation as it runs: attach a [`Recorder`] (typed event trace
+//! plus interval timeline) through the `Simulation` builder, simulate the
+//! reduction kernel over PCI-E, and print the event digest, the busiest
+//! timeline window, and a few JSONL lines of each stream — the same format
+//! `hetmem sim --events/--timeline` writes to disk.
+//!
+//! Run with `cargo run --release --example observability`.
+
+use hetmem::sim::{EventTrace, FabricKind, IntervalProfiler, Recorder, Simulation};
+use hetmem::trace::kernels::{Kernel, KernelParams};
+use hetmem::xplore::{events_to_jsonl, timeline_to_jsonl};
+
+fn main() {
+    let trace = Kernel::Reduction.generate(&KernelParams::scaled(64));
+
+    let mut sim = Simulation::builder()
+        .fabric(FabricKind::PciExpress)
+        .observer(Recorder::new(
+            Some(EventTrace::new()),
+            Some(IntervalProfiler::new(1_000_000)),
+        ))
+        .build()
+        .expect("baseline config is valid");
+    let report = sim.run(&trace).expect("generated traces are well-formed");
+    println!("{report}\n");
+
+    let recorder = sim.into_observer();
+    let events = recorder.events.expect("recorder was built with events");
+    let timeline = recorder
+        .timeline
+        .expect("recorder was built with a timeline");
+
+    let counts = events.counts();
+    println!(
+        "Recorded {} events ({} dropped from the ring):",
+        events.len(),
+        events.dropped()
+    );
+    println!(
+        "  {} phases, {} comm actions, {} miss bursts, {} DRAM requests \
+         ({} row misses), {} coherence interventions",
+        counts.phase_starts,
+        counts.comm_events,
+        counts.miss_bursts,
+        counts.dram_requests,
+        counts.dram_row_misses,
+        counts.interventions
+    );
+
+    let summary = timeline.summary();
+    println!(
+        "\nTimeline: {} windows of {} ticks; busiest window starts at tick {} \
+         (peak {} DRAM requests, {} LLC misses)",
+        summary.samples,
+        summary.interval,
+        summary.busiest_window_start,
+        summary.peak_dram_requests,
+        summary.peak_llc_misses
+    );
+
+    println!("\nFirst JSONL event lines (as written by `hetmem sim --events`):");
+    for line in events_to_jsonl(&events).lines().take(4) {
+        println!("  {line}");
+    }
+    println!("\nFirst JSONL timeline lines (as written by `--timeline`):");
+    for line in timeline_to_jsonl(&timeline).lines().take(2) {
+        println!("  {line}");
+    }
+}

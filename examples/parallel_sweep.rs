@@ -17,7 +17,7 @@ fn main() {
     let opts = SweepOptions {
         workers: 4,
         cache_dir: Some(cache.clone()),
-        progress: false,
+        ..SweepOptions::default()
     };
 
     println!(

@@ -1,0 +1,56 @@
+//! Validate observability JSONL files produced by `hetmem sim --events` /
+//! `--timeline`: every line must parse as a JSON object with a string
+//! `"kind"` discriminator, and the file must end with exactly one summary
+//! line. CI runs this against a smoke-test simulation.
+//!
+//! Run with `cargo run --release --example validate_obs_jsonl -- <file>...`.
+
+use hetmem::xplore::json::parse;
+
+fn validate(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let mut kinds: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let value = parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let kind = value
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or_else(|| format!("{path}:{}: missing string \"kind\" key", lineno + 1))?;
+        kinds.push(kind.to_owned());
+    }
+    if kinds.is_empty() {
+        return Err(format!("{path}: empty file"));
+    }
+    let summaries = kinds.iter().filter(|k| *k == "summary").count();
+    if summaries != 1 || kinds.last().map(String::as_str) != Some("summary") {
+        return Err(format!(
+            "{path}: expected exactly one trailing summary line, found {summaries}"
+        ));
+    }
+    println!("{path}: {} lines OK ({} kinds)", kinds.len(), {
+        let mut uniq = kinds.clone();
+        uniq.sort();
+        uniq.dedup();
+        uniq.len()
+    });
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_obs_jsonl <file.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        if let Err(msg) = validate(path) {
+            eprintln!("error: {msg}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -13,8 +13,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(msg) = hetmem::cli::execute(&command) {
-        eprintln!("error: {msg}");
-        std::process::exit(1);
+    if let Err(err) = hetmem::cli::execute(&command) {
+        let code = err.exit_code();
+        if code == 2 {
+            eprintln!("hetmem: {err}");
+            eprintln!("{}", hetmem::cli::USAGE);
+        } else {
+            eprintln!("error: {err}");
+        }
+        std::process::exit(code);
     }
 }

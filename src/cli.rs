@@ -21,11 +21,17 @@ use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::report::{render_figure5, render_figure6, render_figure7, TextTable};
 use hetmem_core::EvaluatedSystem;
 use hetmem_dsl::AddressSpace;
+use hetmem_sim::{EventTrace, IntervalProfiler, Recorder, SimError, Simulation};
 use hetmem_trace::kernels::{Kernel, KernelParams};
 use hetmem_xplore::{
     parse_kernel, parse_space, parse_system, Json, OutputFormat, SweepOptions, SweepSpec,
 };
 use std::path::PathBuf;
+
+/// Timeline window size (in ticks) when `--timeline` gives no `:interval`
+/// suffix: about 24 µs of simulated time, a few hundred windows for the
+/// bundled kernels at small scales.
+pub const DEFAULT_TIMELINE_INTERVAL: u64 = 1_000_000;
 
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
@@ -83,6 +89,10 @@ pub enum Command {
         system: EvaluatedSystem,
         /// Output format (`Table` is the one-line human report).
         format: OutputFormat,
+        /// Write the event trace as JSON Lines to this path.
+        events: Option<String>,
+        /// Write a counter timeline as JSON Lines to `(path, interval)`.
+        timeline: Option<(String, u64)>,
     },
     /// Run the DSL static analyzer over a source file.
     Lint {
@@ -110,8 +120,10 @@ commands:
   lint <program.hdsl>           static analysis of a DSL file
   lower <program.hdsl> <model>  print a lowering (uni|pas|dis|adsm)
   trace <kernel> [--scale N]    dump a kernel trace (.hmt) to stdout
-  sim <trace.hmt> <system> [--format json|csv|table]
-                                simulate a trace (cpu+gpu|lrb|gmac|fusion|ideal)
+  sim <trace.hmt> <system> [--format json|table] [--events F.jsonl]
+      [--timeline F.jsonl[:interval]]
+                                simulate a trace (cpu+gpu|lrb|gmac|fusion|ideal);
+                                --events/--timeline write observability JSONL
   catalog                       the Table I survey
   help                          this message";
 
@@ -198,6 +210,26 @@ fn parse_format(flags: &[(&str, &str)]) -> Result<OutputFormat, String> {
 
 fn parse_cache_dir(flags: &[(&str, &str)]) -> Option<PathBuf> {
     flag_values(flags, "cache-dir").last().map(PathBuf::from)
+}
+
+/// Parses a `--timeline` value of the form `path[:interval]`. A numeric
+/// suffix after the last `:` is the window size in ticks; without one the
+/// whole value is the path and [`DEFAULT_TIMELINE_INTERVAL`] applies.
+fn parse_timeline_value(value: &str) -> Result<(String, u64), String> {
+    if let Some((path, suffix)) = value.rsplit_once(':') {
+        if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+            let interval = suffix
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| "--timeline interval must be a positive integer".to_owned())?;
+            if path.is_empty() {
+                return Err("--timeline needs a path before the interval".to_owned());
+            }
+            return Ok((path.to_owned(), interval));
+        }
+    }
+    Ok((value.to_owned(), DEFAULT_TIMELINE_INTERVAL))
 }
 
 fn parse_list<T>(
@@ -349,7 +381,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "sim" => {
-            let (positionals, flags) = split_flags(rest, &["format"])?;
+            let (positionals, flags) = split_flags(rest, &["format", "events", "timeline"])?;
             let path = positionals
                 .first()
                 .map(|s| (*s).to_owned())
@@ -364,6 +396,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 path,
                 system,
                 format: parse_format(&flags)?,
+                events: flag_values(&flags, "events")
+                    .last()
+                    .map(|s| (*s).to_owned()),
+                timeline: flag_values(&flags, "timeline")
+                    .last()
+                    .map(|v| parse_timeline_value(v))
+                    .transpose()?,
             })
         }
         "catalog" => {
@@ -379,9 +418,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 ///
 /// # Errors
 ///
-/// Returns a message on I/O failures, unparsable inputs, or malformed
-/// trace/DSL files.
-pub fn execute(command: &Command) -> Result<(), String> {
+/// Returns a [`SimError`] on I/O failures, unparsable inputs, or malformed
+/// trace/DSL files. The binary maps it to an exit code uniformly:
+/// [`SimError::exit_code`] gives 2 for usage errors and 1 for everything
+/// else.
+pub fn execute(command: &Command) -> Result<(), SimError> {
     match command {
         Command::Help => println!("{USAGE}"),
         Command::Tables => {
@@ -410,9 +451,9 @@ pub fn execute(command: &Command) -> Result<(), String> {
                 workers: *jobs,
                 cache_dir: cache_dir.clone(),
                 progress: true,
+                ..SweepOptions::default()
             };
-            let out = hetmem_xplore::run_sweep(spec, &config, &opts)
-                .map_err(|e| format!("sweep failed: {e}"))?;
+            let out = hetmem_xplore::run_sweep(spec, &config, &opts)?;
             print!("{}", format.render(&out.records));
             eprintln!("sweep: {}", out.stats);
         }
@@ -458,13 +499,38 @@ pub fn execute(command: &Command) -> Result<(), String> {
             path,
             system,
             format,
+            events,
+            timeline,
         } => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let trace = hetmem_trace::parse_trace(&text).map_err(|e| e.to_string())?;
-            let mut sim = hetmem_sim::System::new(&hetmem_sim::SystemConfig::baseline());
-            let mut comm = system.comm_model(hetmem_sim::CommCosts::paper());
-            let report = sim.run(&trace, &mut comm);
+            if *format == OutputFormat::Csv {
+                return Err(SimError::Usage(
+                    "sim supports --format json|table".to_owned(),
+                ));
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| SimError::Io(format!("cannot read {path}: {e}")))?;
+            let trace = hetmem_trace::parse_trace(&text)
+                .map_err(|e| SimError::MalformedTrace(e.to_string()))?;
+            let recorder = Recorder::new(
+                events.as_ref().map(|_| EventTrace::new()),
+                timeline
+                    .as_ref()
+                    .map(|&(_, interval)| IntervalProfiler::new(interval)),
+            );
+            let mut sim = Simulation::builder()
+                .comm_model(system.comm_model(hetmem_sim::CommCosts::paper()))
+                .observer(recorder)
+                .build()?;
+            let report = sim.run(&trace)?;
+            let recorder = sim.into_observer();
+            if let (Some(out_path), Some(event_trace)) = (events, &recorder.events) {
+                std::fs::write(out_path, hetmem_xplore::events_to_jsonl(event_trace))
+                    .map_err(|e| SimError::Io(format!("cannot write {out_path}: {e}")))?;
+            }
+            if let (Some((out_path, _)), Some(profiler)) = (timeline, &recorder.timeline) {
+                std::fs::write(out_path, hetmem_xplore::timeline_to_jsonl(profiler))
+                    .map_err(|e| SimError::Io(format!("cannot write {out_path}: {e}")))?;
+            }
             match format {
                 OutputFormat::Table => println!("{}: {report}", system.name()),
                 OutputFormat::Json => {
@@ -475,9 +541,7 @@ pub fn execute(command: &Command) -> Result<(), String> {
                     ]);
                     println!("{}", value.render());
                 }
-                OutputFormat::Csv => {
-                    return Err("sim supports --format json|table".to_owned());
-                }
+                OutputFormat::Csv => unreachable!("rejected above"),
             }
         }
     }
@@ -491,30 +555,27 @@ fn execute_fig(
     format: OutputFormat,
     jobs: usize,
     cache_dir: Option<PathBuf>,
-) -> Result<(), String> {
+) -> Result<(), SimError> {
     let config = ExperimentConfig::scaled(scale);
     let opts = SweepOptions {
         workers: jobs,
         cache_dir,
-        progress: false,
+        ..SweepOptions::default()
     };
     // The table format renders the paper's figure; json/csv emit the raw
     // sweep records for scripting.
     if format == OutputFormat::Table {
         match number {
             5 => {
-                let (runs, _) = hetmem_xplore::run_case_studies(&config, &opts)
-                    .map_err(|e| format!("fig {number} failed: {e}"))?;
+                let (runs, _) = hetmem_xplore::run_case_studies(&config, &opts)?;
                 println!("{}", render_figure5(&runs));
             }
             6 => {
-                let (runs, _) = hetmem_xplore::run_case_studies(&config, &opts)
-                    .map_err(|e| format!("fig {number} failed: {e}"))?;
+                let (runs, _) = hetmem_xplore::run_case_studies(&config, &opts)?;
                 println!("{}", render_figure6(&runs));
             }
             7 => {
-                let (runs, _) = hetmem_xplore::run_address_spaces(&config, &opts)
-                    .map_err(|e| format!("fig {number} failed: {e}"))?;
+                let (runs, _) = hetmem_xplore::run_address_spaces(&config, &opts)?;
                 println!("{}", render_figure7(&runs));
             }
             _ => unreachable!("validated at parse time"),
@@ -532,15 +593,15 @@ fn execute_fig(
         },
         _ => unreachable!("validated at parse time"),
     };
-    let out = hetmem_xplore::run_sweep(&spec, &config, &opts)
-        .map_err(|e| format!("fig {number} failed: {e}"))?;
+    let out = hetmem_xplore::run_sweep(&spec, &config, &opts)?;
     print!("{}", format.render(&out.records));
     Ok(())
 }
 
-fn load_program(path: &str) -> Result<hetmem_dsl::Program, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    hetmem_dsl::parse_program(&text).map_err(|e| e.to_string())
+fn load_program(path: &str) -> Result<hetmem_dsl::Program, SimError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SimError::Io(format!("cannot read {path}: {e}")))?;
+    hetmem_dsl::parse_program(&text).map_err(|e| SimError::Io(e.to_string()))
 }
 
 fn print_catalog() {
@@ -633,7 +694,27 @@ mod tests {
             Ok(Command::Sim {
                 path: "t.hmt".into(),
                 system: EvaluatedSystem::Fusion,
-                format: OutputFormat::Table
+                format: OutputFormat::Table,
+                events: None,
+                timeline: None,
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "sim",
+                "t.hmt",
+                "gmac",
+                "--events",
+                "ev.jsonl",
+                "--timeline",
+                "tl.jsonl:500000",
+            ])),
+            Ok(Command::Sim {
+                path: "t.hmt".into(),
+                system: EvaluatedSystem::Gmac,
+                format: OutputFormat::Table,
+                events: Some("ev.jsonl".into()),
+                timeline: Some(("tl.jsonl".into(), 500_000)),
             })
         );
         assert_eq!(
@@ -716,6 +797,28 @@ mod tests {
         };
         assert!(spec.systems.is_empty());
         assert_eq!(spec.spaces, vec![AddressSpace::Unified, AddressSpace::Adsm]);
+    }
+
+    #[test]
+    fn timeline_values_split_path_and_interval() {
+        assert_eq!(
+            parse_timeline_value("t.jsonl"),
+            Ok(("t.jsonl".to_owned(), DEFAULT_TIMELINE_INTERVAL))
+        );
+        assert_eq!(
+            parse_timeline_value("t.jsonl:250000"),
+            Ok(("t.jsonl".to_owned(), 250_000))
+        );
+        // A colon in the path without a numeric suffix stays in the path.
+        assert_eq!(
+            parse_timeline_value("dir:with:colons/t.jsonl"),
+            Ok((
+                "dir:with:colons/t.jsonl".to_owned(),
+                DEFAULT_TIMELINE_INTERVAL
+            ))
+        );
+        assert!(parse_timeline_value("t.jsonl:0").is_err());
+        assert!(parse_timeline_value(":250000").is_err());
     }
 
     #[test]

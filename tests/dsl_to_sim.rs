@@ -3,15 +3,19 @@
 
 use hetmem::core::{EvaluatedSystem, IdealSpaceComm};
 use hetmem::dsl::{generate_trace, lower, programs, AddressSpace};
-use hetmem::sim::{CommCosts, CommModel, System, SystemConfig};
+use hetmem::sim::{CommCosts, CommModel, Simulation};
 use hetmem::trace::PuKind;
 
 fn simulate(
     trace: &hetmem::trace::PhasedTrace,
-    comm: &mut dyn CommModel,
+    comm: impl CommModel + 'static,
 ) -> hetmem::sim::RunReport {
-    let mut sys = System::with_costs(&SystemConfig::baseline(), CommCosts::paper());
-    sys.run(trace, comm)
+    Simulation::builder()
+        .comm_model(comm)
+        .build()
+        .expect("baseline config is valid")
+        .run(trace)
+        .expect("generated traces are well-formed")
 }
 
 #[test]
@@ -20,8 +24,7 @@ fn every_program_runs_under_every_model_and_preset() {
         for model in AddressSpace::ALL {
             let trace = generate_trace(&lower(&program, model));
             for preset in EvaluatedSystem::ALL {
-                let mut comm = preset.comm_model(CommCosts::paper());
-                let report = simulate(&trace, &mut comm);
+                let report = simulate(&trace, preset.comm_model(CommCosts::paper()));
                 assert!(
                     report.total_ticks() > 0,
                     "{} / {model} / {preset}",
@@ -42,8 +45,7 @@ fn dsl_traces_reproduce_the_figure7_equality() {
             .iter()
             .map(|&model| {
                 let trace = generate_trace(&lower(&program, model));
-                let mut comm = IdealSpaceComm::new(model, CommCosts::paper());
-                simulate(&trace, &mut comm).total_ticks()
+                simulate(&trace, IdealSpaceComm::new(model, CommCosts::paper())).total_ticks()
             })
             .collect();
         let max = *totals.iter().max().expect("non-empty");

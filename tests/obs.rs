@@ -1,0 +1,125 @@
+//! Observability integration tests through the `hetmem` facade: attaching
+//! observers must never perturb the simulated timing (the zero-overhead
+//! contract), and the typed event stream must reconcile with the aggregate
+//! counters in the [`hetmem::sim::RunReport`].
+
+use hetmem::core::EvaluatedSystem;
+use hetmem::sim::{
+    CommCosts, EventTrace, FabricKind, IntervalProfiler, Recorder, SimError, Simulation,
+};
+use hetmem::trace::kernels::{Kernel, KernelParams};
+use hetmem::trace::PhasedTrace;
+
+fn trace_for(kernel: Kernel) -> PhasedTrace {
+    kernel.generate(&KernelParams::scaled(64))
+}
+
+#[test]
+fn attaching_observers_never_changes_the_report() {
+    for kernel in [Kernel::Reduction, Kernel::KMeans] {
+        let trace = trace_for(kernel);
+        for system in EvaluatedSystem::ALL {
+            let plain = Simulation::builder()
+                .comm_model(system.comm_model(CommCosts::paper()))
+                .build()
+                .expect("baseline config is valid")
+                .run(&trace)
+                .expect("generated traces are well-formed");
+            let mut observed = Simulation::builder()
+                .comm_model(system.comm_model(CommCosts::paper()))
+                .observer(Recorder::new(
+                    Some(EventTrace::new()),
+                    Some(IntervalProfiler::new(250_000)),
+                ))
+                .build()
+                .expect("baseline config is valid");
+            let report = observed
+                .run(&trace)
+                .expect("generated traces are well-formed");
+            assert_eq!(plain, report, "{kernel:?} on {}", system.name());
+
+            let recorder = observed.into_observer();
+            let events = recorder.events.expect("recorder keeps its event trace");
+            assert!(!events.is_empty(), "{system} recorded no events");
+            let timeline = recorder.timeline.expect("recorder keeps its profiler");
+            assert!(
+                !timeline.samples().is_empty(),
+                "{system} recorded no windows"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_trace_counts_reconcile_with_the_run_report() {
+    let trace = trace_for(Kernel::Reduction);
+    let mut sim = Simulation::builder()
+        .fabric(FabricKind::PciExpress)
+        .observer(EventTrace::new())
+        .build()
+        .expect("baseline config is valid");
+    let report = sim.run(&trace).expect("generated traces are well-formed");
+    let counts = sim.into_observer().counts();
+
+    assert_eq!(counts.phase_starts as usize, trace.segments().len());
+    assert_eq!(counts.phase_starts, counts.phase_ends);
+    assert_eq!(counts.comm_events as usize, trace.comm_count());
+    assert_eq!(
+        counts.dram_requests,
+        report.hierarchy.dram.reads + report.hierarchy.dram.writes
+    );
+    assert_eq!(counts.dram_row_misses, report.hierarchy.dram.row_misses);
+    assert_eq!(
+        counts.interventions,
+        report.hierarchy.coherence.invalidations
+    );
+    assert!(counts.miss_bursts > 0, "no shared-level bursts folded");
+    assert!(counts.shared_accesses >= counts.miss_bursts);
+}
+
+#[test]
+fn timeline_covers_the_whole_run() {
+    let trace = trace_for(Kernel::KMeans);
+    let interval = 500_000;
+    let mut sim = Simulation::builder()
+        .observer(IntervalProfiler::new(interval))
+        .build()
+        .expect("baseline config is valid");
+    let report = sim.run(&trace).expect("generated traces are well-formed");
+    let profiler = sim.into_observer();
+
+    assert_eq!(profiler.interval(), interval);
+    let samples = profiler.samples();
+    assert!(!samples.is_empty());
+    for pair in samples.windows(2) {
+        assert!(pair[0].start < pair[1].start, "windows must advance");
+    }
+    let last = samples.last().expect("non-empty");
+    assert!(last.start <= report.total_ticks());
+
+    let summary = profiler.summary();
+    assert_eq!(summary.interval, interval);
+    assert_eq!(summary.samples as usize, samples.len());
+    let peak = samples
+        .iter()
+        .map(|s| s.dram_reads + s.dram_writes)
+        .max()
+        .unwrap_or(0);
+    assert_eq!(summary.peak_dram_requests, peak);
+}
+
+#[test]
+fn builder_surfaces_typed_errors() {
+    let mut cfg = hetmem::sim::SystemConfig::baseline();
+    cfg.dram.channels = 0;
+    assert!(matches!(
+        Simulation::builder().config(cfg).build(),
+        Err(SimError::InvalidConfig(_))
+    ));
+
+    let empty = PhasedTrace::new("empty");
+    let mut sim = Simulation::builder()
+        .build()
+        .expect("baseline config is valid");
+    assert_eq!(sim.run(&empty), Err(SimError::EmptyTrace));
+}

@@ -34,7 +34,7 @@ fn warm_cache_answers_every_job_with_identical_records() {
     let opts = SweepOptions {
         workers: 4,
         cache_dir: Some(dir.clone()),
-        progress: false,
+        ..SweepOptions::default()
     };
     let cold = run_sweep(&spec, &config, &opts).expect("cold sweep");
     assert_eq!(cold.stats.cache_hits, 0);
