@@ -2,17 +2,17 @@
 //! mistakes the paper's programming-model discussion warns about (shared
 //! data not flagged, results computed but never consumed, uninitialized
 //! inputs).
+//!
+//! This module is a thin compatibility shim: the lints now live in
+//! [`crate::check`] as typed diagnostics with stable codes
+//! (HM0001–HM0004), sharing one rendering/JSON path with the
+//! memory-model checker. [`analyze`] maps those diagnostics back onto
+//! the original [`Lint`] enum.
 
-use crate::ast::{BufId, Program, Step, Target};
+use crate::ast::{BufId, Program};
+use crate::check::{self, Code};
 
-/// Severity of a finding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Severity {
-    /// Almost certainly a bug.
-    Warning,
-    /// Worth knowing; often intentional.
-    Note,
-}
+pub use crate::check::Severity;
 
 /// A static-analysis finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,10 +43,12 @@ pub enum Lint {
         /// Its name.
         name: String,
     },
-    /// A buffer is touched by both PUs — under the partially shared model
-    /// it must be `sharedmalloc`ed and ownership-managed (the paper notes
-    /// it is "the programmer's responsibility to tag all data shared
-    /// between the CPUs and GPUs").
+    /// A buffer ends up in the GPU-visible shared region of the partially
+    /// shared lowering — it must be `sharedmalloc`ed and
+    /// ownership-managed (the paper notes it is "the programmer's
+    /// responsibility to tag all data shared between the CPUs and GPUs").
+    /// Derived from the lowered statements, so buffers shared only
+    /// through loop-carried access patterns are flagged too.
     SharedCandidate {
         /// The buffer.
         buf: BufId,
@@ -88,78 +90,9 @@ impl std::fmt::Display for Lint {
             }
             Lint::SharedCandidate { name, .. } => write!(
                 f,
-                "note: buffer {name:?} is touched by both PUs — tag it shared under the \
+                "note: buffer {name:?} is addressed by the GPU — tag it shared under the \
                  partially shared model"
             ),
-        }
-    }
-}
-
-#[derive(Clone, Copy, Default)]
-struct BufFacts {
-    read: bool,
-    written: bool,
-    read_after_last_write: bool,
-    last_writer_was_kernel: bool,
-    read_before_first_write: Option<usize>,
-    cpu_touched: bool,
-    gpu_touched: bool,
-}
-
-/// What kind of step performed an access.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum StepKind {
-    Init,
-    Kernel,
-    Seq,
-}
-
-fn visit(
-    steps: &[Step],
-    idx: &mut usize,
-    facts: &mut [BufFacts],
-    order: &mut impl FnMut(&mut [BufFacts], &[BufId], &[BufId], Option<Target>, usize, StepKind),
-) {
-    for step in steps {
-        let current = *idx;
-        *idx += 1;
-        match step {
-            Step::HostInit { bufs } => {
-                order(facts, &[], bufs, Some(Target::Cpu), current, StepKind::Init);
-            }
-            Step::Kernel {
-                target,
-                reads,
-                writes,
-                ..
-            } => {
-                order(
-                    facts,
-                    reads,
-                    writes,
-                    Some(*target),
-                    current,
-                    StepKind::Kernel,
-                );
-            }
-            Step::Seq { reads, writes, .. } => {
-                order(
-                    facts,
-                    reads,
-                    writes,
-                    Some(Target::Cpu),
-                    current,
-                    StepKind::Seq,
-                );
-            }
-            Step::Loop { body, .. } => {
-                // Loop bodies execute repeatedly: a read in the body may
-                // observe a write later in the same body (back edge), so
-                // walk the body twice for the ordering facts.
-                visit(body, idx, facts, order);
-                let mut idx2 = current + 1;
-                visit(body, &mut idx2, facts, order);
-            }
         }
     }
 }
@@ -171,79 +104,39 @@ fn visit(
 /// Panics if the program fails [`Program::validate`].
 #[must_use]
 pub fn analyze(program: &Program) -> Vec<Lint> {
-    program
-        .validate()
-        .expect("analyze() requires a valid program");
-    let n = program.buffers.len();
-    let mut facts = vec![BufFacts::default(); n];
-
-    let mut record = |facts: &mut [BufFacts],
-                      reads: &[BufId],
-                      writes: &[BufId],
-                      target: Option<Target>,
-                      step: usize,
-                      kind: StepKind| {
-        for &b in reads {
-            let f = &mut facts[b.0];
-            f.read = true;
-            f.read_after_last_write = true;
-            if !f.written && f.read_before_first_write.is_none() {
-                f.read_before_first_write = Some(step);
-            }
-            match target {
-                Some(Target::Cpu) => f.cpu_touched = true,
-                Some(Target::Gpu) => f.gpu_touched = true,
-                None => {}
-            }
-        }
-        for &b in writes {
-            let f = &mut facts[b.0];
-            f.written = true;
-            f.read_after_last_write = false;
-            f.last_writer_was_kernel = kind == StepKind::Kernel;
-            match target {
-                Some(Target::Cpu) => f.cpu_touched = true,
-                Some(Target::Gpu) => f.gpu_touched = true,
-                None => {}
-            }
-        }
+    let buf_id = |name: &str| {
+        BufId(
+            program
+                .buffers
+                .iter()
+                .position(|b| b.name == name)
+                .expect("diagnostic buffer names come from the program"),
+        )
     };
-
-    let mut idx = 0;
-    visit(&program.steps, &mut idx, &mut facts, &mut record);
-
-    let mut lints = Vec::new();
-    for (i, f) in facts.iter().enumerate() {
-        let buf = BufId(i);
-        let name = program.buffer(buf).name.clone();
-        if !f.read && !f.written {
-            lints.push(Lint::UnusedBuffer { buf, name });
-            continue;
-        }
-        if let Some(step_index) = f.read_before_first_write {
-            lints.push(Lint::UninitializedRead {
-                buf,
-                name: name.clone(),
-                step_index,
-            });
-        }
-        if f.written && !f.read_after_last_write && f.last_writer_was_kernel {
-            lints.push(Lint::DeadResult {
-                buf,
-                name: name.clone(),
-            });
-        }
-        if f.cpu_touched && f.gpu_touched {
-            lints.push(Lint::SharedCandidate { buf, name });
-        }
-    }
-    lints
+    check::program_lints(program)
+        .into_iter()
+        .map(|d| {
+            let name = d.buffer.clone().expect("program lints name a buffer");
+            let buf = buf_id(&name);
+            match d.code {
+                Code::UnusedBuffer => Lint::UnusedBuffer { buf, name },
+                Code::UninitializedRead => Lint::UninitializedRead {
+                    buf,
+                    name,
+                    step_index: d.stmt.unwrap_or(0),
+                },
+                Code::DeadResult => Lint::DeadResult { buf, name },
+                Code::SharedCandidate => Lint::SharedCandidate { buf, name },
+                other => unreachable!("program_lints only emits HM000x codes, got {other}"),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::Buffer;
+    use crate::ast::{Buffer, Step, Target};
     use crate::programs;
 
     fn warnings(p: &Program) -> Vec<Lint> {
@@ -405,7 +298,7 @@ mod tests {
             buf: BufId(0),
             name: "c".into(),
         };
-        assert!(l.to_string().contains("both PUs"));
+        assert!(l.to_string().contains("tag it shared"));
         assert_eq!(l.severity(), Severity::Note);
     }
 }

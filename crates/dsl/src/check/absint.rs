@@ -1,0 +1,923 @@
+//! Abstract interpreter over lowered statement sequences.
+//!
+//! Tracks one abstract state per buffer — copy validity on each side,
+//! device allocation/lifetime, shared tag, and ownership — under the
+//! transition rules of the lowered program's [`AddressSpace`]. The copy
+//! validity bits are an *exact* abstraction of the dynamic oracle's
+//! version counters (see `oracle.rs`): a side is "fresh" iff its version
+//! equals the newest version anywhere, and every statement's effect on
+//! freshness is determined by freshness alone. That exactness is what
+//! makes the static HM0101/HM0102 verdicts agree with the oracle site for
+//! site, and it keeps the per-buffer state space finite so loop bodies
+//! can be interpreted with cycle detection instead of widening.
+
+use crate::ast::Target;
+use crate::lower::Lowered;
+use crate::model::AddressSpace;
+use crate::stmt::Stmt;
+
+use super::diag::{Code, Diagnostic, Severity};
+use super::render_line;
+
+/// Abstract state of one buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BufState {
+    /// The host copy holds the newest value.
+    host_fresh: bool,
+    /// The device copy holds the newest value.
+    dev_fresh: bool,
+    /// A device-side allocation exists (disjoint `GPUmemallocate`, ADSM
+    /// `adsmAlloc`).
+    dev_alloc: bool,
+    /// The device-side allocation has been freed.
+    freed: bool,
+    /// Allocated with `sharedmalloc` (partially shared model).
+    shared: bool,
+    /// The device currently owns the shared object (after
+    /// `releaseOwnership`, before `acquireOwnership`).
+    device_owned: bool,
+    /// A GPU kernel wrote the shared object since the device took
+    /// ownership — a host access now reads torn data, not just
+    /// protocol-stale data.
+    gpu_dirty: bool,
+}
+
+impl BufState {
+    fn new() -> Self {
+        BufState {
+            // Both sides start "fresh": before anything writes a buffer,
+            // every copy is equally (in)valid, and reads of never-written
+            // memory are the program-level HM0002 lint's territory, not a
+            // coherence stale-read.
+            host_fresh: true,
+            dev_fresh: true,
+            dev_alloc: false,
+            freed: false,
+            shared: false,
+            device_owned: false,
+            gpu_dirty: false,
+        }
+    }
+}
+
+/// Runs the abstract interpreter and the parallel-section race scan over
+/// a lowered program, returning diagnostics sorted by statement index.
+pub(super) fn check_lowered_impl(lowered: &Lowered) -> Vec<Diagnostic> {
+    let mut interp = AbsInt::new(lowered);
+    interp.exec_span(0, lowered.stmts.len());
+    interp.report_redundant_transfers();
+    interp.scan_races();
+    let mut diags = interp.diags;
+    diags.sort_by(|a, b| {
+        (a.stmt, a.code, a.buffer.clone()).cmp(&(b.stmt, b.code, b.buffer.clone()))
+    });
+    diags
+}
+
+struct AbsInt<'a> {
+    lowered: &'a Lowered,
+    names: Vec<String>,
+    state: Vec<BufState>,
+    diags: Vec<Diagnostic>,
+    /// Per-statement: `Some(true)` iff the transfer was a no-op (both
+    /// copies already valid) on *every* execution so far; `None` if the
+    /// statement never executed or is not a transfer.
+    transfer_noop: Vec<Option<bool>>,
+}
+
+/// Collects every buffer name a lowered program mentions, in order of
+/// first appearance.
+pub(super) fn collect_buffers(lowered: &Lowered) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let add = |name: &String, names: &mut Vec<String>| {
+        if !names.contains(name) {
+            names.push(name.clone());
+        }
+    };
+    for stmt in &lowered.stmts {
+        match stmt {
+            Stmt::HostAlloc { buf, .. }
+            | Stmt::SharedAlloc { buf, .. }
+            | Stmt::AdsmAlloc { buf, .. }
+            | Stmt::MemcpyH2D { buf, .. }
+            | Stmt::MemcpyD2H { buf, .. } => add(buf, &mut names),
+            Stmt::DeclDevicePtrs { bufs }
+            | Stmt::DeviceAlloc { bufs, .. }
+            | Stmt::AdsmCopyToDevice { bufs, .. }
+            | Stmt::ReleaseOwnership { bufs }
+            | Stmt::AcquireOwnership { bufs }
+            | Stmt::FreeDevice { bufs }
+            | Stmt::InitCode { bufs, .. } => {
+                for b in bufs {
+                    add(b, &mut names);
+                }
+            }
+            Stmt::KernelCall { args, .. } => {
+                for b in args {
+                    add(b, &mut names);
+                }
+            }
+            Stmt::Sync | Stmt::LoopHead { .. } | Stmt::LoopTail => {}
+        }
+    }
+    names
+}
+
+/// Finds the `LoopTail` matching the `LoopHead` at `head`.
+pub(super) fn matching_tail(stmts: &[Stmt], head: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, stmt) in stmts.iter().enumerate().skip(head) {
+        match stmt {
+            Stmt::LoopHead { .. } => depth += 1,
+            Stmt::LoopTail => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    // lower() always emits balanced loops; an unbalanced sequence can
+    // only come from hand-built stmt lists, where treating the rest of
+    // the program as the body is the least surprising fallback.
+    stmts.len()
+}
+
+impl<'a> AbsInt<'a> {
+    fn new(lowered: &'a Lowered) -> Self {
+        let names = collect_buffers(lowered);
+        let state = vec![BufState::new(); names.len()];
+        AbsInt {
+            lowered,
+            names,
+            state,
+            diags: Vec::new(),
+            transfer_noop: vec![None; lowered.stmts.len()],
+        }
+    }
+
+    fn id(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .expect("buffer name registered by collect_buffers")
+    }
+
+    fn diag(
+        &mut self,
+        code: Code,
+        severity: Severity,
+        stmt: usize,
+        buffer: Option<&str>,
+        message: String,
+    ) {
+        let dup = self
+            .diags
+            .iter()
+            .any(|d| d.code == code && d.stmt == Some(stmt) && d.buffer.as_deref() == buffer);
+        if dup {
+            return;
+        }
+        self.diags.push(Diagnostic {
+            code,
+            severity,
+            stmt: Some(stmt),
+            line: Some(render_line(stmt)),
+            source: Some(self.lowered.stmts[stmt].to_string()),
+            buffer: buffer.map(str::to_owned),
+            message,
+        });
+    }
+
+    /// Interprets `stmts[start..end]`, dispatching loops to
+    /// [`Self::exec_loop`].
+    fn exec_span(&mut self, start: usize, end: usize) {
+        let mut i = start;
+        while i < end {
+            if let Stmt::LoopHead { iterations } = self.lowered.stmts[i] {
+                let tail = matching_tail(&self.lowered.stmts, i);
+                self.exec_loop(i, tail, iterations);
+                i = tail.saturating_add(1);
+            } else {
+                self.exec_stmt(i);
+                i += 1;
+            }
+        }
+    }
+
+    /// Interprets a loop body up to `iterations` times, short-circuiting
+    /// as soon as the entry state repeats: the per-buffer state space is
+    /// finite, so the pass sequence is eventually periodic, and the exit
+    /// state after all iterations can be read off the detected cycle.
+    /// Diagnostics are deduplicated by (code, stmt, buffer), so replayed
+    /// cycle passes add nothing new.
+    fn exec_loop(&mut self, head: usize, tail: usize, iterations: u32) {
+        let iterations = iterations as usize;
+        let mut snapshots: Vec<Vec<BufState>> = Vec::new();
+        let mut pass = 0usize;
+        while pass < iterations {
+            if let Some(k) = snapshots.iter().position(|s| *s == self.state) {
+                // States repeat with period `pass - k` from pass k on:
+                // after all `iterations` passes we are at snapshot
+                // k + ((iterations - k) mod period).
+                let period = pass - k;
+                self.state = snapshots[k + ((iterations - k) % period)].clone();
+                return;
+            }
+            snapshots.push(self.state.clone());
+            self.exec_span(head + 1, tail);
+            pass += 1;
+        }
+    }
+
+    fn exec_stmt(&mut self, i: usize) {
+        let model = self.lowered.model;
+        // Clone the statement so the borrow checker lets the handlers
+        // take `&mut self`; statements are small.
+        let stmt = self.lowered.stmts[i].clone();
+        match stmt {
+            Stmt::HostAlloc { .. } | Stmt::DeclDevicePtrs { .. } | Stmt::Sync => {}
+            Stmt::SharedAlloc { buf, .. } => {
+                let b = self.id(&buf);
+                self.state[b].shared = true;
+            }
+            Stmt::AdsmAlloc { buf, .. } => {
+                let b = self.id(&buf);
+                self.state[b].dev_alloc = true;
+            }
+            Stmt::DeviceAlloc { bufs, .. } => {
+                for buf in &bufs {
+                    let b = self.id(buf);
+                    self.state[b].dev_alloc = true;
+                    self.state[b].freed = false;
+                }
+            }
+            Stmt::MemcpyH2D { buf, .. } => {
+                let b = self.id(&buf);
+                self.check_device_lifetime(i, &buf, "a host-to-device transfer");
+                let noop = self.state[b].host_fresh && self.state[b].dev_fresh;
+                self.record_transfer(i, noop);
+                self.state[b].dev_fresh = self.state[b].host_fresh;
+            }
+            Stmt::MemcpyD2H { buf, .. } => {
+                let b = self.id(&buf);
+                self.check_device_lifetime(i, &buf, "a device-to-host transfer");
+                let noop = self.state[b].host_fresh && self.state[b].dev_fresh;
+                self.record_transfer(i, noop);
+                self.state[b].host_fresh = self.state[b].dev_fresh;
+            }
+            Stmt::AdsmCopyToDevice { bufs, .. } => {
+                // The ADSM runtime publishes the host view if it is
+                // dirty and does nothing otherwise — it never clobbers a
+                // newer device value. The call is a guaranteed no-op
+                // only if the device view was already fresh.
+                let mut noop = true;
+                for buf in &bufs {
+                    let b = self.id(buf);
+                    self.check_device_lifetime(i, buf, "an ADSM publish");
+                    noop &= self.state[b].dev_fresh;
+                    self.state[b].dev_fresh = true;
+                }
+                self.record_transfer(i, noop);
+            }
+            Stmt::ReleaseOwnership { bufs } => {
+                for buf in &bufs {
+                    let b = self.id(buf);
+                    if !self.state[b].shared {
+                        self.diag(
+                            Code::UntaggedShared,
+                            Severity::Error,
+                            i,
+                            Some(buf),
+                            format!(
+                                "`{buf}` is released to the device but was not \
+                                 allocated with sharedmalloc"
+                            ),
+                        );
+                    }
+                    self.state[b].device_owned = true;
+                    self.state[b].gpu_dirty = false;
+                }
+            }
+            Stmt::AcquireOwnership { bufs } => {
+                for buf in &bufs {
+                    let b = self.id(buf);
+                    if !self.state[b].shared {
+                        self.diag(
+                            Code::UntaggedShared,
+                            Severity::Error,
+                            i,
+                            Some(buf),
+                            format!(
+                                "ownership of `{buf}` is acquired but it was not \
+                                 allocated with sharedmalloc"
+                            ),
+                        );
+                    }
+                    self.state[b].device_owned = false;
+                    self.state[b].gpu_dirty = false;
+                }
+            }
+            Stmt::FreeDevice { bufs } => {
+                if matches!(model, AddressSpace::Disjoint | AddressSpace::Adsm) {
+                    for buf in &bufs {
+                        let b = self.id(buf);
+                        self.state[b].freed = true;
+                    }
+                }
+            }
+            Stmt::InitCode { bufs, .. } => {
+                for buf in bufs.clone() {
+                    self.host_write(i, &buf, "initialization code");
+                }
+            }
+            Stmt::KernelCall {
+                target: Target::Gpu,
+                name,
+                reads,
+                writes,
+                ..
+            } => self.gpu_kernel(i, &name, &reads, &writes),
+            Stmt::KernelCall {
+                target: Target::Cpu,
+                name,
+                reads,
+                writes,
+                ..
+            } => self.cpu_kernel(i, &name, &reads, &writes),
+            Stmt::LoopHead { .. } | Stmt::LoopTail => {
+                // Handled structurally by exec_span/exec_loop; a stray
+                // tail in a hand-built sequence has no data effect.
+            }
+        }
+    }
+
+    fn record_transfer(&mut self, i: usize, noop: bool) {
+        let entry = &mut self.transfer_noop[i];
+        *entry = Some(entry.unwrap_or(true) && noop);
+    }
+
+    /// HM0105 lifetime checks for models with an explicit device-side
+    /// allocation (disjoint, ADSM).
+    fn check_device_lifetime(&mut self, i: usize, buf: &str, what: &str) {
+        if !matches!(
+            self.lowered.model,
+            AddressSpace::Disjoint | AddressSpace::Adsm
+        ) {
+            return;
+        }
+        let b = self.id(buf);
+        if self.state[b].freed {
+            self.diag(
+                Code::OwnershipViolation,
+                Severity::Error,
+                i,
+                Some(buf),
+                format!("{what} uses `{buf}` after its device storage was freed"),
+            );
+        } else if !self.state[b].dev_alloc {
+            self.diag(
+                Code::OwnershipViolation,
+                Severity::Error,
+                i,
+                Some(buf),
+                format!("{what} uses `{buf}` before any device allocation"),
+            );
+        }
+    }
+
+    fn gpu_kernel(&mut self, i: usize, name: &str, reads: &[String], writes: &[String]) {
+        let model = self.lowered.model;
+        match model {
+            AddressSpace::Unified => {}
+            AddressSpace::Disjoint | AddressSpace::Adsm => {
+                for buf in reads.iter().chain(writes) {
+                    self.check_device_lifetime(i, buf, &format!("GPU kernel `{name}`"));
+                }
+                for buf in reads {
+                    let b = self.id(buf);
+                    if !self.state[b].dev_fresh {
+                        self.diag(
+                            Code::StaleRead,
+                            Severity::Error,
+                            i,
+                            Some(buf),
+                            format!(
+                                "GPU kernel `{name}` reads `{buf}`, but the device \
+                                 copy is stale: the host wrote `{buf}` and no \
+                                 transfer intervened"
+                            ),
+                        );
+                    }
+                }
+                for buf in writes {
+                    let b = self.id(buf);
+                    self.state[b].dev_fresh = true;
+                    // Under ADSM the CPU addresses the device-resident
+                    // object directly, so a GPU write is immediately
+                    // visible to the host; under disjoint it only lands
+                    // in the device mirror.
+                    self.state[b].host_fresh = model == AddressSpace::Adsm;
+                }
+            }
+            AddressSpace::PartiallyShared => {
+                for buf in reads.iter().chain(writes) {
+                    let b = self.id(buf);
+                    if !self.state[b].shared {
+                        self.diag(
+                            Code::UntaggedShared,
+                            Severity::Error,
+                            i,
+                            Some(buf),
+                            format!(
+                                "GPU kernel `{name}` touches `{buf}`, which is not \
+                                 in the shared region (allocate it with \
+                                 sharedmalloc)"
+                            ),
+                        );
+                    } else if !self.state[b].device_owned {
+                        self.diag(
+                            Code::OwnershipViolation,
+                            Severity::Error,
+                            i,
+                            Some(buf),
+                            format!(
+                                "GPU kernel `{name}` accesses `{buf}` before \
+                                 releaseOwnership hands it to the device"
+                            ),
+                        );
+                    }
+                }
+                for buf in writes {
+                    let b = self.id(buf);
+                    if self.state[b].shared && self.state[b].device_owned {
+                        self.state[b].gpu_dirty = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn cpu_kernel(&mut self, i: usize, name: &str, reads: &[String], writes: &[String]) {
+        match self.lowered.model {
+            AddressSpace::Unified => {}
+            AddressSpace::Disjoint => {
+                for buf in reads {
+                    let b = self.id(buf);
+                    if !self.state[b].host_fresh {
+                        self.diag(
+                            Code::MissingTransferBack,
+                            Severity::Error,
+                            i,
+                            Some(buf),
+                            format!(
+                                "`{name}` reads `{buf}` on the host, but the newest \
+                                 value is on the device and was never copied back"
+                            ),
+                        );
+                    }
+                }
+                for buf in writes {
+                    self.host_write(i, buf, name);
+                }
+            }
+            AddressSpace::Adsm => {
+                // The host addresses the (device-resident) shared object
+                // directly — reads are never stale, but the storage must
+                // still be alive.
+                for buf in reads.iter().chain(writes) {
+                    let b = self.id(buf);
+                    if self.state[b].dev_alloc || self.state[b].freed {
+                        self.check_device_lifetime(i, buf, &format!("host step `{name}`"));
+                    }
+                }
+                for buf in writes {
+                    self.host_write(i, buf, name);
+                }
+            }
+            AddressSpace::PartiallyShared => {
+                for buf in reads.iter().chain(writes) {
+                    self.pas_host_access(i, buf, name);
+                }
+            }
+        }
+    }
+
+    /// A host-side write under disjoint/ADSM semantics: the host view
+    /// becomes the truth and any device mirror goes stale until the next
+    /// publish/transfer.
+    fn host_write(&mut self, i: usize, buf: &str, who: &str) {
+        match self.lowered.model {
+            AddressSpace::Unified => {}
+            AddressSpace::Disjoint | AddressSpace::Adsm => {
+                let b = self.id(buf);
+                self.state[b].host_fresh = true;
+                self.state[b].dev_fresh = false;
+            }
+            AddressSpace::PartiallyShared => {
+                self.pas_host_access(i, buf, who);
+            }
+        }
+    }
+
+    /// Host access to a partially-shared buffer: an HM0105 if the device
+    /// currently owns it — an Error when a GPU kernel has written it
+    /// since release (the host reads torn data), a Note otherwise (the
+    /// access races only with the protocol, not with data).
+    fn pas_host_access(&mut self, i: usize, buf: &str, who: &str) {
+        let b = self.id(buf);
+        if !self.state[b].shared || !self.state[b].device_owned {
+            return;
+        }
+        let (severity, detail) = if self.state[b].gpu_dirty {
+            (
+                Severity::Error,
+                "a GPU kernel has written it since releaseOwnership",
+            )
+        } else {
+            (
+                Severity::Note,
+                "the device has not written it yet, but the protocol is violated",
+            )
+        };
+        self.diag(
+            Code::OwnershipViolation,
+            severity,
+            i,
+            Some(buf),
+            format!("`{who}` touches `{buf}` while the device owns it ({detail})"),
+        );
+    }
+
+    /// HM0103: transfers that were a no-op on every execution.
+    fn report_redundant_transfers(&mut self) {
+        for i in 0..self.lowered.stmts.len() {
+            if self.transfer_noop[i] != Some(true) {
+                continue;
+            }
+            let (buffer, desc) = match &self.lowered.stmts[i] {
+                Stmt::MemcpyH2D { buf, .. } => (Some(buf.clone()), format!("of `{buf}`")),
+                Stmt::MemcpyD2H { buf, .. } => (Some(buf.clone()), format!("of `{buf}`")),
+                Stmt::AdsmCopyToDevice { bufs, .. } => {
+                    (None, format!("of `{}`", bufs.join("`, `")))
+                }
+                _ => continue,
+            };
+            self.diag(
+                Code::RedundantTransfer,
+                Severity::Warning,
+                i,
+                buffer.as_deref(),
+                format!(
+                    "this transfer {desc} never changes the destination: both \
+                     copies are already valid on every execution"
+                ),
+            );
+        }
+    }
+
+    /// HM0106: mirrors the code generator's parallel-section pairing. A
+    /// GPU launch and the next CPU-parallel kernel (in either order) run
+    /// concurrently; if both touch the same *coherent* memory and at
+    /// least one writes it, the interleaving is unpredictable. Which
+    /// memory is coherent depends on the model: all of it under unified,
+    /// shared-tagged buffers under partially shared, ADSM-allocated
+    /// objects under ADSM, and none under disjoint (each PU has its own
+    /// copy).
+    fn scan_races(&mut self) {
+        if self.lowered.model == AddressSpace::Disjoint {
+            return;
+        }
+        let coherent: Vec<String> = match self.lowered.model {
+            AddressSpace::Unified => self.names.clone(),
+            AddressSpace::PartiallyShared => self
+                .lowered
+                .stmts
+                .iter()
+                .filter_map(|s| match s {
+                    Stmt::SharedAlloc { buf, .. } => Some(buf.clone()),
+                    _ => None,
+                })
+                .collect(),
+            AddressSpace::Adsm => self
+                .lowered
+                .stmts
+                .iter()
+                .filter_map(|s| match s {
+                    Stmt::AdsmAlloc { buf, .. } => Some(buf.clone()),
+                    _ => None,
+                })
+                .collect(),
+            AddressSpace::Disjoint => Vec::new(),
+        };
+        let mut pending_gpu: Option<usize> = None;
+        let mut pending_cpu: Option<usize> = None;
+        self.race_walk(
+            0,
+            self.lowered.stmts.len(),
+            &coherent,
+            &mut pending_gpu,
+            &mut pending_cpu,
+        );
+    }
+
+    fn race_walk(
+        &mut self,
+        start: usize,
+        end: usize,
+        coherent: &[String],
+        pending_gpu: &mut Option<usize>,
+        pending_cpu: &mut Option<usize>,
+    ) {
+        let mut i = start;
+        while i < end {
+            match &self.lowered.stmts[i] {
+                Stmt::LoopHead { .. } => {
+                    let tail = matching_tail(&self.lowered.stmts, i);
+                    // Walk the body twice so tail-to-head pairings across
+                    // the loop's back edge are seen; the diagnostic dedup
+                    // collapses the repeats.
+                    self.race_walk(i + 1, tail, coherent, pending_gpu, pending_cpu);
+                    self.race_walk(i + 1, tail, coherent, pending_gpu, pending_cpu);
+                    i = tail.saturating_add(1);
+                    continue;
+                }
+                Stmt::KernelCall {
+                    target: Target::Gpu,
+                    ..
+                } => {
+                    if pending_gpu.is_some() {
+                        // Back-to-back GPU launches close the section.
+                        *pending_gpu = None;
+                        *pending_cpu = None;
+                    }
+                    *pending_gpu = Some(i);
+                    if let Some(c) = *pending_cpu {
+                        self.race_pair(i, c, coherent);
+                    }
+                }
+                Stmt::KernelCall {
+                    target: Target::Cpu,
+                    parallel: true,
+                    ..
+                } => {
+                    if pending_cpu.is_some() {
+                        *pending_gpu = None;
+                        *pending_cpu = None;
+                    }
+                    *pending_cpu = Some(i);
+                    if let Some(g) = *pending_gpu {
+                        self.race_pair(g, i, coherent);
+                    }
+                }
+                Stmt::KernelCall {
+                    target: Target::Cpu,
+                    parallel: false,
+                    ..
+                }
+                | Stmt::InitCode { .. } => {
+                    // Sequential host code closes any open parallel
+                    // section (the generator emits a join first).
+                    *pending_gpu = None;
+                    *pending_cpu = None;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Reports HM0106 for every coherent buffer the paired kernels share
+    /// with at least one writer.
+    fn race_pair(&mut self, gpu: usize, cpu: usize, coherent: &[String]) {
+        let (g_name, g_reads, g_writes) = kernel_parts(&self.lowered.stmts[gpu]);
+        let (c_name, c_reads, c_writes) = kernel_parts(&self.lowered.stmts[cpu]);
+        let anchor = gpu.max(cpu);
+        for buf in coherent {
+            let g_touches = g_reads.contains(buf) || g_writes.contains(buf);
+            let c_touches = c_reads.contains(buf) || c_writes.contains(buf);
+            if !(g_touches && c_touches) {
+                continue;
+            }
+            if !(g_writes.contains(buf) || c_writes.contains(buf)) {
+                continue;
+            }
+            self.diag(
+                Code::CpuGpuRace,
+                Severity::Warning,
+                anchor,
+                Some(buf),
+                format!(
+                    "GPU kernel `{g_name}` and CPU kernel `{c_name}` run in \
+                     parallel and both touch `{buf}` (at least one writes it) \
+                     with no synchronization between the PUs"
+                ),
+            );
+        }
+    }
+}
+
+fn kernel_parts(stmt: &Stmt) -> (&str, &[String], &[String]) {
+    match stmt {
+        Stmt::KernelCall {
+            name,
+            reads,
+            writes,
+            ..
+        } => (name.as_str(), reads.as_slice(), writes.as_slice()),
+        _ => unreachable!("race pairing only records KernelCall statements"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::programs;
+
+    fn errors(lowered: &Lowered) -> Vec<Diagnostic> {
+        check_lowered_impl(lowered)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    #[test]
+    fn paper_lowerings_are_error_free_under_every_model() {
+        for program in programs::all().iter().chain(programs::extra::all().iter()) {
+            for model in AddressSpace::ALL {
+                let lowered = lower(program, model);
+                let errs = errors(&lowered);
+                assert!(
+                    errs.is_empty(),
+                    "{} under {model}: {:?}",
+                    program.name,
+                    errs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_lowerings_have_no_warnings_either() {
+        for program in programs::all().iter().chain(programs::extra::all().iter()) {
+            for model in AddressSpace::ALL {
+                let lowered = lower(program, model);
+                let warns: Vec<_> = check_lowered_impl(&lowered)
+                    .into_iter()
+                    .filter(|d| d.severity == Severity::Warning)
+                    .collect();
+                assert!(
+                    warns.is_empty(),
+                    "{} under {model}: {:?}",
+                    program.name,
+                    warns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deleting_an_h2d_transfer_trips_stale_read() {
+        let lowered = lower(&programs::reduction(), AddressSpace::Disjoint);
+        let mut broken = lowered.clone();
+        let idx = broken
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::MemcpyH2D { .. }))
+            .expect("disjoint lowering has H2D transfers");
+        broken.stmts.remove(idx);
+        let errs = errors(&broken);
+        assert!(
+            errs.iter().any(|d| d.code == Code::StaleRead),
+            "expected HM0101, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn deleting_a_d2h_transfer_trips_missing_transfer_back() {
+        let lowered = lower(&programs::reduction(), AddressSpace::Disjoint);
+        let mut broken = lowered.clone();
+        let idx = broken
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::MemcpyD2H { .. }))
+            .expect("disjoint lowering has D2H transfers");
+        broken.stmts.remove(idx);
+        let errs = errors(&broken);
+        assert!(
+            errs.iter().any(|d| d.code == Code::MissingTransferBack),
+            "expected HM0102, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_transfer_trips_redundant_transfer() {
+        let lowered = lower(&programs::reduction(), AddressSpace::Disjoint);
+        let mut broken = lowered.clone();
+        let idx = broken
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::MemcpyH2D { .. }))
+            .expect("disjoint lowering has H2D transfers");
+        let dup = broken.stmts[idx].clone();
+        broken.stmts.insert(idx + 1, dup);
+        let diags = check_lowered_impl(&broken);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::RedundantTransfer && d.stmt == Some(idx + 1)),
+            "expected HM0103 at {} in {diags:?}",
+            idx + 1
+        );
+    }
+
+    #[test]
+    fn plain_malloc_under_pas_trips_untagged_shared() {
+        let lowered = lower(&programs::reduction(), AddressSpace::PartiallyShared);
+        let mut broken = lowered.clone();
+        for stmt in &mut broken.stmts {
+            if let Stmt::SharedAlloc { buf, bytes } = stmt {
+                *stmt = Stmt::HostAlloc {
+                    buf: buf.clone(),
+                    bytes: *bytes,
+                };
+                break;
+            }
+        }
+        let errs = errors(&broken);
+        assert!(
+            errs.iter().any(|d| d.code == Code::UntaggedShared),
+            "expected HM0104, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn deleting_release_trips_ownership_violation() {
+        let lowered = lower(&programs::reduction(), AddressSpace::PartiallyShared);
+        let mut broken = lowered.clone();
+        let idx = broken
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::ReleaseOwnership { .. }))
+            .expect("PAS lowering has releaseOwnership");
+        broken.stmts.remove(idx);
+        let errs = errors(&broken);
+        assert!(
+            errs.iter().any(|d| d.code == Code::OwnershipViolation),
+            "expected HM0105, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn overlapping_writer_pair_trips_race_under_unified() {
+        use crate::ast::{Program, Step};
+        let program = Program {
+            name: "racey".into(),
+            buffers: vec![crate::ast::Buffer {
+                name: "x".into(),
+                bytes: 64,
+            }],
+            steps: vec![
+                Step::HostInit {
+                    bufs: vec![crate::ast::BufId(0)],
+                },
+                Step::Kernel {
+                    target: Target::Gpu,
+                    name: "gpuWrite".into(),
+                    reads: vec![],
+                    writes: vec![crate::ast::BufId(0)],
+                    args_upload: false,
+                },
+                Step::Kernel {
+                    target: Target::Cpu,
+                    name: "cpuRead".into(),
+                    reads: vec![crate::ast::BufId(0)],
+                    writes: vec![],
+                    args_upload: false,
+                },
+            ],
+            compute_lines: 4,
+        };
+        let lowered = lower(&program, AddressSpace::Unified);
+        let diags = check_lowered_impl(&lowered);
+        assert!(
+            diags.iter().any(|d| d.code == Code::CpuGpuRace),
+            "expected HM0106, got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn loop_cycle_detection_matches_full_unrolling() {
+        // A loop whose body alternates staleness: full interpretation of
+        // every pass and the cycle-shortcut must land in the same state,
+        // which we observe through the diagnostics (none for the clean
+        // paper program, for any iteration count).
+        let program = programs::k_means();
+        for model in AddressSpace::ALL {
+            let lowered = lower(&program, model);
+            assert!(errors(&lowered).is_empty(), "{model}");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Typed diagnostics with stable codes.
+//!
+//! Every finding the checker can produce carries a [`Code`] (stable across
+//! releases, usable in scripts and suppressions), a [`Severity`], the
+//! statement it anchors to, and a rustc-style rendering. Program-level
+//! lints (the old `analyze` pass) use the `HM00xx` range; memory-model
+//! findings over lowered statements use `HM01xx`.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// The CLI maps `Error` findings to exit code 1; `Warning` and `Note`
+/// findings are informational and exit 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The lowered program computes wrong results or faults at runtime.
+    Error,
+    /// Almost certainly a bug.
+    Warning,
+    /// Worth knowing; often intentional.
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// A stable diagnostic code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// HM0001: a buffer is declared but never referenced.
+    UnusedBuffer,
+    /// HM0002: a buffer is read before anything writes it.
+    UninitializedRead,
+    /// HM0003: a kernel result is never read afterwards.
+    DeadResult,
+    /// HM0004: a buffer must be tagged shared under the partially shared
+    /// model.
+    SharedCandidate,
+    /// HM0101: a GPU kernel reads a buffer whose device copy is out of
+    /// date (the host wrote it and no transfer intervened).
+    StaleRead,
+    /// HM0102: the host reads a buffer whose newest value is on the
+    /// device and was never copied back.
+    MissingTransferBack,
+    /// HM0103: a transfer that never changes its destination — both
+    /// copies are already valid every time it executes.
+    RedundantTransfer,
+    /// HM0104: under the partially shared model, a GPU kernel (or an
+    /// ownership call) touches a buffer that was not `sharedmalloc`ed.
+    UntaggedShared,
+    /// HM0105: an ownership or lifetime violation — access without
+    /// ownership, before device allocation, or after a free.
+    OwnershipViolation,
+    /// HM0106: a GPU kernel and a CPU kernel run in parallel and touch
+    /// the same coherent memory with at least one writer and no
+    /// synchronization between the PUs.
+    CpuGpuRace,
+}
+
+impl Code {
+    /// The stable code string, e.g. `"HM0101"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnusedBuffer => "HM0001",
+            Code::UninitializedRead => "HM0002",
+            Code::DeadResult => "HM0003",
+            Code::SharedCandidate => "HM0004",
+            Code::StaleRead => "HM0101",
+            Code::MissingTransferBack => "HM0102",
+            Code::RedundantTransfer => "HM0103",
+            Code::UntaggedShared => "HM0104",
+            Code::OwnershipViolation => "HM0105",
+            Code::CpuGpuRace => "HM0106",
+        }
+    }
+
+    /// The short kebab-case name, e.g. `"stale-read"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::UnusedBuffer => "unused-buffer",
+            Code::UninitializedRead => "uninitialized-read",
+            Code::DeadResult => "dead-result",
+            Code::SharedCandidate => "shared-candidate",
+            Code::StaleRead => "stale-read",
+            Code::MissingTransferBack => "missing-transfer-back",
+            Code::RedundantTransfer => "redundant-transfer",
+            Code::UntaggedShared => "untagged-shared",
+            Code::OwnershipViolation => "ownership-violation",
+            Code::CpuGpuRace => "cpu-gpu-race",
+        }
+    }
+
+    /// A one-paragraph explanation of what the code means and how to fix
+    /// it, in the spirit of `rustc --explain`.
+    #[must_use]
+    pub fn explanation(self) -> &'static str {
+        match self {
+            Code::UnusedBuffer => {
+                "The buffer is allocated but no step reads or writes it. Either the \
+                 program is incomplete or the allocation can be removed."
+            }
+            Code::UninitializedRead => {
+                "A step reads the buffer before any initialization or write. The read \
+                 observes unspecified memory; initialize the buffer first."
+            }
+            Code::DeadResult => {
+                "A data-parallel kernel writes the buffer last, and nothing ever reads \
+                 it afterwards — the computed result never reaches the host."
+            }
+            Code::SharedCandidate => {
+                "Under the partially shared address space the GPU can only address \
+                 objects in the shared region; every buffer a GPU kernel touches must \
+                 be allocated with sharedmalloc and ownership-managed."
+            }
+            Code::StaleRead => {
+                "The GPU reads a device copy that no longer holds the newest value: \
+                 the host wrote the buffer and no host-to-device transfer intervened. \
+                 Insert a Memcpy/copyfromCPUtoGPU before the kernel launch."
+            }
+            Code::MissingTransferBack => {
+                "The host reads a buffer whose newest value lives on the device (a \
+                 GPU kernel wrote it) and was never copied back. Insert a \
+                 device-to-host Memcpy before the host read."
+            }
+            Code::RedundantTransfer => {
+                "On every execution of this transfer both copies are already valid, \
+                 so it moves data that is already there. It can be removed (or the \
+                 transfer it duplicates can)."
+            }
+            Code::UntaggedShared => {
+                "Under the partially shared model it is the programmer's \
+                 responsibility to tag all data shared between the CPUs and GPUs; \
+                 this buffer is used from the GPU (or in an ownership call) but was \
+                 allocated with plain malloc, which the GPU cannot address."
+            }
+            Code::OwnershipViolation => {
+                "The access violates the ownership or lifetime protocol: touching a \
+                 shared object the other PU currently owns, using a device buffer \
+                 before it is allocated, or after it has been freed."
+            }
+            Code::CpuGpuRace => {
+                "The code generator overlaps this GPU kernel with this CPU kernel, \
+                 and both touch the same coherent memory with at least one of them \
+                 writing. There is no synchronization between the PUs inside a \
+                 parallel section, so the interleaving is unpredictable."
+            }
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One checker finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// How serious it is.
+    pub severity: Severity,
+    /// The statement index into the lowered program (or the step index,
+    /// for program-level `HM00xx` findings). `None` for whole-program
+    /// findings with no single anchor.
+    pub stmt: Option<usize>,
+    /// The 1-based line in [`crate::render`]'s output for `stmt`, when
+    /// the finding anchors to a lowered statement.
+    pub line: Option<usize>,
+    /// The rendered source text of the anchor statement, when available.
+    pub source: Option<String>,
+    /// The buffer the finding is about, when there is one.
+    pub buffer: Option<String>,
+    /// The human-readable one-line message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    /// Renders the finding rustc-style:
+    ///
+    /// ```text
+    /// error[HM0101]: stale-read: GPU kernel reads `a` ...
+    ///   --> stmt 5 (line 9): addGPUTwoVectors(a, b, c);
+    ///   = note: <explanation>
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}: {}",
+            self.severity,
+            self.code,
+            self.code.name(),
+            self.message
+        )?;
+        if let (Some(stmt), Some(source)) = (self.stmt, self.source.as_ref()) {
+            let line = self.line.map_or(String::new(), |l| format!(" (line {l})"));
+            write!(f, "\n  --> stmt {stmt}{line}: {source}")?;
+        } else if let Some(stmt) = self.stmt {
+            write!(f, "\n  --> step {stmt}")?;
+        }
+        write!(f, "\n  = note: {}", self.code.explanation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::StaleRead.as_str(), "HM0101");
+        assert_eq!(Code::MissingTransferBack.as_str(), "HM0102");
+        assert_eq!(Code::RedundantTransfer.as_str(), "HM0103");
+        assert_eq!(Code::UntaggedShared.as_str(), "HM0104");
+        assert_eq!(Code::OwnershipViolation.as_str(), "HM0105");
+        assert_eq!(Code::CpuGpuRace.as_str(), "HM0106");
+        assert_eq!(Code::UnusedBuffer.as_str(), "HM0001");
+        assert_eq!(Code::SharedCandidate.as_str(), "HM0004");
+    }
+
+    #[test]
+    fn severity_orders_most_severe_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Note);
+    }
+
+    #[test]
+    fn display_is_rustc_style() {
+        let d = Diagnostic {
+            code: Code::StaleRead,
+            severity: Severity::Error,
+            stmt: Some(5),
+            line: Some(9),
+            source: Some("addGPUTwoVectors(a, b, c);".into()),
+            buffer: Some("a".into()),
+            message: "GPU kernel `addGPUTwoVectors` reads `a` stale".into(),
+        };
+        let text = d.to_string();
+        assert!(text.starts_with("error[HM0101]: stale-read:"), "{text}");
+        assert!(
+            text.contains("--> stmt 5 (line 9): addGPUTwoVectors"),
+            "{text}"
+        );
+        assert!(text.contains("= note:"), "{text}");
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`generate_trace`] — expands a lowered program into a simulatable
 //!   [`hetmem_trace::PhasedTrace`].
 //! * [`render`] — pretty-prints the lowered source, Figure 2/3-style.
+//! * [`check`] — memory-model-aware static verifier over lowered
+//!   programs (stale reads, missing transfers, ownership violations),
+//!   differentially validated by a concrete [`run_oracle`] interpreter.
 //!
 //! ## Example
 //!
@@ -35,6 +38,7 @@
 
 mod analyze;
 mod ast;
+pub mod check;
 mod codegen;
 mod loc;
 mod lower;
@@ -46,6 +50,9 @@ mod stmt;
 
 pub use analyze::{analyze, Lint, Severity};
 pub use ast::{BufId, Buffer, Program, ProgramError, Step, Target};
+pub use check::{
+    check, check_lowered, program_lints, run_oracle, CheckReport, Code, Diagnostic, OracleReport,
+};
 pub use codegen::{generate_trace, generate_trace_with, CodegenOptions};
 pub use loc::{loc_table, paper_loc_table, LocRow};
 pub use lower::{lower, Lowered};

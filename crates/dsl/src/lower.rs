@@ -238,6 +238,8 @@ impl LowerCtx<'_> {
             target: Target::Gpu,
             name: name.to_owned(),
             args,
+            reads: self.names(reads),
+            writes: self.names(writes),
             parallel: true,
             arg_bytes: self.arg_bytes(reads, writes),
             args_upload,
@@ -255,7 +257,15 @@ impl LowerCtx<'_> {
                     self.loc[w.0] = Loc::DeviceOnly;
                 }
             }
-            AddressSpace::Adsm | AddressSpace::Unified => {}
+            AddressSpace::Adsm => {
+                // A GPU write makes the device-resident object the truth;
+                // the CPU addresses it directly, so any pending host-side
+                // update is superseded (the runtime invalidates the shadow).
+                for &w in writes {
+                    self.host_dirty[w.0] = false;
+                }
+            }
+            AddressSpace::Unified => {}
         }
     }
 
@@ -310,6 +320,52 @@ impl LowerCtx<'_> {
         }
     }
 
+    /// Buffers read by host-side steps (CPU kernels, sequential code)
+    /// anywhere in `steps`, recursively.
+    fn host_read_in(steps: &[Step], acc: &mut Vec<BufId>) {
+        for step in steps {
+            let reads: &[BufId] = match step {
+                Step::Kernel {
+                    target: Target::Cpu,
+                    reads,
+                    ..
+                } => reads,
+                Step::Seq { reads, .. } => reads,
+                Step::Loop { body, .. } => {
+                    LowerCtx::host_read_in(body, acc);
+                    &[]
+                }
+                _ => &[],
+            };
+            for &b in reads {
+                if !acc.contains(&b) {
+                    acc.push(b);
+                }
+            }
+        }
+    }
+
+    /// Buffers written by GPU kernels anywhere in `steps`, recursively.
+    fn gpu_written_in(steps: &[Step], acc: &mut Vec<BufId>) {
+        for step in steps {
+            match step {
+                Step::Kernel {
+                    target: Target::Gpu,
+                    writes,
+                    ..
+                } => {
+                    for &b in writes {
+                        if !acc.contains(&b) {
+                            acc.push(b);
+                        }
+                    }
+                }
+                Step::Loop { body, .. } => LowerCtx::gpu_written_in(body, acc),
+                _ => {}
+            }
+        }
+    }
+
     fn hoist_loop_invariant_inputs(&mut self, body: &[Step]) {
         let mut host_written = Vec::new();
         LowerCtx::host_written_in(body, &mut host_written);
@@ -353,6 +409,233 @@ impl LowerCtx<'_> {
         }
     }
 
+    /// Hoists the mirror of [`Self::hoist_loop_invariant_inputs`]: a buffer
+    /// the host reads inside the loop that no GPU kernel re-writes there is
+    /// copied back once, before the loop, instead of once per iteration.
+    fn hoist_loop_invariant_outputs(&mut self, body: &[Step]) {
+        if self.model != AddressSpace::Disjoint {
+            return;
+        }
+        let mut host_read = Vec::new();
+        LowerCtx::host_read_in(body, &mut host_read);
+        let mut gpu_written = Vec::new();
+        LowerCtx::gpu_written_in(body, &mut gpu_written);
+        for b in host_read {
+            if !gpu_written.contains(&b) && self.loc[b.0] == Loc::DeviceOnly {
+                self.out.push(Stmt::MemcpyD2H {
+                    buf: self.name(b),
+                    bytes: self.program.buffer(b).bytes,
+                });
+                self.loc[b.0] = Loc::Both;
+            }
+        }
+    }
+
+    fn buf_id(&self, name: &str) -> BufId {
+        BufId(
+            self.program
+                .buffers
+                .iter()
+                .position(|b| b.name == name)
+                .expect("lowered statement names a program buffer"),
+        )
+    }
+
+    /// Simulates one further pass over the just-emitted loop-body statements
+    /// `self.out[body_start..]` starting from the end-of-first-iteration
+    /// state, recording buffers whose reads (or transfer sources) would be
+    /// stale. `LoopHead`/`LoopTail` spans of nested loops are walked twice
+    /// so their own back edges are covered.
+    fn stale_in_body_pass(&self, body_start: usize, stale: &mut Vec<BufId>) {
+        let n = self.program.buffers.len();
+        // Freshness seeded from the first-iteration exit state: the walk's
+        // location labels are exact for iteration one, which is also the
+        // state every later iteration re-enters the body with (fix-ups
+        // appended by the caller keep this invariant).
+        let mut host_fresh = vec![true; n];
+        let mut dev_fresh = vec![true; n];
+        if self.model == AddressSpace::Disjoint {
+            for (i, l) in self.loc.iter().enumerate() {
+                host_fresh[i] = *l != Loc::DeviceOnly;
+                dev_fresh[i] = *l != Loc::HostOnly;
+            }
+        } else if self.model == AddressSpace::Adsm {
+            // The host shadow is always addressable; the device copy is
+            // behind (stale) exactly when the host has unpublished writes.
+            for (i, d) in self.host_dirty.iter().enumerate() {
+                dev_fresh[i] = !d;
+            }
+        }
+        let stmts = &self.out[body_start..];
+        // Walk linearly; then re-walk each nested-loop span once for its
+        // back edge (nested loops were already normalized as they were
+        // built, so one extra pass reaches their steady state).
+        let mut nested: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        for (i, stmt) in stmts.iter().enumerate() {
+            match stmt {
+                Stmt::LoopHead { .. } => {
+                    if depth == 0 {
+                        start = i + 1;
+                    }
+                    depth += 1;
+                }
+                Stmt::LoopTail => {
+                    depth -= 1;
+                    if depth == 0 {
+                        nested.push(start..i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.sim_stmts(stmts, &mut host_fresh, &mut dev_fresh, stale);
+        for span in nested {
+            self.sim_stmts(&stmts[span], &mut host_fresh, &mut dev_fresh, stale);
+        }
+    }
+
+    /// One linear pass of the freshness simulation behind
+    /// [`Self::stale_in_body_pass`].
+    fn sim_stmts(
+        &self,
+        stmts: &[Stmt],
+        host_fresh: &mut [bool],
+        dev_fresh: &mut [bool],
+        stale: &mut Vec<BufId>,
+    ) {
+        fn mark(b: BufId, stale: &mut Vec<BufId>) {
+            if !stale.contains(&b) {
+                stale.push(b);
+            }
+        }
+        for stmt in stmts {
+            match stmt {
+                Stmt::MemcpyH2D { buf, .. } => {
+                    let b = self.buf_id(buf);
+                    if !host_fresh[b.0] {
+                        mark(b, stale);
+                    }
+                    dev_fresh[b.0] = host_fresh[b.0];
+                }
+                Stmt::MemcpyD2H { buf, .. } => {
+                    let b = self.buf_id(buf);
+                    if !dev_fresh[b.0] {
+                        mark(b, stale);
+                    }
+                    host_fresh[b.0] = dev_fresh[b.0];
+                }
+                Stmt::AdsmCopyToDevice { bufs, .. } => {
+                    // The ADSM runtime publishes only buffers with pending
+                    // host writes, so the copy never clobbers device data.
+                    for name in bufs {
+                        let b = self.buf_id(name);
+                        dev_fresh[b.0] = true;
+                    }
+                }
+                Stmt::KernelCall {
+                    target: Target::Gpu,
+                    reads,
+                    writes,
+                    ..
+                } => {
+                    for name in reads {
+                        let b = self.buf_id(name);
+                        if !dev_fresh[b.0] {
+                            mark(b, stale);
+                        }
+                    }
+                    for name in writes {
+                        let b = self.buf_id(name);
+                        dev_fresh[b.0] = true;
+                        // Outside the disjoint space the CPU addresses
+                        // device results directly, so its view stays fresh.
+                        host_fresh[b.0] = self.model != AddressSpace::Disjoint;
+                    }
+                }
+                Stmt::KernelCall {
+                    target: Target::Cpu,
+                    reads,
+                    writes,
+                    ..
+                } => {
+                    for name in reads {
+                        let b = self.buf_id(name);
+                        if !host_fresh[b.0] {
+                            mark(b, stale);
+                        }
+                    }
+                    for name in writes {
+                        let b = self.buf_id(name);
+                        host_fresh[b.0] = true;
+                        dev_fresh[b.0] = false;
+                    }
+                }
+                Stmt::InitCode { bufs, .. } => {
+                    for name in bufs {
+                        let b = self.buf_id(name);
+                        host_fresh[b.0] = true;
+                        dev_fresh[b.0] = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Appends end-of-body transfers for buffers a second iteration would
+    /// read stale — the loop-carried cases a single location-analysis pass
+    /// over the body cannot see (e.g. a host read early in the body of a
+    /// buffer a GPU kernel re-writes later in the same body).
+    fn normalize_loop_body(&mut self, body_start: usize) {
+        if !matches!(self.model, AddressSpace::Disjoint | AddressSpace::Adsm) {
+            return;
+        }
+        // Each fix-up makes one more buffer fresh-on-entry, so a couple of
+        // rounds always converge; the bound is just a safety net.
+        for _ in 0..=self.program.buffers.len() {
+            let mut stale = Vec::new();
+            self.stale_in_body_pass(body_start, &mut stale);
+            if stale.is_empty() {
+                return;
+            }
+            stale.sort_unstable();
+            match self.model {
+                AddressSpace::Disjoint => {
+                    for b in stale {
+                        match self.loc[b.0] {
+                            // The side that is fresh at body end is the
+                            // copy-source; afterwards both sides are valid
+                            // on every re-entry.
+                            Loc::DeviceOnly => self.out.push(Stmt::MemcpyD2H {
+                                buf: self.name(b),
+                                bytes: self.program.buffer(b).bytes,
+                            }),
+                            Loc::HostOnly => self.out.push(Stmt::MemcpyH2D {
+                                buf: self.name(b),
+                                bytes: self.program.buffer(b).bytes,
+                            }),
+                            Loc::Both => unreachable!("both-fresh buffers cannot go stale"),
+                        }
+                        self.loc[b.0] = Loc::Both;
+                    }
+                }
+                AddressSpace::Adsm => {
+                    let bytes = stale.iter().map(|&b| self.program.buffer(b).bytes).sum();
+                    self.out.push(Stmt::AdsmCopyToDevice {
+                        bufs: self.names(&stale),
+                        bytes,
+                    });
+                    for b in stale {
+                        self.host_dirty[b.0] = false;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
     fn walk(&mut self, steps: &[Step]) {
         for step in steps {
             match step {
@@ -388,6 +671,8 @@ impl LowerCtx<'_> {
                         target: Target::Cpu,
                         name: name.clone(),
                         args,
+                        reads: self.names(reads),
+                        writes: self.names(writes),
                         parallel: true,
                         arg_bytes: self.arg_bytes(reads, writes),
                         args_upload: false,
@@ -407,6 +692,8 @@ impl LowerCtx<'_> {
                         target: Target::Cpu,
                         name: name.clone(),
                         args,
+                        reads: self.names(reads),
+                        writes: self.names(writes),
                         parallel: false,
                         arg_bytes: self.arg_bytes(reads, writes),
                         args_upload: false,
@@ -420,10 +707,17 @@ impl LowerCtx<'_> {
                     // would be written (and as the paper's communication
                     // counts assume).
                     self.hoist_loop_invariant_inputs(body);
+                    self.hoist_loop_invariant_outputs(body);
                     self.out.push(Stmt::LoopHead {
                         iterations: *iterations,
                     });
+                    let body_start = self.out.len();
                     self.walk(body);
+                    // Single-pass location analysis is exact for iteration
+                    // one; patch up what later iterations would read stale.
+                    if *iterations > 1 {
+                        self.normalize_loop_body(body_start);
+                    }
                     self.out.push(Stmt::LoopTail);
                 }
             }
@@ -590,6 +884,112 @@ mod tests {
                 .count();
             assert_eq!(calls, 3, "{model}: one GPU + one CPU kernel + one merge");
         }
+    }
+
+    #[test]
+    fn loop_carried_host_read_gets_body_end_copy_back() {
+        // Body: host reads X, then the GPU re-writes X. A single pass sees
+        // a fresh host copy at the read (true for iteration one only); the
+        // normalizer must append a copy-back so iterations 2+ are not
+        // stale.
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("x", 64)],
+            steps: vec![
+                Step::HostInit {
+                    bufs: vec![BufId(0)],
+                },
+                Step::Loop {
+                    iterations: 3,
+                    body: vec![
+                        Step::Seq {
+                            name: "readX".into(),
+                            reads: vec![BufId(0)],
+                            writes: vec![],
+                        },
+                        Step::Kernel {
+                            target: Target::Gpu,
+                            name: "writeX".into(),
+                            reads: vec![BufId(0)],
+                            writes: vec![BufId(0)],
+                            args_upload: false,
+                        },
+                    ],
+                },
+            ],
+            compute_lines: 1,
+        };
+        let l = lower(&p, AddressSpace::Disjoint);
+        let head = l
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::LoopHead { .. }))
+            .expect("loop head");
+        let tail = l
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::LoopTail))
+            .expect("loop tail");
+        let d2h_in_body = l.stmts[head..tail]
+            .iter()
+            .any(|s| matches!(s, Stmt::MemcpyD2H { buf, .. } if buf == "x"));
+        assert!(d2h_in_body, "body-end copy-back missing: {:?}", l.stmts);
+    }
+
+    #[test]
+    fn loop_carried_adsm_host_write_gets_body_end_publish() {
+        // X is published before the loop; inside the body the GPU reads it
+        // and the host then re-writes it, so every later iteration's GPU
+        // read needs a fresh publish at the end of the body.
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("x", 64)],
+            steps: vec![
+                Step::HostInit {
+                    bufs: vec![BufId(0)],
+                },
+                Step::Kernel {
+                    target: Target::Gpu,
+                    name: "warmup".into(),
+                    reads: vec![BufId(0)],
+                    writes: vec![],
+                    args_upload: false,
+                },
+                Step::Loop {
+                    iterations: 2,
+                    body: vec![
+                        Step::Kernel {
+                            target: Target::Gpu,
+                            name: "consume".into(),
+                            reads: vec![BufId(0)],
+                            writes: vec![],
+                            args_upload: false,
+                        },
+                        Step::Seq {
+                            name: "refresh".into(),
+                            reads: vec![],
+                            writes: vec![BufId(0)],
+                        },
+                    ],
+                },
+            ],
+            compute_lines: 1,
+        };
+        let l = lower(&p, AddressSpace::Adsm);
+        let head = l
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::LoopHead { .. }))
+            .expect("loop head");
+        let tail = l
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::LoopTail))
+            .expect("loop tail");
+        let publish_in_body = l.stmts[head..tail]
+            .iter()
+            .any(|s| matches!(s, Stmt::AdsmCopyToDevice { .. }));
+        assert!(publish_in_body, "body-end publish missing: {:?}", l.stmts);
     }
 
     #[test]

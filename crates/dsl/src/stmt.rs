@@ -91,6 +91,11 @@ pub enum Stmt {
         name: String,
         /// Argument buffer names.
         args: Vec<String>,
+        /// Buffer names the kernel reads (dataflow metadata for the static
+        /// checker and the dynamic oracle; a subset of `args`).
+        reads: Vec<String>,
+        /// Buffer names the kernel writes (a subset of `args`).
+        writes: Vec<String>,
         /// Whether this is data-parallel work (versus a sequential host
         /// step) — used by code generation to build parallel segments.
         parallel: bool,
@@ -216,6 +221,8 @@ mod tests {
             target: Target::Gpu,
             name: "k".into(),
             args: vec![],
+            reads: vec![],
+            writes: vec![],
             parallel: true,
             arg_bytes: 0,
             args_upload: false,

@@ -19,6 +19,13 @@ pub enum SimError {
     Io(String),
     /// The invocation itself was wrong (bad flags, unsupported format).
     Usage(String),
+    /// The static checker reported findings at or above the denied
+    /// severity (Error by default) — the findings themselves went to
+    /// stdout; this maps the run to exit 1.
+    CheckFailed {
+        /// Number of failing findings.
+        errors: usize,
+    },
 }
 
 impl SimError {
@@ -40,6 +47,12 @@ impl fmt::Display for SimError {
             SimError::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
             SimError::Io(msg) => write!(f, "{msg}"),
             SimError::Usage(msg) => write!(f, "{msg}"),
+            SimError::CheckFailed { errors } => {
+                write!(
+                    f,
+                    "check failed: {errors} finding(s) at the denied severity"
+                )
+            }
         }
     }
 }
@@ -62,6 +75,7 @@ mod tests {
         assert_eq!(SimError::EmptyTrace.exit_code(), 1);
         assert_eq!(SimError::Io("disk".into()).exit_code(), 1);
         assert_eq!(SimError::InvalidConfig("zero sets".into()).exit_code(), 1);
+        assert_eq!(SimError::CheckFailed { errors: 3 }.exit_code(), 1);
     }
 
     #[test]

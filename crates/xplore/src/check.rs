@@ -1,0 +1,102 @@
+//! JSONL emission for `hetmem check` diagnostics.
+//!
+//! Renders [`hetmem_dsl::CheckReport`]s as JSON Lines through the in-repo
+//! [`crate::json`] module — one self-describing `"diagnostic"` object per
+//! finding, then a single `"summary"` line with the severity totals — so
+//! CI and downstream tooling parse checker output with the same parser as
+//! every other stream the workspace emits.
+
+use crate::json::Json;
+use hetmem_dsl::{CheckReport, Diagnostic};
+
+/// Renders one finding as an ordered JSON object, tagged with the
+/// program and model it came from.
+#[must_use]
+pub fn diagnostic_to_json(program: &str, model: &str, d: &Diagnostic) -> Json {
+    let mut pairs = vec![
+        ("kind", Json::Str("diagnostic".to_owned())),
+        ("code", Json::Str(d.code.as_str().to_owned())),
+        ("name", Json::Str(d.code.name().to_owned())),
+        ("severity", Json::Str(d.severity.to_string())),
+        ("program", Json::Str(program.to_owned())),
+        ("model", Json::Str(model.to_owned())),
+    ];
+    if let Some(stmt) = d.stmt {
+        pairs.push(("stmt", Json::UInt(stmt as u64)));
+    }
+    if let Some(line) = d.line {
+        pairs.push(("line", Json::UInt(line as u64)));
+    }
+    if let Some(buffer) = &d.buffer {
+        pairs.push(("buffer", Json::Str(buffer.clone())));
+    }
+    pairs.push(("message", Json::Str(d.message.clone())));
+    Json::obj(pairs)
+}
+
+/// Renders a batch of check reports as JSON Lines: every finding in
+/// report order, then exactly one `"summary"` line with the totals per
+/// severity and the number of program × model combinations checked.
+#[must_use]
+pub fn check_reports_to_jsonl(reports: &[CheckReport]) -> String {
+    use hetmem_dsl::Severity;
+    let mut out = String::new();
+    let mut totals = [0u64; 3];
+    for report in reports {
+        let model = report.model.to_string();
+        for d in &report.diagnostics {
+            match d.severity {
+                Severity::Error => totals[0] += 1,
+                Severity::Warning => totals[1] += 1,
+                Severity::Note => totals[2] += 1,
+            }
+            out.push_str(&diagnostic_to_json(&report.program, &model, d).render());
+            out.push('\n');
+        }
+    }
+    let summary = Json::obj(vec![
+        ("kind", Json::Str("summary".to_owned())),
+        ("checked", Json::UInt(reports.len() as u64)),
+        ("errors", Json::UInt(totals[0])),
+        ("warnings", Json::UInt(totals[1])),
+        ("notes", Json::UInt(totals[2])),
+    ]);
+    out.push_str(&summary.render());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use hetmem_dsl::{check, programs, AddressSpace};
+
+    #[test]
+    fn check_jsonl_round_trips_through_the_in_repo_parser() {
+        let reports: Vec<CheckReport> = programs::all()
+            .iter()
+            .map(|p| check(p, AddressSpace::PartiallyShared))
+            .collect();
+        let jsonl = check_reports_to_jsonl(&reports);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+        assert_eq!(lines.len(), total + 1, "one line per finding plus summary");
+        for line in &lines {
+            let v = parse(line).expect("every line is valid JSON");
+            assert!(v.get("kind").is_some(), "{line}");
+        }
+        let summary = parse(lines.last().expect("summary line")).expect("parses");
+        assert_eq!(summary.get("kind").and_then(Json::as_str), Some("summary"));
+        assert_eq!(
+            summary.get("checked").and_then(Json::as_u64),
+            Some(reports.len() as u64)
+        );
+        // The paper programs carry shared-candidate notes, so the stream
+        // is never empty and every diagnostic names its program.
+        let first = parse(lines[0]).expect("parses");
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("diagnostic"));
+        assert!(first.get("program").is_some());
+        assert!(first.get("code").is_some());
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod check;
 pub mod emit;
 pub mod engine;
 pub mod json;
@@ -44,6 +45,7 @@ pub mod ser;
 pub mod spec;
 
 pub use cache::DiskCache;
+pub use check::{check_reports_to_jsonl, diagnostic_to_json};
 pub use emit::{to_csv, to_jsonl, to_table, OutputFormat};
 pub use engine::{
     content_key, content_key_with, execute_job, execute_job_observed, run_address_spaces,

@@ -1,0 +1,96 @@
+//! Validate `hetmem check --format json` output: every line must parse
+//! through the in-repo JSON module as an object with a string `"kind"`,
+//! every `"diagnostic"` line must carry the full schema (stable code,
+//! name, severity, program, model, message), and the stream must end
+//! with exactly one `"summary"` line whose totals match the diagnostics
+//! above it. CI pipes the checker's JSON through this binary.
+//!
+//! Run with `cargo run --release --example validate_check_jsonl -- <file.jsonl>...`.
+
+use hetmem::xplore::json::{parse, Json};
+
+fn require_str(v: &Json, key: &str, at: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{at}: missing string {key:?}"))
+}
+
+fn require_u64(v: &Json, key: &str, at: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{at}: missing integer {key:?}"))
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let mut totals = [0u64; 3]; // errors, warnings, notes
+    let mut diagnostics = 0u64;
+    let mut summary: Option<Json> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let at = format!("{path}:{}", lineno + 1);
+        if summary.is_some() {
+            return Err(format!("{at}: line after the summary"));
+        }
+        let v = parse(line).map_err(|e| format!("{at}: {e}"))?;
+        match require_str(&v, "kind", &at)?.as_str() {
+            "diagnostic" => {
+                diagnostics += 1;
+                let code = require_str(&v, "code", &at)?;
+                if code.len() != 6 || !code.starts_with("HM") {
+                    return Err(format!("{at}: malformed code {code:?}"));
+                }
+                require_str(&v, "name", &at)?;
+                require_str(&v, "program", &at)?;
+                require_str(&v, "model", &at)?;
+                require_str(&v, "message", &at)?;
+                match require_str(&v, "severity", &at)?.as_str() {
+                    "error" => totals[0] += 1,
+                    "warning" => totals[1] += 1,
+                    "note" => totals[2] += 1,
+                    other => return Err(format!("{at}: unknown severity {other:?}")),
+                }
+            }
+            "summary" => summary = Some(v),
+            other => return Err(format!("{at}: unknown kind {other:?}")),
+        }
+    }
+    let summary = summary.ok_or_else(|| format!("{path}: no summary line"))?;
+    let at = format!("{path}:summary");
+    for (key, expected) in [
+        ("errors", totals[0]),
+        ("warnings", totals[1]),
+        ("notes", totals[2]),
+    ] {
+        let got = require_u64(&summary, key, &at)?;
+        if got != expected {
+            return Err(format!("{at}: {key}={got} but the stream has {expected}"));
+        }
+    }
+    let checked = require_u64(&summary, "checked", &at)?;
+    println!(
+        "{path}: {diagnostics} diagnostic(s) over {checked} report(s) OK \
+         ({} error, {} warning, {} note)",
+        totals[0], totals[1], totals[2]
+    );
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_check_jsonl <file.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        if let Err(msg) = validate(path) {
+            eprintln!("error: {msg}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

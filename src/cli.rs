@@ -6,6 +6,7 @@
 //! hetmem fig 5 [--scale N]              # regenerate Figure 5 (also 6, 7)
 //! hetmem sweep [filters]                # parallel, cached design-space sweep
 //! hetmem loc <program.hdsl>             # programmability of a DSL source file
+//! hetmem check <kernel|--all>           # memory-model static verifier
 //! hetmem lower <program.hdsl> <model>   # print one lowering (uni|pas|dis|adsm)
 //! hetmem trace <kernel> [--scale N]     # dump a kernel trace (.hmt) to stdout
 //! hetmem sim <trace.hmt> <system>       # simulate a trace file on a system
@@ -99,6 +100,23 @@ pub enum Command {
         /// Path to the `.hdsl` source.
         path: String,
     },
+    /// Run the memory-model static verifier over built-in kernels or
+    /// `.hdsl` files.
+    Check {
+        /// Kernel names or `.hdsl` paths to check (empty with `all`).
+        targets: Vec<String>,
+        /// Check every built-in program instead of named targets.
+        all: bool,
+        /// Address-space models to check under (empty = all four).
+        models: Vec<AddressSpace>,
+        /// Output format (`Table` renders rustc-style text, `Json` emits
+        /// one diagnostic per line plus a summary line).
+        format: OutputFormat,
+        /// Least-severe severity that fails the run (default
+        /// [`hetmem_dsl::Severity::Error`]; `--deny warnings|notes`
+        /// escalates, rustc `-D`-style).
+        deny: hetmem_dsl::Severity,
+    },
     /// Print the Table I survey.
     Catalog,
     /// Print usage.
@@ -118,6 +136,12 @@ commands:
                                 covers every kernel x system x space at scale 1)
   loc <program.hdsl>            programmability (Table V row) of a DSL file
   lint <program.hdsl>           static analysis of a DSL file
+  check <kernel|file.hdsl ...|--all> [--model M] [--format json|table]
+        [--deny warnings|notes]
+                                memory-model static verifier over the lowered
+                                program(s); --model repeats or takes a comma
+                                list (default: all four); findings at Error
+                                severity (or above --deny) exit 1
   lower <program.hdsl> <model>  print a lowering (uni|pas|dis|adsm)
   trace <kernel> [--scale N]    dump a kernel trace (.hmt) to stdout
   sim <trace.hmt> <system> [--format json|table] [--events F.jsonl]
@@ -353,6 +377,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             expect_no_positionals(&positionals[1..], "lint")?;
             Ok(Command::Lint { path })
         }
+        "check" => {
+            // `--all` is a bare switch, unlike the value-taking flags
+            // split_flags handles, so strip it first.
+            let mut all = false;
+            let remaining: Vec<String> = rest
+                .iter()
+                .filter(|a| {
+                    if a.as_str() == "--all" {
+                        all = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .cloned()
+                .collect();
+            let (positionals, flags) = split_flags(&remaining, &["model", "format", "deny"])?;
+            let targets: Vec<String> = positionals.iter().map(|s| (*s).to_owned()).collect();
+            if all && !targets.is_empty() {
+                return Err("check takes either --all or explicit targets, not both".to_owned());
+            }
+            if !all && targets.is_empty() {
+                return Err("check needs a kernel name, an .hdsl path, or --all".to_owned());
+            }
+            let models = parse_list(&flag_values(&flags, "model"), parse_space)?;
+            let deny = match flag_values(&flags, "deny").as_slice() {
+                [] => hetmem_dsl::Severity::Error,
+                ["warnings" | "warning"] => hetmem_dsl::Severity::Warning,
+                ["notes" | "note"] => hetmem_dsl::Severity::Note,
+                [other] => return Err(format!("--deny takes warnings|notes, not {other:?}")),
+                _ => return Err("--deny given more than once".to_owned()),
+            };
+            Ok(Command::Check {
+                targets,
+                all,
+                models,
+                format: parse_format(&flags)?,
+                deny,
+            })
+        }
         "lower" => {
             let (positionals, _) = split_flags(rest, &[])?;
             let path = positionals
@@ -484,6 +548,13 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
                 println!("{} finding(s), {} warning(s)", lints.len(), warnings);
             }
         }
+        Command::Check {
+            targets,
+            all,
+            models,
+            format,
+            deny,
+        } => execute_check(targets, *all, models, *format, *deny)?,
         Command::Lower { path, model } => {
             let program = load_program(path)?;
             println!(
@@ -595,6 +666,93 @@ fn execute_fig(
     };
     let out = hetmem_xplore::run_sweep(&spec, &config, &opts)?;
     print!("{}", format.render(&out.records));
+    Ok(())
+}
+
+/// Resolves a `check` target: an `.hdsl` path loads a source file, any
+/// other word looks up a built-in program by (normalized) name.
+fn resolve_check_target(target: &str) -> Result<hetmem_dsl::Program, SimError> {
+    if target.ends_with(".hdsl") {
+        return load_program(target);
+    }
+    let norm = |s: &str| -> String {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = norm(target);
+    // Accept a trailing plural too, so the `trace` spelling `kmeans`
+    // finds the paper's "k-mean".
+    let singular = wanted.strip_suffix('s').unwrap_or(&wanted).to_owned();
+    hetmem_dsl::programs::all()
+        .into_iter()
+        .chain(hetmem_dsl::programs::extra::all())
+        .find(|p| {
+            let name = norm(&p.name);
+            name == wanted || name == singular
+        })
+        .ok_or_else(|| {
+            SimError::Usage(format!(
+                "unknown kernel {target:?} (use a built-in kernel name, an .hdsl path, or --all)"
+            ))
+        })
+}
+
+/// Runs the memory-model verifier over the selected programs × models,
+/// printing reports (or JSONL) and mapping Error findings to exit 1.
+fn execute_check(
+    targets: &[String],
+    all: bool,
+    models: &[AddressSpace],
+    format: OutputFormat,
+    deny: hetmem_dsl::Severity,
+) -> Result<(), SimError> {
+    if format == OutputFormat::Csv {
+        return Err(SimError::Usage(
+            "check supports --format json|table".to_owned(),
+        ));
+    }
+    let models: Vec<AddressSpace> = if models.is_empty() {
+        AddressSpace::ALL.to_vec()
+    } else {
+        models.to_vec()
+    };
+    let programs: Vec<hetmem_dsl::Program> = if all {
+        let mut v = hetmem_dsl::programs::all();
+        v.extend(hetmem_dsl::programs::extra::all());
+        v
+    } else {
+        targets
+            .iter()
+            .map(|t| resolve_check_target(t))
+            .collect::<Result<_, _>>()?
+    };
+    let mut reports = Vec::new();
+    for program in &programs {
+        for &model in &models {
+            reports.push(hetmem_dsl::check(program, model));
+        }
+    }
+    match format {
+        OutputFormat::Table => {
+            for report in &reports {
+                println!("{report}");
+            }
+        }
+        OutputFormat::Json => print!("{}", hetmem_xplore::check_reports_to_jsonl(&reports)),
+        OutputFormat::Csv => unreachable!("rejected above"),
+    }
+    // Severity orders most-severe-first, so `<= deny` selects everything
+    // at or above the denied threshold.
+    let errors: usize = reports
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .filter(|d| d.severity <= deny)
+        .count();
+    if errors > 0 {
+        return Err(SimError::CheckFailed { errors });
+    }
     Ok(())
 }
 
@@ -736,6 +894,49 @@ mod tests {
                 path: "p.hdsl".into()
             })
         );
+        assert_eq!(
+            parse_args(&args(&["check", "--all"])),
+            Ok(Command::Check {
+                targets: vec![],
+                all: true,
+                models: vec![],
+                format: OutputFormat::Table,
+                deny: hetmem_dsl::Severity::Error,
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "check",
+                "reduction",
+                "p.hdsl",
+                "--model",
+                "dis,adsm",
+                "--format",
+                "json"
+            ])),
+            Ok(Command::Check {
+                targets: vec!["reduction".into(), "p.hdsl".into()],
+                all: false,
+                models: vec![AddressSpace::Disjoint, AddressSpace::Adsm],
+                format: OutputFormat::Json,
+                deny: hetmem_dsl::Severity::Error,
+            })
+        );
+    }
+
+    #[test]
+    fn check_rejects_contradictory_and_empty_forms() {
+        assert!(parse_args(&args(&["check"])).is_err());
+        assert!(parse_args(&args(&["check", "--all", "reduction"])).is_err());
+        assert!(parse_args(&args(&["check", "reduction", "--bogus", "1"])).is_err());
+        assert!(parse_args(&args(&["check", "reduction", "--model", "weird"])).is_err());
+        assert!(parse_args(&args(&["check", "reduction", "--deny", "everything"])).is_err());
+        let Ok(Command::Check { deny, .. }) =
+            parse_args(&args(&["check", "reduction", "--deny", "warnings"]))
+        else {
+            panic!("--deny warnings must parse");
+        };
+        assert_eq!(deny, hetmem_dsl::Severity::Warning);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Golden snapshots for the `hetmem check` static verifier.
+//!
+//! Two nets: (1) the six paper kernels lower to checker-clean programs
+//! under every address-space model — a regression net over `lower()`
+//! itself — and (2) hand-broken variants of those lowerings trip exactly
+//! the diagnostic code each mutation deserves, one per HM01xx code.
+
+use hetmem_dsl::{
+    check, check_lowered, lower, programs, AddressSpace, BufId, Buffer, Code, Diagnostic, Lowered,
+    Program, Severity, Step, Stmt, Target,
+};
+
+/// Removes the first statement matching `pred`, panicking if none does —
+/// a broken-variant test that deletes nothing would silently pass.
+fn remove_first(lowered: &Lowered, pred: impl Fn(&Stmt) -> bool) -> Lowered {
+    let mut out = lowered.clone();
+    let idx = out
+        .stmts
+        .iter()
+        .position(pred)
+        .expect("the statement to delete must exist in this lowering");
+    out.stmts.remove(idx);
+    out
+}
+
+fn codes_at(diags: &[Diagnostic], severity: Severity) -> Vec<Code> {
+    diags
+        .iter()
+        .filter(|d| d.severity == severity)
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn paper_kernels_are_clean_under_every_model() {
+    for program in programs::all() {
+        for model in AddressSpace::ALL {
+            let report = check(&program, model);
+            assert_eq!(
+                report.count(Severity::Error),
+                0,
+                "paper kernel must be error-free:\n{report}"
+            );
+            assert_eq!(
+                report.count(Severity::Warning),
+                0,
+                "paper kernel must be warning-free:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn reduction_report_snapshot_is_stable() {
+    // A full-text golden: the exact rustc-style rendering, including the
+    // per-code explanation, for one representative kernel and model.
+    let report = check(&programs::reduction(), AddressSpace::Disjoint);
+    let expected = "\
+checking `reduction` under DIS ...
+note[HM0004]: shared-candidate: buffer `a` is addressed by the GPU — tag it shared under the partially shared model
+  = note: Under the partially shared address space the GPU can only address objects in the shared region; every buffer a GPU kernel touches must be allocated with sharedmalloc and ownership-managed.
+note[HM0004]: shared-candidate: buffer `b` is addressed by the GPU — tag it shared under the partially shared model
+  = note: Under the partially shared address space the GPU can only address objects in the shared region; every buffer a GPU kernel touches must be allocated with sharedmalloc and ownership-managed.
+note[HM0004]: shared-candidate: buffer `c` is addressed by the GPU — tag it shared under the partially shared model
+  = note: Under the partially shared address space the GPU can only address objects in the shared region; every buffer a GPU kernel touches must be allocated with sharedmalloc and ownership-managed.
+ok: 0 error(s), 0 warning(s), 3 note(s)";
+    assert_eq!(report.to_string(), expected);
+}
+
+#[test]
+fn note_counts_per_kernel_match_the_golden_table() {
+    // HM0004 derives from the PAS lowering regardless of the model being
+    // checked, so the shared-candidate totals form a per-kernel golden
+    // table; matrix mul additionally carries two HM0105 protocol notes
+    // under PAS itself (its CPU kernel reads A and B mid-ownership).
+    let expected = [
+        ("reduction", 3, 0),
+        ("matrix mul", 3, 2),
+        ("convolution", 2, 0),
+        ("dct", 1, 0),
+        ("merge sort", 1, 0),
+        ("k-mean", 1, 0),
+    ];
+    for (name, shared, pas_extra) in expected {
+        let program = programs::by_name(name).expect("paper kernel exists");
+        for model in AddressSpace::ALL {
+            let report = check(&program, model);
+            let extra = if model == AddressSpace::PartiallyShared {
+                pas_extra
+            } else {
+                0
+            };
+            assert_eq!(
+                report.count(Severity::Note),
+                shared + extra,
+                "{name} under {model}:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deleting_an_upload_trips_stale_read() {
+    let lowered = lower(&programs::reduction(), AddressSpace::Disjoint);
+    let broken = remove_first(&lowered, |s| matches!(s, Stmt::MemcpyH2D { .. }));
+    let errors = codes_at(&check_lowered(&broken), Severity::Error);
+    assert!(
+        errors.contains(&Code::StaleRead),
+        "HM0101 expected, got {errors:?}"
+    );
+}
+
+#[test]
+fn deleting_a_download_trips_missing_transfer_back() {
+    let lowered = lower(&programs::reduction(), AddressSpace::Disjoint);
+    let broken = remove_first(&lowered, |s| matches!(s, Stmt::MemcpyD2H { .. }));
+    let errors = codes_at(&check_lowered(&broken), Severity::Error);
+    assert!(
+        errors.contains(&Code::MissingTransferBack),
+        "HM0102 expected, got {errors:?}"
+    );
+}
+
+#[test]
+fn duplicating_an_upload_trips_redundant_transfer() {
+    let lowered = lower(&programs::reduction(), AddressSpace::Disjoint);
+    let mut broken = lowered.clone();
+    let idx = broken
+        .stmts
+        .iter()
+        .position(|s| matches!(s, Stmt::MemcpyH2D { .. }))
+        .expect("disjoint lowering uploads inputs");
+    let dup = broken.stmts[idx].clone();
+    broken.stmts.insert(idx + 1, dup);
+    let warnings = codes_at(&check_lowered(&broken), Severity::Warning);
+    assert!(
+        warnings.contains(&Code::RedundantTransfer),
+        "HM0103 expected, got {warnings:?}"
+    );
+    // The original transfer stays legitimate: exactly one site is no-op.
+    let count = check_lowered(&broken)
+        .iter()
+        .filter(|d| d.code == Code::RedundantTransfer)
+        .count();
+    assert_eq!(count, 1);
+}
+
+#[test]
+fn plain_malloc_under_partial_sharing_trips_untagged_shared() {
+    let lowered = lower(&programs::reduction(), AddressSpace::PartiallyShared);
+    let mut broken = lowered.clone();
+    let idx = broken
+        .stmts
+        .iter()
+        .position(|s| matches!(s, Stmt::SharedAlloc { .. }))
+        .expect("PAS lowering sharedmallocs its buffers");
+    if let Stmt::SharedAlloc { buf, bytes } = broken.stmts[idx].clone() {
+        broken.stmts[idx] = Stmt::HostAlloc { buf, bytes };
+    }
+    let errors = codes_at(&check_lowered(&broken), Severity::Error);
+    assert!(
+        errors.contains(&Code::UntaggedShared),
+        "HM0104 expected, got {errors:?}"
+    );
+}
+
+#[test]
+fn deleting_a_release_trips_ownership_violation() {
+    let lowered = lower(&programs::reduction(), AddressSpace::PartiallyShared);
+    let broken = remove_first(&lowered, |s| matches!(s, Stmt::ReleaseOwnership { .. }));
+    let errors = codes_at(&check_lowered(&broken), Severity::Error);
+    assert!(
+        errors.contains(&Code::OwnershipViolation),
+        "HM0105 expected, got {errors:?}"
+    );
+}
+
+#[test]
+fn unsynchronized_writer_pair_trips_race_under_unified() {
+    // The paper kernels all synchronize between PUs, so the race finding
+    // needs a hand-built program: a GPU writer left pending while a CPU
+    // kernel reads the same coherent buffer.
+    let p = Program {
+        name: "racy".into(),
+        buffers: vec![Buffer::new("x", 64)],
+        steps: vec![
+            Step::HostInit {
+                bufs: vec![BufId(0)],
+            },
+            Step::Kernel {
+                target: Target::Gpu,
+                name: "gpuWrite".into(),
+                reads: vec![],
+                writes: vec![BufId(0)],
+                args_upload: false,
+            },
+            Step::Kernel {
+                target: Target::Cpu,
+                name: "cpuRead".into(),
+                reads: vec![BufId(0)],
+                writes: vec![],
+                args_upload: false,
+            },
+        ],
+        compute_lines: 2,
+    };
+    let report = check(&p, AddressSpace::Unified);
+    let warnings = codes_at(&report.diagnostics, Severity::Warning);
+    assert!(
+        warnings.contains(&Code::CpuGpuRace),
+        "HM0106 expected, got:\n{report}"
+    );
+    // Under the disjoint model the PUs never share coherent memory, so
+    // the identical program carries no race finding.
+    let dis = check(&p, AddressSpace::Disjoint);
+    assert!(
+        !codes_at(&dis.diagnostics, Severity::Warning).contains(&Code::CpuGpuRace),
+        "disjoint memory cannot race:\n{dis}"
+    );
+}

@@ -1,0 +1,253 @@
+//! Differential validation of the static verifier against the dynamic
+//! oracle.
+//!
+//! The static checker's staleness verdicts (HM0101 stale-read, HM0102
+//! missing-transfer-back) claim to be *exact* for loop-free-or-bounded
+//! lowered programs: a site is flagged iff some execution actually reads
+//! a stale copy. The oracle executes the lowered program concretely with
+//! per-buffer version counters and records the stale reads that really
+//! happen, so the two must agree site-for-site — on the pristine
+//! lowerings (both empty) and on every single-statement deletion of a
+//! communication line (both non-empty in the same places).
+//!
+//! A property harness then drives `lower()` itself through ~200 random
+//! programs and holds its output to the checker-clean contract under all
+//! four address-space models.
+
+use hetmem_dsl::{
+    check_lowered, lower, programs, run_oracle, AddressSpace, BufId, Buffer, Code, Lowered,
+    Program, Severity, Step, Target,
+};
+
+fn all_programs() -> Vec<Program> {
+    let mut out = programs::all();
+    out.extend(programs::extra::all());
+    out
+}
+
+/// The `(statement, buffer)` sites the static checker flags with `code`.
+fn static_sites(lowered: &Lowered, code: Code) -> Vec<(usize, String)> {
+    let mut sites: Vec<(usize, String)> = check_lowered(lowered)
+        .into_iter()
+        .filter(|d| d.code == code)
+        .map(|d| {
+            (
+                d.stmt.expect("staleness findings carry a statement index"),
+                d.buffer.expect("staleness findings carry a buffer"),
+            )
+        })
+        .collect();
+    sites.sort();
+    sites
+}
+
+fn sorted(mut sites: Vec<(usize, String)>) -> Vec<(usize, String)> {
+    sites.sort();
+    sites
+}
+
+#[test]
+fn pristine_lowerings_agree_with_the_oracle_everywhere() {
+    for program in all_programs() {
+        for model in AddressSpace::ALL {
+            let lowered = lower(&program, model);
+            let oracle = run_oracle(&lowered);
+            assert!(
+                oracle.is_clean(),
+                "{} under {model}: oracle found stale reads in a pristine \
+                 lowering: {oracle:?}",
+                program.name
+            );
+            assert_eq!(static_sites(&lowered, Code::StaleRead), vec![]);
+            assert_eq!(static_sites(&lowered, Code::MissingTransferBack), vec![]);
+        }
+    }
+}
+
+#[test]
+fn every_single_deletion_agrees_with_the_oracle() {
+    // Delete each communication-handling statement in turn and compare
+    // verdicts on the *mutated* lowering — both sides see the same
+    // statement indices, so sites must agree exactly.
+    let mut mutations = 0usize;
+    let mut broken = 0usize;
+    for program in all_programs() {
+        for model in AddressSpace::ALL {
+            let lowered = lower(&program, model);
+            for i in 0..lowered.stmts.len() {
+                if !lowered.stmts[i].is_comm_overhead() {
+                    continue;
+                }
+                let mut mutated = lowered.clone();
+                mutated.stmts.remove(i);
+                mutations += 1;
+
+                let oracle = run_oracle(&mutated);
+                let static_gpu = static_sites(&mutated, Code::StaleRead);
+                let static_host = static_sites(&mutated, Code::MissingTransferBack);
+                assert_eq!(
+                    static_gpu,
+                    sorted(oracle.stale_gpu_reads.clone()),
+                    "{} under {model}, stmt {i} ({}) deleted: static HM0101 \
+                     disagrees with the oracle",
+                    program.name,
+                    lowered.stmts[i]
+                );
+                assert_eq!(
+                    static_host,
+                    sorted(oracle.stale_host_reads.clone()),
+                    "{} under {model}, stmt {i} ({}) deleted: static HM0102 \
+                     disagrees with the oracle",
+                    program.name,
+                    lowered.stmts[i]
+                );
+                if !static_gpu.is_empty() || !static_host.is_empty() {
+                    broken += 1;
+                }
+            }
+        }
+    }
+    assert!(mutations > 100, "only {mutations} mutations exercised");
+    assert!(
+        broken > 20,
+        "only {broken} of {mutations} deletions produced staleness — the \
+         differential is not exercising the detectors"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property harness: lower() emits checker-clean programs.
+// ---------------------------------------------------------------------
+
+/// Deterministic xorshift64* generator (same in-repo harness as
+/// `tests/properties.rs`; the container has no registry access).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        usize::try_from(self.range(lo as u64, hi as u64)).expect("fits")
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A random well-formed program with every buffer host-initialized up
+/// front (uninitialized reads are the HM0002 lint's business, not the
+/// staleness checker's) and optional single-level loops.
+fn arb_checked_program(rng: &mut Rng) -> Program {
+    let n = rng.usize_range(2, 5);
+    let buffers: Vec<Buffer> = (0..n)
+        .map(|i| Buffer::new(format!("b{i}"), 64 * (i as u64 + 1)))
+        .collect();
+
+    fn kernel(rng: &mut Rng, n: usize, tag: usize) -> Step {
+        let gpu = rng.bool();
+        let reads = vec![BufId(rng.usize_range(0, n))];
+        let writes = vec![BufId(rng.usize_range(0, n))];
+        if gpu {
+            Step::Kernel {
+                target: Target::Gpu,
+                name: format!("g{tag}"),
+                reads,
+                writes,
+                args_upload: rng.bool(),
+            }
+        } else if rng.bool() {
+            Step::Kernel {
+                target: Target::Cpu,
+                name: format!("c{tag}"),
+                reads,
+                writes,
+                args_upload: false,
+            }
+        } else {
+            Step::Seq {
+                name: format!("s{tag}"),
+                reads,
+                writes,
+            }
+        }
+    }
+
+    let mut steps = vec![Step::HostInit {
+        bufs: (0..n).map(BufId).collect(),
+    }];
+    let count = rng.usize_range(1, 7);
+    for tag in 0..count {
+        if rng.range(0, 4) == 0 {
+            let iterations = rng.range(1, 5) as u32;
+            let body_len = rng.usize_range(1, 4);
+            let body = (0..body_len)
+                .map(|j| kernel(rng, n, 10 * tag + j))
+                .collect();
+            steps.push(Step::Loop { iterations, body });
+        } else {
+            steps.push(kernel(rng, n, tag));
+        }
+    }
+    steps.push(Step::Seq {
+        name: "finish".into(),
+        reads: vec![BufId(0)],
+        writes: vec![],
+    });
+    Program {
+        name: "random".into(),
+        buffers,
+        steps,
+        compute_lines: 8,
+    }
+}
+
+#[test]
+fn lowerings_of_random_programs_are_checker_clean() {
+    let memory_model_codes = [
+        Code::StaleRead,
+        Code::MissingTransferBack,
+        Code::RedundantTransfer,
+        Code::UntaggedShared,
+        Code::OwnershipViolation,
+    ];
+    let mut rng = Rng::new(0xC11EC2);
+    for case in 0..200 {
+        let program = arb_checked_program(&mut rng);
+        assert_eq!(program.validate(), Ok(()));
+        for model in AddressSpace::ALL {
+            let lowered = lower(&program, model);
+            let diags = check_lowered(&lowered);
+            for d in &diags {
+                let flagged = memory_model_codes.contains(&d.code)
+                    && (d.severity == Severity::Error || d.severity == Severity::Warning);
+                assert!(
+                    !flagged,
+                    "case {case} under {model}: lower() emitted a checker-dirty \
+                     program:\n{d}\nprogram: {program:?}"
+                );
+            }
+            let oracle = run_oracle(&lowered);
+            assert!(
+                oracle.is_clean(),
+                "case {case} under {model}: oracle found stale reads: {oracle:?}"
+            );
+        }
+    }
+}

@@ -19,7 +19,9 @@ fn help_lists_all_commands() {
     let out = hetmem(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["tables", "fig", "loc", "lower", "trace", "sim", "catalog"] {
+    for cmd in [
+        "tables", "fig", "loc", "lower", "trace", "sim", "catalog", "check",
+    ] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
 }
@@ -257,4 +259,100 @@ fn malformed_inputs_produce_diagnostics_not_panics() {
     let out = hetmem(&["loc", bad.to_str().expect("utf8")]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}
+
+// ---------- static verifier (`hetmem check`) ----------
+
+#[test]
+fn check_clean_kernel_exits_zero() {
+    let out = hetmem(&["check", "reduction", "--model", "dis"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("checking `reduction` under DIS"), "{text}");
+    assert!(text.contains("ok: 0 error(s), 0 warning(s)"), "{text}");
+}
+
+#[test]
+fn check_deny_warnings_escalates_a_lint_to_exit_one() {
+    let dir = std::env::temp_dir().join("hetmem-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("leaky.hdsl");
+    // `y` is read by the GPU kernel before anything writes it — an
+    // HM0002 uninitialized-read warning.
+    std::fs::write(
+        &path,
+        "program leaky {\n  compute 4;\n  buffer x: 64;\n  buffer y: 64;\n  \
+         init x;\n  gpu k(read y; write x);\n  seq check(read x);\n}\n",
+    )
+    .expect("write source");
+    let p = path.to_str().expect("utf8 path");
+
+    let ok = hetmem(&["check", p, "--model", "dis"]);
+    assert_eq!(ok.status.code(), Some(0), "warnings alone keep exit 0");
+    assert!(stdout(&ok).contains("HM0002"), "{}", stdout(&ok));
+
+    let deny = hetmem(&["check", p, "--model", "dis", "--deny", "warnings"]);
+    assert_eq!(deny.status.code(), Some(1), "--deny warnings exits 1");
+    assert!(
+        String::from_utf8_lossy(&deny.stderr).contains("check failed"),
+        "{}",
+        String::from_utf8_lossy(&deny.stderr)
+    );
+}
+
+#[test]
+fn check_accepts_sweep_style_kernel_aliases() {
+    // `trace` and `sweep` spell the clustering kernel `kmeans`; `check`
+    // must accept the same spelling for the paper's "k-mean".
+    for name in ["kmeans", "k-mean", "matrix-mul", "mergesort"] {
+        let out = hetmem(&["check", name, "--model", "uni"]);
+        assert!(
+            out.status.success(),
+            "{name}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn check_rejects_bad_invocations_with_usage() {
+    for argv in [
+        vec!["check"],
+        vec!["check", "reduction", "--all"],
+        vec!["check", "reduction", "--frobnicate", "yes"],
+        vec!["check", "no-such-kernel"],
+    ] {
+        let out = hetmem(&argv);
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: hetmem"),
+            "{argv:?}"
+        );
+    }
+}
+
+#[test]
+fn check_json_stream_parses_and_ends_with_a_summary() {
+    use hetmem_xplore::json::{parse, Json};
+    let out = hetmem(&["check", "--all", "--format", "json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 40, "one line per finding plus summary");
+    for line in &lines {
+        let v = parse(line).expect("every line is valid JSON");
+        assert!(v.get("kind").is_some(), "{line}");
+    }
+    let summary = parse(lines.last().expect("summary")).expect("parses");
+    assert_eq!(summary.get("kind").and_then(Json::as_str), Some("summary"));
+    assert_eq!(
+        summary.get("checked").and_then(Json::as_u64),
+        Some(40),
+        "ten programs across four models"
+    );
+    assert_eq!(summary.get("errors").and_then(Json::as_u64), Some(0));
 }
