@@ -1,0 +1,43 @@
+//! Bench for the service request path: body decode, cache-hit answer,
+//! and the metrics snapshot — the per-request costs `hetmem serve` adds
+//! on top of the simulator itself.
+
+use hetmem_bench::harness::Criterion;
+use hetmem_bench::{criterion_group, criterion_main};
+use hetmem_serve::{parse_sim_request, run_sim, Metrics};
+use hetmem_xplore::DiskCache;
+use std::hint::black_box;
+
+const BODY: &str = "{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":512}";
+
+fn serve_request_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_request_path");
+    group.sample_size(50);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("decode_sim_request", |b| {
+        b.iter(|| black_box(parse_sim_request(black_box(BODY)).expect("parses")));
+    });
+
+    // A warm content-addressed cache: the first run fills it, the
+    // measured runs answer from disk and re-render the response body.
+    let dir = std::env::temp_dir().join(format!("hetmem-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = DiskCache::open(&dir).expect("cache opens");
+    let req = parse_sim_request(BODY).expect("parses");
+    let metrics = Metrics::default();
+    run_sim(&req, Some(&cache), &metrics).expect("fill run");
+    group.bench_function("cache_hit_response", |b| {
+        b.iter(|| black_box(run_sim(&req, Some(&cache), &metrics).expect("cache hit")));
+    });
+
+    group.bench_function("metrics_snapshot", |b| {
+        b.iter(|| black_box(metrics.to_json(0, 0, 8).render()));
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, serve_request_path);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Emits the serve-path benchmark baseline as JSON — the snapshot
+//! committed as `BENCH_baseline.json` at the repo root.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p hetmem-bench --bin bench_baseline > BENCH_baseline.json
+//! ```
+//!
+//! The measured path is the service's per-request overhead: body decode,
+//! a cache-hit answer, a live (cache-miss) simulation at scale 512, the
+//! metrics snapshot, and one full loopback HTTP round-trip against a
+//! warm cache. Timings are wall-clock on whatever host runs this, so the
+//! committed file is a point of comparison, not a promise.
+
+use hetmem_serve::{parse_sim_request, run_sim, Metrics, ServeOptions, Server};
+use hetmem_xplore::{DiskCache, Json};
+use std::io::{Read as _, Write as _};
+use std::time::{Duration, Instant};
+
+const BODY: &str = "{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":512}";
+
+/// Warm-up, then up to `samples` timed runs bounded by one second.
+fn measure(name: &str, samples: usize, mut f: impl FnMut()) -> Json {
+    let warm = Instant::now();
+    while warm.elapsed() < Duration::from_millis(200) {
+        f();
+    }
+    let mut taken: Vec<u128> = Vec::new();
+    let budget = Instant::now();
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        taken.push(t.elapsed().as_nanos());
+        if budget.elapsed() >= Duration::from_secs(1) {
+            break;
+        }
+    }
+    let min = *taken.iter().min().expect("samples");
+    let max = *taken.iter().max().expect("samples");
+    let mean = taken.iter().sum::<u128>() / taken.len() as u128;
+    let ns = |v: u128| Json::UInt(u64::try_from(v).unwrap_or(u64::MAX));
+    Json::obj(vec![
+        ("name", Json::Str(name.to_owned())),
+        ("samples", Json::UInt(taken.len() as u64)),
+        ("min_ns", ns(min)),
+        ("mean_ns", ns(mean)),
+        ("max_ns", ns(max)),
+    ])
+}
+
+/// One POST /v1/sim round-trip over a real loopback socket.
+fn round_trip(addr: std::net::SocketAddr) {
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "POST /v1/sim HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{BODY}",
+        BODY.len()
+    );
+    conn.write_all(request.as_bytes()).expect("write");
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("read");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("hetmem-bench-baseline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = DiskCache::open(&dir).expect("cache opens");
+    let req = parse_sim_request(BODY).expect("parses");
+    let metrics = Metrics::default();
+    run_sim(&req, Some(&cache), &metrics).expect("fill run");
+
+    let mut benches = vec![
+        measure("decode_sim_request", 200, || {
+            std::hint::black_box(parse_sim_request(BODY).expect("parses"));
+        }),
+        measure("cache_hit_response", 100, || {
+            std::hint::black_box(run_sim(&req, Some(&cache), &metrics).expect("cache hit"));
+        }),
+        measure("live_sim_scale512", 20, || {
+            std::hint::black_box(run_sim(&req, None, &metrics).expect("live run"));
+        }),
+        measure("metrics_snapshot", 200, || {
+            std::hint::black_box(metrics.to_json(0, 0, 8).render());
+        }),
+    ];
+
+    let server = Server::start(&ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 32,
+        cache_dir: Some(dir.clone()),
+    })
+    .expect("server starts");
+    benches.push(measure("loopback_cache_hit_round_trip", 50, || {
+        round_trip(server.local_addr());
+    }));
+    server.shutdown();
+    server.wait();
+
+    let out = Json::obj(vec![
+        ("baseline", Json::Str("serve-request-path".to_owned())),
+        (
+            "crate_version",
+            Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
+        ),
+        (
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_owned(),
+            ),
+        ),
+        ("scale", Json::UInt(512)),
+        ("benches", Json::Arr(benches)),
+    ]);
+    println!("{}", out.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -200,6 +200,27 @@ pub fn by_name(name: &str) -> Option<Program> {
     all().into_iter().find(|p| p.name == name)
 }
 
+/// Looks up a built-in program (paper kernels plus [`extra`]) by a
+/// normalized name: case and punctuation are ignored and a trailing
+/// plural is accepted, so the `trace`/`sweep` spelling `kmeans` finds the
+/// paper's "k-mean". Shared by `hetmem check` and the `hetmem-serve`
+/// check endpoint so every entry point resolves the same names.
+#[must_use]
+pub fn find(name: &str) -> Option<Program> {
+    let norm = |s: &str| -> String {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = norm(name);
+    let singular = wanted.strip_suffix('s').unwrap_or(&wanted).to_owned();
+    all().into_iter().chain(extra::all()).find(|p| {
+        let n = norm(&p.name);
+        n == wanted || n == singular
+    })
+}
+
 /// Extension programs beyond the paper's six kernels — the classic
 /// heterogeneous workloads an introduction motivates. They exercise the
 /// same lowering machinery and are used by examples and tests; they are

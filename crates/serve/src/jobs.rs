@@ -1,0 +1,660 @@
+//! Request payloads, their validation into the deterministic job
+//! representations `hetmem-xplore` executes, and the async job registry
+//! behind `GET /v1/jobs/<id>`.
+//!
+//! Every endpoint's body is parsed with the workspace's own JSON module
+//! and validated with the same `parse_kernel` / `parse_system` /
+//! `parse_space` vocabulary the CLI uses, so a request that works on the
+//! command line works over HTTP with the same spelling — and produces
+//! the same bytes.
+
+use crate::metrics::Metrics;
+use hetmem_core::experiment::ExperimentConfig;
+use hetmem_core::AddressSpace;
+use hetmem_sim::EventTrace;
+use hetmem_trace::kernels::KernelParams;
+use hetmem_xplore::{
+    check_reports_to_jsonl, content_key, execute_job_observed, parse_kernel, parse_space,
+    parse_system, report_to_json, run_jobs, DiskCache, Job, JobKind, Json, SweepOptions, SweepSpec,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Trace scale used when a request omits `"scale"` — small enough for an
+/// interactive round-trip, large enough to exercise every phase.
+pub const DEFAULT_SCALE: u32 = 64;
+
+fn parse_body(body: &str) -> Result<Json, String> {
+    hetmem_xplore::json::parse(body).map_err(|e| format!("malformed JSON body: {e}"))
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(field) => field
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("field {key:?} is required and must be a string"))
+}
+
+fn opt_str_list(v: &Json, key: &str) -> Result<Option<Vec<String>>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("field {key:?} must contain only strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(_) => Err(format!("field {key:?} must be an array of strings")),
+    }
+}
+
+/// `POST /v1/sim`: one kernel on one evaluated system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRequest {
+    /// The kernel to trace (Table III name or alias).
+    pub kernel: hetmem_trace::kernels::Kernel,
+    /// The evaluated system to run it on (Figure 5/6 label or alias).
+    pub system: hetmem_core::EvaluatedSystem,
+    /// Trace scale divisor.
+    pub scale: u32,
+    /// Optional deadline: the job must *start* within this budget or the
+    /// service answers 504 instead of running it.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses and validates a `/v1/sim` body:
+/// `{"kernel": "...", "system": "...", "scale"?: N, "deadline_ms"?: N}`.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 400) on malformed JSON,
+/// missing fields, or unknown kernel/system names.
+pub fn parse_sim_request(body: &str) -> Result<SimRequest, String> {
+    let v = parse_body(body)?;
+    let kernel = parse_kernel(req_str(&v, "kernel")?)?;
+    let system = parse_system(req_str(&v, "system")?)?;
+    let scale = match opt_u64(&v, "scale")? {
+        None => DEFAULT_SCALE,
+        Some(0) => return Err("field \"scale\" must be positive".to_owned()),
+        Some(n) => u32::try_from(n).map_err(|_| "field \"scale\" is out of range".to_owned())?,
+    };
+    Ok(SimRequest {
+        kernel,
+        system,
+        scale,
+        deadline_ms: opt_u64(&v, "deadline_ms")?,
+    })
+}
+
+impl SimRequest {
+    /// The xplore job and configuration this request denotes. The
+    /// configuration is the CLI's default (Table II baseline, Table IV
+    /// costs), so the response body is byte-identical to
+    /// `hetmem sim <trace> <system> --format json` at the same scale.
+    #[must_use]
+    pub fn job(&self) -> (Job, ExperimentConfig) {
+        (
+            Job {
+                id: 0,
+                kernel: self.kernel,
+                kind: JobKind::CaseStudy {
+                    system: self.system,
+                },
+                scale: self.scale,
+            },
+            ExperimentConfig::scaled(self.scale),
+        )
+    }
+
+    /// The content key addressing this request in the shared result
+    /// cache — the same key a sweep over the same cell would use.
+    #[must_use]
+    pub fn content_key(&self) -> String {
+        let (job, config) = self.job();
+        content_key(&job, &config)
+    }
+}
+
+/// Executes one sim request: answered from `cache` when the content key
+/// is present, simulated live (with event counts folded into `metrics`)
+/// otherwise. Returns the response body — the CLI's JSON object plus
+/// trailing newline.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 500) when the simulation
+/// fails.
+pub fn run_sim(
+    req: &SimRequest,
+    cache: Option<&DiskCache>,
+    metrics: &Metrics,
+) -> Result<String, String> {
+    let (job, config) = req.job();
+    let key = content_key(&job, &config);
+    let record = match cache.and_then(|c| c.get(&key)) {
+        Some(record) => {
+            metrics.bump(&metrics.cache_hits);
+            record
+        }
+        None => {
+            metrics.bump(&metrics.cache_misses);
+            let trace = job.kernel.generate(&KernelParams::scaled(job.scale));
+            // A single-slot ring: the exact totals survive eviction, and
+            // the service only keeps the totals.
+            let (record, events) =
+                execute_job_observed(&job, &config, &trace, EventTrace::with_capacity(1))
+                    .map_err(|e| e.to_string())?;
+            metrics.absorb_events(events.counts());
+            if let Some(c) = cache {
+                if let Err(e) = c.put(&key, &record) {
+                    eprintln!("warning: cache write failed: {e}");
+                }
+            }
+            record
+        }
+    };
+    let value = Json::obj(vec![
+        ("system", Json::Str(record.target.clone())),
+        ("total_ticks", Json::UInt(record.report.total_ticks())),
+        ("report", report_to_json(&record.report)),
+    ]);
+    Ok(format!("{}\n", value.render()))
+}
+
+/// `POST /v1/sweep`: a declarative grid, executed asynchronously.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepRequest {
+    /// The axes to cover; omitted axes default to the paper's full set.
+    pub spec: SweepSpec,
+    /// Optional start deadline, as for [`SimRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses and validates a `/v1/sweep` body:
+/// `{"kernels"?: [...], "systems"?: [...], "spaces"?: [...],
+///   "scales"?: [N, ...], "deadline_ms"?: N}`.
+/// Omitted axes cover the full paper grid at [`DEFAULT_SCALE`]; an
+/// explicitly empty `"systems"` or `"spaces"` array skips that family.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 400) on malformed JSON,
+/// unknown names, or an empty expansion.
+pub fn parse_sweep_request(body: &str) -> Result<SweepRequest, String> {
+    let v = parse_body(body)?;
+    let full = SweepSpec::full(DEFAULT_SCALE);
+    let kernels = match opt_str_list(&v, "kernels")? {
+        None => full.kernels,
+        Some(names) => names
+            .iter()
+            .map(|n| parse_kernel(n))
+            .collect::<Result<_, _>>()?,
+    };
+    let systems = match opt_str_list(&v, "systems")? {
+        None => full.systems,
+        Some(names) => names
+            .iter()
+            .map(|n| parse_system(n))
+            .collect::<Result<_, _>>()?,
+    };
+    let spaces = match opt_str_list(&v, "spaces")? {
+        None => full.spaces,
+        Some(names) => names
+            .iter()
+            .map(|n| parse_space(n))
+            .collect::<Result<_, _>>()?,
+    };
+    let scales = match v.get("scales") {
+        None => vec![DEFAULT_SCALE],
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| match item.as_u64() {
+                Some(n) if n > 0 => u32::try_from(n).map_err(|_| "scale out of range".to_owned()),
+                _ => Err("field \"scales\" must contain positive integers".to_owned()),
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err("field \"scales\" must be an array of integers".to_owned()),
+    };
+    let spec = SweepSpec {
+        kernels,
+        systems,
+        spaces,
+        scales,
+    };
+    if spec.expand().is_empty() {
+        return Err("the requested sweep expands to zero jobs".to_owned());
+    }
+    Ok(SweepRequest {
+        spec,
+        deadline_ms: opt_u64(&v, "deadline_ms")?,
+    })
+}
+
+impl SweepRequest {
+    /// The coalescing key: two requests with the same expansion under
+    /// the same configuration share one execution.
+    #[must_use]
+    pub fn coalesce_key(&self) -> String {
+        // Job identities pin the expansion; the scale list pins the
+        // configuration (ExperimentConfig::scaled per scale). Per-job
+        // hardware fingerprints live in the per-job cache keys.
+        let ids: Vec<String> = self.spec.expand().iter().map(Job::identity).collect();
+        format!("sweep|{}", ids.join(","))
+    }
+}
+
+/// Executes a sweep request on one engine worker, with per-job results
+/// flowing through the shared disk cache. Returns the response body:
+/// `{"records": [...], "stats": {...}}`.
+///
+/// The single inner worker is deliberate: the service's parallelism is
+/// the pool's shard count, and one shard must not oversubscribe the
+/// host by spawning its own pool.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 500, or a cancellation
+/// notice during shutdown) when the sweep fails.
+pub fn run_sweep_request(
+    req: &SweepRequest,
+    cache_dir: Option<PathBuf>,
+    cancel: Arc<AtomicBool>,
+    metrics: &Metrics,
+) -> Result<String, String> {
+    // The CLI `sweep` configuration: per-job scales come from the spec,
+    // the hardware/cost point is the paper baseline.
+    let config = ExperimentConfig::paper();
+    let opts = SweepOptions {
+        workers: 1,
+        cache_dir,
+        cancel: Some(cancel),
+        ..SweepOptions::default()
+    };
+    let out = run_jobs(&req.spec.expand(), &config, &opts).map_err(|e| e.to_string())?;
+    for _ in 0..out.stats.cache_hits {
+        metrics.bump(&metrics.cache_hits);
+    }
+    for _ in 0..out.stats.cache_misses {
+        metrics.bump(&metrics.cache_misses);
+    }
+    let body = Json::obj(vec![
+        (
+            "records",
+            Json::Arr(out.records.iter().map(|r| r.to_json()).collect()),
+        ),
+        (
+            "stats",
+            Json::obj(vec![
+                ("jobs", Json::UInt(out.stats.jobs as u64)),
+                ("cache_hits", Json::UInt(out.stats.cache_hits)),
+                ("cache_misses", Json::UInt(out.stats.cache_misses)),
+                (
+                    "wall_ms",
+                    Json::UInt(u64::try_from(out.stats.wall.as_millis()).unwrap_or(u64::MAX)),
+                ),
+            ]),
+        ),
+    ]);
+    Ok(body.render())
+}
+
+/// `POST /v1/check`: static memory-model verification of built-in
+/// kernels under one or more address-space models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckRequest {
+    /// Built-in kernel names to check.
+    pub targets: Vec<String>,
+    /// Models to check under; defaults to all four.
+    pub models: Vec<AddressSpace>,
+    /// Optional start deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses and validates a `/v1/check` body:
+/// `{"targets": ["..."], "models"?: ["..."], "deadline_ms"?: N}`.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 400) on malformed JSON or
+/// unknown model names. Unknown *targets* are reported at execution.
+pub fn parse_check_request(body: &str) -> Result<CheckRequest, String> {
+    let v = parse_body(body)?;
+    let targets = opt_str_list(&v, "targets")?
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| "field \"targets\" must be a non-empty array of kernel names".to_owned())?;
+    let models = match opt_str_list(&v, "models")? {
+        None => AddressSpace::ALL.to_vec(),
+        Some(names) => names
+            .iter()
+            .map(|n| parse_space(n))
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(CheckRequest {
+        targets,
+        models,
+        deadline_ms: opt_u64(&v, "deadline_ms")?,
+    })
+}
+
+impl CheckRequest {
+    /// The coalescing key for identical concurrent check requests.
+    #[must_use]
+    pub fn coalesce_key(&self) -> String {
+        let models: Vec<String> = self.models.iter().map(|m| m.abbrev().to_owned()).collect();
+        format!("check|{}|{}", self.targets.join(","), models.join(","))
+    }
+}
+
+/// Runs the checker over every target × model combination and renders
+/// the same JSONL stream as `hetmem check --format json`.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 500) when a target names no
+/// built-in kernel.
+pub fn run_check_request(req: &CheckRequest) -> Result<String, String> {
+    let mut reports = Vec::new();
+    for target in &req.targets {
+        let program = hetmem_dsl::programs::find(target)
+            .ok_or_else(|| format!("unknown kernel {target:?}"))?;
+        for &model in &req.models {
+            reports.push(hetmem_dsl::check(&program, model));
+        }
+    }
+    Ok(check_reports_to_jsonl(&reports))
+}
+
+/// Lifecycle of an asynchronously submitted job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; `result` is the rendered JSON result body.
+    Done {
+        /// The job's rendered JSON result.
+        result: String,
+    },
+    /// Execution failed.
+    Failed {
+        /// The failure message.
+        error: String,
+    },
+    /// The deadline expired before a worker could start it.
+    TimedOut {
+        /// Milliseconds the job waited before expiry was discovered.
+        waited_ms: u64,
+    },
+}
+
+impl JobState {
+    /// The status word exposed by the API.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::TimedOut { .. } => "timeout",
+        }
+    }
+}
+
+/// The table behind `GET /v1/jobs/<id>`. Ids are dense and start at 1.
+#[derive(Debug, Default)]
+pub struct Registry {
+    next: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobState>>,
+}
+
+impl Registry {
+    /// Registers a new job in [`JobState::Queued`] and returns its id.
+    pub fn create(&self) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        self.jobs
+            .lock()
+            .expect("registry lock")
+            .insert(id, JobState::Queued);
+        id
+    }
+
+    /// Replaces a job's state.
+    pub fn set(&self, id: u64, state: JobState) {
+        self.jobs.lock().expect("registry lock").insert(id, state);
+    }
+
+    /// A snapshot of a job's state.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<JobState> {
+        self.jobs.lock().expect("registry lock").get(&id).cloned()
+    }
+
+    /// Forgets a job that was rejected before acceptance; its id never
+    /// reaches a client.
+    pub fn remove(&self, id: u64) {
+        self.jobs.lock().expect("registry lock").remove(&id);
+    }
+
+    /// The rendered `GET /v1/jobs/<id>` body, or `None` for an unknown
+    /// id. `Done` results are spliced in verbatim — they are already
+    /// rendered JSON.
+    #[must_use]
+    pub fn status_body(&self, id: u64) -> Option<String> {
+        let state = self.get(id)?;
+        let head = format!(
+            "{{\"job\":{id},\"status\":{}",
+            Json::Str(state.status().to_owned()).render()
+        );
+        Some(match state {
+            JobState::Queued | JobState::Running => format!("{head}}}\n"),
+            JobState::Done { result } => format!("{head},\"result\":{result}}}\n"),
+            JobState::Failed { error } => {
+                format!("{head},\"error\":{}}}\n", Json::Str(error).render())
+            }
+            JobState::TimedOut { waited_ms } => {
+                format!("{head},\"waited_ms\":{waited_ms}}}\n")
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem_core::EvaluatedSystem;
+    use hetmem_trace::kernels::Kernel;
+    use hetmem_xplore::json::parse;
+
+    #[test]
+    fn sim_request_parses_with_defaults_and_aliases() {
+        let req =
+            parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"fusion\"}").expect("parses");
+        assert_eq!(req.kernel, Kernel::Reduction);
+        assert_eq!(req.system, EvaluatedSystem::Fusion);
+        assert_eq!(req.scale, DEFAULT_SCALE);
+        assert_eq!(req.deadline_ms, None);
+
+        let req = parse_sim_request(
+            "{\"kernel\":\"dct\",\"system\":\"CUDA\",\"scale\":8,\"deadline_ms\":0}",
+        )
+        .expect("parses");
+        assert_eq!(req.system, EvaluatedSystem::CpuGpuCuda);
+        assert_eq!(req.scale, 8);
+        assert_eq!(req.deadline_ms, Some(0));
+    }
+
+    #[test]
+    fn sim_request_rejects_bad_bodies() {
+        assert!(parse_sim_request("not json").is_err());
+        assert!(parse_sim_request("{}").is_err());
+        assert!(parse_sim_request("{\"kernel\":\"reduction\"}").is_err());
+        assert!(parse_sim_request("{\"kernel\":\"nope\",\"system\":\"fusion\"}").is_err());
+        assert!(
+            parse_sim_request("{\"kernel\":\"dct\",\"system\":\"fusion\",\"scale\":0}").is_err()
+        );
+    }
+
+    #[test]
+    fn sim_keys_match_the_sweep_engine() {
+        let req =
+            parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":16}")
+                .expect("parses");
+        let (job, config) = req.job();
+        assert_eq!(req.content_key(), content_key(&job, &config));
+        // Identical requests share a key; different systems do not.
+        let other =
+            parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"gmac\",\"scale\":16}")
+                .expect("parses");
+        assert_ne!(req.content_key(), other.content_key());
+    }
+
+    #[test]
+    fn run_sim_renders_the_cli_shape_and_counts_cache_traffic() {
+        let req =
+            parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":512}")
+                .expect("parses");
+        let metrics = Metrics::default();
+        let body = run_sim(&req, None, &metrics).expect("runs");
+        assert!(body.ends_with('\n'));
+        let v = parse(body.trim_end()).expect("valid json");
+        assert_eq!(v.get("system").and_then(Json::as_str), Some("Fusion"));
+        assert!(v.get("total_ticks").and_then(Json::as_u64).is_some());
+        assert!(v.get("report").is_some());
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+        // The live run contributed event counts to the aggregate.
+        assert!(metrics.sim_events().phase_starts > 0);
+
+        // Same request through a cache: one miss to fill, one hit, same bytes.
+        let dir =
+            std::env::temp_dir().join(format!("hetmem-serve-jobs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open(&dir).expect("open");
+        let metrics = Metrics::default();
+        let cold = run_sim(&req, Some(&cache), &metrics).expect("runs");
+        let warm = run_sim(&req, Some(&cache), &metrics).expect("runs");
+        assert_eq!(cold, warm);
+        assert_eq!(cold, body);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_request_defaults_cover_the_full_grid() {
+        let req = parse_sweep_request("{}").expect("parses");
+        assert_eq!(req.spec.expand().len(), 6 * 9);
+        let filtered = parse_sweep_request(
+            "{\"kernels\":[\"reduction\"],\"systems\":[\"fusion\"],\"spaces\":[],\"scales\":[512]}",
+        )
+        .expect("parses");
+        assert_eq!(filtered.spec.expand().len(), 1);
+        assert!(parse_sweep_request(
+            "{\"kernels\":[],\"systems\":[],\"spaces\":[],\"scales\":[8]}"
+        )
+        .is_err());
+        assert!(parse_sweep_request("{\"scales\":[0]}").is_err());
+        assert!(parse_sweep_request("{\"systems\":[\"not-a-system\"]}").is_err());
+    }
+
+    #[test]
+    fn sweep_coalesce_keys_track_the_expansion() {
+        let a = parse_sweep_request("{\"kernels\":[\"reduction\"],\"spaces\":[],\"scales\":[16]}")
+            .expect("parses");
+        let b = parse_sweep_request("{\"kernels\":[\"reduction\"],\"spaces\":[],\"scales\":[16]}")
+            .expect("parses");
+        let c = parse_sweep_request("{\"kernels\":[\"dct\"],\"spaces\":[],\"scales\":[16]}")
+            .expect("parses");
+        assert_eq!(a.coalesce_key(), b.coalesce_key());
+        assert_ne!(a.coalesce_key(), c.coalesce_key());
+    }
+
+    #[test]
+    fn sweep_execution_returns_records_and_stats() {
+        let req = parse_sweep_request(
+            "{\"kernels\":[\"reduction\"],\"systems\":[\"fusion\"],\"spaces\":[],\"scales\":[512]}",
+        )
+        .expect("parses");
+        let metrics = Metrics::default();
+        let body = run_sweep_request(&req, None, Arc::new(AtomicBool::new(false)), &metrics)
+            .expect("runs");
+        let v = parse(&body).expect("valid json");
+        let Some(Json::Arr(records)) = v.get("records").cloned() else {
+            panic!("records array");
+        };
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            v.get("stats")
+                .and_then(|s| s.get("jobs"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+
+        // A pre-set cancel flag aborts with the typed error's message.
+        let err = run_sweep_request(&req, None, Arc::new(AtomicBool::new(true)), &metrics)
+            .expect_err("cancelled");
+        assert!(err.contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn check_request_parses_runs_and_reports_unknown_targets() {
+        let req = parse_check_request("{\"targets\":[\"k-means\"],\"models\":[\"pas\"]}")
+            .expect("parses");
+        assert_eq!(req.models, vec![AddressSpace::PartiallyShared]);
+        let jsonl = run_check_request(&req).expect("runs");
+        let last = jsonl.lines().last().expect("summary");
+        let v = parse(last).expect("valid json");
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("summary"));
+        assert_eq!(v.get("checked").and_then(Json::as_u64), Some(1));
+
+        assert!(parse_check_request("{\"targets\":[]}").is_err());
+        assert!(parse_check_request("{}").is_err());
+        let bad = parse_check_request("{\"targets\":[\"no-such-kernel\"]}").expect("parses");
+        assert!(run_check_request(&bad).is_err());
+    }
+
+    #[test]
+    fn registry_tracks_lifecycle_and_renders_valid_json() {
+        let reg = Registry::default();
+        let id = reg.create();
+        assert_eq!(reg.get(id), Some(JobState::Queued));
+        assert_eq!(
+            reg.status_body(id).expect("body"),
+            format!("{{\"job\":{id},\"status\":\"queued\"}}\n")
+        );
+        reg.set(id, JobState::Running);
+        assert!(reg.status_body(id).expect("body").contains("running"));
+        reg.set(
+            id,
+            JobState::Done {
+                result: "{\"records\":[]}".to_owned(),
+            },
+        );
+        let body = reg.status_body(id).expect("body");
+        let v = parse(body.trim_end()).expect("spliced body is valid json");
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("done"));
+        assert!(v.get("result").is_some());
+        reg.set(id, JobState::TimedOut { waited_ms: 3 });
+        let v = parse(reg.status_body(id).expect("body").trim_end()).expect("valid");
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("timeout"));
+        assert_eq!(v.get("waited_ms").and_then(Json::as_u64), Some(3));
+        assert_eq!(reg.status_body(id + 999), None);
+        // Ids are unique and dense.
+        assert_eq!(reg.create(), id + 1);
+    }
+}

@@ -1,0 +1,462 @@
+//! The service itself: socket handling, routing, admission, and the
+//! graceful-drain shutdown sequence.
+//!
+//! Threading model: one accept thread, one handler thread per
+//! connection (requests are short — a queue wait plus one simulation),
+//! and the sharded worker pool doing the actual work. Shutdown is an
+//! endpoint (`POST /v1/shutdown`) because a std-only binary cannot trap
+//! signals: the handler answers, wakes the accept loop with a loopback
+//! connection, and the accept thread then joins every handler, drains
+//! the pool (completing all accepted jobs), and joins the async
+//! waiters.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::jobs::{
+    parse_check_request, parse_sim_request, parse_sweep_request, run_check_request, run_sim,
+    run_sweep_request, JobState, Registry,
+};
+use crate::metrics::Metrics;
+use crate::pool::{Outcome, Rejected, ShardedPool, Ticket};
+use hetmem_sim::SimError;
+use hetmem_xplore::{DiskCache, Json};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a worker hands back through the pool: a rendered response body
+/// or a one-line error.
+pub type JobResult = Result<String, String>;
+
+/// Configuration for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address, `HOST:PORT` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads / shards; `0` uses the host's parallelism.
+    pub workers: usize,
+    /// Per-shard queue bound; submissions beyond it are answered 429.
+    pub queue_depth: usize,
+    /// Result-cache directory shared with `hetmem sweep --cache-dir`.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: 0,
+            queue_depth: 32,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Shared server state.
+struct State {
+    pool: ShardedPool<JobResult>,
+    registry: Registry,
+    metrics: Arc<Metrics>,
+    cache: Option<Arc<DiskCache>>,
+    cache_dir: Option<PathBuf>,
+    /// Set by `/v1/shutdown`; refuses new job submissions.
+    draining: AtomicBool,
+    /// Cancels in-flight sweeps only on abandonment, never on graceful
+    /// drain (drain completes accepted jobs).
+    cancel: Arc<AtomicBool>,
+    waiters: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl State {
+    fn error_body(message: &str) -> String {
+        format!(
+            "{}\n",
+            Json::obj(vec![("error", Json::Str(message.to_owned()))]).render()
+        )
+    }
+
+    /// Admits a job onto the pool and renders rejections.
+    fn admit(
+        &self,
+        key: &str,
+        deadline_ms: Option<u64>,
+        work: impl FnOnce() -> JobResult + Send + 'static,
+    ) -> Result<Ticket<JobResult>, Response> {
+        if self.draining.load(Ordering::SeqCst) {
+            self.metrics.bump(&self.metrics.drain_rejections);
+            return Err(Response::json(
+                503,
+                State::error_body("the service is draining"),
+            ));
+        }
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        self.pool.submit(key, deadline, work).map_err(|r| match r {
+            Rejected::QueueFull { depth } => {
+                self.metrics.bump(&self.metrics.queue_rejections);
+                Response::json(
+                    429,
+                    State::error_body(&format!("queue full (depth {depth})")),
+                )
+                .with_header("retry-after", "1")
+            }
+            Rejected::Draining => {
+                self.metrics.bump(&self.metrics.drain_rejections);
+                Response::json(503, State::error_body("the service is draining"))
+            }
+        })
+    }
+
+    /// Renders a synchronous job's outcome.
+    fn render_outcome(&self, outcome: Outcome<JobResult>) -> Response {
+        match outcome {
+            Outcome::Done(Ok(body)) => Response::json(200, body),
+            Outcome::Done(Err(error)) => {
+                self.metrics.bump(&self.metrics.jobs_failed);
+                Response::json(500, State::error_body(&error))
+            }
+            Outcome::DeadlineExceeded { waited_ms } => Response::json(
+                504,
+                format!(
+                    "{}\n",
+                    Json::obj(vec![
+                        (
+                            "error",
+                            Json::Str(SimError::DeadlineExceeded { waited_ms }.to_string()),
+                        ),
+                        ("waited_ms", Json::UInt(waited_ms)),
+                    ])
+                    .render()
+                ),
+            ),
+        }
+    }
+}
+
+/// Routes one parsed request. Split from the socket layer so tests can
+/// drive the full API without a live connection.
+fn handle(state: &Arc<State>, req: &Request) -> Response {
+    state.metrics.bump(&state.metrics.requests_total);
+    let started = Instant::now();
+    let response = route(state, req);
+    state.metrics.latency.record(started.elapsed());
+    response
+}
+
+fn route(state: &Arc<State>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let status = if state.draining.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            Response::json(
+                200,
+                format!(
+                    "{}\n",
+                    Json::obj(vec![("status", Json::Str(status.to_owned()))]).render()
+                ),
+            )
+        }
+        ("GET", "/metrics") => {
+            let body = state
+                .metrics
+                .to_json(state.pool.queued(), state.pool.busy(), state.pool.workers())
+                .render();
+            Response::json(200, format!("{body}\n"))
+        }
+        ("POST", "/v1/sim") => match parse_sim_request(&req.body) {
+            Err(message) => bad_request(state, &message),
+            Ok(sim) => {
+                let key = sim.content_key();
+                let deadline = sim.deadline_ms;
+                let metrics = Arc::clone(&state.metrics);
+                let cache = state.cache.clone();
+                let work = move || run_sim(&sim, cache.as_deref(), &metrics);
+                match state.admit(&key, deadline, work) {
+                    Err(response) => response,
+                    Ok(ticket) => state.render_outcome(ticket.wait()),
+                }
+            }
+        },
+        ("POST", "/v1/check") => match parse_check_request(&req.body) {
+            Err(message) => bad_request(state, &message),
+            Ok(check) => {
+                let key = check.coalesce_key();
+                let deadline = check.deadline_ms;
+                let work = move || run_check_request(&check);
+                match state.admit(&key, deadline, work) {
+                    Err(response) => response,
+                    Ok(ticket) => match ticket.wait() {
+                        Outcome::Done(Ok(jsonl)) => Response {
+                            status: 200,
+                            headers: Vec::new(),
+                            body: jsonl,
+                            content_type: "application/x-ndjson",
+                        },
+                        other => state.render_outcome(other),
+                    },
+                }
+            }
+        },
+        ("POST", "/v1/sweep") => match parse_sweep_request(&req.body) {
+            Err(message) => bad_request(state, &message),
+            Ok(sweep) => {
+                let key = sweep.coalesce_key();
+                let deadline = sweep.deadline_ms;
+                let metrics = Arc::clone(&state.metrics);
+                let cache_dir = state.cache_dir.clone();
+                let cancel = Arc::clone(&state.cancel);
+                let registry_state = Arc::clone(state);
+                let id = state.registry.create();
+                let runner_state = Arc::clone(state);
+                let work = move || {
+                    runner_state.registry.set(id, JobState::Running);
+                    run_sweep_request(&sweep, cache_dir, cancel, &metrics)
+                };
+                match state.admit(&key, deadline, work) {
+                    Err(response) => {
+                        // Rejected before acceptance: the id never names
+                        // an accepted job.
+                        state.registry.remove(id);
+                        response
+                    }
+                    Ok(ticket) => {
+                        let waiter = std::thread::Builder::new()
+                            .name(format!("hetmem-serve-waiter-{id}"))
+                            .spawn(move || {
+                                let state = registry_state;
+                                match ticket.wait() {
+                                    Outcome::Done(Ok(result)) => {
+                                        state.registry.set(id, JobState::Done { result });
+                                    }
+                                    Outcome::Done(Err(error)) => {
+                                        state.metrics.bump(&state.metrics.jobs_failed);
+                                        state.registry.set(id, JobState::Failed { error });
+                                    }
+                                    Outcome::DeadlineExceeded { waited_ms } => {
+                                        state.registry.set(id, JobState::TimedOut { waited_ms });
+                                    }
+                                }
+                            })
+                            .expect("spawn waiter");
+                        state.waiters.lock().expect("waiters lock").push(waiter);
+                        Response::json(
+                            202,
+                            format!(
+                                "{}\n",
+                                Json::obj(vec![
+                                    ("job", Json::UInt(id)),
+                                    ("status", Json::Str("queued".to_owned())),
+                                    ("poll", Json::Str(format!("/v1/jobs/{id}"))),
+                                ])
+                                .render()
+                            ),
+                        )
+                    }
+                }
+            }
+        },
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            let id = path["/v1/jobs/".len()..].parse::<u64>().ok();
+            match id.and_then(|id| state.registry.status_body(id)) {
+                Some(body) => Response::json(200, body),
+                None => Response::json(404, State::error_body("no such job")),
+            }
+        }
+        ("POST", "/v1/shutdown") => {
+            state.draining.store(true, Ordering::SeqCst);
+            Response::json(
+                200,
+                format!(
+                    "{}\n",
+                    Json::obj(vec![("status", Json::Str("draining".to_owned()))]).render()
+                ),
+            )
+        }
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown")
+        | ("GET" | "PUT" | "DELETE", "/v1/sim" | "/v1/sweep" | "/v1/check") => {
+            Response::json(405, State::error_body("method not allowed"))
+        }
+        _ => Response::json(404, State::error_body("no such endpoint")),
+    }
+}
+
+fn bad_request(state: &Arc<State>, message: &str) -> Response {
+    state.metrics.bump(&state.metrics.bad_requests);
+    Response::json(400, State::error_body(message))
+}
+
+/// A running service bound to a socket.
+pub struct Server {
+    state: Arc<State>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the pool and the accept thread, and returns the
+    /// running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] when the address cannot be bound or the
+    /// cache directory cannot be opened.
+    pub fn start(opts: &ServeOptions) -> Result<Server, SimError> {
+        let listener = TcpListener::bind(&opts.addr)
+            .map_err(|e| SimError::Io(format!("cannot bind {}: {e}", opts.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| SimError::Io(format!("cannot read bound address: {e}")))?;
+        let cache = match &opts.cache_dir {
+            Some(dir) => Some(Arc::new(DiskCache::open(dir).map_err(|e| {
+                SimError::Io(format!("cannot open cache dir {}: {e}", dir.display()))
+            })?)),
+            None => None,
+        };
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            opts.workers
+        };
+        let metrics = Arc::new(Metrics::default());
+        let state = Arc::new(State {
+            pool: ShardedPool::start(workers, opts.queue_depth.max(1), Arc::clone(&metrics)),
+            registry: Registry::default(),
+            metrics,
+            cache,
+            cache_dir: opts.cache_dir.clone(),
+            draining: AtomicBool::new(false),
+            cancel: Arc::new(AtomicBool::new(false)),
+            waiters: Mutex::new(Vec::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("hetmem-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_state))
+            .map_err(|e| SimError::Io(format!("cannot spawn accept thread: {e}")))?;
+        Ok(Server {
+            state,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to drain and stop, as `POST /v1/shutdown` does.
+    pub fn shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        wake_accept(self.addr);
+    }
+
+    /// Blocks until the accept thread has finished the drain sequence.
+    /// Returns the final metrics snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread panicked.
+    pub fn wait(mut self) -> Arc<Metrics> {
+        if let Some(handle) = self.accept.take() {
+            handle.join().expect("accept thread");
+        }
+        Arc::clone(&self.state.metrics)
+    }
+}
+
+/// Wakes a blocking `accept` with a throwaway loopback connection.
+fn wake_accept(addr: SocketAddr) {
+    if let Ok(stream) = TcpStream::connect(addr) {
+        drop(stream);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if state.draining.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client): answer nothing
+            // job-shaped; handle it so a late client still gets a 503,
+            // then stop accepting.
+            let conn_state = Arc::clone(state);
+            handlers.push(spawn_handler(stream, conn_state));
+            break;
+        }
+        let conn_state = Arc::clone(state);
+        handlers.push(spawn_handler(stream, conn_state));
+    }
+    // Drain sequence: no new connections are accepted past this point.
+    // 1. Every connection already accepted runs to completion (their
+    //    jobs are in the pool, which is still live).
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    // 2. The pool finishes every accepted job and stops.
+    state.pool.drain();
+    // 3. Async waiters observe their (now fulfilled) tickets.
+    let waiters = std::mem::take(&mut *state.waiters.lock().expect("waiters lock"));
+    for waiter in waiters {
+        let _ = waiter.join();
+    }
+    eprintln!(
+        "hetmem-serve: drained ({} jobs completed, {} coalesced, {} rejected, {} timed out)",
+        state.metrics.jobs_completed.load(Ordering::Relaxed),
+        state.metrics.coalesced_jobs.load(Ordering::Relaxed),
+        state.metrics.queue_rejections.load(Ordering::Relaxed),
+        state.metrics.deadline_timeouts.load(Ordering::Relaxed),
+    );
+}
+
+fn spawn_handler(mut stream: TcpStream, state: Arc<State>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("hetmem-serve-conn".to_owned())
+        .spawn(move || {
+            let response = match read_request(&mut stream) {
+                Ok(request) => {
+                    let response = handle(&state, &request);
+                    let shutdown = request.method == "POST" && request.path == "/v1/shutdown";
+                    response.send(&mut stream);
+                    if shutdown {
+                        // Wake the accept loop after answering so the
+                        // client sees the 200 before the drain starts.
+                        if let Ok(addr) = stream.local_addr() {
+                            wake_accept(addr);
+                        }
+                    }
+                    return;
+                }
+                Err(HttpError::Io(_)) => return, // wake-up or dropped client
+                Err(HttpError::TooLarge(n)) => Response::json(
+                    413,
+                    State::error_body(&format!("body of {n} bytes exceeds limit")),
+                ),
+                Err(HttpError::BadRequest(message)) => {
+                    state.metrics.bump(&state.metrics.bad_requests);
+                    Response::json(400, State::error_body(&message))
+                }
+            };
+            response.send(&mut stream);
+        })
+        .expect("spawn handler")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let opts = ServeOptions::default();
+        assert_eq!(opts.queue_depth, 32);
+        assert!(opts.cache_dir.is_none());
+        assert!(opts.addr.contains(':'));
+    }
+}

@@ -26,6 +26,15 @@ pub enum SimError {
         /// Number of failing findings.
         errors: usize,
     },
+    /// The work was cancelled before it completed (a service shutting
+    /// down, or a caller abandoning a sweep).
+    Cancelled,
+    /// The caller's deadline expired before the work could run.
+    DeadlineExceeded {
+        /// Milliseconds the work waited before the deadline was
+        /// discovered to have passed.
+        waited_ms: u64,
+    },
 }
 
 impl SimError {
@@ -53,6 +62,10 @@ impl fmt::Display for SimError {
                     "check failed: {errors} finding(s) at the denied severity"
                 )
             }
+            SimError::Cancelled => write!(f, "cancelled before completion"),
+            SimError::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after waiting {waited_ms} ms")
+            }
         }
     }
 }
@@ -76,6 +89,8 @@ mod tests {
         assert_eq!(SimError::Io("disk".into()).exit_code(), 1);
         assert_eq!(SimError::InvalidConfig("zero sets".into()).exit_code(), 1);
         assert_eq!(SimError::CheckFailed { errors: 3 }.exit_code(), 1);
+        assert_eq!(SimError::Cancelled.exit_code(), 1);
+        assert_eq!(SimError::DeadlineExceeded { waited_ms: 5 }.exit_code(), 1);
     }
 
     #[test]

@@ -238,6 +238,22 @@ pub struct EventCounts {
     pub interventions: u64,
 }
 
+impl std::ops::AddAssign for EventCounts {
+    /// Accumulates another run's totals — how a long-lived service folds
+    /// per-request observability counters into its aggregate metrics.
+    fn add_assign(&mut self, other: EventCounts) {
+        self.phase_starts += other.phase_starts;
+        self.phase_ends += other.phase_ends;
+        self.comm_events += other.comm_events;
+        self.special_ops += other.special_ops;
+        self.miss_bursts += other.miss_bursts;
+        self.shared_accesses += other.shared_accesses;
+        self.dram_requests += other.dram_requests;
+        self.dram_row_misses += other.dram_row_misses;
+        self.interventions += other.interventions;
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Burst {
     pu: PuKind,
@@ -855,6 +871,23 @@ mod tests {
         assert!(s.len() >= 3);
         assert_eq!(s[0].phase, Phase::Parallel);
         assert_eq!(s.last().expect("non-empty").phase, Phase::Communication);
+    }
+
+    #[test]
+    fn event_counts_accumulate() {
+        let mut total = EventCounts::default();
+        let one = EventCounts {
+            dram_requests: 3,
+            dram_row_misses: 1,
+            comm_events: 2,
+            ..Default::default()
+        };
+        total += one;
+        total += one;
+        assert_eq!(total.dram_requests, 6);
+        assert_eq!(total.dram_row_misses, 2);
+        assert_eq!(total.comm_events, 4);
+        assert_eq!(total.phase_starts, 0);
     }
 
     #[test]

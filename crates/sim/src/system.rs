@@ -19,7 +19,7 @@ use crate::cpu::CpuCore;
 use crate::fabric::{CommAction, CommCosts, CommModel};
 use crate::gpu::GpuCore;
 use crate::hierarchy::MemoryHierarchy;
-use crate::obs::{NullObserver, SimObserver};
+use crate::obs::SimObserver;
 use crate::stats::RunReport;
 use hetmem_trace::{Inst, Phase, PhasedTrace, PuKind};
 
@@ -34,14 +34,12 @@ pub struct System {
 }
 
 impl System {
-    /// Builds the baseline system with the paper's Table IV costs.
-    #[deprecated(note = "use `Simulation::builder()` instead")]
-    #[must_use]
-    pub fn new(config: &SystemConfig) -> System {
-        System::with_costs(config, CommCosts::paper())
-    }
-
     /// Builds a system with explicit communication-cost parameters.
+    ///
+    /// The pre-builder constructors (`System::new` plus a standalone
+    /// `System::run`) were removed once every call site migrated to
+    /// [`crate::Simulation::builder`]; construct through the builder
+    /// unless you are wiring a custom harness around [`System::execute`].
     #[must_use]
     pub fn with_costs(config: &SystemConfig, costs: CommCosts) -> System {
         System::with_costs_and_locality(config, costs, true)
@@ -88,18 +86,6 @@ impl System {
     #[must_use]
     pub fn hierarchy(&self) -> &MemoryHierarchy {
         &self.hierarchy
-    }
-
-    /// Simulates `trace` under `comm`, returning the per-phase breakdown.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace violates the phased-trace shape invariants (use
-    /// [`PhasedTrace::validate`] on untrusted traces first).
-    #[deprecated(note = "use `Simulation::builder()` and `Simulation::run` instead")]
-    pub fn run(&mut self, trace: &PhasedTrace, comm: &mut dyn CommModel) -> RunReport {
-        trace.validate().expect("trace must be well-formed");
-        self.execute(trace, comm, &mut NullObserver)
     }
 
     /// Simulates a validated `trace` under `comm`, reporting every phase
@@ -240,6 +226,7 @@ mod tests {
     use super::*;
     use crate::builder::Simulation;
     use crate::fabric::{FabricKind, SynchronousFabric};
+    use crate::obs::NullObserver;
     use hetmem_trace::kernels::{Kernel, KernelParams};
     use hetmem_trace::{CommEvent, CommKind, TransferDirection};
 
@@ -373,22 +360,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_runs_empty_trace_to_zero() {
-        // The legacy entry point keeps its run-to-zero semantics (the new
-        // API reports `SimError::EmptyTrace` instead) and must produce the
-        // same report as the builder path on a real trace.
-        let trace = PhasedTrace::new("empty");
-        let mut sys = System::new(&SystemConfig::baseline());
-        let mut comm = SynchronousFabric::new(FabricKind::PciExpress, CommCosts::paper());
-        let report = sys.run(&trace, &mut comm);
-        assert_eq!(report.total_ticks(), 0);
-        assert_eq!(report.kernel, "empty");
-
+    fn direct_execute_matches_builder_path() {
+        // Custom harnesses that wire `System::execute` directly (the
+        // builder's engine) must see exactly the builder's reports.
         let real = Kernel::Reduction.generate(&KernelParams::scaled(8));
-        let mut old_sys = System::new(&SystemConfig::baseline());
-        let old = old_sys.run(&real, &mut comm);
-        assert_eq!(old, run_over(&real, FabricKind::PciExpress));
+        let mut sys = System::with_costs(&SystemConfig::baseline(), CommCosts::paper());
+        let mut comm = SynchronousFabric::new(FabricKind::PciExpress, CommCosts::paper());
+        let direct = sys.execute(&real, &mut comm, &mut NullObserver);
+        assert_eq!(direct, run_over(&real, FabricKind::PciExpress));
     }
 
     #[test]

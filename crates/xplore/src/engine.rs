@@ -19,7 +19,7 @@ use hetmem_trace::PhasedTrace;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -36,6 +36,12 @@ pub struct SweepOptions {
     /// embed its [`hetmem_sim::TimelineSummary`] in the records. `None` (the
     /// default) simulates unobserved and leaves cache keys untouched.
     pub timeline_interval: Option<u64>,
+    /// Cooperative cancellation: when the flag is set, workers stop
+    /// pulling jobs (the one each is simulating still finishes) and the
+    /// sweep returns [`SimError::Cancelled`]. Long-lived callers — the
+    /// `hetmem-serve` service — use this to abandon sweeps whose clients
+    /// are gone without killing the worker pool.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl SweepOptions {
@@ -253,7 +259,11 @@ pub fn run_jobs(
             let cursor = &cursor;
             let traces = &traces;
             let cache = cache.as_ref();
+            let cancel = opts.cancel.as_deref();
             scope.spawn(move || loop {
+                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                    break;
+                }
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
                 let key = content_key_with(job, config, opts.timeline_interval);
@@ -320,9 +330,13 @@ pub fn run_jobs(
 
     let mut records = Vec::with_capacity(jobs.len());
     // Ordinal order, so a failing sweep reports the same (lowest-ordinal)
-    // error for any worker count.
+    // error for any worker count. An empty slot means a worker stopped
+    // pulling — only possible via the cancellation flag.
     for slot in slots {
-        records.push(slot.expect("every job completed")?);
+        match slot {
+            Some(record) => records.push(record?),
+            None => return Err(SimError::Cancelled),
+        }
     }
     // Slots are already ordinal-ordered; the sort is a cheap invariant
     // guard for callers that concatenate job lists.
@@ -518,6 +532,24 @@ mod tests {
             assert_eq!(t.interval, 500_000);
             assert!(t.samples > 0);
         }
+    }
+
+    #[test]
+    fn preset_cancel_flag_aborts_the_sweep() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let opts = SweepOptions {
+            workers: 2,
+            cancel: Some(Arc::clone(&flag)),
+            ..SweepOptions::default()
+        };
+        let err = run_sweep(&small_spec(), &cfg(), &opts).expect_err("cancelled");
+        assert_eq!(err, SimError::Cancelled);
+
+        // An unset flag changes nothing.
+        flag.store(false, Ordering::Relaxed);
+        let out = run_sweep(&small_spec(), &cfg(), &opts).expect("runs");
+        let plain = run_sweep(&small_spec(), &cfg(), &SweepOptions::with_workers(2)).expect("runs");
+        assert_eq!(out.records, plain.records);
     }
 
     #[test]

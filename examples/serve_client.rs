@@ -1,0 +1,114 @@
+//! Start an in-process `hetmem serve` instance and drive it as a client:
+//! a sync `/v1/sim` (cold, then answered from the shared cache), an async
+//! `/v1/sweep` polled to completion, a `/metrics` snapshot, and a
+//! graceful drain.
+//!
+//! Run with `cargo run --release --example serve_client`.
+
+use hetmem::serve::{ServeOptions, Server};
+use hetmem::xplore::json::{parse, Json};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+
+/// One HTTP/1.1 exchange; the server closes the connection, so EOF
+/// delimits the reply. Returns (status, body).
+fn send(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut request = format!("{method} {path} HTTP/1.1\r\nhost: example\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("content-length: {}\r\n", body.len()));
+    }
+    request.push_str("\r\n");
+    request.push_str(body.unwrap_or(""));
+    conn.write_all(request.as_bytes()).expect("write");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("framed reply");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_owned())
+}
+
+fn main() {
+    let cache = std::env::temp_dir().join("hetmem-serve-client-example");
+    let _ = std::fs::remove_dir_all(&cache);
+    let server = Server::start(&ServeOptions {
+        addr: "127.0.0.1:0".to_owned(), // ephemeral port
+        workers: 4,
+        queue_depth: 32,
+        cache_dir: Some(cache.clone()),
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    println!("serving on http://{addr}\n");
+
+    // A synchronous simulation: the body is byte-identical to
+    // `hetmem sim <trace> fusion --format json` at the same scale.
+    let sim = "{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":64}";
+    let (status, cold) = send(addr, "POST", "/v1/sim", Some(sim));
+    let ticks = parse(cold.trim_end())
+        .ok()
+        .and_then(|v| v.get("total_ticks").and_then(Json::as_u64))
+        .expect("total_ticks");
+    println!("POST /v1/sim            -> {status}, total_ticks = {ticks}");
+
+    // The identical request again: answered from the content-addressed
+    // cache, byte-for-byte.
+    let (_, warm) = send(addr, "POST", "/v1/sim", Some(sim));
+    println!(
+        "POST /v1/sim (repeat)   -> cache hit, bytes identical: {}",
+        cold == warm
+    );
+
+    // An asynchronous sweep: 202 + a poll URL, then poll to completion.
+    let sweep = "{\"kernels\":[\"dct\",\"kmeans\"],\"systems\":[\"fusion\",\"gmac\"],\
+                 \"spaces\":[],\"scales\":[64]}";
+    let (status, accepted) = send(addr, "POST", "/v1/sweep", Some(sweep));
+    let poll = parse(accepted.trim_end())
+        .ok()
+        .and_then(|v| v.get("poll").and_then(Json::as_str).map(str::to_owned))
+        .expect("poll url");
+    println!("POST /v1/sweep          -> {status}, poll {poll}");
+    let records = loop {
+        let (_, body) = send(addr, "GET", &poll, None);
+        let v = parse(body.trim_end()).expect("job status");
+        match v.get("status").and_then(Json::as_str) {
+            Some("done") => {
+                let Some(Json::Arr(records)) =
+                    v.get("result").and_then(|r| r.get("records")).cloned()
+                else {
+                    panic!("records in {body}");
+                };
+                break records;
+            }
+            Some("failed") | Some("timeout") => panic!("sweep did not complete: {body}"),
+            _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    };
+    println!("GET  {poll}        -> done, {} records", records.len());
+
+    // Live service metrics.
+    let (_, metrics) = send(addr, "GET", "/metrics", None);
+    let v = parse(metrics.trim_end()).expect("metrics");
+    for key in [
+        "requests_total",
+        "jobs_completed",
+        "cache_hits",
+        "cache_misses",
+    ] {
+        println!(
+            "metrics.{key:<14} = {}",
+            v.get(key).and_then(Json::as_u64).expect("counter")
+        );
+    }
+
+    // Graceful drain: stop admission, finish accepted work, exit.
+    let (status, _) = send(addr, "POST", "/v1/shutdown", None);
+    println!("\nPOST /v1/shutdown       -> {status} (draining)");
+    server.wait();
+    let _ = std::fs::remove_dir_all(&cache);
+    println!("server drained cleanly");
+}

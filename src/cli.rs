@@ -10,6 +10,7 @@
 //! hetmem lower <program.hdsl> <model>   # print one lowering (uni|pas|dis|adsm)
 //! hetmem trace <kernel> [--scale N]     # dump a kernel trace (.hmt) to stdout
 //! hetmem sim <trace.hmt> <system>       # simulate a trace file on a system
+//! hetmem serve [--addr HOST:PORT]       # batched simulation service (HTTP)
 //! hetmem catalog                        # the Table I survey
 //! ```
 //!
@@ -117,6 +118,18 @@ pub enum Command {
         /// escalates, rustc `-D`-style).
         deny: hetmem_dsl::Severity,
     },
+    /// Run the batched simulation service until it is asked to drain.
+    Serve {
+        /// Bind address, `HOST:PORT` (port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads / shards (0 = auto).
+        workers: usize,
+        /// Per-shard queue bound; submissions beyond it are answered
+        /// 429.
+        queue_depth: usize,
+        /// Result-cache directory shared with `sweep --cache-dir`.
+        cache_dir: Option<PathBuf>,
+    },
     /// Print the Table I survey.
     Catalog,
     /// Print usage.
@@ -148,6 +161,10 @@ commands:
       [--timeline F.jsonl[:interval]]
                                 simulate a trace (cpu+gpu|lrb|gmac|fusion|ideal);
                                 --events/--timeline write observability JSONL
+  serve [--addr H:P] [--workers N] [--queue-depth D] [--cache-dir DIR]
+                                HTTP simulation service: POST /v1/sim,
+                                /v1/sweep, /v1/check; GET /healthz, /metrics,
+                                /v1/jobs/<id>; POST /v1/shutdown drains
   catalog                       the Table I survey
   help                          this message";
 
@@ -469,6 +486,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .transpose()?,
             })
         }
+        "serve" => {
+            let (positionals, flags) =
+                split_flags(rest, &["addr", "workers", "queue-depth", "cache-dir"])?;
+            expect_no_positionals(&positionals, "serve")?;
+            let addr = match flag_values(&flags, "addr").as_slice() {
+                [] => "127.0.0.1:7878".to_owned(),
+                [v] if v.contains(':') => (*v).to_owned(),
+                [v] => return Err(format!("--addr needs HOST:PORT, not {v:?}")),
+                _ => return Err("--addr given more than once".to_owned()),
+            };
+            let workers = match flag_values(&flags, "workers").as_slice() {
+                [] => 0,
+                [v] => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--workers needs a positive integer".to_owned())?,
+                _ => return Err("--workers given more than once".to_owned()),
+            };
+            let queue_depth = match flag_values(&flags, "queue-depth").as_slice() {
+                [] => 32,
+                [v] => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--queue-depth needs a positive integer".to_owned())?,
+                _ => return Err("--queue-depth given more than once".to_owned()),
+            };
+            Ok(Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                cache_dir: parse_cache_dir(&flags),
+            })
+        }
         "catalog" => {
             expect_no_positionals(&split_flags(rest, &[])?.0, "catalog")?;
             Ok(Command::Catalog)
@@ -615,6 +667,25 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
                 OutputFormat::Csv => unreachable!("rejected above"),
             }
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            cache_dir,
+        } => {
+            let server = hetmem_serve::Server::start(&hetmem_serve::ServeOptions {
+                addr: addr.clone(),
+                workers: *workers,
+                queue_depth: *queue_depth,
+                cache_dir: cache_dir.clone(),
+            })?;
+            // The resolved address on stdout first, so scripts binding
+            // port 0 can discover the ephemeral port.
+            println!("hetmem-serve listening on http://{}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.wait();
+        }
     }
     Ok(())
 }
@@ -675,28 +746,11 @@ fn resolve_check_target(target: &str) -> Result<hetmem_dsl::Program, SimError> {
     if target.ends_with(".hdsl") {
         return load_program(target);
     }
-    let norm = |s: &str| -> String {
-        s.chars()
-            .filter(char::is_ascii_alphanumeric)
-            .map(|c| c.to_ascii_lowercase())
-            .collect()
-    };
-    let wanted = norm(target);
-    // Accept a trailing plural too, so the `trace` spelling `kmeans`
-    // finds the paper's "k-mean".
-    let singular = wanted.strip_suffix('s').unwrap_or(&wanted).to_owned();
-    hetmem_dsl::programs::all()
-        .into_iter()
-        .chain(hetmem_dsl::programs::extra::all())
-        .find(|p| {
-            let name = norm(&p.name);
-            name == wanted || name == singular
-        })
-        .ok_or_else(|| {
-            SimError::Usage(format!(
-                "unknown kernel {target:?} (use a built-in kernel name, an .hdsl path, or --all)"
-            ))
-        })
+    hetmem_dsl::programs::find(target).ok_or_else(|| {
+        SimError::Usage(format!(
+            "unknown kernel {target:?} (use a built-in kernel name, an .hdsl path, or --all)"
+        ))
+    })
 }
 
 /// Runs the memory-model verifier over the selected programs × models,

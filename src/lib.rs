@@ -19,6 +19,9 @@
 //!   per-model lowering reproduces the Table V programmability metric.
 //! * [`xplore`] (`hetmem-xplore`) — the parallel, cached design-space sweep
 //!   engine behind `hetmem sweep` and the figure runners.
+//! * [`serve`] (`hetmem-serve`) — the batched simulation service behind
+//!   `hetmem serve`: a std-only HTTP/1.1 JSON API over sharded workers
+//!   with admission control, request coalescing, and live metrics.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@ pub mod cli;
 
 pub use hetmem_core as core;
 pub use hetmem_dsl as dsl;
+pub use hetmem_serve as serve;
 pub use hetmem_sim as sim;
 pub use hetmem_trace as trace;
 pub use hetmem_xplore as xplore;

@@ -20,7 +20,7 @@ fn help_lists_all_commands() {
     assert!(out.status.success());
     let text = stdout(&out);
     for cmd in [
-        "tables", "fig", "loc", "lower", "trace", "sim", "catalog", "check",
+        "tables", "fig", "loc", "lower", "trace", "sim", "sweep", "serve", "catalog", "check",
     ] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
@@ -106,6 +106,9 @@ fn unknown_flags_exit_nonzero_with_one_line_error_and_usage() {
         vec!["fig", "5", "--bogus", "1"],
         vec!["tables", "--scale", "2"],
         vec!["sim", "t.hmt", "fusion", "extra"],
+        vec!["serve", "--bogus-flag", "1"],
+        vec!["serve", "extra-positional"],
+        vec!["serve", "--workers", "0"],
     ] {
         let out = hetmem(&argv);
         assert_eq!(out.status.code(), Some(2), "{argv:?}");
