@@ -1,0 +1,94 @@
+//! Bench for the guided-search overhead: frontier extraction on synthetic
+//! point sets, strategy proposal, and a fully warm end-to-end search —
+//! the costs `hetmem search` adds on top of the cached sweep engine.
+
+use hetmem_bench::harness::{BenchmarkId, Criterion};
+use hetmem_bench::{criterion_group, criterion_main};
+use hetmem_search::{
+    pareto_indices, run_search, Objective, SearchConfig, SearchOptions, SearchRng, SearchSpace,
+    Strategy,
+};
+use std::hint::black_box;
+
+/// Deterministic synthetic objective vectors (4 axes, seeded).
+fn synthetic_points(n: usize) -> Vec<Vec<f64>> {
+    let mut rng = SearchRng::new(42);
+    (0..n)
+        .map(|_| (0..4).map(|_| (rng.next_u64() % 1_000) as f64).collect())
+        .collect()
+}
+
+fn search_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_overhead");
+    group.sample_size(50);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for n in [64, 256] {
+        let points = synthetic_points(n);
+        group.bench_with_input(BenchmarkId::new("pareto_extraction", n), &points, |b, p| {
+            b.iter(|| black_box(pareto_indices(black_box(p))));
+        });
+    }
+
+    let space = SearchSpace::full(512);
+    group.bench_function("strategy_first_proposal", |b| {
+        b.iter(|| {
+            let mut optimizer = Strategy::Halving.build(7, &space);
+            let evaluated = vec![None; space.len()];
+            let state = hetmem_search::SearchState {
+                space: &space,
+                evaluated: &evaluated,
+                frontier: &[],
+            };
+            black_box(optimizer.propose(&state, space.len()))
+        });
+    });
+
+    // The driver's own overhead: everything answered by the disk cache, so
+    // the measured time is (cache reads + scoring + frontier) per search,
+    // not simulation.
+    let dir = std::env::temp_dir().join(format!("hetmem-bench-search-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut warm_space = SearchSpace::full(512);
+    warm_space.kernels.truncate(1);
+    let config = SearchConfig {
+        budget: warm_space.exhaustive_jobs(),
+        space: warm_space,
+        objectives: Objective::ALL.to_vec(),
+        strategy: Strategy::Random,
+        seed: 7,
+    };
+    let fill = SearchOptions {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..SearchOptions::default()
+    };
+    run_search(&config, fill).expect("fill run");
+    group.bench_function("warm_search_end_to_end", |b| {
+        b.iter(|| {
+            let opts = SearchOptions {
+                workers: 1,
+                cache_dir: Some(dir.clone()),
+                ..SearchOptions::default()
+            };
+            black_box(run_search(&config, opts).expect("warm search"))
+        });
+    });
+
+    let warm = SearchOptions {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..SearchOptions::default()
+    };
+    let result = run_search(&config, warm).expect("result");
+    group.bench_function("result_json_render", |b| {
+        b.iter(|| black_box(result.to_json().render()));
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, search_overhead);
+criterion_main!(benches);

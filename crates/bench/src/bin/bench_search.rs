@@ -1,0 +1,135 @@
+//! Emits the search-overhead benchmark baseline as JSON — the snapshot
+//! committed as `BENCH_search.json` at the repo root.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p hetmem-bench --bin bench_search > BENCH_search.json
+//! ```
+//!
+//! The measured path is what `hetmem search` adds on top of the cached
+//! sweep engine: Pareto extraction on synthetic point sets, the first
+//! strategy proposal over the full design space, a fully warm end-to-end
+//! search (all cache hits), and rendering the deterministic JSON report.
+//! Timings are wall-clock on whatever host runs this, so the committed
+//! file is a point of comparison, not a promise.
+
+use hetmem_search::{
+    pareto_indices, run_search, Json, Objective, SearchConfig, SearchOptions, SearchRng,
+    SearchSpace, SearchState, Strategy,
+};
+use std::time::{Duration, Instant};
+
+/// Warm-up, then up to `samples` timed runs bounded by one second.
+fn measure(name: &str, samples: usize, mut f: impl FnMut()) -> Json {
+    let warm = Instant::now();
+    while warm.elapsed() < Duration::from_millis(200) {
+        f();
+    }
+    let mut taken: Vec<u128> = Vec::new();
+    let budget = Instant::now();
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        taken.push(t.elapsed().as_nanos());
+        if budget.elapsed() >= Duration::from_secs(1) {
+            break;
+        }
+    }
+    let min = *taken.iter().min().expect("samples");
+    let max = *taken.iter().max().expect("samples");
+    let mean = taken.iter().sum::<u128>() / taken.len() as u128;
+    let ns = |v: u128| Json::UInt(u64::try_from(v).unwrap_or(u64::MAX));
+    Json::obj(vec![
+        ("name", Json::Str(name.to_owned())),
+        ("samples", Json::UInt(taken.len() as u64)),
+        ("min_ns", ns(min)),
+        ("mean_ns", ns(mean)),
+        ("max_ns", ns(max)),
+    ])
+}
+
+/// Deterministic synthetic objective vectors (4 axes, seeded).
+fn synthetic_points(n: usize) -> Vec<Vec<f64>> {
+    let mut rng = SearchRng::new(42);
+    (0..n)
+        .map(|_| (0..4).map(|_| (rng.next_u64() % 1_000) as f64).collect())
+        .collect()
+}
+
+fn main() {
+    let points_64 = synthetic_points(64);
+    let points_256 = synthetic_points(256);
+    let space = SearchSpace::full(512);
+
+    let dir = std::env::temp_dir().join(format!("hetmem-bench-search-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut warm_space = SearchSpace::full(512);
+    warm_space.kernels.truncate(1);
+    let config = SearchConfig {
+        budget: warm_space.exhaustive_jobs(),
+        space: warm_space,
+        objectives: Objective::ALL.to_vec(),
+        strategy: Strategy::Random,
+        seed: 7,
+    };
+    let fill = SearchOptions {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..SearchOptions::default()
+    };
+    let result = run_search(&config, fill).expect("fill run");
+
+    let benches = vec![
+        measure("pareto_extraction_64", 200, || {
+            std::hint::black_box(pareto_indices(&points_64));
+        }),
+        measure("pareto_extraction_256", 100, || {
+            std::hint::black_box(pareto_indices(&points_256));
+        }),
+        measure("strategy_first_proposal", 200, || {
+            let mut optimizer = Strategy::Halving.build(7, &space);
+            let evaluated = vec![None; space.len()];
+            let state = SearchState {
+                space: &space,
+                evaluated: &evaluated,
+                frontier: &[],
+            };
+            std::hint::black_box(optimizer.propose(&state, space.len()));
+        }),
+        measure("warm_search_end_to_end", 50, || {
+            let opts = SearchOptions {
+                workers: 1,
+                cache_dir: Some(dir.clone()),
+                ..SearchOptions::default()
+            };
+            std::hint::black_box(run_search(&config, opts).expect("warm search"));
+        }),
+        measure("result_json_render", 200, || {
+            std::hint::black_box(result.to_json().render());
+        }),
+    ];
+
+    let out = Json::obj(vec![
+        ("baseline", Json::Str("search-overhead".to_owned())),
+        (
+            "crate_version",
+            Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
+        ),
+        (
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_owned(),
+            ),
+        ),
+        ("scale", Json::UInt(512)),
+        ("benches", Json::Arr(benches)),
+    ]);
+    println!("{}", out.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,9 +1,12 @@
 //! Beyond the paper: efficiency metrics for the evaluated systems and the
 //! resulting Pareto frontier (the paper's §VII future work).
+//!
+//! The frontier logic is `hetmem-search`'s — this bin only evaluates the
+//! systems and prints the shared table.
 
+use hetmem_core::evaluate_systems;
 use hetmem_core::experiment::ExperimentConfig;
-use hetmem_core::report::TextTable;
-use hetmem_core::{evaluate_systems, pareto_frontier};
+use hetmem_search::system_frontier_table;
 
 fn main() {
     let scale = hetmem_bench::scale_arg(1);
@@ -11,22 +14,5 @@ fn main() {
         "Efficiency metrics & Pareto frontier over the evaluated systems (scale {scale})"
     ));
     let evals = evaluate_systems(&ExperimentConfig::scaled(scale));
-    let frontier = pareto_frontier(&evals);
-    let mut table = TextTable::new(&[
-        "system",
-        "perf geomean (µs)",
-        "hw cost",
-        "programmer burden (LoC)",
-        "Pareto-optimal",
-    ]);
-    for (i, e) in evals.iter().enumerate() {
-        table.row(vec![
-            e.system.name().to_owned(),
-            format!("{:.1}", e.perf_ticks / 42_000.0),
-            e.hardware_cost.to_string(),
-            format!("{:.1}", e.programmer_burden),
-            if frontier.contains(&i) { "yes" } else { "" }.to_owned(),
-        ]);
-    }
-    println!("{}", table.render());
+    println!("{}", system_frontier_table(&evals));
 }

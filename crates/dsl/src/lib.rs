@@ -54,7 +54,7 @@ pub use check::{
     check, check_lowered, program_lints, run_oracle, CheckReport, Code, Diagnostic, OracleReport,
 };
 pub use codegen::{generate_trace, generate_trace_with, CodegenOptions};
-pub use loc::{loc_table, paper_loc_table, LocRow};
+pub use loc::{kernel_overhead, loc_table, paper_loc_table, LocRow};
 pub use lower::{lower, Lowered};
 pub use model::AddressSpace;
 pub use parse::{parse_program, write_program, ParseError, Pos};

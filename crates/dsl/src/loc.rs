@@ -59,6 +59,16 @@ pub fn loc_table() -> Vec<LocRow> {
         .collect()
 }
 
+/// The Table V overhead cell for one kernel under one model, resolved by
+/// the normalized [`programs::find`] lookup (so the `trace`/`sweep`
+/// spellings — `kmeans`, `matrix mul` — work directly). `None` when no
+/// built-in program carries that name. This is the per-kernel
+/// programmability metric guided search minimizes.
+#[must_use]
+pub fn kernel_overhead(kernel: &str, model: AddressSpace) -> Option<u32> {
+    programs::find(kernel).map(|p| lower(&p, model).comm_overhead_lines())
+}
+
 /// Table V exactly as printed in the paper.
 #[must_use]
 pub fn paper_loc_table() -> Vec<LocRow> {
@@ -99,6 +109,22 @@ mod tests {
             assert!(row.pas <= row.dis, "{}", row.kernel);
             assert!(row.adsm <= row.dis, "{}", row.kernel);
         }
+    }
+
+    #[test]
+    fn kernel_overhead_resolves_normalized_names() {
+        // Exact paper names and the trace-crate spellings both resolve.
+        assert_eq!(
+            kernel_overhead("reduction", AddressSpace::Disjoint),
+            Some(9)
+        );
+        assert_eq!(kernel_overhead("k-mean", AddressSpace::Adsm), Some(4));
+        assert_eq!(kernel_overhead("kmeans", AddressSpace::Adsm), Some(4));
+        assert_eq!(
+            kernel_overhead("matrix mul", AddressSpace::Unified),
+            Some(0)
+        );
+        assert_eq!(kernel_overhead("not-a-kernel", AddressSpace::Unified), None);
     }
 
     #[test]

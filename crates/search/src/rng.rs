@@ -1,0 +1,106 @@
+//! A tiny deterministic PRNG (xorshift64*) — the same generator the
+//! workspace's property tests use, promoted to a library type so every
+//! search strategy draws from one seeded, reproducible stream.
+//!
+//! Determinism is the whole point: the search contract is "same seed +
+//! same spec ⇒ byte-identical trajectory", so no `std::collections`
+//! iteration order, host entropy, or time may leak into decisions.
+
+/// Deterministic xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct SearchRng(u64);
+
+impl SearchRng {
+    /// A generator seeded with `seed`. Zero is remapped to a fixed odd
+    /// constant (xorshift has a zero fixed point), so every seed works.
+    #[must_use]
+    pub fn new(seed: u64) -> SearchRng {
+        SearchRng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A pseudo-random index in `0..n`. Modulo bias is irrelevant here —
+    /// only determinism matters, and `n` is tiny (design-space axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_range needs a nonempty range");
+        usize::try_from(self.next_u64() % n as u64).expect("index fits")
+    }
+
+    /// Fisher–Yates shuffle, deterministic for a given seed and length.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SearchRng::new(42);
+        let mut b = SearchRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SearchRng::new(1);
+        let mut b = SearchRng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = SearchRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SearchRng::new(7);
+        let mut v: Vec<usize> = (0..10).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        // And deterministic.
+        let mut r2 = SearchRng::new(7);
+        let mut v2: Vec<usize> = (0..10).collect();
+        r2.shuffle(&mut v2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SearchRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.gen_range(5) < 5);
+        }
+    }
+}

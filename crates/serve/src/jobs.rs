@@ -11,6 +11,10 @@
 use crate::metrics::Metrics;
 use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::AddressSpace;
+use hetmem_search::{
+    run_search, Objective, ProgressHook, SearchConfig, SearchOptions, SearchProgress, SearchSpace,
+    Strategy,
+};
 use hetmem_sim::EventTrace;
 use hetmem_trace::kernels::KernelParams;
 use hetmem_xplore::{
@@ -196,22 +200,35 @@ pub struct SweepRequest {
 /// unknown names, or an empty expansion.
 pub fn parse_sweep_request(body: &str) -> Result<SweepRequest, String> {
     let v = parse_body(body)?;
+    let spec = parse_axes(&v)?;
+    if spec.expand().is_empty() {
+        return Err("the requested sweep expands to zero jobs".to_owned());
+    }
+    Ok(SweepRequest {
+        spec,
+        deadline_ms: opt_u64(&v, "deadline_ms")?,
+    })
+}
+
+/// Parses the shared `kernels`/`systems`/`spaces`/`scales` axes used by
+/// both `/v1/sweep` and `/v1/search` bodies.
+fn parse_axes(v: &Json) -> Result<SweepSpec, String> {
     let full = SweepSpec::full(DEFAULT_SCALE);
-    let kernels = match opt_str_list(&v, "kernels")? {
+    let kernels = match opt_str_list(v, "kernels")? {
         None => full.kernels,
         Some(names) => names
             .iter()
             .map(|n| parse_kernel(n))
             .collect::<Result<_, _>>()?,
     };
-    let systems = match opt_str_list(&v, "systems")? {
+    let systems = match opt_str_list(v, "systems")? {
         None => full.systems,
         Some(names) => names
             .iter()
             .map(|n| parse_system(n))
             .collect::<Result<_, _>>()?,
     };
-    let spaces = match opt_str_list(&v, "spaces")? {
+    let spaces = match opt_str_list(v, "spaces")? {
         None => full.spaces,
         Some(names) => names
             .iter()
@@ -229,18 +246,11 @@ pub fn parse_sweep_request(body: &str) -> Result<SweepRequest, String> {
             .collect::<Result<_, _>>()?,
         Some(_) => return Err("field \"scales\" must be an array of integers".to_owned()),
     };
-    let spec = SweepSpec {
+    Ok(SweepSpec {
         kernels,
         systems,
         spaces,
         scales,
-    };
-    if spec.expand().is_empty() {
-        return Err("the requested sweep expands to zero jobs".to_owned());
-    }
-    Ok(SweepRequest {
-        spec,
-        deadline_ms: opt_u64(&v, "deadline_ms")?,
     })
 }
 
@@ -310,6 +320,162 @@ pub fn run_sweep_request(
         ),
     ]);
     Ok(body.render())
+}
+
+/// `POST /v1/search`: a guided multi-objective search over the design
+/// space, executed asynchronously with frontier-so-far progress.
+#[derive(Debug)]
+pub struct SearchRequest {
+    /// The full search configuration (space, objectives, strategy,
+    /// budget, seed).
+    pub config: SearchConfig,
+    /// Optional start deadline, as for [`SimRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses and validates a `/v1/search` body:
+/// `{"kernels"?: [...], "systems"?: [...], "spaces"?: [...],
+///   "scales"?: [N, ...], "budget"?: N, "seed"?: N,
+///   "objectives"?: [...], "strategy"?: "...", "deadline_ms"?: N}`.
+/// Axes default as for `/v1/sweep`; the budget defaults to a quarter of
+/// the exhaustive sweep, the strategy to successive halving, and the
+/// seed to 0.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 400) on malformed JSON,
+/// unknown names, duplicate objectives, a zero budget, or an empty
+/// space.
+pub fn parse_search_request(body: &str) -> Result<SearchRequest, String> {
+    let v = parse_body(body)?;
+    let space = SearchSpace::from_spec(&parse_axes(&v)?);
+    if space.is_empty() || space.kernels.is_empty() {
+        return Err("the requested search space is empty".to_owned());
+    }
+    let objectives = match opt_str_list(&v, "objectives")? {
+        None => Objective::ALL.to_vec(),
+        Some(names) => {
+            let mut objectives = Vec::with_capacity(names.len());
+            for name in &names {
+                let objective = Objective::parse(name)?;
+                if objectives.contains(&objective) {
+                    return Err(format!("duplicate objective {:?}", objective.name()));
+                }
+                objectives.push(objective);
+            }
+            objectives
+        }
+    };
+    let strategy = match v.get("strategy") {
+        None => Strategy::Halving,
+        Some(field) => Strategy::parse(
+            field
+                .as_str()
+                .ok_or_else(|| "field \"strategy\" must be a string".to_owned())?,
+        )?,
+    };
+    let budget = match opt_u64(&v, "budget")? {
+        None => (space.exhaustive_jobs() / 4).max(space.jobs_per_candidate()),
+        Some(0) => return Err("field \"budget\" must be positive".to_owned()),
+        Some(n) => usize::try_from(n).map_err(|_| "field \"budget\" is out of range".to_owned())?,
+    };
+    Ok(SearchRequest {
+        config: SearchConfig {
+            space,
+            objectives,
+            strategy,
+            budget,
+            seed: opt_u64(&v, "seed")?.unwrap_or(0),
+        },
+        deadline_ms: opt_u64(&v, "deadline_ms")?,
+    })
+}
+
+impl SearchRequest {
+    /// The coalescing key: identical concurrent searches (same space,
+    /// objectives, strategy, budget, and seed) share one execution —
+    /// their trajectories are byte-identical by construction.
+    #[must_use]
+    pub fn coalesce_key(&self) -> String {
+        let c = &self.config;
+        let kernels: Vec<&str> = c.space.kernels.iter().map(|k| k.name()).collect();
+        let targets: Vec<&str> = c.space.targets.iter().map(|t| t.name()).collect();
+        let scales: Vec<String> = c.space.scales.iter().map(u32::to_string).collect();
+        let objectives: Vec<&str> = c.objectives.iter().map(|o| o.name()).collect();
+        format!(
+            "search|{}|{}|{}|{}|{}|{}|{}",
+            c.strategy.name(),
+            c.seed,
+            c.budget,
+            objectives.join(","),
+            kernels.join(","),
+            targets.join(","),
+            scales.join(","),
+        )
+    }
+}
+
+/// Renders one [`SearchProgress`] snapshot as the `progress` object the
+/// registry splices into a running job's status body.
+#[must_use]
+pub fn search_progress_json(progress: &SearchProgress) -> Json {
+    Json::obj(vec![
+        ("round", Json::UInt(progress.round as u64)),
+        ("evaluations", Json::UInt(progress.evaluations as u64)),
+        ("jobs_submitted", Json::UInt(progress.jobs_submitted as u64)),
+        (
+            "frontier",
+            Json::Arr(
+                progress
+                    .frontier
+                    .iter()
+                    .map(|label| Json::Str(label.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Executes a search request on one engine worker, sharing the sweep's
+/// disk cache. Returns the response body: the deterministic
+/// [`hetmem_search::SearchResult::to_json`] report.
+///
+/// The execution counters flow into `metrics` (cache traffic plus the
+/// search-specific frontier counters), never into the body — the body is
+/// pinned byte-identical across cache states.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 500, or a cancellation
+/// notice during shutdown) when the search fails.
+pub fn run_search_request(
+    req: &SearchRequest,
+    cache_dir: Option<PathBuf>,
+    cancel: Arc<AtomicBool>,
+    metrics: &Metrics,
+    on_round: Option<ProgressHook>,
+) -> Result<String, String> {
+    let opts = SearchOptions {
+        workers: 1,
+        cache_dir,
+        cancel: Some(cancel),
+        on_round,
+    };
+    let result = run_search(&req.config, opts).map_err(|e| e.to_string())?;
+    metrics
+        .cache_hits
+        .fetch_add(result.stats.cache_hits, Ordering::Relaxed);
+    metrics
+        .cache_misses
+        .fetch_add(result.stats.live_executions, Ordering::Relaxed);
+    metrics.bump(&metrics.searches_completed);
+    metrics
+        .search_evaluations
+        .fetch_add(result.stats.evaluations as u64, Ordering::Relaxed);
+    metrics
+        .frontier_points
+        .fetch_add(result.frontier.len() as u64, Ordering::Relaxed);
+    Ok(result.to_json().render())
 }
 
 /// `POST /v1/check`: static memory-model verification of built-in
@@ -383,8 +549,13 @@ pub fn run_check_request(req: &CheckRequest) -> Result<String, String> {
 pub enum JobState {
     /// Accepted, waiting for a worker.
     Queued,
-    /// A worker is executing it.
-    Running,
+    /// A worker is executing it. Long-running jobs (searches) publish a
+    /// rendered-JSON progress object here so `GET /v1/jobs/<id>` can
+    /// answer with the frontier-so-far before the job finishes.
+    Running {
+        /// Rendered JSON progress object, when the job reports any.
+        progress: Option<String>,
+    },
     /// Finished; `result` is the rendered JSON result body.
     Done {
         /// The job's rendered JSON result.
@@ -408,7 +579,7 @@ impl JobState {
     pub fn status(&self) -> &'static str {
         match self {
             JobState::Queued => "queued",
-            JobState::Running => "running",
+            JobState::Running { .. } => "running",
             JobState::Done { .. } => "done",
             JobState::Failed { .. } => "failed",
             JobState::TimedOut { .. } => "timeout",
@@ -462,7 +633,10 @@ impl Registry {
             Json::Str(state.status().to_owned()).render()
         );
         Some(match state {
-            JobState::Queued | JobState::Running => format!("{head}}}\n"),
+            JobState::Queued | JobState::Running { progress: None } => format!("{head}}}\n"),
+            JobState::Running {
+                progress: Some(progress),
+            } => format!("{head},\"progress\":{progress}}}\n"),
             JobState::Done { result } => format!("{head},\"result\":{result}}}\n"),
             JobState::Failed { error } => {
                 format!("{head},\"error\":{}}}\n", Json::Str(error).render())
@@ -612,6 +786,97 @@ mod tests {
     }
 
     #[test]
+    fn search_request_parses_with_defaults_and_rejects_bad_knobs() {
+        let req = parse_search_request("{}").expect("parses");
+        assert_eq!(req.config.space.len(), 9);
+        assert_eq!(req.config.space.exhaustive_jobs(), 54);
+        assert_eq!(req.config.budget, 13); // a quarter of the exhaustive sweep
+        assert_eq!(req.config.seed, 0);
+        assert_eq!(req.config.strategy, Strategy::Halving);
+        assert_eq!(req.config.objectives, Objective::ALL.to_vec());
+
+        let req = parse_search_request(
+            "{\"kernels\":[\"reduction\"],\"systems\":[\"fusion\",\"cuda\"],\"spaces\":[],\
+             \"scales\":[512],\"budget\":2,\"seed\":9,\"objectives\":[\"perf\",\"hw\"],\
+             \"strategy\":\"evolve\",\"deadline_ms\":50}",
+        )
+        .expect("parses");
+        assert_eq!(req.config.space.len(), 2);
+        assert_eq!(req.config.budget, 2);
+        assert_eq!(req.config.seed, 9);
+        assert_eq!(req.config.strategy, Strategy::Evolve);
+        assert_eq!(
+            req.config.objectives,
+            vec![Objective::Cycles, Objective::Hw]
+        );
+        assert_eq!(req.deadline_ms, Some(50));
+
+        assert!(parse_search_request("not json").is_err());
+        assert!(parse_search_request("{\"budget\":0}").is_err());
+        assert!(parse_search_request("{\"objectives\":[\"hw\",\"hw\"]}").is_err());
+        assert!(parse_search_request("{\"objectives\":[\"speed\"]}").is_err());
+        assert!(parse_search_request("{\"strategy\":\"bayes\"}").is_err());
+        assert!(parse_search_request("{\"systems\":[],\"spaces\":[]}").is_err());
+    }
+
+    #[test]
+    fn search_coalesce_keys_track_every_knob() {
+        let a = parse_search_request("{\"seed\":1}").expect("parses");
+        let b = parse_search_request("{\"seed\":1}").expect("parses");
+        let c = parse_search_request("{\"seed\":2}").expect("parses");
+        let d = parse_search_request("{\"seed\":1,\"strategy\":\"random\"}").expect("parses");
+        assert_eq!(a.coalesce_key(), b.coalesce_key());
+        assert_ne!(a.coalesce_key(), c.coalesce_key());
+        assert_ne!(a.coalesce_key(), d.coalesce_key());
+    }
+
+    #[test]
+    fn search_execution_reports_progress_and_deterministic_bodies() {
+        let body = "{\"kernels\":[\"reduction\"],\"systems\":[\"fusion\",\"cuda\"],\
+                    \"spaces\":[],\"scales\":[512],\"budget\":2,\"strategy\":\"random\"}";
+        let req = parse_search_request(body).expect("parses");
+        let metrics = Metrics::default();
+        let rounds = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&rounds);
+        let on_round: Box<dyn FnMut(&SearchProgress) + Send> = Box::new(move |p| {
+            sink.lock()
+                .expect("lock")
+                .push(search_progress_json(p).render());
+        });
+        let cold = run_search_request(
+            &req,
+            None,
+            Arc::new(AtomicBool::new(false)),
+            &metrics,
+            Some(on_round),
+        )
+        .expect("runs");
+        let v = parse(&cold).expect("valid json");
+        assert!(v.get("frontier").is_some());
+        assert!(!cold.contains("cache_hits"), "stats stay out of the body");
+        let rounds = rounds.lock().expect("lock");
+        assert!(!rounds.is_empty());
+        let progress = parse(&rounds[0]).expect("valid progress json");
+        assert_eq!(progress.get("round").and_then(Json::as_u64), Some(1));
+        assert!(progress.get("frontier").is_some());
+        assert_eq!(metrics.searches_completed.load(Ordering::Relaxed), 1);
+        assert!(metrics.search_evaluations.load(Ordering::Relaxed) >= 1);
+        assert!(metrics.frontier_points.load(Ordering::Relaxed) >= 1);
+
+        // A second run with the same knobs renders the same bytes.
+        let req2 = parse_search_request(body).expect("parses");
+        let warm = run_search_request(
+            &req2,
+            None,
+            Arc::new(AtomicBool::new(false)),
+            &metrics,
+            None,
+        )
+        .expect("runs");
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
     fn check_request_parses_runs_and_reports_unknown_targets() {
         let req = parse_check_request("{\"targets\":[\"k-means\"],\"models\":[\"pas\"]}")
             .expect("parses");
@@ -637,8 +902,22 @@ mod tests {
             reg.status_body(id).expect("body"),
             format!("{{\"job\":{id},\"status\":\"queued\"}}\n")
         );
-        reg.set(id, JobState::Running);
+        reg.set(id, JobState::Running { progress: None });
         assert!(reg.status_body(id).expect("body").contains("running"));
+        reg.set(
+            id,
+            JobState::Running {
+                progress: Some("{\"round\":1,\"frontier\":[\"CPU+GPU@512\"]}".to_owned()),
+            },
+        );
+        let v = parse(reg.status_body(id).expect("body").trim_end()).expect("valid");
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("running"));
+        assert_eq!(
+            v.get("progress")
+                .and_then(|p| p.get("round"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
         reg.set(
             id,
             JobState::Done {

@@ -30,8 +30,9 @@
 //! |--------|-----------------|-----------------------------------------------|
 //! | POST   | `/v1/sim`       | One kernel × system cell; body is byte-identical to `hetmem sim --format json` |
 //! | POST   | `/v1/sweep`     | Async grid; answers `202` with a poll URL      |
+//! | POST   | `/v1/search`    | Async guided multi-objective search; the poll URL reports the Pareto frontier-so-far |
 //! | POST   | `/v1/check`     | Static verifier; answers the checker's JSONL   |
-//! | GET    | `/v1/jobs/<id>` | Async job status / result                      |
+//! | GET    | `/v1/jobs/<id>` | Async job status / result (running searches include a `progress` object) |
 //! | GET    | `/healthz`      | Liveness (`ok` / `draining`)                   |
 //! | GET    | `/metrics`      | The metric registry as JSON                    |
 //! | POST   | `/v1/shutdown`  | Graceful drain (std-only binaries cannot trap signals) |
@@ -68,8 +69,9 @@ pub mod server;
 
 pub use http::{Request, Response};
 pub use jobs::{
-    parse_check_request, parse_sim_request, parse_sweep_request, run_check_request, run_sim,
-    run_sweep_request, CheckRequest, JobState, Registry, SimRequest, SweepRequest, DEFAULT_SCALE,
+    parse_check_request, parse_search_request, parse_sim_request, parse_sweep_request,
+    run_check_request, run_search_request, run_sim, run_sweep_request, search_progress_json,
+    CheckRequest, JobState, Registry, SearchRequest, SimRequest, SweepRequest, DEFAULT_SCALE,
 };
 pub use metrics::{LatencyHistogram, Metrics};
 pub use pool::{Outcome, Rejected, ShardedPool, Ticket};

@@ -93,6 +93,12 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Sim answers that required a live simulation.
     pub cache_misses: AtomicU64,
+    /// Guided searches run to completion.
+    pub searches_completed: AtomicU64,
+    /// Candidates evaluated across all completed searches.
+    pub search_evaluations: AtomicU64,
+    /// Pareto-frontier points reported by completed searches.
+    pub frontier_points: AtomicU64,
     /// End-to-end request latency (admission to response).
     pub latency: LatencyHistogram,
     /// Aggregate simulator event counts from live runs.
@@ -133,6 +139,9 @@ impl Metrics {
             ("jobs_failed", load(&self.jobs_failed)),
             ("cache_hits", load(&self.cache_hits)),
             ("cache_misses", load(&self.cache_misses)),
+            ("searches_completed", load(&self.searches_completed)),
+            ("search_evaluations", load(&self.search_evaluations)),
+            ("frontier_points", load(&self.frontier_points)),
             ("queue_depth", Json::UInt(queue_depth)),
             ("busy_workers", Json::UInt(busy_workers)),
             ("workers", Json::UInt(workers)),
@@ -191,6 +200,8 @@ mod tests {
         let m = Metrics::default();
         m.bump(&m.requests_total);
         m.bump(&m.cache_hits);
+        m.bump(&m.searches_completed);
+        m.frontier_points.fetch_add(3, Ordering::Relaxed);
         let ev = hetmem_sim::EventCounts {
             dram_requests: 7,
             ..Default::default()
@@ -200,6 +211,11 @@ mod tests {
         let json = m.to_json(3, 1, 4);
         assert_eq!(json.get("requests_total").and_then(Json::as_u64), Some(1));
         assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            json.get("searches_completed").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(json.get("frontier_points").and_then(Json::as_u64), Some(3));
         assert_eq!(json.get("queue_depth").and_then(Json::as_u64), Some(3));
         assert_eq!(json.get("workers").and_then(Json::as_u64), Some(4));
         let ev = json.get("sim_events").expect("sim_events");

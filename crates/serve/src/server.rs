@@ -12,11 +12,13 @@
 
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::jobs::{
-    parse_check_request, parse_sim_request, parse_sweep_request, run_check_request, run_sim,
-    run_sweep_request, JobState, Registry,
+    parse_check_request, parse_search_request, parse_sim_request, parse_sweep_request,
+    run_check_request, run_search_request, run_sim, run_sweep_request, search_progress_json,
+    JobState, Registry,
 };
 use crate::metrics::Metrics;
 use crate::pool::{Outcome, Rejected, ShardedPool, Ticket};
+use hetmem_search::ProgressHook;
 use hetmem_sim::SimError;
 use hetmem_xplore::{DiskCache, Json};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -208,54 +210,43 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
                 let metrics = Arc::clone(&state.metrics);
                 let cache_dir = state.cache_dir.clone();
                 let cancel = Arc::clone(&state.cancel);
-                let registry_state = Arc::clone(state);
                 let id = state.registry.create();
                 let runner_state = Arc::clone(state);
                 let work = move || {
-                    runner_state.registry.set(id, JobState::Running);
+                    runner_state
+                        .registry
+                        .set(id, JobState::Running { progress: None });
                     run_sweep_request(&sweep, cache_dir, cancel, &metrics)
                 };
-                match state.admit(&key, deadline, work) {
-                    Err(response) => {
-                        // Rejected before acceptance: the id never names
-                        // an accepted job.
-                        state.registry.remove(id);
-                        response
-                    }
-                    Ok(ticket) => {
-                        let waiter = std::thread::Builder::new()
-                            .name(format!("hetmem-serve-waiter-{id}"))
-                            .spawn(move || {
-                                let state = registry_state;
-                                match ticket.wait() {
-                                    Outcome::Done(Ok(result)) => {
-                                        state.registry.set(id, JobState::Done { result });
-                                    }
-                                    Outcome::Done(Err(error)) => {
-                                        state.metrics.bump(&state.metrics.jobs_failed);
-                                        state.registry.set(id, JobState::Failed { error });
-                                    }
-                                    Outcome::DeadlineExceeded { waited_ms } => {
-                                        state.registry.set(id, JobState::TimedOut { waited_ms });
-                                    }
-                                }
-                            })
-                            .expect("spawn waiter");
-                        state.waiters.lock().expect("waiters lock").push(waiter);
-                        Response::json(
-                            202,
-                            format!(
-                                "{}\n",
-                                Json::obj(vec![
-                                    ("job", Json::UInt(id)),
-                                    ("status", Json::Str("queued".to_owned())),
-                                    ("poll", Json::Str(format!("/v1/jobs/{id}"))),
-                                ])
-                                .render()
-                            ),
-                        )
-                    }
-                }
+                submit_async(state, id, &key, deadline, work)
+            }
+        },
+        ("POST", "/v1/search") => match parse_search_request(&req.body) {
+            Err(message) => bad_request(state, &message),
+            Ok(search) => {
+                let key = search.coalesce_key();
+                let deadline = search.deadline_ms;
+                let metrics = Arc::clone(&state.metrics);
+                let cache_dir = state.cache_dir.clone();
+                let cancel = Arc::clone(&state.cancel);
+                let id = state.registry.create();
+                let runner_state = Arc::clone(state);
+                let work = move || {
+                    runner_state
+                        .registry
+                        .set(id, JobState::Running { progress: None });
+                    let progress_state = Arc::clone(&runner_state);
+                    let on_round: ProgressHook = Box::new(move |p| {
+                        progress_state.registry.set(
+                            id,
+                            JobState::Running {
+                                progress: Some(search_progress_json(p).render()),
+                            },
+                        );
+                    });
+                    run_search_request(&search, cache_dir, cancel, &metrics, Some(on_round))
+                };
+                submit_async(state, id, &key, deadline, work)
             }
         },
         ("GET", path) if path.starts_with("/v1/jobs/") => {
@@ -276,10 +267,63 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
             )
         }
         (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown")
-        | ("GET" | "PUT" | "DELETE", "/v1/sim" | "/v1/sweep" | "/v1/check") => {
+        | ("GET" | "PUT" | "DELETE", "/v1/sim" | "/v1/sweep" | "/v1/check" | "/v1/search") => {
             Response::json(405, State::error_body("method not allowed"))
         }
         _ => Response::json(404, State::error_body("no such endpoint")),
+    }
+}
+
+/// Admits an async job, spawns the waiter thread that resolves its
+/// registry entry, and renders the `202` acceptance (or the rejection).
+fn submit_async(
+    state: &Arc<State>,
+    id: u64,
+    key: &str,
+    deadline: Option<u64>,
+    work: impl FnOnce() -> JobResult + Send + 'static,
+) -> Response {
+    match state.admit(key, deadline, work) {
+        Err(response) => {
+            // Rejected before acceptance: the id never names an accepted
+            // job.
+            state.registry.remove(id);
+            response
+        }
+        Ok(ticket) => {
+            let waiter_state = Arc::clone(state);
+            let waiter = std::thread::Builder::new()
+                .name(format!("hetmem-serve-waiter-{id}"))
+                .spawn(move || {
+                    let state = waiter_state;
+                    match ticket.wait() {
+                        Outcome::Done(Ok(result)) => {
+                            state.registry.set(id, JobState::Done { result });
+                        }
+                        Outcome::Done(Err(error)) => {
+                            state.metrics.bump(&state.metrics.jobs_failed);
+                            state.registry.set(id, JobState::Failed { error });
+                        }
+                        Outcome::DeadlineExceeded { waited_ms } => {
+                            state.registry.set(id, JobState::TimedOut { waited_ms });
+                        }
+                    }
+                })
+                .expect("spawn waiter");
+            state.waiters.lock().expect("waiters lock").push(waiter);
+            Response::json(
+                202,
+                format!(
+                    "{}\n",
+                    Json::obj(vec![
+                        ("job", Json::UInt(id)),
+                        ("status", Json::Str("queued".to_owned())),
+                        ("poll", Json::Str(format!("/v1/jobs/{id}"))),
+                    ])
+                    .render()
+                ),
+            )
+        }
     }
 }
 

@@ -1,34 +1,20 @@
 //! Efficiency metrics and the Pareto frontier over the five evaluated
 //! systems — the paper's stated future work (§VII), implemented.
 //!
+//! The frontier extraction and table rendering live in `hetmem-search`
+//! ([`hetmem_search::system_frontier_table`]), the same engine the
+//! guided `hetmem search` subcommand uses; this example is a thin caller.
+//!
 //! Run with `cargo run --release --example pareto_frontier`.
 
+use hetmem::core::evaluate_systems;
 use hetmem::core::experiment::ExperimentConfig;
-use hetmem::core::report::TextTable;
-use hetmem::core::{evaluate_systems, pareto_frontier};
+use hetmem_search::system_frontier_table;
 
 fn main() {
     // Scale 16 keeps the example quick; the shape is scale-stable.
     let evals = evaluate_systems(&ExperimentConfig::scaled(16));
-    let frontier = pareto_frontier(&evals);
-
-    let mut table = TextTable::new(&[
-        "system",
-        "perf (geomean µs)",
-        "hw cost (score)",
-        "programmer burden (LoC)",
-        "Pareto-optimal",
-    ]);
-    for (i, e) in evals.iter().enumerate() {
-        table.row(vec![
-            e.system.name().to_owned(),
-            format!("{:.1}", e.perf_ticks / 42_000.0), // ticks -> µs at 42 GHz
-            e.hardware_cost.to_string(),
-            format!("{:.1}", e.programmer_burden),
-            if frontier.contains(&i) { "yes" } else { "" }.to_owned(),
-        ]);
-    }
-    println!("{}", table.render());
+    println!("{}", system_frontier_table(&evals));
 
     println!("Axes: lower is better everywhere. A system is Pareto-optimal when no");
     println!("other system is at least as good on performance, hardware cost, AND");

@@ -5,6 +5,7 @@
 //! hetmem tables                         # regenerate Tables I–V
 //! hetmem fig 5 [--scale N]              # regenerate Figure 5 (also 6, 7)
 //! hetmem sweep [filters]                # parallel, cached design-space sweep
+//! hetmem search [--budget N --seed S]   # guided multi-objective search
 //! hetmem loc <program.hdsl>             # programmability of a DSL source file
 //! hetmem check <kernel|--all>           # memory-model static verifier
 //! hetmem lower <program.hdsl> <model>   # print one lowering (uni|pas|dis|adsm)
@@ -23,6 +24,7 @@ use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::report::{render_figure5, render_figure6, render_figure7, TextTable};
 use hetmem_core::EvaluatedSystem;
 use hetmem_dsl::AddressSpace;
+use hetmem_search::{Objective, SearchConfig, SearchOptions, SearchSpace, Strategy};
 use hetmem_sim::{EventTrace, IntervalProfiler, Recorder, SimError, Simulation};
 use hetmem_trace::kernels::{Kernel, KernelParams};
 use hetmem_xplore::{
@@ -62,6 +64,17 @@ pub enum Command {
         /// Worker threads (0 = auto).
         jobs: usize,
         /// Optional result cache directory.
+        cache_dir: Option<PathBuf>,
+    },
+    /// Run a guided multi-objective search over the design-space grid.
+    Search {
+        /// The space, objectives, strategy, budget, and seed.
+        config: SearchConfig,
+        /// Output format (`json` is the pinned byte-identical report).
+        format: OutputFormat,
+        /// Worker threads (0 = auto).
+        jobs: usize,
+        /// Optional result cache directory (shared with `sweep`).
         cache_dir: Option<PathBuf>,
     },
     /// Report the Table V row for a DSL source file.
@@ -147,6 +160,16 @@ commands:
                                 parallel cached sweep over the design space
                                 (filters repeat or take comma lists; default
                                 covers every kernel x system x space at scale 1)
+  search [--budget N] [--seed S] [--objectives cycles,energy,loc,hw]
+         [--strategy random|halving|evolve] [--kernel K] [--system S]
+         [--space A] [--scale N] [--jobs N] [--cache-dir D]
+         [--format json|table]
+                                guided multi-objective design-space search:
+                                spends a simulator-job budget (default: a
+                                quarter of the exhaustive sweep) through a
+                                seeded strategy and reports the Pareto
+                                frontier; same seed + same spec gives a
+                                byte-identical JSON report
   loc <program.hdsl>            programmability (Table V row) of a DSL file
   lint <program.hdsl>           static analysis of a DSL file
   check <kernel|file.hdsl ...|--all> [--model M] [--format json|table]
@@ -302,17 +325,28 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
     )?;
     expect_no_positionals(&positionals, "sweep")?;
 
-    let kernel_names = flag_values(&flags, "kernel");
+    Ok(Command::Sweep {
+        spec: parse_axes(&flags)?,
+        format: parse_format(&flags)?,
+        jobs: parse_jobs(&flags)?,
+        cache_dir: parse_cache_dir(&flags),
+    })
+}
+
+/// The spec axes shared by `sweep` and `search`: kernels, systems,
+/// spaces, and scales, with the same defaults and family-narrowing rules.
+fn parse_axes(flags: &[(&str, &str)]) -> Result<SweepSpec, String> {
+    let kernel_names = flag_values(flags, "kernel");
     let kernels = if kernel_names.is_empty() {
         Kernel::ALL.to_vec()
     } else {
         parse_list(&kernel_names, parse_kernel)?
     };
 
-    let system_names = flag_values(&flags, "system");
-    let space_names = flag_values(&flags, "space");
+    let system_names = flag_values(flags, "system");
+    let space_names = flag_values(flags, "space");
     // With no target filter, cover both families; a filter on one family
-    // narrows the sweep to it unless the other is filtered too.
+    // narrows to it unless the other is filtered too.
     let (systems, spaces) = if system_names.is_empty() && space_names.is_empty() {
         (EvaluatedSystem::ALL.to_vec(), AddressSpace::ALL.to_vec())
     } else {
@@ -322,19 +356,88 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
         )
     };
 
-    let scale_values = flag_values(&flags, "scale");
+    let scale_values = flag_values(flags, "scale");
     let scales = if scale_values.is_empty() {
         vec![1]
     } else {
         parse_list(&scale_values, parse_scale_value)?
     };
 
-    Ok(Command::Sweep {
-        spec: SweepSpec {
-            kernels,
-            systems,
-            spaces,
-            scales,
+    Ok(SweepSpec {
+        kernels,
+        systems,
+        spaces,
+        scales,
+    })
+}
+
+fn parse_search(args: &[String]) -> Result<Command, String> {
+    let (positionals, flags) = split_flags(
+        args,
+        &[
+            "budget",
+            "seed",
+            "objectives",
+            "strategy",
+            "kernel",
+            "system",
+            "space",
+            "scale",
+            "jobs",
+            "cache-dir",
+            "format",
+        ],
+    )?;
+    expect_no_positionals(&positionals, "search")?;
+
+    let space = SearchSpace::from_spec(&parse_axes(&flags)?);
+
+    let objective_names = flag_values(&flags, "objectives");
+    let objectives = if objective_names.is_empty() {
+        Objective::ALL.to_vec()
+    } else {
+        let list = parse_list(&objective_names, Objective::parse)?;
+        for (i, o) in list.iter().enumerate() {
+            if list[..i].contains(o) {
+                return Err(format!("duplicate objective {:?}", o.name()));
+            }
+        }
+        list
+    };
+
+    let strategy = match flag_values(&flags, "strategy").as_slice() {
+        [] => Strategy::Halving,
+        [v] => Strategy::parse(v)?,
+        _ => return Err("--strategy given more than once".to_owned()),
+    };
+
+    let budget = match flag_values(&flags, "budget").as_slice() {
+        // Default: a quarter of the exhaustive sweep, but never less than
+        // one candidate evaluation.
+        [] => (space.exhaustive_jobs() / 4).max(space.jobs_per_candidate()),
+        [v] => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| "--budget needs a positive integer".to_owned())?,
+        _ => return Err("--budget given more than once".to_owned()),
+    };
+
+    let seed = match flag_values(&flags, "seed").as_slice() {
+        [] => 0,
+        [v] => v
+            .parse::<u64>()
+            .map_err(|_| "--seed needs a non-negative integer".to_owned())?,
+        _ => return Err("--seed given more than once".to_owned()),
+    };
+
+    Ok(Command::Search {
+        config: SearchConfig {
+            space,
+            objectives,
+            strategy,
+            budget,
+            seed,
         },
         format: parse_format(&flags)?,
         jobs: parse_jobs(&flags)?,
@@ -376,6 +479,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "sweep" => parse_sweep(rest),
+        "search" => parse_search(rest),
         "loc" => {
             let (positionals, _) = split_flags(rest, &[])?;
             let path = positionals
@@ -572,6 +676,33 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             let out = hetmem_xplore::run_sweep(spec, &config, &opts)?;
             print!("{}", format.render(&out.records));
             eprintln!("sweep: {}", out.stats);
+        }
+        Command::Search {
+            config,
+            format,
+            jobs,
+            cache_dir,
+        } => {
+            if *format == OutputFormat::Csv {
+                return Err(SimError::Usage(
+                    "search supports --format json|table".to_owned(),
+                ));
+            }
+            let opts = SearchOptions {
+                workers: *jobs,
+                cache_dir: cache_dir.clone(),
+                ..SearchOptions::default()
+            };
+            let result = hetmem_search::run_search(config, opts)?;
+            // Stdout carries only the deterministic report (byte-identical
+            // for a fixed seed + spec, cold or warm cache); execution
+            // counters go to stderr like the sweep's.
+            match format {
+                OutputFormat::Json => println!("{}", result.to_json().render()),
+                OutputFormat::Table => println!("{}", result.render_table()),
+                OutputFormat::Csv => unreachable!("rejected above"),
+            }
+            eprintln!("search: {}", result.stats);
         }
         Command::Loc { path } => {
             let program = load_program(path)?;
@@ -1042,6 +1173,66 @@ mod tests {
         assert_eq!(format, OutputFormat::Csv);
         assert_eq!(jobs, 8);
         assert_eq!(cache_dir, Some(PathBuf::from("/tmp/c")));
+    }
+
+    #[test]
+    fn parses_search_defaults_and_filters() {
+        let Ok(Command::Search {
+            config,
+            format,
+            jobs,
+            cache_dir,
+        }) = parse_args(&args(&["search"]))
+        else {
+            panic!("search must parse");
+        };
+        assert_eq!(config.space, SearchSpace::full(1));
+        assert_eq!(config.objectives, Objective::ALL.to_vec());
+        assert_eq!(config.strategy, Strategy::Halving);
+        // A quarter of the 54-job exhaustive sweep.
+        assert_eq!(config.budget, 13);
+        assert_eq!(config.seed, 0);
+        assert_eq!(format, OutputFormat::Table);
+        assert_eq!(jobs, 0);
+        assert_eq!(cache_dir, None);
+
+        let Ok(Command::Search { config, format, .. }) = parse_args(&args(&[
+            "search",
+            "--budget",
+            "20",
+            "--seed",
+            "9",
+            "--objectives",
+            "perf,hw",
+            "--strategy",
+            "evolve",
+            "--system",
+            "fusion,ideal",
+            "--scale",
+            "64",
+            "--format",
+            "json",
+        ])) else {
+            panic!("filtered search must parse");
+        };
+        assert_eq!(config.budget, 20);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.objectives, vec![Objective::Cycles, Objective::Hw]);
+        assert_eq!(config.strategy, Strategy::Evolve);
+        assert_eq!(config.space.targets.len(), 2);
+        assert_eq!(config.space.scales, vec![64]);
+        assert_eq!(format, OutputFormat::Json);
+    }
+
+    #[test]
+    fn search_rejects_malformed_flags() {
+        assert!(parse_args(&args(&["search", "--budget", "0"])).is_err());
+        assert!(parse_args(&args(&["search", "--seed", "minus-one"])).is_err());
+        assert!(parse_args(&args(&["search", "--objectives", "speed"])).is_err());
+        assert!(parse_args(&args(&["search", "--objectives", "hw,hw"])).is_err());
+        assert!(parse_args(&args(&["search", "--strategy", "bayes"])).is_err());
+        assert!(parse_args(&args(&["search", "--bogus", "1"])).is_err());
+        assert!(parse_args(&args(&["search", "extra"])).is_err());
     }
 
     #[test]

@@ -20,7 +20,8 @@ fn help_lists_all_commands() {
     assert!(out.status.success());
     let text = stdout(&out);
     for cmd in [
-        "tables", "fig", "loc", "lower", "trace", "sim", "sweep", "serve", "catalog", "check",
+        "tables", "fig", "loc", "lower", "trace", "sim", "sweep", "search", "serve", "catalog",
+        "check",
     ] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
@@ -109,6 +110,12 @@ fn unknown_flags_exit_nonzero_with_one_line_error_and_usage() {
         vec!["serve", "--bogus-flag", "1"],
         vec!["serve", "extra-positional"],
         vec!["serve", "--workers", "0"],
+        vec!["search", "--turbo", "on"],
+        vec!["search", "extra-positional"],
+        vec!["search", "--budget", "0"],
+        vec!["search", "--objectives", "speed"],
+        vec!["search", "--objectives", "hw,hw"],
+        vec!["search", "--strategy", "bayes"],
     ] {
         let out = hetmem(&argv);
         assert_eq!(out.status.code(), Some(2), "{argv:?}");

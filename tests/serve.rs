@@ -287,6 +287,67 @@ fn check_endpoint_streams_the_verifier_jsonl() {
     server.wait();
 }
 
+// ---------- the guided-search endpoint ----------
+
+#[test]
+fn search_endpoint_runs_async_and_reports_the_frontier() {
+    let server = start(2, 32, None);
+    let addr = server.local_addr();
+    let body = "{\"kernels\":[\"reduction\"],\"systems\":[\"fusion\",\"cuda\"],\"spaces\":[],\
+                \"scales\":[512],\"budget\":2,\"seed\":7,\"strategy\":\"random\"}";
+    let accepted = send(addr, "POST", "/v1/search", Some(body));
+    assert_eq!(accepted.status, 202);
+    let id = accepted
+        .json()
+        .get("job")
+        .and_then(Json::as_u64)
+        .expect("job id");
+
+    // Poll to completion; running states may carry a progress object with
+    // the frontier-so-far.
+    let poll = format!("/v1/jobs/{id}");
+    let result = loop {
+        let status = send(addr, "GET", &poll, None).json();
+        match status.get("status").and_then(Json::as_str) {
+            Some("done") => break status.get("result").cloned().expect("result"),
+            Some("running") => {
+                if let Some(progress) = status.get("progress") {
+                    assert!(progress.get("frontier").is_some(), "{progress:?}");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Some("queued") => std::thread::sleep(std::time::Duration::from_millis(2)),
+            other => panic!("unexpected search state: {other:?}"),
+        }
+    };
+    assert_eq!(
+        result
+            .get("search")
+            .and_then(|s| s.get("seed"))
+            .and_then(Json::as_u64),
+        Some(7)
+    );
+    let Some(Json::Arr(frontier)) = result.get("frontier").cloned() else {
+        panic!("frontier array in {result:?}");
+    };
+    assert!(!frontier.is_empty());
+
+    // Contract errors: malformed bodies are 400, wrong methods 405.
+    assert_eq!(
+        send(addr, "POST", "/v1/search", Some("{\"budget\":0}")).status,
+        400
+    );
+    assert_eq!(send(addr, "GET", "/v1/search", None).status, 405);
+
+    let v = send(addr, "GET", "/metrics", None).json();
+    assert_eq!(counter(&v, "searches_completed"), 1);
+    assert_eq!(counter(&v, "search_evaluations"), 2);
+    assert!(counter(&v, "frontier_points") >= 1);
+
+    server.shutdown();
+    server.wait();
+}
+
 // ---------- admission control, coalescing, graceful drain ----------
 
 /// One worker, queue depth one. A long sweep occupies the worker; an
