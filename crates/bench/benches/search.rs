@@ -58,6 +58,7 @@ fn search_overhead(c: &mut Criterion) {
         objectives: Objective::ALL.to_vec(),
         strategy: Strategy::Random,
         seed: 7,
+        mode: hetmem_sim::ExecMode::Accurate,
     };
     let fill = SearchOptions {
         workers: 1,

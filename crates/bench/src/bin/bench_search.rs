@@ -72,6 +72,7 @@ fn main() {
         objectives: Objective::ALL.to_vec(),
         strategy: Strategy::Random,
         seed: 7,
+        mode: hetmem_sim::ExecMode::Accurate,
     };
     let fill = SearchOptions {
         workers: 1,

@@ -18,7 +18,7 @@ use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::report::TextTable;
 use hetmem_core::{hardware_cost, programmer_burden};
 use hetmem_dsl::kernel_overhead;
-use hetmem_sim::SimError;
+use hetmem_sim::{ExecMode, SimError};
 use hetmem_xplore::{run_jobs, Job, SweepOptions, SweepRecord};
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
@@ -38,8 +38,12 @@ pub struct SearchConfig {
     /// up so at least one candidate is always evaluated.
     pub budget: usize,
     /// PRNG seed; the whole trajectory is a pure function of
-    /// (seed, space, objectives, strategy, budget).
+    /// (seed, space, objectives, strategy, budget, mode).
     pub seed: u64,
+    /// Execution mode for every candidate evaluation. Part of the config —
+    /// not [`SearchOptions`] — because sampled scores steer the optimizer,
+    /// so the mode is part of the trajectory's identity.
+    pub mode: ExecMode,
 }
 
 /// Live progress handed to [`SearchOptions::on_round`] after every round.
@@ -279,12 +283,12 @@ pub fn run_search(
         for &candidate in &batch {
             jobs.extend(space.jobs_for(candidate, jobs.len() as u64));
         }
-        let sweep_opts = SweepOptions {
-            workers: opts.workers,
-            cache_dir: opts.cache_dir.clone(),
-            cancel: opts.cancel.clone(),
-            ..SweepOptions::default()
-        };
+        let sweep_opts = SweepOptions::builder()
+            .workers(opts.workers)
+            .cache_dir(opts.cache_dir.clone())
+            .cancel(opts.cancel.clone())
+            .mode(config.mode)
+            .build();
         let out = run_jobs(&jobs, &sim_config, &sweep_opts)?;
         stats.jobs_submitted += jobs.len();
         stats.cache_hits += out.stats.cache_hits;
@@ -366,7 +370,7 @@ impl SearchResult {
     #[must_use]
     pub fn to_json(&self) -> Json {
         let space = &self.config.space;
-        let search = Json::obj(vec![
+        let mut search_pairs = vec![
             (
                 "strategy",
                 Json::Str(self.config.strategy.name().to_owned()),
@@ -383,7 +387,12 @@ impl SearchResult {
                         .collect(),
                 ),
             ),
-        ]);
+        ];
+        // Accurate reports stay byte-identical to pre-mode reports.
+        if self.config.mode != ExecMode::Accurate {
+            search_pairs.push(("mode", Json::Str(self.config.mode.label())));
+        }
+        let search = Json::obj(search_pairs);
         let space_obj = Json::obj(vec![
             (
                 "kernels",
@@ -508,7 +517,26 @@ mod tests {
             strategy,
             budget,
             seed: 7,
+            mode: ExecMode::Accurate,
         }
+    }
+
+    #[test]
+    fn event_driven_search_matches_the_accurate_trajectory() {
+        let accurate = tiny_config(Strategy::Halving, 8);
+        let wheel = SearchConfig {
+            mode: ExecMode::EventDriven,
+            ..accurate.clone()
+        };
+        let a = run_search(&accurate, SearchOptions::with_workers(2)).expect("search");
+        let w = run_search(&wheel, SearchOptions::with_workers(2)).expect("search");
+        // Cycle-exact scores: identical evaluations and frontier; only the
+        // rendered config differs (the mode tag).
+        assert_eq!(a.evals, w.evals);
+        assert_eq!(a.frontier, w.frontier);
+        let rendered = w.to_json().render();
+        assert!(rendered.contains("\"mode\":\"event-driven\""), "{rendered}");
+        assert!(!a.to_json().render().contains("\"mode\""));
     }
 
     #[test]

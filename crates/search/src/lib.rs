@@ -34,6 +34,7 @@
 //!     objectives: Objective::ALL.to_vec(),
 //!     strategy: Strategy::Halving,
 //!     seed: 7,
+//!     mode: hetmem_sim::ExecMode::Accurate,
 //! };
 //! let result = run_search(&config, SearchOptions::with_workers(2)).expect("search");
 //! assert!(!result.frontier.is_empty());

@@ -15,10 +15,9 @@ use hetmem_search::{
     run_search, Objective, ProgressHook, SearchConfig, SearchOptions, SearchProgress, SearchSpace,
     Strategy,
 };
-use hetmem_sim::EventTrace;
-use hetmem_trace::kernels::KernelParams;
+use hetmem_sim::{EventTrace, ExecMode};
 use hetmem_xplore::{
-    check_reports_to_jsonl, content_key, execute_job_observed, parse_kernel, parse_space,
+    check_reports_to_jsonl, content_key_with, execute_job_observed, parse_kernel, parse_space,
     parse_system, report_to_json, run_jobs, DiskCache, Job, JobKind, Json, SweepOptions, SweepSpec,
 };
 use std::collections::HashMap;
@@ -41,6 +40,20 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+/// Parses the shared optional `"mode"` field (`"accurate"`,
+/// `"event-driven"`, `"sampled"`, or `"sampled:WARM:DETAIL"`), defaulting
+/// to accurate — the same vocabulary as the CLI's `--mode` flag.
+fn opt_mode(v: &Json) -> Result<ExecMode, String> {
+    match v.get("mode") {
+        None => Ok(ExecMode::Accurate),
+        Some(field) => ExecMode::parse(
+            field
+                .as_str()
+                .ok_or_else(|| "field \"mode\" must be a string".to_owned())?,
+        ),
     }
 }
 
@@ -75,13 +88,16 @@ pub struct SimRequest {
     pub system: hetmem_core::EvaluatedSystem,
     /// Trace scale divisor.
     pub scale: u32,
+    /// Execution mode (accurate by default).
+    pub mode: ExecMode,
     /// Optional deadline: the job must *start* within this budget or the
     /// service answers 504 instead of running it.
     pub deadline_ms: Option<u64>,
 }
 
 /// Parses and validates a `/v1/sim` body:
-/// `{"kernel": "...", "system": "...", "scale"?: N, "deadline_ms"?: N}`.
+/// `{"kernel": "...", "system": "...", "scale"?: N, "mode"?: "...",
+///   "deadline_ms"?: N}`.
 ///
 /// # Errors
 ///
@@ -100,6 +116,7 @@ pub fn parse_sim_request(body: &str) -> Result<SimRequest, String> {
         kernel,
         system,
         scale,
+        mode: opt_mode(&v)?,
         deadline_ms: opt_u64(&v, "deadline_ms")?,
     })
 }
@@ -125,11 +142,12 @@ impl SimRequest {
     }
 
     /// The content key addressing this request in the shared result
-    /// cache — the same key a sweep over the same cell would use.
+    /// cache — the same key a sweep over the same cell (in the same
+    /// execution mode) would use.
     #[must_use]
     pub fn content_key(&self) -> String {
         let (job, config) = self.job();
-        content_key(&job, &config)
+        content_key_with(&job, &config, None, self.mode)
     }
 }
 
@@ -148,7 +166,7 @@ pub fn run_sim(
     metrics: &Metrics,
 ) -> Result<String, String> {
     let (job, config) = req.job();
-    let key = content_key(&job, &config);
+    let key = req.content_key();
     let record = match cache.and_then(|c| c.get(&key)) {
         Some(record) => {
             metrics.bump(&metrics.cache_hits);
@@ -156,12 +174,17 @@ pub fn run_sim(
         }
         None => {
             metrics.bump(&metrics.cache_misses);
-            let trace = job.kernel.generate(&KernelParams::scaled(job.scale));
+            let trace = hetmem_xplore::job_trace(&job);
             // A single-slot ring: the exact totals survive eviction, and
             // the service only keeps the totals.
-            let (record, events) =
-                execute_job_observed(&job, &config, &trace, EventTrace::with_capacity(1))
-                    .map_err(|e| e.to_string())?;
+            let (record, events) = execute_job_observed(
+                &job,
+                &config,
+                &trace,
+                EventTrace::with_capacity(1),
+                req.mode,
+            )
+            .map_err(|e| e.to_string())?;
             metrics.absorb_events(events.counts());
             if let Some(c) = cache {
                 if let Err(e) = c.put(&key, &record) {
@@ -184,13 +207,15 @@ pub fn run_sim(
 pub struct SweepRequest {
     /// The axes to cover; omitted axes default to the paper's full set.
     pub spec: SweepSpec,
+    /// Execution mode for every job (accurate by default).
+    pub mode: ExecMode,
     /// Optional start deadline, as for [`SimRequest::deadline_ms`].
     pub deadline_ms: Option<u64>,
 }
 
 /// Parses and validates a `/v1/sweep` body:
 /// `{"kernels"?: [...], "systems"?: [...], "spaces"?: [...],
-///   "scales"?: [N, ...], "deadline_ms"?: N}`.
+///   "scales"?: [N, ...], "mode"?: "...", "deadline_ms"?: N}`.
 /// Omitted axes cover the full paper grid at [`DEFAULT_SCALE`]; an
 /// explicitly empty `"systems"` or `"spaces"` array skips that family.
 ///
@@ -206,6 +231,7 @@ pub fn parse_sweep_request(body: &str) -> Result<SweepRequest, String> {
     }
     Ok(SweepRequest {
         spec,
+        mode: opt_mode(&v)?,
         deadline_ms: opt_u64(&v, "deadline_ms")?,
     })
 }
@@ -260,10 +286,11 @@ impl SweepRequest {
     #[must_use]
     pub fn coalesce_key(&self) -> String {
         // Job identities pin the expansion; the scale list pins the
-        // configuration (ExperimentConfig::scaled per scale). Per-job
-        // hardware fingerprints live in the per-job cache keys.
+        // configuration (ExperimentConfig::scaled per scale); the mode pins
+        // the execution semantics. Per-job hardware fingerprints live in
+        // the per-job cache keys.
         let ids: Vec<String> = self.spec.expand().iter().map(Job::identity).collect();
-        format!("sweep|{}", ids.join(","))
+        format!("sweep|{}|{}", self.mode.label(), ids.join(","))
     }
 }
 
@@ -288,12 +315,12 @@ pub fn run_sweep_request(
     // The CLI `sweep` configuration: per-job scales come from the spec,
     // the hardware/cost point is the paper baseline.
     let config = ExperimentConfig::paper();
-    let opts = SweepOptions {
-        workers: 1,
-        cache_dir,
-        cancel: Some(cancel),
-        ..SweepOptions::default()
-    };
+    let opts = SweepOptions::builder()
+        .workers(1)
+        .cache_dir(cache_dir)
+        .cancel(Some(cancel))
+        .mode(req.mode)
+        .build();
     let out = run_jobs(&req.spec.expand(), &config, &opts).map_err(|e| e.to_string())?;
     for _ in 0..out.stats.cache_hits {
         metrics.bump(&metrics.cache_hits);
@@ -336,7 +363,8 @@ pub struct SearchRequest {
 /// Parses and validates a `/v1/search` body:
 /// `{"kernels"?: [...], "systems"?: [...], "spaces"?: [...],
 ///   "scales"?: [N, ...], "budget"?: N, "seed"?: N,
-///   "objectives"?: [...], "strategy"?: "...", "deadline_ms"?: N}`.
+///   "objectives"?: [...], "strategy"?: "...", "mode"?: "...",
+///   "deadline_ms"?: N}`.
 /// Axes default as for `/v1/sweep`; the budget defaults to a quarter of
 /// the exhaustive sweep, the strategy to successive halving, and the
 /// seed to 0.
@@ -386,6 +414,7 @@ pub fn parse_search_request(body: &str) -> Result<SearchRequest, String> {
             strategy,
             budget,
             seed: opt_u64(&v, "seed")?.unwrap_or(0),
+            mode: opt_mode(&v)?,
         },
         deadline_ms: opt_u64(&v, "deadline_ms")?,
     })
@@ -403,8 +432,9 @@ impl SearchRequest {
         let scales: Vec<String> = c.space.scales.iter().map(u32::to_string).collect();
         let objectives: Vec<&str> = c.objectives.iter().map(|o| o.name()).collect();
         format!(
-            "search|{}|{}|{}|{}|{}|{}|{}",
+            "search|{}|{}|{}|{}|{}|{}|{}|{}",
             c.strategy.name(),
+            c.mode.label(),
             c.seed,
             c.budget,
             objectives.join(","),
@@ -690,7 +720,7 @@ mod tests {
             parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":16}")
                 .expect("parses");
         let (job, config) = req.job();
-        assert_eq!(req.content_key(), content_key(&job, &config));
+        assert_eq!(req.content_key(), hetmem_xplore::content_key(&job, &config));
         // Identical requests share a key; different systems do not.
         let other =
             parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"gmac\",\"scale\":16}")
@@ -727,6 +757,69 @@ mod tests {
         assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mode_field_parses_keys_and_rejects_garbage() {
+        let plain =
+            parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"fusion\"}").expect("parses");
+        assert_eq!(plain.mode, ExecMode::Accurate);
+        let wheel = parse_sim_request(
+            "{\"kernel\":\"reduction\",\"system\":\"fusion\",\"mode\":\"event-driven\"}",
+        )
+        .expect("parses");
+        assert_eq!(wheel.mode, ExecMode::EventDriven);
+        // Modes address separate cache entries.
+        assert_ne!(plain.content_key(), wheel.content_key());
+        assert!(parse_sim_request(
+            "{\"kernel\":\"reduction\",\"system\":\"fusion\",\"mode\":\"warp-speed\"}"
+        )
+        .is_err());
+        assert!(
+            parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"fusion\",\"mode\":7}")
+                .is_err()
+        );
+
+        // Sweeps and searches with different modes never coalesce.
+        let a = parse_sweep_request("{\"kernels\":[\"dct\"],\"spaces\":[]}").expect("parses");
+        let b = parse_sweep_request("{\"kernels\":[\"dct\"],\"spaces\":[],\"mode\":\"sampled\"}")
+            .expect("parses");
+        assert_ne!(a.coalesce_key(), b.coalesce_key());
+        let c = parse_search_request("{\"seed\":1}").expect("parses");
+        let d = parse_search_request("{\"seed\":1,\"mode\":\"sampled:1000:100\"}").expect("parses");
+        assert_eq!(
+            d.config.mode,
+            ExecMode::Sampled {
+                warm_interval: 1000,
+                detail_window: 100,
+            }
+        );
+        assert_ne!(c.coalesce_key(), d.coalesce_key());
+    }
+
+    #[test]
+    fn event_driven_sim_answers_with_exact_report_bytes() {
+        // The serve path inherits the ExecMode accuracy contract: an
+        // event-driven run's report differs from accurate only by the
+        // informational fast-forward field, which is serialized separately.
+        let accurate =
+            parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":256}")
+                .expect("parses");
+        let wheel = parse_sim_request(
+            "{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":256,\
+             \"mode\":\"event-driven\"}",
+        )
+        .expect("parses");
+        let metrics = Metrics::default();
+        let a = run_sim(&accurate, None, &metrics).expect("runs");
+        let w = run_sim(&wheel, None, &metrics).expect("runs");
+        let av = parse(a.trim_end()).expect("valid json");
+        let wv = parse(w.trim_end()).expect("valid json");
+        assert_eq!(av.get("total_ticks"), wv.get("total_ticks"));
+        assert!(!a.contains("fast_forwarded_ticks"));
+        assert!(w.contains("fast_forwarded_ticks"), "{w}");
+        // The fast-forward counter reached the service aggregate.
+        assert!(metrics.sim_events().fast_forward_ticks > 0);
     }
 
     #[test]

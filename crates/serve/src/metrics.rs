@@ -158,6 +158,10 @@ impl Metrics {
                     ("dram_requests", Json::UInt(ev.dram_requests)),
                     ("dram_row_misses", Json::UInt(ev.dram_row_misses)),
                     ("interventions", Json::UInt(ev.interventions)),
+                    // Ticks crossed inside granted wake windows — labeled
+                    // apart from executed cycles so dashboards can tell
+                    // fast-forwarded time from simulated work.
+                    ("fast_forward_ticks", Json::UInt(ev.fast_forward_ticks)),
                 ]),
             ),
         ])
@@ -204,6 +208,7 @@ mod tests {
         m.frontier_points.fetch_add(3, Ordering::Relaxed);
         let ev = hetmem_sim::EventCounts {
             dram_requests: 7,
+            fast_forward_ticks: 5,
             ..Default::default()
         };
         m.absorb_events(ev);
@@ -220,5 +225,9 @@ mod tests {
         assert_eq!(json.get("workers").and_then(Json::as_u64), Some(4));
         let ev = json.get("sim_events").expect("sim_events");
         assert_eq!(ev.get("dram_requests").and_then(Json::as_u64), Some(14));
+        assert_eq!(
+            ev.get("fast_forward_ticks").and_then(Json::as_u64),
+            Some(10)
+        );
     }
 }

@@ -25,6 +25,7 @@
 
 use crate::config::SystemConfig;
 use crate::error::SimError;
+use crate::exec::ExecMode;
 use crate::fabric::{CommCosts, CommModel, FabricKind, SynchronousFabric};
 use crate::obs::{NullObserver, SimObserver};
 use crate::stats::RunReport;
@@ -46,6 +47,8 @@ pub struct SimulationBuilder<O: SimObserver = NullObserver> {
     costs: CommCosts,
     comm: CommChoice,
     llc_locality: bool,
+    mode: ExecMode,
+    recycled: Option<System>,
     observer: O,
 }
 
@@ -56,6 +59,8 @@ impl Default for SimulationBuilder<NullObserver> {
             costs: CommCosts::paper(),
             comm: CommChoice::Fabric(FabricKind::PciExpress),
             llc_locality: true,
+            mode: ExecMode::Accurate,
+            recycled: None,
             observer: NullObserver,
         }
     }
@@ -108,6 +113,29 @@ impl<O: SimObserver> SimulationBuilder<O> {
         self
     }
 
+    /// Selects the execution mode ([`ExecMode::Accurate`] by default).
+    /// `EventDriven` is cycle-exact; `Sampled` trades bounded timing error
+    /// for speed — see the [`ExecMode`] accuracy contract.
+    #[must_use]
+    pub fn mode(mut self, mode: ExecMode) -> SimulationBuilder<O> {
+        self.mode = mode;
+        self
+    }
+
+    /// Offers a [`System`] from a finished simulation (see
+    /// [`Simulation::into_system`]) for reuse. If it was built from exactly
+    /// the configuration, costs, and LLC-locality setting this builder
+    /// holds, [`SimulationBuilder::build`] resets it to the power-on state
+    /// instead of constructing a new one — skipping the cache-array
+    /// allocation that otherwise dominates short runs. A non-matching (or
+    /// `None`) offer is silently dropped and the system is built fresh, so
+    /// callers can offer unconditionally.
+    #[must_use]
+    pub fn recycle(mut self, system: Option<System>) -> SimulationBuilder<O> {
+        self.recycled = system;
+        self
+    }
+
     /// Attaches an observer (an [`crate::EventTrace`], an
     /// [`crate::IntervalProfiler`], a [`crate::Recorder`], or any
     /// [`SimObserver`]). Statically dispatched: the default
@@ -119,6 +147,8 @@ impl<O: SimObserver> SimulationBuilder<O> {
             costs: self.costs,
             comm: self.comm,
             llc_locality: self.llc_locality,
+            mode: self.mode,
+            recycled: self.recycled,
             observer,
         }
     }
@@ -135,9 +165,17 @@ impl<O: SimObserver> SimulationBuilder<O> {
             CommChoice::Fabric(fabric) => Box::new(SynchronousFabric::new(fabric, self.costs)),
             CommChoice::Custom(model) => model,
         };
+        let system = match self.recycled {
+            Some(mut system) if system.matches(&self.config, &self.costs, self.llc_locality) => {
+                system.reset();
+                system
+            }
+            _ => System::with_costs_and_locality(&self.config, self.costs, self.llc_locality),
+        };
         Ok(Simulation {
-            system: System::with_costs_and_locality(&self.config, self.costs, self.llc_locality),
+            system,
             comm,
+            mode: self.mode,
             observer: self.observer,
         })
     }
@@ -193,6 +231,7 @@ fn validate_config(config: &SystemConfig) -> Result<(), SimError> {
 pub struct Simulation<O: SimObserver = NullObserver> {
     system: System,
     comm: Box<dyn CommModel>,
+    mode: ExecMode,
     observer: O,
 }
 
@@ -222,13 +261,19 @@ impl<O: SimObserver> Simulation<O> {
         }
         Ok(self
             .system
-            .execute(trace, &mut *self.comm, &mut self.observer))
+            .execute_with_mode(trace, &mut *self.comm, &mut self.observer, self.mode))
     }
 
     /// The underlying system (for inspecting hierarchy or core state).
     #[must_use]
     pub fn system(&self) -> &System {
         &self.system
+    }
+
+    /// The execution mode the simulation runs under.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// The attached observer.
@@ -246,6 +291,14 @@ impl<O: SimObserver> Simulation<O> {
     #[must_use]
     pub fn into_observer(self) -> O {
         self.observer
+    }
+
+    /// Consumes the simulation, returning the system for recycling into a
+    /// later build (see [`SimulationBuilder::recycle`]) along with the
+    /// observer.
+    #[must_use]
+    pub fn into_parts(self) -> (System, O) {
+        (self.system, self.observer)
     }
 }
 

@@ -129,6 +129,14 @@ impl Directory {
         self.stats
     }
 
+    /// Forgets every tracked line and zeroes the counters (power-on state).
+    /// The line map keeps its allocation so a recycled directory does not
+    /// re-grow from empty.
+    pub fn reset(&mut self) {
+        self.lines.clear();
+        self.stats = CoherenceStats::default();
+    }
+
     /// The state `pu` currently holds `line` in (line = address / 64).
     #[must_use]
     pub fn state(&self, pu: PuKind, line: u64) -> LineState {

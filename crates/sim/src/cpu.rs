@@ -65,6 +65,13 @@ impl CpuCore {
         self.stats
     }
 
+    /// Returns the core to its power-on state: cold predictor, zeroed
+    /// counters.
+    pub fn reset(&mut self) {
+        self.bpred.reset();
+        self.stats = CpuStats::default();
+    }
+
     /// Branch-predictor statistics.
     #[must_use]
     pub fn predictor(&self) -> &Gshare {
@@ -75,6 +82,14 @@ impl CpuCore {
     /// run to completion with [`CpuRun::step`], interleaving with a GPU run
     /// by global time for contention fidelity.
     pub fn begin<'a>(&'a mut self, insts: &'a [Inst], start: Tick) -> CpuRun<'a> {
+        // Hoist the per-step-invariant hot scalars out of the nested config
+        // structs into the run itself: the inner loop then touches one flat,
+        // cache-resident block instead of chasing `core.config.*` every step.
+        let tpc = ClockDomain::CPU.ticks_per_cycle();
+        let slot = (tpc / u64::from(self.config.issue_width)).max(1);
+        let l1_ticks = ClockDomain::CPU.cycles_to_ticks(self.config.l1d.latency_cycles);
+        let mispredict_ticks = ClockDomain::CPU.cycles_to_ticks(self.config.mispredict_penalty);
+        let rob_entries = self.config.rob_entries as usize;
         CpuRun {
             core: self,
             insts,
@@ -83,11 +98,20 @@ impl CpuCore {
             rob: VecDeque::new(),
             last_retire: start,
             finish: start,
+            tpc,
+            slot,
+            l1_ticks,
+            mispredict_ticks,
+            rob_entries,
         }
     }
 }
 
 /// An in-flight execution of one instruction stream on the CPU.
+///
+/// The trailing scalar fields are the issue loop's hot state, hoisted from
+/// the config at [`CpuCore::begin`] so every step reads a single flat
+/// struct (see the DESIGN.md §2.10 layout notes).
 #[derive(Debug)]
 pub struct CpuRun<'a> {
     core: &'a mut CpuCore,
@@ -97,6 +121,11 @@ pub struct CpuRun<'a> {
     rob: VecDeque<Tick>,
     last_retire: Tick,
     finish: Tick,
+    tpc: Tick,
+    slot: Tick,
+    l1_ticks: Tick,
+    mispredict_ticks: Tick,
+    rob_entries: usize,
 }
 
 impl CpuRun<'_> {
@@ -138,14 +167,12 @@ impl CpuRun<'_> {
     pub fn step_observed<O: SimObserver>(&mut self, hier: &mut MemoryHierarchy, obs: &mut O) {
         let inst = self.insts[self.idx];
         self.idx += 1;
-        let cfg = self.core.config;
-        let tpc = ClockDomain::CPU.ticks_per_cycle();
         // Issue-slot spacing: issue_width instructions per cycle.
-        let slot = (tpc / u64::from(cfg.issue_width)).max(1);
+        let (tpc, slot) = (self.tpc, self.slot);
 
         // ROB back-pressure: with a full window, dispatch waits for the
         // oldest instruction to retire.
-        if self.rob.len() >= cfg.rob_entries as usize {
+        if self.rob.len() >= self.rob_entries {
             let oldest = self.rob.pop_front().expect("rob non-empty");
             if oldest > self.next_issue {
                 self.core.stats.rob_stall_ticks += oldest - self.next_issue;
@@ -172,7 +199,7 @@ impl CpuRun<'_> {
                 // Write-buffered: the store updates the memory system but
                 // retires at L1 speed.
                 let _ = hier.access_observed(PuKind::Cpu, addr, true, t, obs);
-                t + ClockDomain::CPU.cycles_to_ticks(cfg.l1d.latency_cycles)
+                t + self.l1_ticks
             }
             Inst::Branch { taken } => {
                 self.core.stats.branches += 1;
@@ -181,7 +208,7 @@ impl CpuRun<'_> {
                 if !correct {
                     self.core.stats.mispredictions += 1;
                     // Pipeline flush: dispatch resumes after the penalty.
-                    let resume = done + ClockDomain::CPU.cycles_to_ticks(cfg.mispredict_penalty);
+                    let resume = done + self.mispredict_ticks;
                     self.next_issue = self.next_issue.max(resume);
                 }
                 done
@@ -210,6 +237,51 @@ impl CpuRun<'_> {
         self.last_retire = retire;
         self.rob.push_back(retire);
         self.finish = self.finish.max(retire);
+    }
+
+    /// Runs batched inside an event-wheel wake window: steps while the next
+    /// issue slot is **at or before** `limit` (the CPU wins global-time ties
+    /// against the GPU, so the accurate interleave grants it the boundary
+    /// tick). Exactly reproduces the accurate loop's step sequence when
+    /// `limit` is the peer's frozen `now()`.
+    pub fn run_while_observed<O: SimObserver>(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        obs: &mut O,
+        limit: Tick,
+    ) {
+        while self.idx != self.insts.len() && self.next_issue <= limit {
+            self.step_observed(hier, obs);
+        }
+    }
+
+    /// Skips up to `max` contiguous plain (non-special) instructions: the
+    /// index advances without executing them, so no statistics, cache
+    /// traffic, or issue slots are charged. Stops early at a
+    /// programming-model special, which must execute in detail. Returns
+    /// the number skipped; the caller accounts for their time via
+    /// [`CpuRun::advance_clock`].
+    pub fn skip_plain(&mut self, max: usize) -> usize {
+        let start = self.idx;
+        let stop = self.insts.len().min(start.saturating_add(max));
+        while self.idx < stop && !matches!(self.insts[self.idx], Inst::Special(_)) {
+            self.idx += 1;
+        }
+        self.idx - start
+    }
+
+    /// Fast-forwards the run's clock by `ticks` of extrapolated skip time.
+    /// The in-flight retirement profile shifts with the clock: the skipped
+    /// region is modeled as having kept the ROB exactly as full as it was,
+    /// so detailed execution resumes under steady-state back-pressure
+    /// instead of a drained (or artificially stalled) pipeline.
+    pub fn advance_clock(&mut self, ticks: Tick) {
+        self.next_issue += ticks;
+        for entry in &mut self.rob {
+            *entry += ticks;
+        }
+        self.last_retire += ticks;
+        self.finish = self.finish.max(self.last_retire).max(self.next_issue);
     }
 
     /// Runs the stream to completion without interleaving (sequential

@@ -106,6 +106,18 @@ impl Dram {
         self.stats
     }
 
+    /// Closes every row, frees every bus, and zeroes the counters
+    /// (power-on state).
+    pub fn reset(&mut self) {
+        for channel in &mut self.channels {
+            channel.bus_free_at = 0;
+            for bank in &mut channel.banks {
+                *bank = Bank::default();
+            }
+        }
+        self.stats = DramStats::default();
+    }
+
     fn map(&self, addr: u64) -> (usize, usize, u64) {
         // Line-interleaved channels, bank bits above, row above that — the
         // classic scheme that spreads streams across channels and banks.

@@ -110,6 +110,13 @@ impl GpuCore {
         self.stats
     }
 
+    /// Returns the core to its power-on state: empty scratchpad, zeroed
+    /// counters.
+    pub fn reset(&mut self) {
+        self.scratchpad.clear();
+        self.stats = GpuStats::default();
+    }
+
     /// The software-managed scratchpad.
     #[must_use]
     pub fn scratchpad(&self) -> &Scratchpad {
@@ -118,17 +125,34 @@ impl GpuCore {
 
     /// Begins executing `insts` at global time `start`.
     pub fn begin<'a>(&'a mut self, insts: &'a [Inst], start: Tick) -> GpuRun<'a> {
+        // Hot-scalar hoisting, mirroring `CpuCore::begin`: the step loop
+        // reads these from the run struct instead of the nested config.
+        let tpc = ClockDomain::GPU.ticks_per_cycle();
+        let branch_stall_cycles = self.config.branch_stall_cycles;
+        let branch_stall_ticks = ClockDomain::GPU.cycles_to_ticks(branch_stall_cycles);
+        let scratchpad_ticks = ClockDomain::GPU.cycles_to_ticks(self.config.scratchpad_latency);
+        let l1_ticks = ClockDomain::GPU.cycles_to_ticks(self.config.l1d.latency_cycles);
+        let max_misses = self.config.max_outstanding_misses.max(1) as usize;
         GpuRun {
             core: self,
             insts,
             idx: 0,
             now: start,
             pending_misses: std::collections::VecDeque::new(),
+            tpc,
+            branch_stall_cycles,
+            branch_stall_ticks,
+            scratchpad_ticks,
+            l1_ticks,
+            max_misses,
         }
     }
 }
 
 /// An in-flight execution of one instruction stream on the GPU.
+///
+/// The trailing scalar fields are the issue loop's hot state, hoisted from
+/// the config at [`GpuCore::begin`] (see the DESIGN.md §2.10 layout notes).
 #[derive(Debug)]
 pub struct GpuRun<'a> {
     core: &'a mut GpuCore,
@@ -137,6 +161,12 @@ pub struct GpuRun<'a> {
     now: Tick,
     /// Completion times of in-flight misses (warp-level latency hiding).
     pending_misses: std::collections::VecDeque<Tick>,
+    tpc: Tick,
+    branch_stall_cycles: u64,
+    branch_stall_ticks: Tick,
+    scratchpad_ticks: Tick,
+    l1_ticks: Tick,
+    max_misses: usize,
 }
 
 impl GpuRun<'_> {
@@ -180,8 +210,7 @@ impl GpuRun<'_> {
     pub fn step_observed<O: SimObserver>(&mut self, hier: &mut MemoryHierarchy, obs: &mut O) {
         let inst = self.insts[self.idx];
         self.idx += 1;
-        let tpc = ClockDomain::GPU.ticks_per_cycle();
-        let cfg = self.core.config;
+        let tpc = self.tpc;
         self.core.stats.instructions += 1;
         obs.on_instruction(PuKind::Gpu, self.now);
 
@@ -193,18 +222,17 @@ impl GpuRun<'_> {
             }
             Inst::Branch { .. } => {
                 // No predictor: fetch stalls until the branch resolves.
-                self.now += tpc + ClockDomain::GPU.cycles_to_ticks(cfg.branch_stall_cycles);
-                self.core.stats.branch_stall_cycles += cfg.branch_stall_cycles;
+                self.now += tpc + self.branch_stall_ticks;
+                self.core.stats.branch_stall_cycles += self.branch_stall_cycles;
             }
             Inst::Load { addr, .. } => {
                 if self.core.scratchpad.contains(addr) {
                     self.core.stats.scratchpad_hits += 1;
-                    self.now += ClockDomain::GPU.cycles_to_ticks(cfg.scratchpad_latency);
+                    self.now += self.scratchpad_ticks;
                 } else {
                     self.core.stats.memory_loads += 1;
                     let res = hier.access_observed(PuKind::Gpu, addr, false, self.now, obs);
-                    let l1 = ClockDomain::GPU.cycles_to_ticks(cfg.l1d.latency_cycles);
-                    if res.latency <= l1 {
+                    if res.latency <= self.l1_ticks {
                         // L1 hit: pipelined.
                         self.now += res.latency.max(tpc);
                     } else {
@@ -212,7 +240,7 @@ impl GpuRun<'_> {
                         // outstanding-miss limit is reached, then the core
                         // stalls for the oldest miss.
                         let completion = self.now + res.latency;
-                        if self.pending_misses.len() >= cfg.max_outstanding_misses.max(1) as usize {
+                        if self.pending_misses.len() >= self.max_misses {
                             let oldest = self.pending_misses.pop_front().expect("non-empty");
                             if oldest > self.now {
                                 self.core.stats.memory_stall_ticks += oldest - self.now;
@@ -250,6 +278,46 @@ impl GpuRun<'_> {
             Inst::Comm(_) => {
                 panic!("communication events must be executed by the system, not a core")
             }
+        }
+    }
+
+    /// Runs batched inside an event-wheel wake window: steps while the
+    /// core's time is **strictly before** `limit` (the CPU wins global-time
+    /// ties, so the GPU only owns ticks below the peer's `now()`). Exactly
+    /// reproduces the accurate loop's step sequence when `limit` is the
+    /// peer's frozen `now()`.
+    pub fn run_while_observed<O: SimObserver>(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        obs: &mut O,
+        limit: Tick,
+    ) {
+        while self.idx != self.insts.len() && self.now < limit {
+            self.step_observed(hier, obs);
+        }
+    }
+
+    /// Skips up to `max` contiguous plain (non-special) instructions
+    /// without executing them; stops early at a programming-model special.
+    /// Returns the number skipped; the caller accounts for their time via
+    /// [`GpuRun::advance_clock`]. See [`crate::cpu::CpuRun::skip_plain`].
+    pub fn skip_plain(&mut self, max: usize) -> usize {
+        let start = self.idx;
+        let stop = self.insts.len().min(start.saturating_add(max));
+        while self.idx < stop && !matches!(self.insts[self.idx], Inst::Special(_)) {
+            self.idx += 1;
+        }
+        self.idx - start
+    }
+
+    /// Fast-forwards the run's clock by `ticks` of extrapolated skip time.
+    /// Outstanding misses shift with the clock — the skipped region is
+    /// modeled as having kept the same miss-level parallelism — so detailed
+    /// execution resumes under steady-state latency hiding.
+    pub fn advance_clock(&mut self, ticks: Tick) {
+        self.now += ticks;
+        for miss in &mut self.pending_misses {
+            *miss += ticks;
         }
     }
 

@@ -43,6 +43,13 @@ impl Interconnect {
         }
     }
 
+    /// Frees the bus and zeroes the counters (power-on state).
+    pub fn reset(&mut self) {
+        self.bus_free_at = 0;
+        self.transfers = 0;
+        self.bus_wait_ticks = 0;
+    }
+
     fn pu_stop(pu: PuKind) -> u32 {
         match pu {
             PuKind::Cpu => 0,

@@ -97,6 +97,16 @@ pub trait SimObserver {
         let _ = (pu, now);
     }
 
+    /// The engine crossed `ticks` of global time inside one granted
+    /// event-wheel wake window (or one extrapolated sampling skip) ending
+    /// at `now`, rather than under per-step arbitration. Only the fast
+    /// [`crate::ExecMode`]s raise this; it is an accounting tap, not a
+    /// [`SimEvent`], so event streams stay identical across modes.
+    #[inline]
+    fn on_fast_forward(&mut self, ticks: Tick, now: Tick) {
+        let _ = (ticks, now);
+    }
+
     /// The run finished at global time `now`; flush any pending aggregation.
     #[inline]
     fn on_run_end(&mut self, now: Tick) {
@@ -236,6 +246,11 @@ pub struct EventCounts {
     pub dram_row_misses: u64,
     /// Coherence interventions.
     pub interventions: u64,
+    /// Ticks crossed inside event-wheel wake windows or sampling skips
+    /// rather than executed under per-step arbitration — distinct from
+    /// executed time so fast-mode observability stays truthful. Zero under
+    /// [`crate::ExecMode::Accurate`].
+    pub fast_forward_ticks: u64,
 }
 
 impl std::ops::AddAssign for EventCounts {
@@ -251,6 +266,7 @@ impl std::ops::AddAssign for EventCounts {
         self.dram_requests += other.dram_requests;
         self.dram_row_misses += other.dram_row_misses;
         self.interventions += other.interventions;
+        self.fast_forward_ticks += other.fast_forward_ticks;
     }
 }
 
@@ -463,6 +479,12 @@ impl SimObserver for EventTrace {
             row_hit,
             at: now,
         });
+    }
+
+    fn on_fast_forward(&mut self, ticks: Tick, _now: Tick) {
+        // Counted, never recorded: the ring's event stream must stay
+        // identical across execution modes.
+        self.counts.fast_forward_ticks += ticks;
     }
 
     fn on_run_end(&mut self, _now: Tick) {
@@ -757,6 +779,10 @@ impl SimObserver for Recorder {
 
     fn on_instruction(&mut self, pu: PuKind, now: Tick) {
         fan_out!(self, on_instruction(pu, now));
+    }
+
+    fn on_fast_forward(&mut self, ticks: Tick, now: Tick) {
+        fan_out!(self, on_fast_forward(ticks, now));
     }
 
     fn on_run_end(&mut self, now: Tick) {

@@ -19,6 +19,14 @@ pub struct RunReport {
     /// Ticks attributable to communication (transfers, ownership,
     /// page faults, and any un-hidden asynchronous copy tail).
     pub communication_ticks: Tick,
+    /// Ticks the engine crossed inside granted event-wheel wake windows or
+    /// extrapolated sampling skips, rather than under per-step global
+    /// arbitration. Always zero in [`crate::ExecMode::Accurate`]; purely
+    /// informational in `EventDriven` (timing is still cycle-exact);
+    /// counts genuinely estimated ticks in `Sampled`. Not part of
+    /// [`RunReport::total_ticks`] — the phase ticks already include these
+    /// spans.
+    pub fast_forwarded_ticks: Tick,
     /// Memory-system counters.
     pub hierarchy: HierarchyStats,
     /// CPU core counters.
@@ -124,7 +132,17 @@ impl std::fmt::Display for RunReport {
             100.0 * self.phase_fraction(Phase::Communication),
             derived.cpu_ipc,
             derived.gpu_ipc,
-        )
+        )?;
+        // Label fast-forwarded time distinctly from executed time so fast
+        //-mode output never passes itself off as fully detailed.
+        if self.fast_forwarded_ticks > 0 {
+            write!(
+                f,
+                " | fast-forwarded {:.1} µs",
+                ticks_to_ns(self.fast_forwarded_ticks) / 1000.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -186,5 +204,20 @@ mod tests {
         assert!(s.contains("reduction"));
         assert!(s.contains("par"));
         assert!(s.contains("IPC cpu 4.00"), "{s}");
+    }
+
+    #[test]
+    fn display_labels_fast_forwarded_time_only_when_present() {
+        let mut r = RunReport {
+            kernel: "reduction".into(),
+            parallel_ticks: 12_000,
+            ..RunReport::default()
+        };
+        assert!(!r.to_string().contains("fast-forwarded"));
+        r.fast_forwarded_ticks = 42_000; // 1 µs at 42 ticks/ns
+        let s = r.to_string();
+        assert!(s.contains("fast-forwarded 1.0 µs"), "{s}");
+        // Fast-forwarded spans are already inside the phase ticks.
+        assert_eq!(r.total_ticks(), 12_000);
     }
 }

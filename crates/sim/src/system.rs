@@ -16,6 +16,7 @@
 use crate::clock::Tick;
 use crate::config::SystemConfig;
 use crate::cpu::CpuCore;
+use crate::exec::ExecMode;
 use crate::fabric::{CommAction, CommCosts, CommModel};
 use crate::gpu::GpuCore;
 use crate::hierarchy::MemoryHierarchy;
@@ -28,6 +29,7 @@ use hetmem_trace::{Inst, Phase, PhasedTrace, PuKind};
 pub struct System {
     config: SystemConfig,
     costs: CommCosts,
+    llc_locality: bool,
     cpu: CpuCore,
     gpu: GpuCore,
     hierarchy: MemoryHierarchy,
@@ -56,10 +58,19 @@ impl System {
         System {
             config: *config,
             costs,
+            llc_locality,
             cpu: CpuCore::new(&config.cpu, costs),
             gpu: GpuCore::new(&config.gpu, costs),
             hierarchy: MemoryHierarchy::with_llc_locality(config, llc_locality),
         }
+    }
+
+    /// Whether this system was built from exactly these parameters — the
+    /// recycling precondition checked by
+    /// [`crate::SimulationBuilder::recycle`].
+    #[must_use]
+    pub fn matches(&self, config: &SystemConfig, costs: &CommCosts, llc_locality: bool) -> bool {
+        self.config == *config && self.costs == *costs && self.llc_locality == llc_locality
     }
 
     /// Builds a system whose LLC ignores the explicit-locality bit (the
@@ -81,6 +92,17 @@ impl System {
         &self.costs
     }
 
+    /// Returns the whole system — cores and memory hierarchy — to its
+    /// power-on state without releasing allocations. A reset system is
+    /// observationally identical to a freshly built one, so engines can be
+    /// recycled across independent jobs (see
+    /// [`crate::SimulationBuilder::recycle`]).
+    pub fn reset(&mut self) {
+        self.cpu.reset();
+        self.gpu.reset();
+        self.hierarchy.reset();
+    }
+
     /// Read access to the memory hierarchy (for inspection in tests and
     /// reports).
     #[must_use]
@@ -100,10 +122,34 @@ impl System {
         comm: &mut dyn CommModel,
         obs: &mut O,
     ) -> RunReport {
+        self.execute_with_mode(trace, comm, obs, ExecMode::Accurate)
+    }
+
+    /// [`System::execute`] under an explicit [`ExecMode`].
+    ///
+    /// `Accurate` is the reference loop. `EventDriven` runs the same step
+    /// sequence through the event wheel — each core executes batched inside
+    /// wake windows bounded by its peer's frozen clock, reproducing the
+    /// accurate interleave decision-for-decision — so its reports and
+    /// observer streams are bit-identical except for the
+    /// `fast_forwarded_ticks` accounting. `Sampled` alternates detailed
+    /// windows with functionally-warmed skips whose cost is extrapolated
+    /// from the measured ticks-per-instruction; its microarchitectural
+    /// counters cover only the detailed windows.
+    pub fn execute_with_mode<O: SimObserver>(
+        &mut self,
+        trace: &PhasedTrace,
+        comm: &mut dyn CommModel,
+        obs: &mut O,
+        mode: ExecMode,
+    ) -> RunReport {
         let mut now: Tick = 0;
         let mut seq_ticks: Tick = 0;
         let mut par_ticks: Tick = 0;
         let mut comm_ticks: Tick = 0;
+        // Ticks crossed inside granted wake windows (or extrapolated skips)
+        // rather than under per-step global arbitration.
+        let mut ff_ticks: Tick = 0;
         // Completion time of outstanding asynchronous transfers the next
         // parallel segment's GPU work must wait for.
         let mut dma_ready: Tick = 0;
@@ -114,10 +160,38 @@ impl System {
             match segment.phase() {
                 Phase::Sequential => {
                     let insts = segment.stream(PuKind::Cpu).as_slice();
-                    let end = self
-                        .cpu
-                        .begin(insts, now)
-                        .run_to_end_observed(&mut self.hierarchy, obs);
+                    let end = match mode {
+                        ExecMode::Sampled {
+                            warm_interval,
+                            detail_window,
+                        } => {
+                            let (end, skipped) = sampled_cpu_stream(
+                                &mut self.cpu,
+                                &mut self.hierarchy,
+                                insts,
+                                now,
+                                warm_interval,
+                                detail_window,
+                                obs,
+                            );
+                            ff_ticks += skipped;
+                            end
+                        }
+                        ExecMode::Accurate | ExecMode::EventDriven => {
+                            let end = self
+                                .cpu
+                                .begin(insts, now)
+                                .run_to_end_observed(&mut self.hierarchy, obs);
+                            if mode == ExecMode::EventDriven {
+                                // Every other component is parked past the
+                                // segment: the wheel grants the CPU one wake
+                                // window spanning it.
+                                ff_ticks += end - now;
+                                obs.on_fast_forward(end - now, end);
+                            }
+                            end
+                        }
+                    };
                     seq_ticks += end - now;
                     now = end;
                 }
@@ -129,27 +203,102 @@ impl System {
                     // cores start immediately, and only the portion of the
                     // transfer that outlives the computation is charged to
                     // communication below.
-                    let mut cpu_run = self.cpu.begin(cpu_insts, now);
-                    let mut gpu_run = self.gpu.begin(gpu_insts, now);
-                    // Interleave by global time so both cores contend for
-                    // the same LLC/DRAM state in order.
-                    loop {
-                        match (cpu_run.done(), gpu_run.done()) {
-                            (true, true) => break,
-                            (false, true) => cpu_run.step_observed(&mut self.hierarchy, obs),
-                            (true, false) => gpu_run.step_observed(&mut self.hierarchy, obs),
-                            (false, false) => {
-                                if cpu_run.now() <= gpu_run.now() {
-                                    cpu_run.step_observed(&mut self.hierarchy, obs);
-                                } else {
-                                    gpu_run.step_observed(&mut self.hierarchy, obs);
+                    let compute_end = match mode {
+                        ExecMode::Accurate => interleaved_parallel(
+                            &mut self.cpu,
+                            &mut self.gpu,
+                            &mut self.hierarchy,
+                            cpu_insts,
+                            gpu_insts,
+                            now,
+                            obs,
+                        ),
+                        ExecMode::EventDriven => {
+                            // Event wheel: the core owed the next step runs
+                            // batched up to the peer's frozen clock (its
+                            // registered next-wake tick), instead of being
+                            // re-arbitrated every instruction. The CPU owns
+                            // ties, so its window is inclusive and the GPU's
+                            // exclusive — the step sequence is exactly the
+                            // accurate loop's.
+                            let mut cpu_run = self.cpu.begin(cpu_insts, now);
+                            let mut gpu_run = self.gpu.begin(gpu_insts, now);
+                            loop {
+                                match (cpu_run.done(), gpu_run.done()) {
+                                    (true, true) => break,
+                                    (false, true) => {
+                                        let from = cpu_run.now();
+                                        cpu_run.run_while_observed(
+                                            &mut self.hierarchy,
+                                            obs,
+                                            Tick::MAX,
+                                        );
+                                        let advance = cpu_run.now().saturating_sub(from);
+                                        ff_ticks += advance;
+                                        obs.on_fast_forward(advance, cpu_run.now());
+                                    }
+                                    (true, false) => {
+                                        let from = gpu_run.now();
+                                        gpu_run.run_while_observed(
+                                            &mut self.hierarchy,
+                                            obs,
+                                            Tick::MAX,
+                                        );
+                                        let advance = gpu_run.now().saturating_sub(from);
+                                        ff_ticks += advance;
+                                        obs.on_fast_forward(advance, gpu_run.now());
+                                    }
+                                    (false, false) => {
+                                        if cpu_run.now() <= gpu_run.now() {
+                                            let from = cpu_run.now();
+                                            cpu_run.run_while_observed(
+                                                &mut self.hierarchy,
+                                                obs,
+                                                gpu_run.now(),
+                                            );
+                                            let advance = cpu_run.now().saturating_sub(from);
+                                            ff_ticks += advance;
+                                            obs.on_fast_forward(advance, cpu_run.now());
+                                        } else {
+                                            let from = gpu_run.now();
+                                            gpu_run.run_while_observed(
+                                                &mut self.hierarchy,
+                                                obs,
+                                                cpu_run.now(),
+                                            );
+                                            let advance = gpu_run.now().saturating_sub(from);
+                                            ff_ticks += advance;
+                                            obs.on_fast_forward(advance, gpu_run.now());
+                                        }
+                                    }
                                 }
                             }
+                            cpu_run.finish_tick().max(gpu_run.finish_tick()).max(now)
                         }
-                    }
-                    let cpu_end = cpu_run.finish_tick();
-                    let gpu_end = gpu_run.finish_tick();
-                    let compute_end = cpu_end.max(gpu_end).max(now);
+                        ExecMode::Sampled {
+                            warm_interval,
+                            detail_window,
+                        } => {
+                            // Paired sampling: detailed windows interleave
+                            // both cores by global time (full contention
+                            // fidelity), then both streams skip together so
+                            // the clocks never diverge. A phase where both
+                            // streams fit one window is exact.
+                            let (end, skipped) = sampled_parallel(
+                                &mut self.cpu,
+                                &mut self.gpu,
+                                &mut self.hierarchy,
+                                cpu_insts,
+                                gpu_insts,
+                                now,
+                                warm_interval,
+                                detail_window,
+                                obs,
+                            );
+                            ff_ticks += skipped;
+                            end
+                        }
+                    };
                     par_ticks += compute_end - now;
                     // A background transfer that outlives the computation
                     // delays the segment's completion; that tail is
@@ -214,11 +363,232 @@ impl System {
             sequential_ticks: seq_ticks,
             parallel_ticks: par_ticks,
             communication_ticks: comm_ticks,
+            fast_forwarded_ticks: ff_ticks,
             hierarchy: self.hierarchy.stats(),
             cpu: self.cpu.stats(),
             gpu: self.gpu.stats(),
         }
     }
+}
+
+/// The reference parallel-phase loop: CPU and GPU runs interleaved by
+/// global time (CPU owns ties) so both cores contend for the same LLC/DRAM
+/// state in order. Shared by `Accurate` and by `Sampled` phases short
+/// enough that sampling would never engage.
+fn interleaved_parallel<O: SimObserver>(
+    cpu: &mut CpuCore,
+    gpu: &mut GpuCore,
+    hier: &mut MemoryHierarchy,
+    cpu_insts: &[Inst],
+    gpu_insts: &[Inst],
+    now: Tick,
+    obs: &mut O,
+) -> Tick {
+    let mut cpu_run = cpu.begin(cpu_insts, now);
+    let mut gpu_run = gpu.begin(gpu_insts, now);
+    loop {
+        match (cpu_run.done(), gpu_run.done()) {
+            (true, true) => break,
+            (false, true) => {
+                cpu_run.step_observed(hier, obs);
+            }
+            (true, false) => {
+                gpu_run.step_observed(hier, obs);
+            }
+            (false, false) => {
+                if cpu_run.now() <= gpu_run.now() {
+                    cpu_run.step_observed(hier, obs);
+                } else {
+                    gpu_run.step_observed(hier, obs);
+                }
+            }
+        }
+    }
+    cpu_run.finish_tick().max(gpu_run.finish_tick()).max(now)
+}
+
+/// SMARTS-style sampling of one CPU instruction stream: detailed windows of
+/// `window` instructions alternate with skips of `warm` instructions whose
+/// duration is extrapolated from the measured detailed ticks-per-
+/// instruction. The whole stream executes as ONE [`CpuCore::begin`] run —
+/// skips advance the run's index and clock in place — so no pipeline-drain
+/// penalty is paid at window boundaries, and the measured ratio is the
+/// steady-state issue throughput (`now()` deltas, drain excluded). The
+/// front half of each detailed window is a warm-up that absorbs cold
+/// cache/predictor state; only the back half feeds the ratio. Programming-
+/// model specials inside skipped spans still execute in detail (they
+/// mutate scratchpad/LLC mappings and serialize); plain skipped
+/// instructions are neither executed nor counted in the core's statistics.
+/// Returns `(end tick, extrapolated ticks)`.
+fn sampled_cpu_stream<O: SimObserver>(
+    cpu: &mut CpuCore,
+    hier: &mut MemoryHierarchy,
+    insts: &[Inst],
+    start: Tick,
+    warm: u64,
+    window: u64,
+    obs: &mut O,
+) -> (Tick, Tick) {
+    let window = usize::try_from(window.max(1)).unwrap_or(usize::MAX);
+    let warm = usize::try_from(warm).unwrap_or(usize::MAX);
+    let n = insts.len();
+    let mut run = cpu.begin(insts, start);
+    let mut i = 0usize;
+    let mut det_insts: u128 = 0;
+    let mut det_ticks: u128 = 0;
+    let mut skipped: Tick = 0;
+    while i < n {
+        let w = window.min(n - i);
+        let head = if i + w < n && warm > 0 { w / 2 } else { 0 };
+        for _ in 0..head {
+            run.step_observed(hier, obs);
+        }
+        let measure_from = run.now();
+        for _ in head..w {
+            run.step_observed(hier, obs);
+        }
+        det_ticks += u128::from(run.now() - measure_from);
+        det_insts += (w - head) as u128;
+        i += w;
+        if i >= n || warm == 0 {
+            continue;
+        }
+        let mut remaining = warm.min(n - i);
+        while remaining > 0 {
+            let plain = run.skip_plain(remaining);
+            if plain > 0 {
+                let est = ((plain as u128 * det_ticks) / det_insts.max(1)) as Tick;
+                run.advance_clock(est);
+                skipped += est;
+                obs.on_fast_forward(est, run.now());
+                remaining -= plain;
+                i += plain;
+            }
+            if remaining > 0 {
+                // Stopped at a programming-model special: run it in detail.
+                run.step_observed(hier, obs);
+                remaining -= 1;
+                i += 1;
+            }
+        }
+    }
+    (run.finish_tick().max(start), skipped)
+}
+
+/// Paired SMARTS sampling of a parallel phase. Detailed windows run both
+/// cores through the reference global-time interleave (CPU owns ties), so
+/// contention and ordering against the shared LLC/DRAM are exactly the
+/// accurate loop's within every window. Both streams then skip together —
+/// each side extrapolates from its own measured ticks-per-instruction — so
+/// neither clock ever rewinds against the time-stateful hierarchy. A phase
+/// where both streams fit a single window executes exactly. Returns
+/// `(phase end tick, extrapolated ticks)`.
+#[allow(clippy::too_many_arguments)]
+fn sampled_parallel<O: SimObserver>(
+    cpu: &mut CpuCore,
+    gpu: &mut GpuCore,
+    hier: &mut MemoryHierarchy,
+    cpu_insts: &[Inst],
+    gpu_insts: &[Inst],
+    start: Tick,
+    warm: u64,
+    window: u64,
+    obs: &mut O,
+) -> (Tick, Tick) {
+    let window = usize::try_from(window.max(1)).unwrap_or(usize::MAX);
+    let warm = usize::try_from(warm).unwrap_or(usize::MAX);
+    let (cn, gn) = (cpu_insts.len(), gpu_insts.len());
+    let mut cpu_run = cpu.begin(cpu_insts, start);
+    let mut gpu_run = gpu.begin(gpu_insts, start);
+    let (mut ci, mut gi) = (0usize, 0usize);
+    let (mut c_insts, mut c_ticks): (u128, u128) = (0, 0);
+    let (mut g_insts, mut g_ticks): (u128, u128) = (0, 0);
+    let mut skipped: Tick = 0;
+    while ci < cn || gi < gn {
+        // Detailed window: interleave by global time until each side has
+        // stepped `window` instructions or run out of stream.
+        let c_target = window.min(cn - ci);
+        let g_target = window.min(gn - gi);
+        // Only the back half of each side's window feeds its ratio: the
+        // front half absorbs post-skip cold-cache transients (skipped
+        // loads never warmed the hierarchy), like the sequential sampler.
+        let (c_head, g_head) = (c_target / 2, g_target / 2);
+        let (mut c_from, mut g_from) = (cpu_run.now(), gpu_run.now());
+        let (mut c_steps, mut g_steps) = (0usize, 0usize);
+        loop {
+            let c_eligible = c_steps < c_target;
+            let g_eligible = g_steps < g_target;
+            let step_cpu = match (c_eligible, g_eligible) {
+                (false, false) => break,
+                (true, false) => true,
+                (false, true) => false,
+                (true, true) => cpu_run.now() <= gpu_run.now(),
+            };
+            if step_cpu {
+                cpu_run.step_observed(hier, obs);
+                c_steps += 1;
+                if c_steps == c_head {
+                    c_from = cpu_run.now();
+                }
+            } else {
+                gpu_run.step_observed(hier, obs);
+                g_steps += 1;
+                if g_steps == g_head {
+                    g_from = gpu_run.now();
+                }
+            }
+        }
+        c_insts += (c_steps - c_head.min(c_steps)) as u128;
+        c_ticks += u128::from(cpu_run.now().saturating_sub(c_from));
+        g_insts += (g_steps - g_head.min(g_steps)) as u128;
+        g_ticks += u128::from(gpu_run.now().saturating_sub(g_from));
+        ci += c_steps;
+        gi += g_steps;
+        if (ci >= cn && gi >= gn) || warm == 0 {
+            continue;
+        }
+        // Skip phase, both sides together: plain spans extrapolate from the
+        // owning core's measured rate, programming-model specials run in
+        // detail.
+        let mut remaining = warm.min(cn - ci);
+        while remaining > 0 {
+            let plain = cpu_run.skip_plain(remaining);
+            if plain > 0 {
+                let est = ((plain as u128 * c_ticks) / c_insts.max(1)) as Tick;
+                cpu_run.advance_clock(est);
+                skipped += est;
+                obs.on_fast_forward(est, cpu_run.now());
+                remaining -= plain;
+                ci += plain;
+            }
+            if remaining > 0 {
+                cpu_run.step_observed(hier, obs);
+                remaining -= 1;
+                ci += 1;
+            }
+        }
+        let mut remaining = warm.min(gn - gi);
+        while remaining > 0 {
+            let plain = gpu_run.skip_plain(remaining);
+            if plain > 0 {
+                let est = ((plain as u128 * g_ticks) / g_insts.max(1)) as Tick;
+                gpu_run.advance_clock(est);
+                skipped += est;
+                obs.on_fast_forward(est, gpu_run.now());
+                remaining -= plain;
+                gi += plain;
+            }
+            if remaining > 0 {
+                gpu_run.step_observed(hier, obs);
+                remaining -= 1;
+                gi += 1;
+            }
+        }
+    }
+    (
+        cpu_run.finish_tick().max(gpu_run.finish_tick()).max(start),
+        skipped,
+    )
 }
 
 #[cfg(test)]

@@ -33,6 +33,10 @@ impl TlbStats {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     entries: Vec<(u64, u64)>, // (page number, last use)
+    /// Index of the most recently hit entry — checked first, since nearly
+    /// every access in a streaming kernel lands on the same page as the
+    /// previous one, turning the associative scan into one compare.
+    mru: usize,
     capacity: usize,
     page_bytes: u64,
     clock: u64,
@@ -54,6 +58,7 @@ impl Tlb {
         );
         Tlb {
             entries: Vec::with_capacity(entries as usize),
+            mru: 0,
             capacity: entries as usize,
             page_bytes,
             clock: 0,
@@ -61,13 +66,29 @@ impl Tlb {
         }
     }
 
+    /// Empties the TLB and zeroes its clock and counters (power-on state).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.mru = 0;
+        self.clock = 0;
+        self.stats = TlbStats::default();
+    }
+
     /// Translates `addr`, returning `true` on a hit and `false` when a page
     /// walk is required (the entry is filled either way).
     pub fn translate(&mut self, addr: u64) -> bool {
         self.clock += 1;
         let page = addr / self.page_bytes;
-        if let Some(slot) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            slot.1 = self.clock;
+        if let Some(slot) = self.entries.get_mut(self.mru) {
+            if slot.0 == page {
+                slot.1 = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        if let Some(idx) = self.entries.iter().position(|(p, _)| *p == page) {
+            self.entries[idx].1 = self.clock;
+            self.mru = idx;
             self.stats.hits += 1;
             return true;
         }
@@ -83,6 +104,7 @@ impl Tlb {
             self.entries.swap_remove(lru);
         }
         self.entries.push((page, self.clock));
+        self.mru = self.entries.len() - 1;
         false
     }
 
@@ -90,6 +112,7 @@ impl Tlb {
     /// remaps the shared window).
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.mru = 0;
     }
 
     /// Accumulated statistics.

@@ -112,6 +112,7 @@ mod tests {
             target: "Fusion".into(),
             scale: 64,
             design_point: "p".into(),
+            mode: hetmem_sim::ExecMode::Accurate,
             report: RunReport {
                 kernel: "reduction".into(),
                 parallel_ticks: 7,

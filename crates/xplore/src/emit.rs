@@ -109,6 +109,7 @@ mod tests {
             target: "Fusion".into(),
             scale: 64,
             design_point: "p".into(),
+            mode: hetmem_sim::ExecMode::Accurate,
             report: RunReport {
                 kernel: "reduction".into(),
                 sequential_ticks: 25,

@@ -13,7 +13,9 @@ use crate::ser::SweepRecord;
 use crate::spec::{Job, JobKind, SweepSpec};
 use hetmem_core::experiment::{CaseStudyRun, ExperimentConfig, SpaceRun};
 use hetmem_core::IdealSpaceComm;
-use hetmem_sim::{IntervalProfiler, NullObserver, SimError, SimObserver, Simulation};
+use hetmem_sim::{
+    ExecMode, IntervalProfiler, NullObserver, SimError, SimObserver, Simulation, System,
+};
 use hetmem_trace::kernels::KernelParams;
 use hetmem_trace::PhasedTrace;
 use std::collections::HashMap;
@@ -42,16 +44,90 @@ pub struct SweepOptions {
     /// `hetmem-serve` service — use this to abandon sweeps whose clients
     /// are gone without killing the worker pool.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Execution mode for every job ([`ExecMode::Accurate`] by default).
+    /// Non-accurate modes address separate cache entries — see
+    /// [`content_key_with`].
+    pub mode: ExecMode,
 }
 
 impl SweepOptions {
+    /// Starts fluent construction. Prefer this over struct literals: new
+    /// knobs get a defaulted setter instead of breaking every call site.
+    #[must_use]
+    pub fn builder() -> SweepOptionsBuilder {
+        SweepOptionsBuilder::default()
+    }
+
     /// Options with `n` workers and no cache.
     #[must_use]
     pub fn with_workers(n: usize) -> SweepOptions {
-        SweepOptions {
-            workers: n,
-            ..SweepOptions::default()
-        }
+        SweepOptions::builder().workers(n).build()
+    }
+}
+
+/// Fluent construction for [`SweepOptions`], mirroring
+/// `Simulation::builder()`. Every knob defaults to off; call only the
+/// setters you need:
+///
+/// ```
+/// use hetmem_xplore::SweepOptions;
+/// let opts = SweepOptions::builder().workers(4).progress(true).build();
+/// assert_eq!(opts.workers, 4);
+/// assert!(opts.cache_dir.is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptionsBuilder {
+    opts: SweepOptions,
+}
+
+impl SweepOptionsBuilder {
+    /// Worker threads; `0` (the default) uses the host's parallelism.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> SweepOptionsBuilder {
+        self.opts.workers = n;
+        self
+    }
+
+    /// Memoizes results under `dir`; `None` (the default) disables caching.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: Option<PathBuf>) -> SweepOptionsBuilder {
+        self.opts.cache_dir = dir;
+        self
+    }
+
+    /// Emits a live progress line on stderr.
+    #[must_use]
+    pub fn progress(mut self, on: bool) -> SweepOptionsBuilder {
+        self.opts.progress = on;
+        self
+    }
+
+    /// Attaches an [`IntervalProfiler`] with this window to every job;
+    /// `None` (the default) simulates unobserved.
+    #[must_use]
+    pub fn timeline_interval(mut self, interval: Option<u64>) -> SweepOptionsBuilder {
+        self.opts.timeline_interval = interval;
+        self
+    }
+
+    /// Installs a cooperative cancellation flag.
+    #[must_use]
+    pub fn cancel(mut self, flag: Option<Arc<AtomicBool>>) -> SweepOptionsBuilder {
+        self.opts.cancel = flag;
+        self
+    }
+
+    /// Runs every job under `mode` ([`ExecMode::Accurate`] by default).
+    #[must_use]
+    pub fn mode(mut self, mode: ExecMode) -> SweepOptionsBuilder {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Finishes construction.
+    #[must_use]
+    pub fn build(self) -> SweepOptions {
+        self.opts
     }
 }
 
@@ -99,7 +175,20 @@ struct TraceStore {
     map: Mutex<HashMap<(&'static str, u32), Arc<PhasedTrace>>>,
 }
 
+/// Coarse bound on memoized traces. Generation is deterministic per
+/// (kernel, scale), so eviction only costs regeneration; the bound exists
+/// so a long-lived service fed many distinct scales cannot hoard memory.
+const TRACE_STORE_CAP: usize = 32;
+
 impl TraceStore {
+    /// The process-wide store. Traces are immutable and deterministic, so
+    /// one memo serves every sweep, service request, and bench in the
+    /// process — repeated sweeps stop regenerating their kernels.
+    fn global() -> &'static TraceStore {
+        static STORE: std::sync::OnceLock<TraceStore> = std::sync::OnceLock::new();
+        STORE.get_or_init(TraceStore::default)
+    }
+
     fn get(&self, job: &Job) -> Arc<PhasedTrace> {
         let key = (job.kernel.name(), job.scale);
         if let Some(t) = self.map.lock().expect("trace store lock").get(&key) {
@@ -109,8 +198,19 @@ impl TraceStore {
         // duplicate generation is wasted work but still deterministic.
         let trace = Arc::new(job.kernel.generate(&KernelParams::scaled(job.scale)));
         let mut map = self.map.lock().expect("trace store lock");
+        if map.len() >= TRACE_STORE_CAP {
+            map.clear();
+        }
         Arc::clone(map.entry(key).or_insert(trace))
     }
+}
+
+/// The (memoized) generated trace for `job`'s kernel at `job`'s scale —
+/// the same store [`run_jobs`] uses, exposed so single-job callers (the
+/// simulation service) share it.
+#[must_use]
+pub fn job_trace(job: &Job) -> Arc<PhasedTrace> {
+    TraceStore::global().get(job)
 }
 
 /// The content key addressing one job's cache entry: everything that
@@ -118,20 +218,24 @@ impl TraceStore {
 /// configuration, and the crate version.
 #[must_use]
 pub fn content_key(job: &Job, config: &ExperimentConfig) -> String {
-    content_key_with(job, config, None)
+    content_key_with(job, config, None, ExecMode::Accurate)
 }
 
-/// [`content_key`] extended with the sweep's observability request. With
-/// `timeline_interval == None` the key is byte-identical to [`content_key`],
-/// so observer-off sweeps keep hitting entries written before observability
-/// existed; a requested timeline changes the record's content and therefore
-/// addresses a separate entry.
+/// [`content_key`] extended with the sweep's observability request and
+/// execution mode. With `timeline_interval == None` and
+/// [`ExecMode::Accurate`] the key is byte-identical to [`content_key`], so
+/// default sweeps keep hitting entries written before either knob existed; a
+/// requested timeline or a non-accurate mode changes the record's content
+/// and therefore addresses a separate entry. Sampled geometry is part of the
+/// mode tag, so different window shapes never alias either.
 #[must_use]
 pub fn content_key_with(
     job: &Job,
     config: &ExperimentConfig,
     timeline_interval: Option<u64>,
+    mode: ExecMode,
 ) -> String {
+    use std::fmt::Write as _;
     let mut key = format!(
         "hetmem-xplore v{} | {} | system={:?} | costs={:?}",
         env!("CARGO_PKG_VERSION"),
@@ -140,8 +244,10 @@ pub fn content_key_with(
         config.costs,
     );
     if let Some(interval) = timeline_interval {
-        use std::fmt::Write as _;
         let _ = write!(key, " | timeline={interval}");
+    }
+    if let Some(tag) = mode.cache_tag() {
+        let _ = write!(key, " | mode={tag}");
     }
     key
 }
@@ -157,13 +263,14 @@ pub fn execute_job(
     config: &ExperimentConfig,
     trace: &PhasedTrace,
 ) -> Result<SweepRecord, SimError> {
-    execute_job_observed(job, config, trace, NullObserver).map(|(record, _)| record)
+    execute_job_observed(job, config, trace, NullObserver, ExecMode::Accurate)
+        .map(|(record, _)| record)
 }
 
-/// Simulates one job with `observer` attached, returning the record and the
-/// filled observer. The record's `timeline` field is left `None`; callers
-/// that want a summary embedded extract it from the observer (as
-/// [`run_jobs`] does for [`SweepOptions::timeline_interval`]).
+/// Simulates one job with `observer` attached under `mode`, returning the
+/// record and the filled observer. The record's `timeline` field is left
+/// `None`; callers that want a summary embedded extract it from the observer
+/// (as [`run_jobs`] does for [`SweepOptions::timeline_interval`]).
 ///
 /// # Errors
 ///
@@ -174,10 +281,13 @@ pub fn execute_job_observed<O: SimObserver>(
     config: &ExperimentConfig,
     trace: &PhasedTrace,
     observer: O,
+    mode: ExecMode,
 ) -> Result<(SweepRecord, O), SimError> {
     let builder = Simulation::builder()
         .config(config.system)
         .costs(config.costs)
+        .mode(mode)
+        .recycle(take_pooled_engine(config))
         .observer(observer);
     let mut sim = match job.kind {
         JobKind::CaseStudy { system } => builder.comm_model(system.comm_model(config.costs)),
@@ -194,10 +304,44 @@ pub fn execute_job_observed<O: SimObserver>(
         target: job.target_name().to_owned(),
         scale: job.scale,
         design_point: job.design_point_label(),
+        mode,
         report,
         timeline: None,
     };
-    Ok((record, sim.into_observer()))
+    let (system, observer) = sim.into_parts();
+    return_pooled_engine(system);
+    Ok((record, observer))
+}
+
+/// Engines this worker thread has finished with, kept for recycling.
+/// Building a system zeroes megabytes of cache arrays (~300 µs);
+/// [`System::reset`] on a recycled one touches kilobytes. Since every job in
+/// a sweep shares the hardware point, the pool effectively makes engine
+/// construction a once-per-thread cost. Bounded so pathological callers that
+/// interleave many hardware points cannot hoard memory.
+const ENGINE_POOL_CAP: usize = 4;
+
+thread_local! {
+    static ENGINE_POOL: std::cell::RefCell<Vec<System>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn take_pooled_engine(config: &ExperimentConfig) -> Option<System> {
+    ENGINE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.iter()
+            .position(|s| s.matches(&config.system, &config.costs, true))
+            .map(|i| pool.swap_remove(i))
+    })
+}
+
+fn return_pooled_engine(system: System) {
+    ENGINE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < ENGINE_POOL_CAP {
+            pool.push(system);
+        }
+    });
 }
 
 /// Expands `spec` and runs every job. See [`run_jobs`].
@@ -247,86 +391,108 @@ pub fn run_jobs(
     }
     .min(jobs.len().max(1));
 
-    let cursor = AtomicUsize::new(0);
-    let traces = TraceStore::default();
-    let (tx, rx) = mpsc::channel::<(usize, Result<SweepRecord, SimError>)>();
+    let traces = TraceStore::global();
+    let run_one = |job: &Job| -> Result<SweepRecord, SimError> {
+        let cache = cache.as_ref();
+        // The content key Debug-formats the full hardware and cost
+        // configuration — skip it entirely on uncached sweeps, where it
+        // would otherwise rival the simulation itself on small per-job
+        // traces.
+        let key = cache.map(|_| content_key_with(job, config, opts.timeline_interval, opts.mode));
+        if let Some(mut cached) = cache.and_then(|c| c.get(key.as_deref().expect("keyed"))) {
+            // Ordinals belong to this sweep, not the cache entry (a
+            // differently-filtered sweep may have stored it).
+            cached.id = job.id;
+            return Ok(cached);
+        }
+        let trace = traces.get(job);
+        let result = match opts.timeline_interval {
+            Some(interval) => execute_job_observed(
+                job,
+                config,
+                &trace,
+                IntervalProfiler::new(interval),
+                opts.mode,
+            )
+            .map(|(mut record, profiler)| {
+                record.timeline = Some(profiler.summary());
+                record
+            }),
+            None => execute_job_observed(job, config, &trace, NullObserver, opts.mode)
+                .map(|(record, _)| record),
+        };
+        if let (Ok(record), Some(c)) = (&result, cache) {
+            if let Err(e) = c.put(key.as_deref().expect("keyed"), record) {
+                eprintln!("warning: cache write failed: {e}");
+            }
+        }
+        result
+    };
+    let progress = |done: usize, record: &Result<SweepRecord, SimError>| {
+        if let (true, Ok(record)) = (opts.progress, record) {
+            let mut err = std::io::stderr().lock();
+            let _ = write!(
+                err,
+                "\r[{:>width$}/{}] {} {}/{}        ",
+                done + 1,
+                jobs.len(),
+                record.kind,
+                record.kernel,
+                record.target,
+                width = jobs.len().to_string().len(),
+            );
+            let _ = err.flush();
+        }
+    };
+
     let mut slots: Vec<Option<Result<SweepRecord, SimError>>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let traces = &traces;
-            let cache = cache.as_ref();
-            let cancel = opts.cancel.as_deref();
-            scope.spawn(move || loop {
-                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
-                    break;
-                }
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(index) else { break };
-                let key = content_key_with(job, config, opts.timeline_interval);
-                let record = match cache.and_then(|c| c.get(&key)) {
-                    Some(mut cached) => {
-                        // Ordinals belong to this sweep, not the cache entry
-                        // (a differently-filtered sweep may have stored it).
-                        cached.id = job.id;
-                        Ok(cached)
-                    }
-                    None => {
-                        let trace = traces.get(job);
-                        let result = match opts.timeline_interval {
-                            Some(interval) => execute_job_observed(
-                                job,
-                                config,
-                                &trace,
-                                IntervalProfiler::new(interval),
-                            )
-                            .map(|(mut record, profiler)| {
-                                record.timeline = Some(profiler.summary());
-                                record
-                            }),
-                            None => execute_job(job, config, &trace),
-                        };
-                        if let (Ok(record), Some(c)) = (&result, cache) {
-                            if let Err(e) = c.put(&key, record) {
-                                eprintln!("warning: cache write failed: {e}");
-                            }
-                        }
-                        result
-                    }
-                };
-                if tx.send((index, record)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-
-        for (done, (index, record)) in rx.into_iter().enumerate() {
-            if opts.progress {
-                if let Ok(record) = &record {
-                    let mut err = std::io::stderr().lock();
-                    let _ = write!(
-                        err,
-                        "\r[{:>width$}/{}] {} {}/{}        ",
-                        done + 1,
-                        jobs.len(),
-                        record.kind,
-                        record.kernel,
-                        record.target,
-                        width = jobs.len().to_string().len(),
-                    );
-                    let _ = err.flush();
-                }
+    if workers == 1 {
+        // Single-worker sweeps (the service's per-shard path, benches, and
+        // `--jobs 1`) run inline on the calling thread: no spawn, no
+        // channel, and — because the engine pool is thread-local — recycled
+        // engines survive from one sweep to the next.
+        let cancel = opts.cancel.as_deref();
+        for (index, job) in jobs.iter().enumerate() {
+            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                break;
             }
+            let record = run_one(job);
+            progress(index, &record);
             slots[index] = Some(record);
         }
-        if opts.progress {
-            eprintln!();
-        }
-    });
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<SweepRecord, SimError>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let run_one = &run_one;
+                let cancel = opts.cancel.as_deref();
+                scope.spawn(move || loop {
+                    if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        break;
+                    }
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    if tx.send((index, run_one(job))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            for (done, (index, record)) in rx.into_iter().enumerate() {
+                progress(done, &record);
+                slots[index] = Some(record);
+            }
+        });
+    }
+    if opts.progress {
+        eprintln!();
+    }
 
     let mut records = Vec::with_capacity(jobs.len());
     // Ordinal order, so a failing sweep reports the same (lowest-ordinal)
@@ -501,12 +667,44 @@ mod tests {
         let plain = content_key(&jobs[0], &cfg());
         assert_eq!(
             plain,
-            content_key_with(&jobs[0], &cfg(), None),
-            "observer-off keys must not change"
+            content_key_with(&jobs[0], &cfg(), None, ExecMode::Accurate),
+            "observer-off accurate keys must not change"
         );
-        let observed = content_key_with(&jobs[0], &cfg(), Some(1_000_000));
+        let observed = content_key_with(&jobs[0], &cfg(), Some(1_000_000), ExecMode::Accurate);
         assert_ne!(plain, observed);
         assert!(observed.contains("timeline=1000000"), "{observed}");
+    }
+
+    #[test]
+    fn execution_mode_addresses_a_separate_cache_entry() {
+        let jobs = small_spec().expand();
+        let plain = content_key(&jobs[0], &cfg());
+        let wheel = content_key_with(&jobs[0], &cfg(), None, ExecMode::EventDriven);
+        assert_ne!(plain, wheel);
+        assert!(wheel.contains("mode=event-driven"), "{wheel}");
+        let sampled = content_key_with(&jobs[0], &cfg(), None, ExecMode::sampled_default());
+        assert_ne!(plain, sampled);
+        assert_ne!(wheel, sampled);
+    }
+
+    #[test]
+    fn event_driven_sweep_matches_accurate_reports() {
+        let config = cfg();
+        let spec = small_spec();
+        let accurate = run_sweep(&spec, &config, &SweepOptions::with_workers(2)).expect("runs");
+        let wheel_opts = SweepOptions::builder()
+            .workers(2)
+            .mode(ExecMode::EventDriven)
+            .build();
+        let wheel = run_sweep(&spec, &config, &wheel_opts).expect("runs");
+        assert_eq!(accurate.records.len(), wheel.records.len());
+        for (a, w) in accurate.records.iter().zip(&wheel.records) {
+            assert_eq!(a.mode, ExecMode::Accurate);
+            assert_eq!(w.mode, ExecMode::EventDriven);
+            let mut normalized = w.report.clone();
+            normalized.fast_forwarded_ticks = 0;
+            assert_eq!(a.report, normalized, "{}/{}", a.kernel, a.target);
+        }
     }
 
     #[test]
@@ -517,11 +715,10 @@ mod tests {
         let observed = run_sweep(
             &spec,
             &config,
-            &SweepOptions {
-                workers: 2,
-                timeline_interval: Some(500_000),
-                ..SweepOptions::default()
-            },
+            &SweepOptions::builder()
+                .workers(2)
+                .timeline_interval(Some(500_000))
+                .build(),
         )
         .expect("runs");
         assert_eq!(plain.records.len(), observed.records.len());
@@ -537,11 +734,10 @@ mod tests {
     #[test]
     fn preset_cancel_flag_aborts_the_sweep() {
         let flag = Arc::new(AtomicBool::new(true));
-        let opts = SweepOptions {
-            workers: 2,
-            cancel: Some(Arc::clone(&flag)),
-            ..SweepOptions::default()
-        };
+        let opts = SweepOptions::builder()
+            .workers(2)
+            .cancel(Some(Arc::clone(&flag)))
+            .build();
         let err = run_sweep(&small_spec(), &cfg(), &opts).expect_err("cancelled");
         assert_eq!(err, SimError::Cancelled);
 
@@ -557,11 +753,10 @@ mod tests {
         let dir =
             std::env::temp_dir().join(format!("hetmem-xplore-engine-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let opts = SweepOptions {
-            workers: 2,
-            cache_dir: Some(dir.clone()),
-            ..SweepOptions::default()
-        };
+        let opts = SweepOptions::builder()
+            .workers(2)
+            .cache_dir(Some(dir.clone()))
+            .build();
         let config = cfg();
         let spec = small_spec();
         let cold = run_sweep(&spec, &config, &opts).expect("cold run");

@@ -48,8 +48,9 @@ pub use cache::DiskCache;
 pub use check::{check_reports_to_jsonl, diagnostic_to_json};
 pub use emit::{to_csv, to_jsonl, to_table, OutputFormat};
 pub use engine::{
-    content_key, content_key_with, execute_job, execute_job_observed, run_address_spaces,
-    run_case_studies, run_jobs, run_sweep, SweepOptions, SweepOutput, SweepStats,
+    content_key, content_key_with, execute_job, execute_job_observed, job_trace,
+    run_address_spaces, run_case_studies, run_jobs, run_sweep, SweepOptions, SweepOptionsBuilder,
+    SweepOutput, SweepStats,
 };
 pub use json::Json;
 pub use obs::{events_to_jsonl, timeline_to_jsonl};

@@ -7,7 +7,7 @@
 
 use crate::json::{Json, JsonError};
 use hetmem_sim::{
-    CacheStats, CoherenceStats, CpuStats, DramStats, GpuStats, HierarchyStats, RunReport,
+    CacheStats, CoherenceStats, CpuStats, DramStats, ExecMode, GpuStats, HierarchyStats, RunReport,
     TimelineSummary, TlbStats,
 };
 
@@ -27,6 +27,10 @@ pub struct SweepRecord {
     pub scale: u32,
     /// The design-space coordinates of the target.
     pub design_point: String,
+    /// The execution mode the job ran under. Accurate records serialize
+    /// byte-identically to records produced before modes existed, so cache
+    /// entries and goldens stay stable.
+    pub mode: ExecMode,
     /// The simulator's report.
     pub report: RunReport,
     /// Timeline aggregate, present only when the sweep requested one
@@ -55,6 +59,9 @@ impl SweepRecord {
             ("total_ticks", Json::UInt(self.report.total_ticks())),
             ("report", report_to_json(&self.report)),
         ];
+        if self.mode != ExecMode::Accurate {
+            pairs.push(("mode", Json::Str(self.mode.label())));
+        }
         if let Some(t) = &self.timeline {
             pairs.push(("timeline", timeline_to_json(t)));
         }
@@ -76,6 +83,10 @@ impl SweepRecord {
             scale: u32::try_from(get_u64(value, "scale")?)
                 .map_err(|_| field_err("scale", "out of range"))?,
             design_point: get_str(value, "design_point")?,
+            mode: match value.get("mode").and_then(Json::as_str) {
+                Some(label) => ExecMode::parse(label).map_err(|e| field_err("mode", &e))?,
+                None => ExecMode::Accurate,
+            },
             report,
             timeline: value.get("timeline").map(timeline_from_json).transpose()?,
         })
@@ -144,15 +155,23 @@ fn get_str(value: &Json, key: &str) -> Result<String, JsonError> {
 /// Serializes a full [`RunReport`] (all counters are exact integers).
 #[must_use]
 pub fn report_to_json(r: &RunReport) -> Json {
-    Json::obj(vec![
+    let mut pairs = vec![
         ("kernel", Json::Str(r.kernel.clone())),
         ("sequential_ticks", Json::UInt(r.sequential_ticks)),
         ("parallel_ticks", Json::UInt(r.parallel_ticks)),
         ("communication_ticks", Json::UInt(r.communication_ticks)),
+    ];
+    // Only fast-forwarding runs carry the field, so accurate reports
+    // serialize byte-identically to pre-mode reports.
+    if r.fast_forwarded_ticks > 0 {
+        pairs.push(("fast_forwarded_ticks", Json::UInt(r.fast_forwarded_ticks)));
+    }
+    pairs.extend([
         ("hierarchy", hierarchy_to_json(&r.hierarchy)),
         ("cpu", cpu_to_json(&r.cpu)),
         ("gpu", gpu_to_json(&r.gpu)),
-    ])
+    ]);
+    Json::obj(pairs)
 }
 
 /// Deserializes [`report_to_json`] output.
@@ -166,6 +185,10 @@ pub fn report_from_json(v: &Json) -> Result<RunReport, JsonError> {
         sequential_ticks: get_u64(v, "sequential_ticks")?,
         parallel_ticks: get_u64(v, "parallel_ticks")?,
         communication_ticks: get_u64(v, "communication_ticks")?,
+        fast_forwarded_ticks: v
+            .get("fast_forwarded_ticks")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
         hierarchy: hierarchy_from_json(v.get("hierarchy").ok_or_else(missing("hierarchy"))?)?,
         cpu: cpu_from_json(v.get("cpu").ok_or_else(missing("cpu"))?)?,
         gpu: gpu_from_json(v.get("gpu").ok_or_else(missing("gpu"))?)?,
@@ -365,6 +388,7 @@ mod tests {
             target: "CPU+GPU".into(),
             scale: 64,
             design_point: "disjoint / pci-e / explicit / none coherence".into(),
+            mode: ExecMode::Accurate,
             report,
             timeline: None,
         }
@@ -419,6 +443,37 @@ mod tests {
         // Old records (no timeline field) still decode.
         let old = SweepRecord::from_json(&parse(&without).expect("parses")).expect("decodes");
         assert_eq!(old.timeline, None);
+    }
+
+    #[test]
+    fn mode_round_trips_and_accurate_stays_byte_stable() {
+        let mut record = sample_record();
+        let accurate = record.to_json().render();
+        assert!(
+            !accurate.contains("\"mode\"") && !accurate.contains("fast_forwarded_ticks"),
+            "accurate records must serialize like pre-mode records: {accurate}"
+        );
+        // Pre-mode payloads decode as accurate.
+        let old = SweepRecord::from_json(&parse(&accurate).expect("parses")).expect("decodes");
+        assert_eq!(old.mode, ExecMode::Accurate);
+        assert_eq!(old.report.fast_forwarded_ticks, 0);
+
+        record.mode = ExecMode::Sampled {
+            warm_interval: 7000,
+            detail_window: 250,
+        };
+        record.report.fast_forwarded_ticks = 12_345;
+        let sampled = record.to_json().render();
+        assert!(
+            sampled.contains("\"mode\":\"sampled:7000:250\""),
+            "{sampled}"
+        );
+        assert!(
+            sampled.contains("\"fast_forwarded_ticks\":12345"),
+            "{sampled}"
+        );
+        let back = SweepRecord::from_json(&parse(&sampled).expect("parses")).expect("decodes");
+        assert_eq!(back, record);
     }
 
     #[test]

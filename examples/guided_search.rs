@@ -16,6 +16,7 @@ fn main() {
         objectives: Objective::ALL.to_vec(),
         strategy: Strategy::Halving,
         seed: 7,
+        mode: hetmem::sim::ExecMode::Accurate,
     };
 
     let result = run_search(&config, SearchOptions::with_workers(0)).expect("search");

@@ -25,7 +25,7 @@ use hetmem_core::report::{render_figure5, render_figure6, render_figure7, TextTa
 use hetmem_core::EvaluatedSystem;
 use hetmem_dsl::AddressSpace;
 use hetmem_search::{Objective, SearchConfig, SearchOptions, SearchSpace, Strategy};
-use hetmem_sim::{EventTrace, IntervalProfiler, Recorder, SimError, Simulation};
+use hetmem_sim::{EventTrace, ExecMode, IntervalProfiler, Recorder, SimError, Simulation};
 use hetmem_trace::kernels::{Kernel, KernelParams};
 use hetmem_xplore::{
     parse_kernel, parse_space, parse_system, Json, OutputFormat, SweepOptions, SweepSpec,
@@ -65,6 +65,8 @@ pub enum Command {
         jobs: usize,
         /// Optional result cache directory.
         cache_dir: Option<PathBuf>,
+        /// Execution mode for every job.
+        mode: ExecMode,
     },
     /// Run a guided multi-objective search over the design-space grid.
     Search {
@@ -108,6 +110,8 @@ pub enum Command {
         events: Option<String>,
         /// Write a counter timeline as JSON Lines to `(path, interval)`.
         timeline: Option<(String, u64)>,
+        /// Execution mode for the run.
+        mode: ExecMode,
     },
     /// Run the DSL static analyzer over a source file.
     Lint {
@@ -156,14 +160,14 @@ commands:
   fig <5|6|7> [--scale N] [--format json|csv|table] [--jobs N] [--cache-dir D]
                                 regenerate a figure (default full scale)
   sweep [--kernel K] [--system S] [--space A] [--scale N] [--jobs N]
-        [--cache-dir D] [--format json|csv|table]
+        [--cache-dir D] [--format json|csv|table] [--mode M]
                                 parallel cached sweep over the design space
                                 (filters repeat or take comma lists; default
                                 covers every kernel x system x space at scale 1)
   search [--budget N] [--seed S] [--objectives cycles,energy,loc,hw]
          [--strategy random|halving|evolve] [--kernel K] [--system S]
          [--space A] [--scale N] [--jobs N] [--cache-dir D]
-         [--format json|table]
+         [--format json|table] [--mode M]
                                 guided multi-objective design-space search:
                                 spends a simulator-job budget (default: a
                                 quarter of the exhaustive sweep) through a
@@ -181,9 +185,13 @@ commands:
   lower <program.hdsl> <model>  print a lowering (uni|pas|dis|adsm)
   trace <kernel> [--scale N]    dump a kernel trace (.hmt) to stdout
   sim <trace.hmt> <system> [--format json|table] [--events F.jsonl]
-      [--timeline F.jsonl[:interval]]
+      [--timeline F.jsonl[:interval]] [--mode M]
                                 simulate a trace (cpu+gpu|lrb|gmac|fusion|ideal);
-                                --events/--timeline write observability JSONL
+                                --events/--timeline write observability JSONL;
+                                --mode M is accurate (default), event-driven
+                                (cycle-exact fast-forwarding), or
+                                sampled[:WARM:DETAIL] (SMARTS-style, <2%
+                                cycles error at scale >= 256)
   serve [--addr H:P] [--workers N] [--queue-depth D] [--cache-dir DIR]
                                 HTTP simulation service: POST /v1/sim,
                                 /v1/sweep, /v1/check; GET /healthz, /metrics,
@@ -272,6 +280,27 @@ fn parse_format(flags: &[(&str, &str)]) -> Result<OutputFormat, String> {
     }
 }
 
+/// The `--format` path for commands without a CSV rendering (search, sim,
+/// check). CSV is rejected here at parse time, so every malformed-format
+/// diagnostic flows through the same usage-error path and exits 2.
+fn parse_format_no_csv(flags: &[(&str, &str)], command: &str) -> Result<OutputFormat, String> {
+    match parse_format(flags)? {
+        OutputFormat::Csv => Err(format!("{command} supports --format json|table")),
+        format => Ok(format),
+    }
+}
+
+/// The `--mode` execution-mode flag shared by `sweep`, `search`, and
+/// `sim`. Mode strings never contain commas, so the comma-splitting in
+/// [`flag_values`] cannot mangle them.
+fn parse_mode(flags: &[(&str, &str)]) -> Result<ExecMode, String> {
+    match flag_values(flags, "mode").as_slice() {
+        [] => Ok(ExecMode::Accurate),
+        [v] => ExecMode::parse(v),
+        _ => Err("--mode given more than once".to_owned()),
+    }
+}
+
 fn parse_cache_dir(flags: &[(&str, &str)]) -> Option<PathBuf> {
     flag_values(flags, "cache-dir").last().map(PathBuf::from)
 }
@@ -321,6 +350,7 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
             "jobs",
             "cache-dir",
             "format",
+            "mode",
         ],
     )?;
     expect_no_positionals(&positionals, "sweep")?;
@@ -330,6 +360,7 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
         format: parse_format(&flags)?,
         jobs: parse_jobs(&flags)?,
         cache_dir: parse_cache_dir(&flags),
+        mode: parse_mode(&flags)?,
     })
 }
 
@@ -386,6 +417,7 @@ fn parse_search(args: &[String]) -> Result<Command, String> {
             "jobs",
             "cache-dir",
             "format",
+            "mode",
         ],
     )?;
     expect_no_positionals(&positionals, "search")?;
@@ -438,8 +470,9 @@ fn parse_search(args: &[String]) -> Result<Command, String> {
             strategy,
             budget,
             seed,
+            mode: parse_mode(&flags)?,
         },
-        format: parse_format(&flags)?,
+        format: parse_format_no_csv(&flags, "search")?,
         jobs: parse_jobs(&flags)?,
         cache_dir: parse_cache_dir(&flags),
     })
@@ -534,7 +567,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 targets,
                 all,
                 models,
-                format: parse_format(&flags)?,
+                format: parse_format_no_csv(&flags, "check")?,
                 deny,
             })
         }
@@ -566,7 +599,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "sim" => {
-            let (positionals, flags) = split_flags(rest, &["format", "events", "timeline"])?;
+            let (positionals, flags) =
+                split_flags(rest, &["format", "events", "timeline", "mode"])?;
             let path = positionals
                 .first()
                 .map(|s| (*s).to_owned())
@@ -580,7 +614,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Sim {
                 path,
                 system,
-                format: parse_format(&flags)?,
+                format: parse_format_no_csv(&flags, "sim")?,
                 events: flag_values(&flags, "events")
                     .last()
                     .map(|s| (*s).to_owned()),
@@ -588,6 +622,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .last()
                     .map(|v| parse_timeline_value(v))
                     .transpose()?,
+                mode: parse_mode(&flags)?,
             })
         }
         "serve" => {
@@ -665,14 +700,15 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             format,
             jobs,
             cache_dir,
+            mode,
         } => {
             let config = ExperimentConfig::paper();
-            let opts = SweepOptions {
-                workers: *jobs,
-                cache_dir: cache_dir.clone(),
-                progress: true,
-                ..SweepOptions::default()
-            };
+            let opts = SweepOptions::builder()
+                .workers(*jobs)
+                .cache_dir(cache_dir.clone())
+                .progress(true)
+                .mode(*mode)
+                .build();
             let out = hetmem_xplore::run_sweep(spec, &config, &opts)?;
             print!("{}", format.render(&out.records));
             eprintln!("sweep: {}", out.stats);
@@ -683,11 +719,6 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             jobs,
             cache_dir,
         } => {
-            if *format == OutputFormat::Csv {
-                return Err(SimError::Usage(
-                    "search supports --format json|table".to_owned(),
-                ));
-            }
             let opts = SearchOptions {
                 workers: *jobs,
                 cache_dir: cache_dir.clone(),
@@ -700,7 +731,7 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             match format {
                 OutputFormat::Json => println!("{}", result.to_json().render()),
                 OutputFormat::Table => println!("{}", result.render_table()),
-                OutputFormat::Csv => unreachable!("rejected above"),
+                OutputFormat::Csv => unreachable!("rejected at parse time"),
             }
             eprintln!("search: {}", result.stats);
         }
@@ -755,12 +786,8 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             format,
             events,
             timeline,
+            mode,
         } => {
-            if *format == OutputFormat::Csv {
-                return Err(SimError::Usage(
-                    "sim supports --format json|table".to_owned(),
-                ));
-            }
             let text = std::fs::read_to_string(path)
                 .map_err(|e| SimError::Io(format!("cannot read {path}: {e}")))?;
             let trace = hetmem_trace::parse_trace(&text)
@@ -773,6 +800,7 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             );
             let mut sim = Simulation::builder()
                 .comm_model(system.comm_model(hetmem_sim::CommCosts::paper()))
+                .mode(*mode)
                 .observer(recorder)
                 .build()?;
             let report = sim.run(&trace)?;
@@ -795,7 +823,7 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
                     ]);
                     println!("{}", value.render());
                 }
-                OutputFormat::Csv => unreachable!("rejected above"),
+                OutputFormat::Csv => unreachable!("rejected at parse time"),
             }
         }
         Command::Serve {
@@ -830,11 +858,10 @@ fn execute_fig(
     cache_dir: Option<PathBuf>,
 ) -> Result<(), SimError> {
     let config = ExperimentConfig::scaled(scale);
-    let opts = SweepOptions {
-        workers: jobs,
-        cache_dir,
-        ..SweepOptions::default()
-    };
+    let opts = SweepOptions::builder()
+        .workers(jobs)
+        .cache_dir(cache_dir)
+        .build();
     // The table format renders the paper's figure; json/csv emit the raw
     // sweep records for scripting.
     if format == OutputFormat::Table {
@@ -893,11 +920,6 @@ fn execute_check(
     format: OutputFormat,
     deny: hetmem_dsl::Severity,
 ) -> Result<(), SimError> {
-    if format == OutputFormat::Csv {
-        return Err(SimError::Usage(
-            "check supports --format json|table".to_owned(),
-        ));
-    }
     let models: Vec<AddressSpace> = if models.is_empty() {
         AddressSpace::ALL.to_vec()
     } else {
@@ -926,7 +948,7 @@ fn execute_check(
             }
         }
         OutputFormat::Json => print!("{}", hetmem_xplore::check_reports_to_jsonl(&reports)),
-        OutputFormat::Csv => unreachable!("rejected above"),
+        OutputFormat::Csv => unreachable!("rejected at parse time"),
     }
     // Severity orders most-severe-first, so `<= deny` selects everything
     // at or above the denied threshold.
@@ -1040,6 +1062,7 @@ mod tests {
                 format: OutputFormat::Table,
                 events: None,
                 timeline: None,
+                mode: ExecMode::Accurate,
             })
         );
         assert_eq!(
@@ -1058,6 +1081,7 @@ mod tests {
                 format: OutputFormat::Table,
                 events: Some("ev.jsonl".into()),
                 timeline: Some(("tl.jsonl".into(), 500_000)),
+                mode: ExecMode::Accurate,
             })
         );
         assert_eq!(
@@ -1131,6 +1155,7 @@ mod tests {
             format,
             jobs,
             cache_dir,
+            mode,
         }) = parse_args(&args(&["sweep"]))
         else {
             panic!("sweep must parse");
@@ -1139,12 +1164,14 @@ mod tests {
         assert_eq!(format, OutputFormat::Table);
         assert_eq!(jobs, 0);
         assert_eq!(cache_dir, None);
+        assert_eq!(mode, ExecMode::Accurate);
 
         let Ok(Command::Sweep {
             spec,
             format,
             jobs,
             cache_dir,
+            ..
         }) = parse_args(&args(&[
             "sweep",
             "--kernel",
@@ -1192,6 +1219,7 @@ mod tests {
         // A quarter of the 54-job exhaustive sweep.
         assert_eq!(config.budget, 13);
         assert_eq!(config.seed, 0);
+        assert_eq!(config.mode, ExecMode::Accurate);
         assert_eq!(format, OutputFormat::Table);
         assert_eq!(jobs, 0);
         assert_eq!(cache_dir, None);
@@ -1222,6 +1250,58 @@ mod tests {
         assert_eq!(config.space.targets.len(), 2);
         assert_eq!(config.space.scales, vec![64]);
         assert_eq!(format, OutputFormat::Json);
+    }
+
+    #[test]
+    fn mode_flag_parses_on_every_command_that_takes_it() {
+        let Ok(Command::Sweep { mode, .. }) =
+            parse_args(&args(&["sweep", "--mode", "event-driven"]))
+        else {
+            panic!("sweep --mode must parse");
+        };
+        assert_eq!(mode, ExecMode::EventDriven);
+
+        let Ok(Command::Sim { mode, .. }) = parse_args(&args(&[
+            "sim",
+            "t.hmt",
+            "fusion",
+            "--mode",
+            "sampled:1000:100",
+        ])) else {
+            panic!("sim --mode sampled must parse");
+        };
+        assert_eq!(
+            mode,
+            ExecMode::Sampled {
+                warm_interval: 1000,
+                detail_window: 100
+            }
+        );
+
+        let Ok(Command::Search { config, .. }) =
+            parse_args(&args(&["search", "--mode", "sampled"]))
+        else {
+            panic!("search --mode must parse");
+        };
+        assert_eq!(config.mode, ExecMode::sampled_default());
+
+        assert!(parse_args(&args(&["sweep", "--mode", "turbo"])).is_err());
+        assert!(parse_args(&args(&[
+            "sim", "t.hmt", "fusion", "--mode", "accurate", "--mode", "accurate"
+        ]))
+        .is_err());
+        // Commands without an execution mode reject the flag outright.
+        assert!(parse_args(&args(&["fig", "5", "--mode", "event-driven"])).is_err());
+    }
+
+    #[test]
+    fn csv_is_rejected_at_parse_time_where_unsupported() {
+        assert!(parse_args(&args(&["sim", "t.hmt", "fusion", "--format", "csv"])).is_err());
+        assert!(parse_args(&args(&["search", "--format", "csv"])).is_err());
+        assert!(parse_args(&args(&["check", "--all", "--format", "csv"])).is_err());
+        // Sweep and fig render CSV, so it still parses there.
+        assert!(parse_args(&args(&["sweep", "--format", "csv"])).is_ok());
+        assert!(parse_args(&args(&["fig", "5", "--format", "csv"])).is_ok());
     }
 
     #[test]

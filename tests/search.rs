@@ -22,6 +22,7 @@ fn config(strategy: Strategy, budget: usize, seed: u64) -> SearchConfig {
         strategy,
         budget,
         seed,
+        mode: hetmem::sim::ExecMode::Accurate,
     }
 }
 
@@ -176,6 +177,7 @@ fn quarter_budget_reaches_a_true_frontier_point() {
         objectives: Objective::ALL.to_vec(),
         strategy: Strategy::Halving,
         seed: 7,
+        mode: hetmem::sim::ExecMode::Accurate,
     };
     let opts = SearchOptions {
         workers: 2,
