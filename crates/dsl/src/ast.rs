@@ -11,6 +11,59 @@
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BufId(pub usize);
 
+/// The programmer's declared intent for how device code uses a buffer —
+/// the per-buffer access-mode annotation of the DSL's `buffer` item
+/// (`buffer x: 8192 read;`).
+///
+/// Modes are *intents*: the checker validates them against actual kernel
+/// usage (HM0005) and the `fix` pass trusts the validated intent when
+/// computing the minimal communication set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessMode {
+    /// Device kernels only read the buffer; the host produces it.
+    Read,
+    /// Device kernels only write the buffer; the host consumes it.
+    Write,
+    /// Both directions (the default when no mode is declared).
+    #[default]
+    ReadWrite,
+    /// The buffer accumulates partial results across kernels (read and
+    /// written by the device, merged by the host).
+    Reduce,
+}
+
+impl AccessMode {
+    /// The concrete-syntax keyword (`read`, `write`, `readwrite`,
+    /// `reduce`).
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AccessMode::Read => "read",
+            AccessMode::Write => "write",
+            AccessMode::ReadWrite => "readwrite",
+            AccessMode::Reduce => "reduce",
+        }
+    }
+
+    /// Parses a concrete-syntax keyword.
+    #[must_use]
+    pub fn from_keyword(word: &str) -> Option<AccessMode> {
+        match word {
+            "read" => Some(AccessMode::Read),
+            "write" => Some(AccessMode::Write),
+            "readwrite" => Some(AccessMode::ReadWrite),
+            "reduce" => Some(AccessMode::Reduce),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
 /// A data buffer in the program.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Buffer {
@@ -18,15 +71,29 @@ pub struct Buffer {
     pub name: String,
     /// Size in bytes.
     pub bytes: u64,
+    /// Declared device access intent (defaults to
+    /// [`AccessMode::ReadWrite`]).
+    pub mode: AccessMode,
 }
 
 impl Buffer {
-    /// Creates a buffer.
+    /// Creates a buffer with the default [`AccessMode::ReadWrite`] intent.
     #[must_use]
     pub fn new(name: impl Into<String>, bytes: u64) -> Buffer {
         Buffer {
             name: name.into(),
             bytes,
+            mode: AccessMode::ReadWrite,
+        }
+    }
+
+    /// Creates a buffer with an explicit access-mode intent.
+    #[must_use]
+    pub fn with_mode(name: impl Into<String>, bytes: u64, mode: AccessMode) -> Buffer {
+        Buffer {
+            name: name.into(),
+            bytes,
+            mode,
         }
     }
 }
@@ -323,6 +390,25 @@ mod tests {
         let p = tiny();
         assert_eq!(p.gpu_buffers(), vec![BufId(0), BufId(1)]);
         assert_eq!(p.gpu_kernel_sites(), 1);
+    }
+
+    #[test]
+    fn access_mode_keywords_round_trip() {
+        for mode in [
+            AccessMode::Read,
+            AccessMode::Write,
+            AccessMode::ReadWrite,
+            AccessMode::Reduce,
+        ] {
+            assert_eq!(AccessMode::from_keyword(mode.keyword()), Some(mode));
+        }
+        assert_eq!(AccessMode::from_keyword("sideways"), None);
+        assert_eq!(AccessMode::default(), AccessMode::ReadWrite);
+        assert_eq!(Buffer::new("a", 64).mode, AccessMode::ReadWrite);
+        assert_eq!(
+            Buffer::with_mode("a", 64, AccessMode::Reduce).mode,
+            AccessMode::Reduce
+        );
     }
 
     #[test]

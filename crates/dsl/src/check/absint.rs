@@ -875,10 +875,7 @@ mod tests {
         use crate::ast::{Program, Step};
         let program = Program {
             name: "racey".into(),
-            buffers: vec![crate::ast::Buffer {
-                name: "x".into(),
-                bytes: 64,
-            }],
+            buffers: vec![crate::ast::Buffer::new("x", 64)],
             steps: vec![
                 Step::HostInit {
                     bufs: vec![crate::ast::BufId(0)],

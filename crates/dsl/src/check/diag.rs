@@ -44,6 +44,9 @@ pub enum Code {
     /// HM0004: a buffer must be tagged shared under the partially shared
     /// model.
     SharedCandidate,
+    /// HM0005: a step's actual buffer usage contradicts the buffer's
+    /// declared access-mode intent (`read`/`write`/`readwrite`/`reduce`).
+    AccessModeViolation,
     /// HM0101: a GPU kernel reads a buffer whose device copy is out of
     /// date (the host wrote it and no transfer intervened).
     StaleRead,
@@ -66,6 +69,31 @@ pub enum Code {
 }
 
 impl Code {
+    /// Every code, program-level lints first, in code order.
+    pub const ALL: [Code; 11] = [
+        Code::UnusedBuffer,
+        Code::UninitializedRead,
+        Code::DeadResult,
+        Code::SharedCandidate,
+        Code::AccessModeViolation,
+        Code::StaleRead,
+        Code::MissingTransferBack,
+        Code::RedundantTransfer,
+        Code::UntaggedShared,
+        Code::OwnershipViolation,
+        Code::CpuGpuRace,
+    ];
+
+    /// Parses a code from its stable string (`"HM0101"`, case-insensitive)
+    /// or its kebab-case name (`"stale-read"`).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Code> {
+        let upper = text.to_ascii_uppercase();
+        Code::ALL
+            .into_iter()
+            .find(|c| c.as_str() == upper || c.name() == text)
+    }
+
     /// The stable code string, e.g. `"HM0101"`.
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -74,6 +102,7 @@ impl Code {
             Code::UninitializedRead => "HM0002",
             Code::DeadResult => "HM0003",
             Code::SharedCandidate => "HM0004",
+            Code::AccessModeViolation => "HM0005",
             Code::StaleRead => "HM0101",
             Code::MissingTransferBack => "HM0102",
             Code::RedundantTransfer => "HM0103",
@@ -91,6 +120,7 @@ impl Code {
             Code::UninitializedRead => "uninitialized-read",
             Code::DeadResult => "dead-result",
             Code::SharedCandidate => "shared-candidate",
+            Code::AccessModeViolation => "access-mode-violation",
             Code::StaleRead => "stale-read",
             Code::MissingTransferBack => "missing-transfer-back",
             Code::RedundantTransfer => "redundant-transfer",
@@ -121,6 +151,13 @@ impl Code {
                 "Under the partially shared address space the GPU can only address \
                  objects in the shared region; every buffer a GPU kernel touches must \
                  be allocated with sharedmalloc and ownership-managed."
+            }
+            Code::AccessModeViolation => {
+                "The buffer declares an access-mode intent (read, write, readwrite, \
+                 or reduce) that its actual usage contradicts: a `read` buffer is \
+                 written by a data-parallel kernel, or a `write` buffer is read by \
+                 one. Either correct the declaration or the kernel's access lists — \
+                 the fix pass trusts validated intents when minimizing communication."
             }
             Code::StaleRead => {
                 "The GPU reads a device copy that no longer holds the newest value: \
@@ -227,6 +264,19 @@ mod tests {
         assert_eq!(Code::CpuGpuRace.as_str(), "HM0106");
         assert_eq!(Code::UnusedBuffer.as_str(), "HM0001");
         assert_eq!(Code::SharedCandidate.as_str(), "HM0004");
+        assert_eq!(Code::AccessModeViolation.as_str(), "HM0005");
+    }
+
+    #[test]
+    fn codes_parse_from_string_and_name() {
+        for code in Code::ALL {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+            assert_eq!(Code::parse(&code.as_str().to_ascii_lowercase()), Some(code));
+            assert_eq!(Code::parse(code.name()), Some(code));
+            assert!(!code.explanation().is_empty());
+        }
+        assert_eq!(Code::parse("HM9999"), None);
+        assert_eq!(Code::parse("stale"), None);
     }
 
     #[test]

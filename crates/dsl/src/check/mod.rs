@@ -25,7 +25,7 @@ mod oracle;
 pub use diag::{Code, Diagnostic, Severity};
 pub use oracle::{run_oracle, OracleReport};
 
-use crate::ast::{BufId, Program, Step, Target};
+use crate::ast::{AccessMode, BufId, Program, Step, Target};
 use crate::lower::{lower, Lowered};
 use crate::model::AddressSpace;
 use crate::stmt::Stmt;
@@ -196,8 +196,71 @@ fn shared_region_buffers(program: &Program) -> Vec<String> {
     names
 }
 
+/// Walks the steps checking declared access-mode intents against actual
+/// GPU-kernel usage (HM0005): a `read` buffer must never be written by a
+/// GPU kernel, a `write` buffer never read by one.
+fn visit_mode_violations(
+    program: &Program,
+    steps: &[Step],
+    idx: &mut usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for step in steps {
+        let current = *idx;
+        *idx += 1;
+        match step {
+            Step::Kernel {
+                target: Target::Gpu,
+                name,
+                reads,
+                writes,
+                ..
+            } => {
+                for &b in writes {
+                    let buf = program.buffer(b);
+                    if buf.mode == AccessMode::Read {
+                        diags.push(Diagnostic {
+                            code: Code::AccessModeViolation,
+                            severity: Severity::Warning,
+                            stmt: Some(current),
+                            line: None,
+                            source: None,
+                            buffer: Some(buf.name.clone()),
+                            message: format!(
+                                "buffer `{}` is declared `read` but GPU kernel `{name}` \
+                                 writes it",
+                                buf.name
+                            ),
+                        });
+                    }
+                }
+                for &b in reads {
+                    let buf = program.buffer(b);
+                    if buf.mode == AccessMode::Write {
+                        diags.push(Diagnostic {
+                            code: Code::AccessModeViolation,
+                            severity: Severity::Warning,
+                            stmt: Some(current),
+                            line: None,
+                            source: None,
+                            buffer: Some(buf.name.clone()),
+                            message: format!(
+                                "buffer `{}` is declared `write` but GPU kernel `{name}` \
+                                 reads it",
+                                buf.name
+                            ),
+                        });
+                    }
+                }
+            }
+            Step::Loop { body, .. } => visit_mode_violations(program, body, idx, diags),
+            _ => {}
+        }
+    }
+}
+
 /// Runs the model-independent program-level lints, returning them as
-/// typed diagnostics (HM0001–HM0004). `stmt` on these findings is the
+/// typed diagnostics (HM0001–HM0005). `stmt` on these findings is the
 /// flat *step* index (loops counted once), not a lowered-statement index.
 ///
 /// # Panics
@@ -267,6 +330,8 @@ pub fn program_lints(program: &Program) -> Vec<Diagnostic> {
             });
         }
     }
+    let mut idx = 0;
+    visit_mode_violations(program, &program.steps, &mut idx, &mut diags);
     diags
 }
 
@@ -360,6 +425,180 @@ mod tests {
             shared.contains(&"scratch".to_string()),
             "GPU-only scratch buffer must be flagged: {shared:?}"
         );
+    }
+
+    #[test]
+    fn program_lints_are_warning_free_for_paper_programs() {
+        for p in programs::all().into_iter().chain(programs::extra::all()) {
+            let warnings: Vec<_> = program_lints(&p)
+                .into_iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .collect();
+            assert!(warnings.is_empty(), "{}: {warnings:?}", p.name);
+        }
+    }
+
+    #[test]
+    fn shared_candidates_are_reported_for_paper_programs() {
+        // Every paper kernel moves at least one buffer between the PUs.
+        for p in programs::all() {
+            let shared = program_lints(&p)
+                .into_iter()
+                .filter(|d| d.code == Code::SharedCandidate)
+                .count();
+            assert!(shared > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn uninitialized_read_is_flagged_with_its_step() {
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("x", 64)],
+            steps: vec![Step::Seq {
+                name: "use".into(),
+                reads: vec![BufId(0)],
+                writes: vec![],
+            }],
+            compute_lines: 1,
+        };
+        let diags = program_lints(&p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::UninitializedRead && d.stmt == Some(0)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_result_is_flagged() {
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("in", 64), Buffer::new("out", 64)],
+            steps: vec![
+                Step::HostInit {
+                    bufs: vec![BufId(0)],
+                },
+                Step::Kernel {
+                    target: Target::Gpu,
+                    name: "k".into(),
+                    reads: vec![BufId(0)],
+                    writes: vec![BufId(1)],
+                    args_upload: false,
+                },
+            ],
+            compute_lines: 1,
+        };
+        let diags = program_lints(&p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::DeadResult && d.buffer.as_deref() == Some("out")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn loop_back_edges_count_as_later_reads() {
+        // `updateCentroids` writes `centroids` at the end of the loop body;
+        // the next iteration's kernel reads it — not a dead result.
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![Buffer::new("data", 64), Buffer::new("acc", 64)],
+            steps: vec![
+                Step::HostInit {
+                    bufs: vec![BufId(0), BufId(1)],
+                },
+                Step::Loop {
+                    iterations: 3,
+                    body: vec![
+                        Step::Kernel {
+                            target: Target::Gpu,
+                            name: "k".into(),
+                            reads: vec![BufId(0), BufId(1)],
+                            writes: vec![BufId(0)],
+                            args_upload: false,
+                        },
+                        Step::Seq {
+                            name: "upd".into(),
+                            reads: vec![BufId(0)],
+                            writes: vec![BufId(1)],
+                        },
+                    ],
+                },
+                Step::Seq {
+                    name: "final".into(),
+                    reads: vec![BufId(0)],
+                    writes: vec![],
+                },
+            ],
+            compute_lines: 1,
+        };
+        let dead: Vec<_> = program_lints(&p)
+            .into_iter()
+            .filter(|d| d.code == Code::DeadResult && d.buffer.as_deref() == Some("acc"))
+            .collect();
+        assert!(
+            dead.is_empty(),
+            "loop-carried accumulator is not dead: {dead:?}"
+        );
+    }
+
+    #[test]
+    fn access_mode_violations_are_flagged_against_gpu_usage() {
+        use crate::ast::AccessMode;
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![
+                Buffer::with_mode("in", 64, AccessMode::Read),
+                Buffer::with_mode("out", 64, AccessMode::Write),
+            ],
+            steps: vec![
+                Step::HostInit {
+                    bufs: vec![BufId(0)],
+                },
+                Step::Kernel {
+                    target: Target::Gpu,
+                    name: "k".into(),
+                    reads: vec![BufId(0)],
+                    writes: vec![BufId(1)],
+                    args_upload: false,
+                },
+                Step::Seq {
+                    name: "use".into(),
+                    reads: vec![BufId(1)],
+                    writes: vec![],
+                },
+            ],
+            compute_lines: 1,
+        };
+        // Intents match usage: no HM0005.
+        assert!(
+            !program_lints(&p)
+                .iter()
+                .any(|d| d.code == Code::AccessModeViolation),
+            "matching intents must be clean"
+        );
+        // Swap the intents: both directions now violate, inside loops too.
+        let mut bad = p.clone();
+        bad.buffers[0].mode = AccessMode::Write;
+        bad.buffers[1].mode = AccessMode::Read;
+        bad.steps = vec![
+            bad.steps[0].clone(),
+            Step::Loop {
+                iterations: 2,
+                body: vec![bad.steps[1].clone()],
+            },
+            bad.steps[2].clone(),
+        ];
+        let violations: Vec<_> = program_lints(&bad)
+            .into_iter()
+            .filter(|d| d.code == Code::AccessModeViolation)
+            .collect();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|d| d.severity == Severity::Warning));
+        assert_eq!(violations[0].stmt, Some(2), "flat step index inside loop");
     }
 
     #[test]

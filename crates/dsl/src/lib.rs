@@ -19,6 +19,10 @@
 //! * [`check`] — memory-model-aware static verifier over lowered
 //!   programs (stale reads, missing transfers, ownership violations),
 //!   differentially validated by a concrete [`run_oracle`] interpreter.
+//! * [`fix`] — checker-driven communication optimizer: rewrites a
+//!   lowering to the minimal communication set the checker can prove
+//!   sufficient, deleting provably-redundant transfers and inserting the
+//!   transfers needed to clear errors.
 //!
 //! ## Example
 //!
@@ -36,10 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod analyze;
 mod ast;
 pub mod check;
 mod codegen;
+pub mod fix;
 mod loc;
 mod lower;
 mod model;
@@ -48,12 +52,13 @@ mod pretty;
 pub mod programs;
 mod stmt;
 
-pub use analyze::{analyze, Lint, Severity};
-pub use ast::{BufId, Buffer, Program, ProgramError, Step, Target};
+pub use ast::{AccessMode, BufId, Buffer, Program, ProgramError, Step, Target};
 pub use check::{
     check, check_lowered, program_lints, run_oracle, CheckReport, Code, Diagnostic, OracleReport,
+    Severity,
 };
 pub use codegen::{generate_trace, generate_trace_with, CodegenOptions};
+pub use fix::{diff_lines, fix, fix_lowered, FixEdit, FixReport};
 pub use loc::{kernel_overhead, loc_table, paper_loc_table, LocRow};
 pub use lower::{lower, Lowered};
 pub use model::AddressSpace;

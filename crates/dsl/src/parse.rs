@@ -26,7 +26,8 @@
 //! program  := "program" IDENT "{" item* "}"
 //! item     := compute | buffer | step
 //! compute  := "compute" INT ";"
-//! buffer   := "buffer" IDENT ":" INT ";"
+//! buffer   := "buffer" IDENT ":" INT [mode] ";"
+//! mode     := "read" | "write" | "readwrite" | "reduce"
 //! step     := init | kernel | seq | loop
 //! init     := "init" idents ";"
 //! kernel   := ("gpu" | "cpu") IDENT "(" io ")" ["uploads" "args"] ";"
@@ -38,7 +39,7 @@
 //!
 //! Comments run from `//` to end of line. Errors carry line and column.
 
-use crate::ast::{BufId, Buffer, Program, Step, Target};
+use crate::ast::{AccessMode, BufId, Buffer, Program, Step, Target};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -491,12 +492,32 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                 let (bname, bpos) = p.expect_ident()?;
                 p.expect(&Tok::Colon)?;
                 let (bytes, _) = p.expect_int()?;
+                // Optional access-mode intent before the semicolon.
+                let mut mode = AccessMode::ReadWrite;
+                if let Tok::Ident(word) = &p.peek().0 {
+                    let (word, wpos) = (word.clone(), p.peek().1);
+                    match AccessMode::from_keyword(&word) {
+                        Some(m) => {
+                            p.bump();
+                            mode = m;
+                        }
+                        None => {
+                            return p.err(
+                                wpos,
+                                format!(
+                                    "expected an access mode \
+                                     (read|write|readwrite|reduce) or ';', found {word:?}"
+                                ),
+                            )
+                        }
+                    }
+                }
                 p.expect(&Tok::Semi)?;
                 if p.by_name.contains_key(&bname) {
                     return p.err(bpos, format!("duplicate buffer {bname:?}"));
                 }
                 p.by_name.insert(bname.clone(), BufId(p.buffers.len()));
-                p.buffers.push(Buffer::new(bname, bytes));
+                p.buffers.push(Buffer::with_mode(bname, bytes, mode));
             }
             Tok::Ident(kw) if kw == "compute" => {
                 p.bump();
@@ -607,7 +628,16 @@ pub fn write_program(program: &Program) -> String {
     };
     out.push_str(&format!("    compute {};\n", program.compute_lines));
     for b in &program.buffers {
-        out.push_str(&format!("    buffer {}: {};\n", b.name, b.bytes));
+        if b.mode == AccessMode::ReadWrite {
+            out.push_str(&format!("    buffer {}: {};\n", b.name, b.bytes));
+        } else {
+            out.push_str(&format!(
+                "    buffer {}: {} {};\n",
+                b.name,
+                b.bytes,
+                b.mode.keyword()
+            ));
+        }
     }
     steps(program, &mut out, &program.steps, 1);
     out.push_str("}\n");
@@ -749,6 +779,40 @@ mod tests {
         let src = "program p { buffer x: 64; loop 0 { init x; } }";
         let err = parse_program(src).expect_err("invalid loop");
         assert!(err.message.contains("structurally invalid"), "{err}");
+    }
+
+    #[test]
+    fn access_modes_parse_and_round_trip() {
+        let src = "program p {
+            buffer a: 64 read;
+            buffer b: 64 write;
+            buffer c: 64 readwrite;
+            buffer d: 64 reduce;
+            buffer e: 64;
+            init a;
+            gpu k(read a; write b);
+            seq use(read b);
+        }";
+        let p = parse_program(src).expect("valid");
+        assert_eq!(p.buffers[0].mode, AccessMode::Read);
+        assert_eq!(p.buffers[1].mode, AccessMode::Write);
+        assert_eq!(p.buffers[2].mode, AccessMode::ReadWrite);
+        assert_eq!(p.buffers[3].mode, AccessMode::Reduce);
+        assert_eq!(p.buffers[4].mode, AccessMode::ReadWrite);
+        let text = write_program(&p);
+        assert!(text.contains("buffer a: 64 read;"), "{text}");
+        assert!(text.contains("buffer b: 64 write;"), "{text}");
+        // An explicit `readwrite` is the default and prints bare.
+        assert!(text.contains("buffer c: 64;"), "{text}");
+        assert!(text.contains("buffer d: 64 reduce;"), "{text}");
+        assert_eq!(parse_program(&text).expect("round trip"), p);
+    }
+
+    #[test]
+    fn bad_access_mode_is_reported() {
+        let err =
+            parse_program("program p { buffer x: 64 sideways; init x; }").expect_err("bad mode");
+        assert!(err.message.contains("access mode"), "{err}");
     }
 
     #[test]

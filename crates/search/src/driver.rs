@@ -212,6 +212,22 @@ pub fn score(
                 sum / space.kernels.len().max(1) as f64
             }
             Objective::Hw => f64::from(hardware_cost(&space.target(candidate).design_point())),
+            Objective::Saved => {
+                // Residual redundancy: communication lines the fix pass
+                // can still prove removable from the canonical lowering.
+                // Zero means the model's lowering is already minimal.
+                let model = space.target(candidate).address_space();
+                let sum: f64 = space
+                    .kernels
+                    .iter()
+                    .map(|k| {
+                        hetmem_dsl::programs::find(k.name()).map_or(0.0, |p| {
+                            hetmem_dsl::fix(&p, model).lines_saved().max(0) as f64
+                        })
+                    })
+                    .sum();
+                sum / space.kernels.len().max(1) as f64
+            }
         })
         .collect()
 }

@@ -12,7 +12,12 @@
 //!   address space forces (the Table V metric, computed by the DSL
 //!   lowering);
 //! * **hw** — the abstract hardware-cost score of the candidate's design
-//!   point ([`hetmem_core::hardware_cost`]).
+//!   point ([`hetmem_core::hardware_cost`]);
+//! * **saved** — lowering quality: mean communication lines the
+//!   checker-driven `fix` optimizer can still delete from the candidate's
+//!   canonical lowerings. Zero means the address space's lowering is
+//!   already provably minimal; higher means the model forces
+//!   communication boilerplate the checker can prove redundant.
 
 /// One optimization axis. All axes are minimized.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -25,15 +30,19 @@ pub enum Objective {
     Loc,
     /// Abstract hardware-cost score of the design point.
     Hw,
+    /// Mean communication lines the fix pass proves removable from the
+    /// canonical lowerings (residual redundancy of the address space).
+    Saved,
 }
 
 impl Objective {
     /// Every axis, in canonical order.
-    pub const ALL: [Objective; 4] = [
+    pub const ALL: [Objective; 5] = [
         Objective::Cycles,
         Objective::Energy,
         Objective::Loc,
         Objective::Hw,
+        Objective::Saved,
     ];
 
     /// Canonical lower-case name (the CLI/JSON spelling).
@@ -44,6 +53,7 @@ impl Objective {
             Objective::Energy => "energy",
             Objective::Loc => "loc",
             Objective::Hw => "hw",
+            Objective::Saved => "saved",
         }
     }
 
@@ -58,8 +68,9 @@ impl Objective {
             "energy" | "comm" | "traffic" => Ok(Objective::Energy),
             "loc" | "programmability" | "burden" => Ok(Objective::Loc),
             "hw" | "hardware" | "cost" => Ok(Objective::Hw),
+            "saved" | "redundancy" | "fixable" => Ok(Objective::Saved),
             other => Err(format!(
-                "unknown objective {other:?} (cycles|energy|loc|hw)"
+                "unknown objective {other:?} (cycles|energy|loc|hw|saved)"
             )),
         }
     }
@@ -83,7 +94,7 @@ impl Objective {
             out.push(objective);
         }
         if out.is_empty() {
-            return Err("no objectives given (cycles|energy|loc|hw)".to_owned());
+            return Err("no objectives given (cycles|energy|loc|hw|saved)".to_owned());
         }
         Ok(out)
     }
@@ -105,13 +116,14 @@ mod tests {
         assert_eq!(Objective::parse("comm"), Ok(Objective::Energy));
         assert_eq!(Objective::parse("programmability"), Ok(Objective::Loc));
         assert_eq!(Objective::parse("hardware"), Ok(Objective::Hw));
+        assert_eq!(Objective::parse("redundancy"), Ok(Objective::Saved));
         assert!(Objective::parse("speed").is_err());
     }
 
     #[test]
     fn list_parses_and_rejects_duplicates() {
         assert_eq!(
-            Objective::parse_list("cycles,energy,loc,hw"),
+            Objective::parse_list("cycles,energy,loc,hw,saved"),
             Ok(Objective::ALL.to_vec())
         );
         assert_eq!(

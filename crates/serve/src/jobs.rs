@@ -17,8 +17,9 @@ use hetmem_search::{
 };
 use hetmem_sim::{EventTrace, ExecMode};
 use hetmem_xplore::{
-    check_reports_to_jsonl, content_key_with, execute_job_observed, parse_kernel, parse_space,
-    parse_system, report_to_json, run_jobs, DiskCache, Job, JobKind, Json, SweepOptions, SweepSpec,
+    check_reports_to_jsonl, content_key_with, execute_job_observed, fix_reports_to_jsonl,
+    parse_kernel, parse_space, parse_system, report_to_json, run_jobs, DiskCache, Job, JobKind,
+    Json, SweepOptions, SweepSpec,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -574,6 +575,82 @@ pub fn run_check_request(req: &CheckRequest) -> Result<String, String> {
     Ok(check_reports_to_jsonl(&reports))
 }
 
+/// `POST /v1/fix`: checker-driven communication optimization of built-in
+/// kernels under one or more address-space models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixRequest {
+    /// Built-in kernel names to fix.
+    pub targets: Vec<String>,
+    /// Models to fix under; defaults to all four.
+    pub models: Vec<AddressSpace>,
+    /// Optional start deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses and validates a `/v1/fix` body:
+/// `{"targets": ["..."], "models"?: ["..."], "deadline_ms"?: N}`.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 400) on malformed JSON or
+/// unknown model names. Unknown *targets* are reported at execution.
+pub fn parse_fix_request(body: &str) -> Result<FixRequest, String> {
+    let v = parse_body(body)?;
+    let targets = opt_str_list(&v, "targets")?
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| "field \"targets\" must be a non-empty array of kernel names".to_owned())?;
+    let models = match opt_str_list(&v, "models")? {
+        None => AddressSpace::ALL.to_vec(),
+        Some(names) => names
+            .iter()
+            .map(|n| parse_space(n))
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(FixRequest {
+        targets,
+        models,
+        deadline_ms: opt_u64(&v, "deadline_ms")?,
+    })
+}
+
+impl FixRequest {
+    /// The coalescing key for identical concurrent fix requests.
+    #[must_use]
+    pub fn coalesce_key(&self) -> String {
+        let models: Vec<String> = self.models.iter().map(|m| m.abbrev().to_owned()).collect();
+        format!("fix|{}|{}", self.targets.join(","), models.join(","))
+    }
+}
+
+/// Runs the optimizer over every target × model combination, bumps the
+/// fix metrics, and renders the same JSONL stream as
+/// `hetmem fix --format json`.
+///
+/// # Errors
+///
+/// Returns a one-line message (rendered as a 500) when a target names no
+/// built-in kernel.
+pub fn run_fix_request(req: &FixRequest, metrics: &Metrics) -> Result<String, String> {
+    let mut reports = Vec::new();
+    for target in &req.targets {
+        let program = hetmem_dsl::programs::find(target)
+            .ok_or_else(|| format!("unknown kernel {target:?}"))?;
+        for &model in &req.models {
+            reports.push(hetmem_dsl::fix(&program, model));
+        }
+    }
+    for report in &reports {
+        metrics.bump(&metrics.fixes_completed);
+        metrics
+            .transfers_removed
+            .fetch_add(report.removed.len() as u64, Ordering::Relaxed);
+        metrics
+            .transfers_inserted
+            .fetch_add(report.inserted.len() as u64, Ordering::Relaxed);
+    }
+    Ok(fix_reports_to_jsonl(&reports))
+}
+
 /// Lifecycle of an asynchronously submitted job.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JobState {
@@ -984,6 +1061,31 @@ mod tests {
         assert!(parse_check_request("{}").is_err());
         let bad = parse_check_request("{\"targets\":[\"no-such-kernel\"]}").expect("parses");
         assert!(run_check_request(&bad).is_err());
+    }
+
+    #[test]
+    fn fix_request_parses_runs_and_bumps_the_fix_metrics() {
+        let metrics = Metrics::default();
+        let req =
+            parse_fix_request("{\"targets\":[\"k-means\"],\"models\":[\"pas\"]}").expect("parses");
+        assert_eq!(req.models, vec![AddressSpace::PartiallyShared]);
+        assert_eq!(req.coalesce_key(), "fix|k-means|PAS");
+        let jsonl = run_fix_request(&req, &metrics).expect("runs");
+        let last = jsonl.lines().last().expect("summary");
+        let v = parse(last).expect("valid json");
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("summary"));
+        assert_eq!(v.get("fixed").and_then(Json::as_u64), Some(1));
+        // k-mean under PAS loses four ownership statements, and the
+        // metrics see every edit.
+        assert_eq!(v.get("transfers_removed").and_then(Json::as_u64), Some(4));
+        assert_eq!(metrics.fixes_completed.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.transfers_removed.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.transfers_inserted.load(Ordering::Relaxed), 0);
+
+        assert!(parse_fix_request("{\"targets\":[]}").is_err());
+        assert!(parse_fix_request("{}").is_err());
+        let bad = parse_fix_request("{\"targets\":[\"no-such-kernel\"]}").expect("parses");
+        assert!(run_fix_request(&bad, &metrics).is_err());
     }
 
     #[test]

@@ -69,9 +69,10 @@ pub mod server;
 
 pub use http::{Request, Response};
 pub use jobs::{
-    parse_check_request, parse_search_request, parse_sim_request, parse_sweep_request,
-    run_check_request, run_search_request, run_sim, run_sweep_request, search_progress_json,
-    CheckRequest, JobState, Registry, SearchRequest, SimRequest, SweepRequest, DEFAULT_SCALE,
+    parse_check_request, parse_fix_request, parse_search_request, parse_sim_request,
+    parse_sweep_request, run_check_request, run_fix_request, run_search_request, run_sim,
+    run_sweep_request, search_progress_json, CheckRequest, JobState, Registry, SearchRequest,
+    SimRequest, SweepRequest, DEFAULT_SCALE,
 };
 pub use metrics::{LatencyHistogram, Metrics};
 pub use pool::{Outcome, Rejected, ShardedPool, Ticket};

@@ -12,9 +12,9 @@
 
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::jobs::{
-    parse_check_request, parse_search_request, parse_sim_request, parse_sweep_request,
-    run_check_request, run_search_request, run_sim, run_sweep_request, search_progress_json,
-    JobState, Registry,
+    parse_check_request, parse_fix_request, parse_search_request, parse_sim_request,
+    parse_sweep_request, run_check_request, run_fix_request, run_search_request, run_sim,
+    run_sweep_request, search_progress_json, JobState, Registry,
 };
 use crate::metrics::Metrics;
 use crate::pool::{Outcome, Rejected, ShardedPool, Ticket};
@@ -202,6 +202,27 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
                 }
             }
         },
+        ("POST", "/v1/fix") => match parse_fix_request(&req.body) {
+            Err(message) => bad_request(state, &message),
+            Ok(fix) => {
+                let key = fix.coalesce_key();
+                let deadline = fix.deadline_ms;
+                let metrics = Arc::clone(&state.metrics);
+                let work = move || run_fix_request(&fix, &metrics);
+                match state.admit(&key, deadline, work) {
+                    Err(response) => response,
+                    Ok(ticket) => match ticket.wait() {
+                        Outcome::Done(Ok(jsonl)) => Response {
+                            status: 200,
+                            headers: Vec::new(),
+                            body: jsonl,
+                            content_type: "application/x-ndjson",
+                        },
+                        other => state.render_outcome(other),
+                    },
+                }
+            }
+        },
         ("POST", "/v1/sweep") => match parse_sweep_request(&req.body) {
             Err(message) => bad_request(state, &message),
             Ok(sweep) => {
@@ -267,9 +288,10 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
             )
         }
         (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown")
-        | ("GET" | "PUT" | "DELETE", "/v1/sim" | "/v1/sweep" | "/v1/check" | "/v1/search") => {
-            Response::json(405, State::error_body("method not allowed"))
-        }
+        | (
+            "GET" | "PUT" | "DELETE",
+            "/v1/sim" | "/v1/sweep" | "/v1/check" | "/v1/fix" | "/v1/search",
+        ) => Response::json(405, State::error_body("method not allowed")),
         _ => Response::json(404, State::error_body("no such endpoint")),
     }
 }

@@ -26,6 +26,12 @@ pub enum SimError {
         /// Number of failing findings.
         errors: usize,
     },
+    /// `fix --deny unchanged` ran and the optimizer found nothing to
+    /// change in any selected program × model pair.
+    FixUnchanged {
+        /// Number of program × model pairs inspected.
+        pairs: usize,
+    },
     /// The work was cancelled before it completed (a service shutting
     /// down, or a caller abandoning a sweep).
     Cancelled,
@@ -62,6 +68,9 @@ impl fmt::Display for SimError {
                     "check failed: {errors} finding(s) at the denied severity"
                 )
             }
+            SimError::FixUnchanged { pairs } => {
+                write!(f, "fix: no changes across {pairs} program x model pair(s)")
+            }
             SimError::Cancelled => write!(f, "cancelled before completion"),
             SimError::DeadlineExceeded { waited_ms } => {
                 write!(f, "deadline exceeded after waiting {waited_ms} ms")
@@ -89,6 +98,7 @@ mod tests {
         assert_eq!(SimError::Io("disk".into()).exit_code(), 1);
         assert_eq!(SimError::InvalidConfig("zero sets".into()).exit_code(), 1);
         assert_eq!(SimError::CheckFailed { errors: 3 }.exit_code(), 1);
+        assert_eq!(SimError::FixUnchanged { pairs: 4 }.exit_code(), 1);
         assert_eq!(SimError::Cancelled.exit_code(), 1);
         assert_eq!(SimError::DeadlineExceeded { waited_ms: 5 }.exit_code(), 1);
     }

@@ -39,6 +39,7 @@ pub mod cache;
 pub mod check;
 pub mod emit;
 pub mod engine;
+pub mod fix;
 pub mod json;
 pub mod obs;
 pub mod ser;
@@ -52,6 +53,7 @@ pub use engine::{
     run_address_spaces, run_case_studies, run_jobs, run_sweep, SweepOptions, SweepOptionsBuilder,
     SweepOutput, SweepStats,
 };
+pub use fix::{fix_report_to_json, fix_reports_to_jsonl};
 pub use json::Json;
 pub use obs::{events_to_jsonl, timeline_to_jsonl};
 pub use ser::{

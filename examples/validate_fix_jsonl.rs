@@ -1,0 +1,135 @@
+//! Validate `hetmem fix --format json` output: every line must parse
+//! through the in-repo JSON module as an object with a string `"kind"`,
+//! every `"fix"` line must carry the full schema (program, model,
+//! changed flag, iteration count, comm-line totals, edit lists), and
+//! the stream must end with exactly one `"summary"` line whose edit
+//! totals match the fix lines above it. CI pipes the optimizer's JSON
+//! through this binary.
+//!
+//! Run with `cargo run --release --example validate_fix_jsonl -- <file.jsonl>...`.
+
+use hetmem::xplore::json::{parse, Json};
+
+fn require_str(v: &Json, key: &str, at: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{at}: missing string {key:?}"))
+}
+
+fn require_u64(v: &Json, key: &str, at: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{at}: missing integer {key:?}"))
+}
+
+/// `lines_saved` is a signed total (insertions can outnumber removals
+/// on a broken input), so integers of either sign are acceptable.
+fn require_i64(v: &Json, key: &str, at: &str) -> Result<i64, String> {
+    match v.get(key) {
+        Some(Json::UInt(n)) => i64::try_from(*n).map_err(|_| format!("{at}: {key} overflows i64")),
+        Some(Json::Int(n)) => Ok(*n),
+        _ => Err(format!("{at}: missing integer {key:?}")),
+    }
+}
+
+fn require_edits(v: &Json, key: &str, at: &str) -> Result<u64, String> {
+    let Some(Json::Arr(edits)) = v.get(key) else {
+        return Err(format!("{at}: missing array {key:?}"));
+    };
+    for edit in edits {
+        require_u64(edit, "stmt", at)?;
+        require_str(edit, "text", at)?;
+    }
+    Ok(edits.len() as u64)
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let mut totals = [0u64; 3]; // changed, removed, inserted
+    let mut saved = 0i64;
+    let mut fixes = 0u64;
+    let mut summary: Option<Json> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let at = format!("{path}:{}", lineno + 1);
+        if summary.is_some() {
+            return Err(format!("{at}: line after the summary"));
+        }
+        let v = parse(line).map_err(|e| format!("{at}: {e}"))?;
+        match require_str(&v, "kind", &at)?.as_str() {
+            "fix" => {
+                fixes += 1;
+                require_str(&v, "program", &at)?;
+                require_str(&v, "model", &at)?;
+                require_u64(&v, "iterations", &at)?;
+                require_u64(&v, "residual", &at)?;
+                let changed = match v.get("changed") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err(format!("{at}: missing boolean \"changed\"")),
+                };
+                totals[0] += u64::from(changed);
+                totals[1] += require_edits(&v, "removed", &at)?;
+                totals[2] += require_edits(&v, "inserted", &at)?;
+                let before = require_u64(&v, "comm_lines_before", &at)?;
+                let after = require_u64(&v, "comm_lines_after", &at)?;
+                let lines_saved = require_i64(&v, "lines_saved", &at)?;
+                saved += lines_saved;
+                if lines_saved != before as i64 - after as i64 {
+                    return Err(format!(
+                        "{at}: lines_saved={lines_saved} but comm lines go \
+                         {before} -> {after}"
+                    ));
+                }
+                if !changed && lines_saved != 0 {
+                    return Err(format!("{at}: unchanged fix saved {lines_saved} line(s)"));
+                }
+            }
+            "summary" => summary = Some(v),
+            other => return Err(format!("{at}: unknown kind {other:?}")),
+        }
+    }
+    let summary = summary.ok_or_else(|| format!("{path}: no summary line"))?;
+    let at = format!("{path}:summary");
+    for (key, expected) in [
+        ("fixed", fixes),
+        ("changed", totals[0]),
+        ("transfers_removed", totals[1]),
+        ("transfers_inserted", totals[2]),
+    ] {
+        let got = require_u64(&summary, key, &at)?;
+        if got != expected {
+            return Err(format!("{at}: {key}={got} but the stream has {expected}"));
+        }
+    }
+    let got_saved = require_i64(&summary, "lines_saved", &at)?;
+    if got_saved != saved {
+        return Err(format!(
+            "{at}: lines_saved={got_saved} but the stream totals {saved}"
+        ));
+    }
+    println!(
+        "{path}: {fixes} fix report(s) OK ({} changed, {} removed, {} \
+         inserted, {saved} line(s) saved)",
+        totals[0], totals[1], totals[2]
+    );
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_fix_jsonl <file.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        if let Err(msg) = validate(path) {
+            eprintln!("error: {msg}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

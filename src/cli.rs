@@ -134,6 +134,24 @@ pub enum Command {
         /// [`hetmem_dsl::Severity::Error`]; `--deny warnings|notes`
         /// escalates, rustc `-D`-style).
         deny: hetmem_dsl::Severity,
+        /// Print the explanation for one diagnostic code instead of
+        /// checking anything (`--explain HM0101`, rustc-style).
+        explain: Option<String>,
+    },
+    /// Rewrite programs to the minimal communication set the checker can
+    /// certify sufficient.
+    Fix {
+        /// Kernel names or `.hdsl` paths to fix (empty with `all`).
+        targets: Vec<String>,
+        /// Fix every built-in program instead of named targets.
+        all: bool,
+        /// Address-space models to fix under (empty = all four).
+        models: Vec<AddressSpace>,
+        /// Output format.
+        format: FixFormat,
+        /// Exit 1 when the optimizer changes nothing (`--deny
+        /// unchanged`).
+        deny_unchanged: bool,
     },
     /// Run the batched simulation service until it is asked to drain.
     Serve {
@@ -164,7 +182,7 @@ commands:
                                 parallel cached sweep over the design space
                                 (filters repeat or take comma lists; default
                                 covers every kernel x system x space at scale 1)
-  search [--budget N] [--seed S] [--objectives cycles,energy,loc,hw]
+  search [--budget N] [--seed S] [--objectives cycles,energy,loc,hw,saved]
          [--strategy random|halving|evolve] [--kernel K] [--system S]
          [--space A] [--scale N] [--jobs N] [--cache-dir D]
          [--format json|table] [--mode M]
@@ -182,6 +200,14 @@ commands:
                                 program(s); --model repeats or takes a comma
                                 list (default: all four); findings at Error
                                 severity (or above --deny) exit 1
+  check --explain HM0xxx        print what a diagnostic code means
+  fix <kernel|file.hdsl ...|--all> [--model M]
+      [--format pretty|json|diff] [--deny unchanged]
+                                rewrite program(s) to the minimal communication
+                                set the checker certifies: deletes provably
+                                redundant transfers, inserts the transfers
+                                needed to clear errors; --deny unchanged exits
+                                1 when nothing changed
   lower <program.hdsl> <model>  print a lowering (uni|pas|dis|adsm)
   trace <kernel> [--scale N]    dump a kernel trace (.hmt) to stdout
   sim <trace.hmt> <system> [--format json|table] [--events F.jsonl]
@@ -194,8 +220,9 @@ commands:
                                 cycles error at scale >= 256)
   serve [--addr H:P] [--workers N] [--queue-depth D] [--cache-dir DIR]
                                 HTTP simulation service: POST /v1/sim,
-                                /v1/sweep, /v1/check; GET /healthz, /metrics,
-                                /v1/jobs/<id>; POST /v1/shutdown drains
+                                /v1/sweep, /v1/check, /v1/fix; GET /healthz,
+                                /metrics, /v1/jobs/<id>; POST /v1/shutdown
+                                drains
   catalog                       the Table I survey
   help                          this message";
 
@@ -287,6 +314,38 @@ fn parse_format_no_csv(flags: &[(&str, &str)], command: &str) -> Result<OutputFo
     match parse_format(flags)? {
         OutputFormat::Csv => Err(format!("{command} supports --format json|table")),
         format => Ok(format),
+    }
+}
+
+/// Output format for `hetmem fix`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FixFormat {
+    /// One summary line per program × model pair, then the fixed source.
+    Pretty,
+    /// JSON Lines: one `"fix"` object per pair plus a summary line.
+    Json,
+    /// Unified-style line diff between the original and fixed lowerings.
+    Diff,
+}
+
+impl FixFormat {
+    fn parse(v: &str) -> Result<FixFormat, String> {
+        match v {
+            "pretty" => Ok(FixFormat::Pretty),
+            "json" => Ok(FixFormat::Json),
+            "diff" => Ok(FixFormat::Diff),
+            other => Err(format!(
+                "fix supports --format pretty|json|diff, not {other:?}"
+            )),
+        }
+    }
+}
+
+fn parse_fix_format(flags: &[(&str, &str)]) -> Result<FixFormat, String> {
+    match flag_values(flags, "format").as_slice() {
+        [] => Ok(FixFormat::Pretty),
+        [v] => FixFormat::parse(v),
+        _ => Err("--format given more than once".to_owned()),
     }
 }
 
@@ -547,12 +606,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 })
                 .cloned()
                 .collect();
-            let (positionals, flags) = split_flags(&remaining, &["model", "format", "deny"])?;
+            let (positionals, flags) =
+                split_flags(&remaining, &["model", "format", "deny", "explain"])?;
             let targets: Vec<String> = positionals.iter().map(|s| (*s).to_owned()).collect();
+            let explain = match flag_values(&flags, "explain").as_slice() {
+                [] => None,
+                [v] => Some((*v).to_owned()),
+                _ => return Err("--explain given more than once".to_owned()),
+            };
             if all && !targets.is_empty() {
                 return Err("check takes either --all or explicit targets, not both".to_owned());
             }
-            if !all && targets.is_empty() {
+            if explain.is_some() && (all || !targets.is_empty()) {
+                return Err("check --explain takes no targets".to_owned());
+            }
+            if explain.is_none() && !all && targets.is_empty() {
                 return Err("check needs a kernel name, an .hdsl path, or --all".to_owned());
             }
             let models = parse_list(&flag_values(&flags, "model"), parse_space)?;
@@ -569,6 +637,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 models,
                 format: parse_format_no_csv(&flags, "check")?,
                 deny,
+                explain,
+            })
+        }
+        "fix" => {
+            // `--all` is a bare switch, stripped before split_flags like
+            // `check`'s.
+            let mut all = false;
+            let remaining: Vec<String> = rest
+                .iter()
+                .filter(|a| {
+                    if a.as_str() == "--all" {
+                        all = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .cloned()
+                .collect();
+            let (positionals, flags) = split_flags(&remaining, &["model", "format", "deny"])?;
+            let targets: Vec<String> = positionals.iter().map(|s| (*s).to_owned()).collect();
+            if all && !targets.is_empty() {
+                return Err("fix takes either --all or explicit targets, not both".to_owned());
+            }
+            if !all && targets.is_empty() {
+                return Err("fix needs a kernel name, an .hdsl path, or --all".to_owned());
+            }
+            let deny_unchanged = match flag_values(&flags, "deny").as_slice() {
+                [] => false,
+                ["unchanged"] => true,
+                [other] => return Err(format!("fix --deny takes unchanged, not {other:?}")),
+                _ => return Err("--deny given more than once".to_owned()),
+            };
+            Ok(Command::Fix {
+                targets,
+                all,
+                models: parse_list(&flag_values(&flags, "model"), parse_space)?,
+                format: parse_fix_format(&flags)?,
+                deny_unchanged,
             })
         }
         "lower" => {
@@ -748,7 +855,7 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
         }
         Command::Lint { path } => {
             let program = load_program(path)?;
-            let lints = hetmem_dsl::analyze(&program);
+            let lints = hetmem_dsl::program_lints(&program);
             if lints.is_empty() {
                 println!("{}: no findings", program.name);
             } else {
@@ -757,7 +864,7 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
                 }
                 let warnings = lints
                     .iter()
-                    .filter(|l| l.severity() == hetmem_dsl::Severity::Warning)
+                    .filter(|l| l.severity == hetmem_dsl::Severity::Warning)
                     .count();
                 println!("{} finding(s), {} warning(s)", lints.len(), warnings);
             }
@@ -768,7 +875,18 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             models,
             format,
             deny,
-        } => execute_check(targets, *all, models, *format, *deny)?,
+            explain,
+        } => match explain {
+            Some(code) => execute_explain(code)?,
+            None => execute_check(targets, *all, models, *format, *deny)?,
+        },
+        Command::Fix {
+            targets,
+            all,
+            models,
+            format,
+            deny_unchanged,
+        } => execute_fix(targets, *all, models, *format, *deny_unchanged)?,
         Command::Lower { path, model } => {
             let program = load_program(path)?;
             println!(
@@ -963,6 +1081,80 @@ fn execute_check(
     Ok(())
 }
 
+/// Prints the `rustc --explain`-style paragraph for one diagnostic code.
+/// Unknown codes are usage errors (exit 2).
+fn execute_explain(text: &str) -> Result<(), SimError> {
+    let code = hetmem_dsl::Code::parse(text).ok_or_else(|| {
+        SimError::Usage(format!(
+            "unknown diagnostic code {text:?} (codes run HM0001-HM0005 and HM0101-HM0106)"
+        ))
+    })?;
+    println!("{}: {}", code, code.name());
+    println!("{}", code.explanation());
+    Ok(())
+}
+
+/// Runs the checker-driven communication optimizer over the selected
+/// programs × models and prints each outcome in the requested format.
+fn execute_fix(
+    targets: &[String],
+    all: bool,
+    models: &[AddressSpace],
+    format: FixFormat,
+    deny_unchanged: bool,
+) -> Result<(), SimError> {
+    let models: Vec<AddressSpace> = if models.is_empty() {
+        AddressSpace::ALL.to_vec()
+    } else {
+        models.to_vec()
+    };
+    let programs: Vec<hetmem_dsl::Program> = if all {
+        let mut v = hetmem_dsl::programs::all();
+        v.extend(hetmem_dsl::programs::extra::all());
+        v
+    } else {
+        targets
+            .iter()
+            .map(|t| resolve_check_target(t))
+            .collect::<Result<_, _>>()?
+    };
+    let mut reports = Vec::new();
+    for program in &programs {
+        for &model in &models {
+            reports.push(hetmem_dsl::fix(program, model));
+        }
+    }
+    match format {
+        FixFormat::Pretty => {
+            for report in &reports {
+                println!("{report}");
+                println!("{}", hetmem_dsl::render(&report.fixed));
+            }
+        }
+        FixFormat::Json => print!("{}", hetmem_xplore::fix_reports_to_jsonl(&reports)),
+        FixFormat::Diff => {
+            for report in &reports {
+                let id = format!("{}/{}", report.original.program_name, report.original.model);
+                println!("--- {id} (original)");
+                println!("+++ {id} (fixed)");
+                print!(
+                    "{}",
+                    hetmem_dsl::diff_lines(
+                        &hetmem_dsl::render(&report.original),
+                        &hetmem_dsl::render(&report.fixed)
+                    )
+                );
+            }
+        }
+    }
+    if deny_unchanged && !reports.iter().any(hetmem_dsl::FixReport::changed) {
+        return Err(SimError::FixUnchanged {
+            pairs: reports.len(),
+        });
+    }
+    Ok(())
+}
+
 fn load_program(path: &str) -> Result<hetmem_dsl::Program, SimError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| SimError::Io(format!("cannot read {path}: {e}")))?;
@@ -1111,6 +1303,47 @@ mod tests {
                 models: vec![],
                 format: OutputFormat::Table,
                 deny: hetmem_dsl::Severity::Error,
+                explain: None,
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&["check", "--explain", "HM0101"])),
+            Ok(Command::Check {
+                targets: vec![],
+                all: false,
+                models: vec![],
+                format: OutputFormat::Table,
+                deny: hetmem_dsl::Severity::Error,
+                explain: Some("HM0101".into()),
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&["fix", "--all"])),
+            Ok(Command::Fix {
+                targets: vec![],
+                all: true,
+                models: vec![],
+                format: FixFormat::Pretty,
+                deny_unchanged: false,
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "fix",
+                "kmeans",
+                "--model",
+                "pas",
+                "--format",
+                "diff",
+                "--deny",
+                "unchanged"
+            ])),
+            Ok(Command::Fix {
+                targets: vec!["kmeans".into()],
+                all: false,
+                models: vec![AddressSpace::PartiallyShared],
+                format: FixFormat::Diff,
+                deny_unchanged: true,
             })
         );
         assert_eq!(
@@ -1129,6 +1362,7 @@ mod tests {
                 models: vec![AddressSpace::Disjoint, AddressSpace::Adsm],
                 format: OutputFormat::Json,
                 deny: hetmem_dsl::Severity::Error,
+                explain: None,
             })
         );
     }
@@ -1146,6 +1380,17 @@ mod tests {
             panic!("--deny warnings must parse");
         };
         assert_eq!(deny, hetmem_dsl::Severity::Warning);
+        assert!(parse_args(&args(&["check", "reduction", "--explain", "HM0101"])).is_err());
+        assert!(parse_args(&args(&["check", "--all", "--explain", "HM0101"])).is_err());
+    }
+
+    #[test]
+    fn fix_rejects_contradictory_and_empty_forms() {
+        assert!(parse_args(&args(&["fix"])).is_err());
+        assert!(parse_args(&args(&["fix", "--all", "reduction"])).is_err());
+        assert!(parse_args(&args(&["fix", "reduction", "--deny", "warnings"])).is_err());
+        assert!(parse_args(&args(&["fix", "reduction", "--format", "csv"])).is_err());
+        assert!(parse_args(&args(&["fix", "reduction", "--model", "weird"])).is_err());
     }
 
     #[test]

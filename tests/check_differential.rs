@@ -15,8 +15,8 @@
 //! four address-space models.
 
 use hetmem_dsl::{
-    check_lowered, lower, programs, run_oracle, AddressSpace, BufId, Buffer, Code, Lowered,
-    Program, Severity, Step, Target,
+    check_lowered, fix_lowered, lower, parse_program, programs, run_oracle, write_program,
+    AccessMode, AddressSpace, BufId, Buffer, Code, Lowered, Program, Severity, Step, Target,
 };
 
 fn all_programs() -> Vec<Program> {
@@ -247,6 +247,65 @@ fn lowerings_of_random_programs_are_checker_clean() {
             assert!(
                 oracle.is_clean(),
                 "case {case} under {model}: oracle found stale reads: {oracle:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: the grammar round-trips (access modes included) and the fix
+// pass is a projection (fix(fix(p)) == fix(p)).
+// ---------------------------------------------------------------------
+
+/// Stamps every buffer with a random declared access mode; the grammar
+/// must carry all four spellings.
+fn with_random_modes(rng: &mut Rng, mut program: Program) -> Program {
+    const MODES: [AccessMode; 4] = [
+        AccessMode::Read,
+        AccessMode::Write,
+        AccessMode::ReadWrite,
+        AccessMode::Reduce,
+    ];
+    for buffer in &mut program.buffers {
+        buffer.mode = MODES[rng.usize_range(0, MODES.len())];
+    }
+    program
+}
+
+#[test]
+fn random_programs_round_trip_through_the_grammar_with_access_modes() {
+    let mut rng = Rng::new(0xC11EC2 ^ 0x5EED);
+    for case in 0..200 {
+        let program = arb_checked_program(&mut rng);
+        let program = with_random_modes(&mut rng, program);
+        let text = write_program(&program);
+        let back =
+            parse_program(&text).unwrap_or_else(|e| panic!("case {case}: {e}\nsource:\n{text}"));
+        assert_eq!(
+            back, program,
+            "case {case}: parse(pretty(p)) != p\nsource:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn fix_is_idempotent_on_random_programs() {
+    let mut rng = Rng::new(0xF1C5EED);
+    for case in 0..200 {
+        let program = arb_checked_program(&mut rng);
+        for model in AddressSpace::ALL {
+            let once = fix_lowered(&lower(&program, model));
+            let twice = fix_lowered(&once.fixed);
+            assert!(
+                !twice.changed(),
+                "case {case} under {model}: fix(fix(p)) != fix(p): {twice}"
+            );
+            assert_eq!(once.fixed, twice.fixed, "case {case} under {model}");
+            // Whatever fix did, the result must still satisfy the
+            // checker-clean contract the pristine lowering had.
+            assert!(
+                run_oracle(&once.fixed).is_clean(),
+                "case {case} under {model}: fix broke the program"
             );
         }
     }

@@ -21,7 +21,7 @@ fn help_lists_all_commands() {
     let text = stdout(&out);
     for cmd in [
         "tables", "fig", "loc", "lower", "trace", "sim", "sweep", "search", "serve", "catalog",
-        "check",
+        "check", "fix",
     ] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
@@ -365,4 +365,130 @@ fn check_json_stream_parses_and_ends_with_a_summary() {
         "ten programs across four models"
     );
     assert_eq!(summary.get("errors").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn check_explain_prints_the_paragraph_and_rejects_unknown_codes() {
+    let out = hetmem(&["check", "--explain", "HM0101"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.starts_with("HM0101: stale-read"), "{text}");
+    assert!(text.contains("host-to-device transfer"), "{text}");
+
+    // The kebab-case name works too.
+    let by_name = hetmem(&["check", "--explain", "ownership-violation"]);
+    assert!(by_name.status.success());
+    assert!(
+        stdout(&by_name).starts_with("HM0105"),
+        "{}",
+        stdout(&by_name)
+    );
+
+    let unknown = hetmem(&["check", "--explain", "HM9999"]);
+    assert_eq!(
+        unknown.status.code(),
+        Some(2),
+        "unknown codes are usage errors"
+    );
+    assert!(
+        String::from_utf8_lossy(&unknown.stderr).contains("unknown diagnostic code"),
+        "{}",
+        String::from_utf8_lossy(&unknown.stderr)
+    );
+}
+
+#[test]
+fn fix_reports_kmeans_pas_savings_and_deny_unchanged_cuts_both_ways() {
+    // k-mean under PAS has a removable ownership ping-pong: fix reports
+    // the change, and --deny unchanged is satisfied.
+    let out = hetmem(&["fix", "kmeans", "--model", "pas", "--deny", "unchanged"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("fix `k-mean` under PAS"), "{text}");
+    assert!(text.contains("4 removal(s)"), "{text}");
+
+    // reduction under DIS is already minimal: --deny unchanged exits 1.
+    let unchanged = hetmem(&["fix", "reduction", "--model", "dis", "--deny", "unchanged"]);
+    assert_eq!(unchanged.status.code(), Some(1), "--deny unchanged exits 1");
+    assert!(
+        String::from_utf8_lossy(&unchanged.stderr).contains("no changes"),
+        "{}",
+        String::from_utf8_lossy(&unchanged.stderr)
+    );
+    // Without the flag the same invocation is fine.
+    let ok = hetmem(&["fix", "reduction", "--model", "dis"]);
+    assert!(ok.status.success());
+}
+
+#[test]
+fn fix_diff_marks_the_removed_ownership_lines() {
+    let out = hetmem(&["fix", "kmeans", "--model", "pas", "--format", "diff"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("--- k-mean/PAS (original)"), "{text}");
+    assert!(text.contains("+++ k-mean/PAS (fixed)"), "{text}");
+    // Four ownership lines leave; the only other +/- pair is the header
+    // restating the comm-handling line count.
+    let removed = text
+        .lines()
+        .filter(|l| l.starts_with("- ") && l.contains("[comm]"))
+        .count();
+    let inserted = text
+        .lines()
+        .filter(|l| l.starts_with("+ ") && l.contains("[comm]"))
+        .count();
+    assert_eq!(removed, 4, "{text}");
+    assert_eq!(inserted, 0, "{text}");
+}
+
+#[test]
+fn fix_json_stream_parses_and_ends_with_a_summary() {
+    use hetmem_xplore::json::{parse, Json};
+    let out = hetmem(&["fix", "--all", "--format", "json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 41, "ten programs x four models plus summary");
+    for line in &lines {
+        let v = parse(line).expect("every line is valid JSON");
+        assert!(v.get("kind").is_some(), "{line}");
+    }
+    let summary = parse(lines.last().expect("summary")).expect("parses");
+    assert_eq!(summary.get("kind").and_then(Json::as_str), Some("summary"));
+    assert_eq!(summary.get("fixed").and_then(Json::as_u64), Some(40));
+    assert!(
+        summary.get("transfers_removed").and_then(Json::as_u64) >= Some(4),
+        "{summary:?}"
+    );
+    assert_eq!(
+        summary.get("transfers_inserted").and_then(Json::as_u64),
+        Some(0),
+        "pristine lowerings never need insertions"
+    );
+}
+
+#[test]
+fn fix_rejects_bad_invocations_with_usage() {
+    for argv in [
+        vec!["fix"],
+        vec!["fix", "reduction", "--all"],
+        vec!["fix", "no-such-kernel"],
+        vec!["fix", "reduction", "--deny", "warnings"],
+        vec!["fix", "reduction", "--format", "csv"],
+    ] {
+        let out = hetmem(&argv);
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: hetmem"),
+            "{argv:?}"
+        );
+    }
 }

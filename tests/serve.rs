@@ -432,3 +432,47 @@ fn burst_is_rejected_jobs_coalesce_and_drain_completes_accepted_work() {
     assert_eq!(metrics.queue_rejections.load(Ordering::Relaxed), 1);
     assert_eq!(metrics.jobs_failed.load(Ordering::Relaxed), 0);
 }
+
+#[test]
+fn fix_endpoint_streams_the_optimizer_jsonl_and_bumps_the_fix_metrics() {
+    let server = start(1, 4, None);
+    let addr = server.local_addr();
+    let reply = send(
+        addr,
+        "POST",
+        "/v1/fix",
+        Some("{\"targets\":[\"reduction\",\"k-mean\"],\"models\":[\"dis\",\"pas\"]}"),
+    );
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("content-type"), Some("application/x-ndjson"));
+    let summary = parse(reply.body.lines().last().expect("summary line")).expect("valid json");
+    assert_eq!(summary.get("kind").and_then(Json::as_str), Some("summary"));
+    assert_eq!(
+        summary.get("fixed").and_then(Json::as_u64),
+        Some(4),
+        "two targets under two models"
+    );
+    // k-mean under PAS is the pair with removable ownership round-trips.
+    assert_eq!(
+        summary.get("transfers_removed").and_then(Json::as_u64),
+        Some(4)
+    );
+
+    let metrics = send(addr, "GET", "/metrics", None).json();
+    assert_eq!(counter(&metrics, "fixes_completed"), 4);
+    assert_eq!(counter(&metrics, "transfers_removed"), 4);
+    assert_eq!(counter(&metrics, "transfers_inserted"), 0);
+
+    assert_eq!(send(addr, "GET", "/v1/fix", None).status, 405);
+    let unknown = send(
+        addr,
+        "POST",
+        "/v1/fix",
+        Some("{\"targets\":[\"no-such-kernel\"]}"),
+    );
+    assert_eq!(unknown.status, 500, "unknown targets fail at execution");
+    let malformed = send(addr, "POST", "/v1/fix", Some("{\"targets\":[]}"));
+    assert_eq!(malformed.status, 400);
+    server.shutdown();
+    server.wait();
+}
