@@ -27,9 +27,9 @@ fn serve_request_path(c: &mut Criterion) {
     let cache = DiskCache::open(&dir).expect("cache opens");
     let req = parse_sim_request(BODY).expect("parses");
     let metrics = Metrics::default();
-    run_sim(&req, Some(&cache), &metrics).expect("fill run");
+    run_sim(&req, Some(&cache), None, &metrics).expect("fill run");
     group.bench_function("cache_hit_response", |b| {
-        b.iter(|| black_box(run_sim(&req, Some(&cache), &metrics).expect("cache hit")));
+        b.iter(|| black_box(run_sim(&req, Some(&cache), None, &metrics).expect("cache hit")));
     });
 
     group.bench_function("metrics_snapshot", |b| {

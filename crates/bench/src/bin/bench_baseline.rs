@@ -68,17 +68,17 @@ fn main() {
     let cache = DiskCache::open(&dir).expect("cache opens");
     let req = parse_sim_request(BODY).expect("parses");
     let metrics = Metrics::default();
-    run_sim(&req, Some(&cache), &metrics).expect("fill run");
+    run_sim(&req, Some(&cache), None, &metrics).expect("fill run");
 
     let mut benches = vec![
         measure("decode_sim_request", 200, || {
             std::hint::black_box(parse_sim_request(BODY).expect("parses"));
         }),
         measure("cache_hit_response", 100, || {
-            std::hint::black_box(run_sim(&req, Some(&cache), &metrics).expect("cache hit"));
+            std::hint::black_box(run_sim(&req, Some(&cache), None, &metrics).expect("cache hit"));
         }),
         measure("live_sim_scale512", 20, || {
-            std::hint::black_box(run_sim(&req, None, &metrics).expect("live run"));
+            std::hint::black_box(run_sim(&req, None, None, &metrics).expect("live run"));
         }),
         measure("metrics_snapshot", 200, || {
             std::hint::black_box(metrics.to_json(0, 0, 8).render());
@@ -90,6 +90,7 @@ fn main() {
         workers: 1,
         queue_depth: 32,
         cache_dir: Some(dir.clone()),
+        ..ServeOptions::default()
     })
     .expect("server starts");
     benches.push(measure("loopback_cache_hit_round_trip", 50, || {

@@ -160,7 +160,7 @@ fn run_benches(quick: bool) -> Vec<Json> {
         );
         let req = parse_sim_request(&body).expect("request parses");
         let t = measure(warm, budget, if quick { 20 } else { 60 }, || {
-            std::hint::black_box(run_sim(&req, None, &metrics).expect("live run"));
+            std::hint::black_box(run_sim(&req, None, None, &metrics).expect("live run"));
         });
         let mut fields = vec![("name", Json::Str(format!("live_sim_scale512_{label}")))];
         fields.extend(timing_fields(&t));

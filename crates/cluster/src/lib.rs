@@ -1,0 +1,39 @@
+//! Multi-node clustering for the hetmem simulation service.
+//!
+//! The serve layer answers design-space queries (`/v1/sim`,
+//! `/v1/check`, sweeps) whose results are content-addressed and
+//! memoized; this crate turns a set of such servers into one fleet
+//! with a **sharded, replicated result cache**:
+//!
+//! * [`Ring`] — a consistent-hash ring with virtual nodes partitions
+//!   the content-key space, so every job has exactly one owner and
+//!   membership changes move only the dead node's keys;
+//! * [`proto`] — a std-only wire protocol (4-byte length prefix +
+//!   JSON) carries join handshakes, heartbeats, forwarded requests,
+//!   replica pushes, and metrics fan-out between nodes;
+//! * [`ClusterNode`] — membership (gossip-lite heartbeats, missed-
+//!   window death detection, tombstones), request forwarding with
+//!   entry-side coalescing of identical in-flight requests, hot-entry
+//!   replication to the ring successor, and work stealing from
+//!   overloaded shards.
+//!
+//! The crate knows nothing about HTTP or the simulator: the serve
+//! layer injects [`Hooks`] (execute-locally, snapshot-metrics,
+//! queue-depth) and owns the routing policy built from [`Plan`].
+//!
+//! Everything rides on `std::net::TcpStream` — the build environment
+//! has no package registry, the same constraint the HTTP server and
+//! JSON module already live under.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod proto;
+pub mod ring;
+
+pub use node::{
+    ClusterConfig, ClusterNode, ExecReply, Executor, ForwardFailure, Forwarded, Hooks, LoadProbe,
+    MetricsProvider, Plan,
+};
+pub use ring::{Ring, DEFAULT_VNODES};

@@ -1,0 +1,42 @@
+//! The workspace's one hashing primitive: FNV-1a, 64-bit.
+//!
+//! Every layer that needs a stable digest uses this function — the
+//! xplore result cache addresses entries by `fnv1a(content_key)`, the
+//! serve pool picks a job's shard as `fnv1a(key) % workers`, and the
+//! cluster ring places virtual nodes at `fnv1a("addr#i")`. Keeping one
+//! implementation here (the lowest crate in the workspace) means the
+//! on-disk cache, the shard map, and the ring can never drift apart.
+//!
+//! FNV-1a is stable across platforms and builds, cheap on short keys,
+//! and collision-resistant far beyond the few thousand keys a sweep (or
+//! a cluster) produces. It is **not** cryptographic and must never gate
+//! trust decisions.
+
+/// FNV-1a, 64-bit, over `bytes`.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pinned digests: the on-disk cache file names and the cluster
+    /// ring positions are derived from these values, so they may never
+    /// change across releases.
+    #[test]
+    fn digests_are_pinned() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        // Distinct inputs produce distinct digests on realistic keys.
+        assert_ne!(fnv1a(b"hetmem"), fnv1a(b"hetmem "));
+        assert_ne!(fnv1a(b"127.0.0.1:9301#0"), fnv1a(b"127.0.0.1:9301#1"));
+    }
+}

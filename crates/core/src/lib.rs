@@ -39,6 +39,7 @@ mod catalog;
 pub mod consistency;
 mod design_space;
 pub mod experiment;
+pub mod hash;
 mod locality;
 pub mod locality_study;
 pub mod metrics;
@@ -50,6 +51,7 @@ pub use address_space::{AddressSpaceModel, Addressability, IdealSpaceComm};
 pub use catalog::{by_space, catalog, CatalogSpace, Connection, Consistency, SystemEntry};
 pub use consistency::{allows, enumerate_outcomes, ConsistencyModel, Op, Outcome};
 pub use design_space::{CoherenceOption, DesignPoint};
+pub use hash::fnv1a;
 pub use hetmem_dsl::AddressSpace;
 pub use locality::{LocalityControl, LocalityScheme, SharedLocality};
 pub use locality_study::{run_locality_study, LocalityStudyRow, SharedLocalityVariant};

@@ -43,6 +43,21 @@ impl Request {
     }
 }
 
+/// Whether a query string enables the boolean parameter `name`.
+///
+/// `?name`, `?name=1`, and `?name=true` all enable it; `?name=0` and
+/// `?name=false` (or its absence) do not. Values are matched verbatim —
+/// the query grammar the service accepts has no percent-encoding.
+#[must_use]
+pub fn query_flag(query: Option<&str>, name: &str) -> bool {
+    query.is_some_and(|query| {
+        query.split('&').any(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, "1"));
+            key == name && matches!(value, "1" | "true")
+        })
+    })
+}
+
 /// Why a request could not be parsed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum HttpError {
@@ -283,6 +298,16 @@ mod tests {
             round_trip("POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"),
             Err(HttpError::TooLarge(_))
         ));
+    }
+
+    #[test]
+    fn query_flags_parse() {
+        assert!(query_flag(Some("cluster=1"), "cluster"));
+        assert!(query_flag(Some("a=2&cluster=true"), "cluster"));
+        assert!(query_flag(Some("cluster"), "cluster"));
+        assert!(!query_flag(Some("cluster=0"), "cluster"));
+        assert!(!query_flag(Some("clusters=1"), "cluster"));
+        assert!(!query_flag(None, "cluster"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! the same bytes.
 
 use crate::metrics::Metrics;
+use hetmem_cluster::ClusterNode;
 use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::AddressSpace;
 use hetmem_search::{
@@ -153,9 +154,12 @@ impl SimRequest {
 }
 
 /// Executes one sim request: answered from `cache` when the content key
-/// is present, simulated live (with event counts folded into `metrics`)
-/// otherwise. Returns the response body — the CLI's JSON object plus
-/// trailing newline.
+/// is present, from a replica a cluster predecessor pushed here
+/// otherwise, and simulated live (with event counts folded into
+/// `metrics`) as the last resort. When the node owns the key on the
+/// cluster ring, the access is counted toward hot-entry replication.
+/// Returns the response body — the CLI's JSON object plus trailing
+/// newline.
 ///
 /// # Errors
 ///
@@ -164,6 +168,7 @@ impl SimRequest {
 pub fn run_sim(
     req: &SimRequest,
     cache: Option<&DiskCache>,
+    cluster: Option<&ClusterNode>,
     metrics: &Metrics,
 ) -> Result<String, String> {
     let (job, config) = req.job();
@@ -173,28 +178,46 @@ pub fn run_sim(
             metrics.bump(&metrics.cache_hits);
             record
         }
-        None => {
-            metrics.bump(&metrics.cache_misses);
-            let trace = hetmem_xplore::job_trace(&job);
-            // A single-slot ring: the exact totals survive eviction, and
-            // the service only keeps the totals.
-            let (record, events) = execute_job_observed(
-                &job,
-                &config,
-                &trace,
-                EventTrace::with_capacity(1),
-                req.mode,
-            )
-            .map_err(|e| e.to_string())?;
-            metrics.absorb_events(events.counts());
-            if let Some(c) = cache {
-                if let Err(e) = c.put(&key, &record) {
-                    eprintln!("warning: cache write failed: {e}");
+        None => match cluster.and_then(|node| node.replica_take(&key)) {
+            Some(record) => {
+                // A predecessor replicated this entry here before dying
+                // (or before the ring rehashed the key to this node).
+                // Promote it into the local disk cache so the next
+                // lookup is an ordinary hit.
+                metrics.bump(&metrics.cache_hits);
+                if let Some(c) = cache {
+                    if let Err(e) = c.put(&key, &record) {
+                        eprintln!("warning: cache write failed: {e}");
+                    }
                 }
+                record
             }
-            record
-        }
+            None => {
+                metrics.bump(&metrics.cache_misses);
+                let trace = hetmem_xplore::job_trace(&job);
+                // A single-slot ring: the exact totals survive eviction,
+                // and the service only keeps the totals.
+                let (record, events) = execute_job_observed(
+                    &job,
+                    &config,
+                    &trace,
+                    EventTrace::with_capacity(1),
+                    req.mode,
+                )
+                .map_err(|e| e.to_string())?;
+                metrics.absorb_events(events.counts());
+                if let Some(c) = cache {
+                    if let Err(e) = c.put(&key, &record) {
+                        eprintln!("warning: cache write failed: {e}");
+                    }
+                }
+                record
+            }
+        },
     };
+    if let Some(node) = cluster {
+        node.note_access(&key, &record);
+    }
     let value = Json::obj(vec![
         ("system", Json::Str(record.target.clone())),
         ("total_ticks", Json::UInt(record.report.total_ticks())),
@@ -811,7 +834,7 @@ mod tests {
             parse_sim_request("{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":512}")
                 .expect("parses");
         let metrics = Metrics::default();
-        let body = run_sim(&req, None, &metrics).expect("runs");
+        let body = run_sim(&req, None, None, &metrics).expect("runs");
         assert!(body.ends_with('\n'));
         let v = parse(body.trim_end()).expect("valid json");
         assert_eq!(v.get("system").and_then(Json::as_str), Some("Fusion"));
@@ -827,8 +850,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cache = DiskCache::open(&dir).expect("open");
         let metrics = Metrics::default();
-        let cold = run_sim(&req, Some(&cache), &metrics).expect("runs");
-        let warm = run_sim(&req, Some(&cache), &metrics).expect("runs");
+        let cold = run_sim(&req, Some(&cache), None, &metrics).expect("runs");
+        let warm = run_sim(&req, Some(&cache), None, &metrics).expect("runs");
         assert_eq!(cold, warm);
         assert_eq!(cold, body);
         assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
@@ -888,8 +911,8 @@ mod tests {
         )
         .expect("parses");
         let metrics = Metrics::default();
-        let a = run_sim(&accurate, None, &metrics).expect("runs");
-        let w = run_sim(&wheel, None, &metrics).expect("runs");
+        let a = run_sim(&accurate, None, None, &metrics).expect("runs");
+        let w = run_sim(&wheel, None, None, &metrics).expect("runs");
         let av = parse(a.trim_end()).expect("valid json");
         let wv = parse(w.trim_end()).expect("valid json");
         assert_eq!(av.get("total_ticks"), wv.get("total_ticks"));

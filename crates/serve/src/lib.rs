@@ -22,7 +22,13 @@
 //!   completes every accepted job, and then stops the workers;
 //! * **live metrics** — `GET /metrics` reports queue depth, worker
 //!   utilization, cache hit rate, latency histograms, and the aggregate
-//!   [`hetmem_sim::EventCounts`] folded in from live runs.
+//!   [`hetmem_sim::EventCounts`] folded in from live runs;
+//! * **clustering** — with `--advertise` / `--join`, several servers
+//!   form a fleet over [`hetmem_cluster`]: the content-key space is
+//!   sharded across a consistent-hash ring, requests are forwarded to
+//!   their owning node (and coalesced there), hot cache entries are
+//!   replicated to the ring successor, and `/metrics?cluster=1` merges
+//!   every member's counters.
 //!
 //! ## Endpoints
 //!
@@ -34,7 +40,8 @@
 //! | POST   | `/v1/check`     | Static verifier; answers the checker's JSONL   |
 //! | GET    | `/v1/jobs/<id>` | Async job status / result (running searches include a `progress` object) |
 //! | GET    | `/healthz`      | Liveness (`ok` / `draining`)                   |
-//! | GET    | `/metrics`      | The metric registry as JSON                    |
+//! | GET    | `/v1/health`    | Liveness + readiness; `503` with `Retry-After` while draining |
+//! | GET    | `/metrics`      | The metric registry as JSON (`?cluster=1` merges the whole fleet) |
 //! | POST   | `/v1/shutdown`  | Graceful drain (std-only binaries cannot trap signals) |
 //!
 //! ## Example
@@ -67,13 +74,13 @@ pub mod metrics;
 pub mod pool;
 pub mod server;
 
-pub use http::{Request, Response};
+pub use http::{query_flag, Request, Response};
 pub use jobs::{
     parse_check_request, parse_fix_request, parse_search_request, parse_sim_request,
     parse_sweep_request, run_check_request, run_fix_request, run_search_request, run_sim,
     run_sweep_request, search_progress_json, CheckRequest, JobState, Registry, SearchRequest,
     SimRequest, SweepRequest, DEFAULT_SCALE,
 };
-pub use metrics::{LatencyHistogram, Metrics};
+pub use metrics::{merge_metrics, LatencyHistogram, Metrics};
 pub use pool::{Outcome, Rejected, ShardedPool, Ticket};
 pub use server::{JobResult, ServeOptions, Server};

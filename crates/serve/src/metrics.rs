@@ -179,6 +179,96 @@ impl Metrics {
     }
 }
 
+/// Merges several nodes' `/metrics` documents into one fleet-wide view
+/// (the `merged` section of `GET /metrics?cluster=1`).
+///
+/// Numeric fields sum; nested objects merge recursively; arrays of
+/// latency buckets (`{le_us, n}` pairs) merge by bucket bound; any
+/// other value keeps the first node's copy. Keys appear in the order
+/// the first document introduces them, so the merged document reads
+/// like a single node's.
+#[must_use]
+pub fn merge_metrics(docs: &[Json]) -> Json {
+    let mut keys: Vec<&str> = Vec::new();
+    for doc in docs {
+        if let Json::Obj(pairs) = doc {
+            for (key, _) in pairs {
+                if !keys.contains(&key.as_str()) {
+                    keys.push(key);
+                }
+            }
+        }
+    }
+    let pairs = keys
+        .into_iter()
+        .map(|key| {
+            let values: Vec<&Json> = docs.iter().filter_map(|doc| doc.get(key)).collect();
+            (key.to_owned(), merge_values(&values))
+        })
+        .collect();
+    Json::Obj(pairs)
+}
+
+fn merge_values(values: &[&Json]) -> Json {
+    match values {
+        [] => Json::Null,
+        [only] => (*only).clone(),
+        [first, ..] => match first {
+            Json::UInt(_) | Json::Int(_) | Json::Float(_) => sum_numeric(values),
+            Json::Obj(_) => {
+                let docs: Vec<Json> = values.iter().map(|v| (*v).clone()).collect();
+                merge_metrics(&docs)
+            }
+            Json::Arr(_) if is_bucket_array(first) => merge_buckets(values),
+            _ => (*first).clone(),
+        },
+    }
+}
+
+fn sum_numeric(values: &[&Json]) -> Json {
+    if values.iter().all(|v| matches!(v, Json::UInt(_))) {
+        Json::UInt(values.iter().filter_map(|v| v.as_u64()).sum())
+    } else {
+        Json::Float(values.iter().filter_map(|v| v.as_f64()).sum())
+    }
+}
+
+fn is_bucket_array(value: &Json) -> bool {
+    match value {
+        Json::Arr(items) => items
+            .iter()
+            .all(|item| item.get("le_us").is_some() && item.get("n").is_some()),
+        _ => false,
+    }
+}
+
+fn merge_buckets(values: &[&Json]) -> Json {
+    // (le_us, n) pairs, accumulated by bound and re-sorted.
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for value in values {
+        let Json::Arr(items) = value else { continue };
+        for item in items {
+            let (Some(le), Some(n)) = (
+                item.get("le_us").and_then(Json::as_u64),
+                item.get("n").and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            match merged.iter_mut().find(|(bound, _)| *bound == le) {
+                Some((_, total)) => *total += n,
+                None => merged.push((le, n)),
+            }
+        }
+    }
+    merged.sort_unstable();
+    Json::Arr(
+        merged
+            .into_iter()
+            .map(|(le, n)| Json::obj(vec![("le_us", Json::UInt(le)), ("n", Json::UInt(n))]))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +342,42 @@ mod tests {
             ev.get("fast_forward_ticks").and_then(Json::as_u64),
             Some(10)
         );
+    }
+
+    #[test]
+    fn merge_sums_counters_and_buckets_across_nodes() {
+        let a = Metrics::default();
+        a.bump(&a.requests_total);
+        a.bump(&a.cache_misses);
+        a.latency.record(Duration::from_micros(1)); // bucket le 2
+        let b = Metrics::default();
+        b.bump(&b.requests_total);
+        b.bump(&b.requests_total);
+        b.bump(&b.cache_hits);
+        b.latency.record(Duration::from_micros(1));
+        b.latency.record(Duration::from_micros(3)); // bucket le 4
+        let merged = merge_metrics(&[a.to_json(1, 0, 2), b.to_json(2, 1, 2)]);
+        assert_eq!(merged.get("requests_total").and_then(Json::as_u64), Some(3));
+        assert_eq!(merged.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(merged.get("cache_misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(merged.get("queue_depth").and_then(Json::as_u64), Some(3));
+        let latency = merged.get("latency").expect("latency");
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(3));
+        let Some(Json::Arr(buckets)) = latency.get("buckets") else {
+            panic!("buckets array");
+        };
+        let pairs: Vec<(u64, u64)> = buckets
+            .iter()
+            .map(|b| {
+                (
+                    b.get("le_us").and_then(Json::as_u64).expect("le"),
+                    b.get("n").and_then(Json::as_u64).expect("n"),
+                )
+            })
+            .collect();
+        assert_eq!(pairs, vec![(2, 2), (4, 1)]);
+        // Nested sim_events objects merge recursively too.
+        let ev = merged.get("sim_events").expect("sim_events");
+        assert_eq!(ev.get("dram_requests").and_then(Json::as_u64), Some(0));
     }
 }

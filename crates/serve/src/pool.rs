@@ -16,7 +16,7 @@
 //! two at a time.
 
 use crate::metrics::Metrics;
-use hetmem_xplore::cache::fnv1a;
+use hetmem_core::hash::fnv1a;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};

@@ -7,24 +7,33 @@
 //! endpoint (`POST /v1/shutdown`) because a std-only binary cannot trap
 //! signals: the handler answers, wakes the accept loop with a loopback
 //! connection, and the accept thread then joins every handler, drains
-//! the pool (completing all accepted jobs), and joins the async
-//! waiters.
+//! the pool (completing all accepted jobs), joins the async waiters,
+//! and finally leaves the cluster ring (when clustering is enabled).
+//!
+//! Clustering (`--advertise` / `--join`) adds a [`ClusterNode`] next to
+//! the HTTP listener: `/v1/sim` and `/v1/check` requests whose content
+//! key hashes to another node are forwarded there (so the fleet shards
+//! its result cache instead of duplicating it), and `/metrics?cluster=1`
+//! fans out and merges every member's counters.
 
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{query_flag, read_request, HttpError, Request, Response};
 use crate::jobs::{
     parse_check_request, parse_fix_request, parse_search_request, parse_sim_request,
     parse_sweep_request, run_check_request, run_fix_request, run_search_request, run_sim,
     run_sweep_request, search_progress_json, JobState, Registry,
 };
-use crate::metrics::Metrics;
+use crate::metrics::{merge_metrics, Metrics};
 use crate::pool::{Outcome, Rejected, ShardedPool, Ticket};
+use hetmem_cluster::{
+    ClusterConfig, ClusterNode, ExecReply, ForwardFailure, Forwarded, Hooks, Plan,
+};
 use hetmem_search::ProgressHook;
 use hetmem_sim::SimError;
 use hetmem_xplore::{DiskCache, Json};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// What a worker hands back through the pool: a rendered response body
@@ -42,6 +51,16 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Result-cache directory shared with `hetmem sweep --cache-dir`.
     pub cache_dir: Option<PathBuf>,
+    /// Cluster listener bind address (`HOST:PORT`, port 0 ephemeral).
+    /// Setting this (or [`ServeOptions::join`]) enables clustering.
+    pub advertise: Option<String>,
+    /// Cluster address of an existing member to join.
+    pub join: Option<String>,
+    /// Cluster heartbeat period in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Accesses to an owned cache entry before it is replicated to the
+    /// ring successor.
+    pub replicate_after: u64,
 }
 
 impl Default for ServeOptions {
@@ -51,6 +70,10 @@ impl Default for ServeOptions {
             workers: 0,
             queue_depth: 32,
             cache_dir: None,
+            advertise: None,
+            join: None,
+            heartbeat_ms: 500,
+            replicate_after: 2,
         }
     }
 }
@@ -68,6 +91,10 @@ struct State {
     /// drain (drain completes accepted jobs).
     cancel: Arc<AtomicBool>,
     waiters: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The cluster membership layer, set once after the HTTP listener
+    /// is live (the join handshake probes `/v1/health` back). `None`
+    /// for a standalone server.
+    cluster: OnceLock<Arc<ClusterNode>>,
 }
 
 impl State {
@@ -87,10 +114,13 @@ impl State {
     ) -> Result<Ticket<JobResult>, Response> {
         if self.draining.load(Ordering::SeqCst) {
             self.metrics.bump(&self.metrics.drain_rejections);
-            return Err(Response::json(
-                503,
-                State::error_body("the service is draining"),
-            ));
+            // Draining is transient like a full queue: the client should
+            // retry (against a peer, or here after a restart), so the
+            // 503 carries Retry-After exactly as the 429 path does.
+            return Err(
+                Response::json(503, State::error_body("the service is draining"))
+                    .with_header("retry-after", "1"),
+            );
         }
         let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         self.pool.submit(key, deadline, work).map_err(|r| match r {
@@ -105,6 +135,7 @@ impl State {
             Rejected::Draining => {
                 self.metrics.bump(&self.metrics.drain_rejections);
                 Response::json(503, State::error_body("the service is draining"))
+                    .with_header("retry-after", "1")
             }
         })
     }
@@ -135,6 +166,157 @@ impl State {
     }
 }
 
+/// Runs a request forwarded by a peer against the local pool — the
+/// owner side of cluster forwarding. The job enters the pool under the
+/// same content key a local client would use, so identical requests
+/// arriving via different entry nodes coalesce here into one execution.
+fn execute_remote(state: &Arc<State>, endpoint: &str, body: &str) -> ExecReply {
+    if state.draining.load(Ordering::SeqCst) {
+        state.metrics.bump(&state.metrics.drain_rejections);
+        return ExecReply::Draining;
+    }
+    let (key, deadline_ms, work): (String, Option<u64>, Box<dyn FnOnce() -> JobResult + Send>) =
+        match endpoint {
+            "/v1/sim" => match parse_sim_request(body) {
+                Err(message) => return ExecReply::Failed(message),
+                Ok(sim) => {
+                    let key = sim.content_key();
+                    let deadline = sim.deadline_ms;
+                    let metrics = Arc::clone(&state.metrics);
+                    let cache = state.cache.clone();
+                    let cluster = state.cluster.get().cloned();
+                    (
+                        key,
+                        deadline,
+                        Box::new(move || {
+                            run_sim(&sim, cache.as_deref(), cluster.as_deref(), &metrics)
+                        }),
+                    )
+                }
+            },
+            "/v1/check" => match parse_check_request(body) {
+                Err(message) => return ExecReply::Failed(message),
+                Ok(check) => {
+                    let key = check.coalesce_key();
+                    let deadline = check.deadline_ms;
+                    (key, deadline, Box::new(move || run_check_request(&check)))
+                }
+            },
+            _ => return ExecReply::Failed(format!("endpoint {endpoint} is not forwardable")),
+        };
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    match state.pool.submit(&key, deadline, work) {
+        Err(Rejected::QueueFull { .. }) => {
+            state.metrics.bump(&state.metrics.queue_rejections);
+            ExecReply::Busy
+        }
+        Err(Rejected::Draining) => {
+            state.metrics.bump(&state.metrics.drain_rejections);
+            ExecReply::Draining
+        }
+        Ok(ticket) => match ticket.wait() {
+            Outcome::Done(Ok(body)) => ExecReply::Body(body),
+            Outcome::Done(Err(error)) => {
+                state.metrics.bump(&state.metrics.jobs_failed);
+                ExecReply::Failed(error)
+            }
+            Outcome::DeadlineExceeded { waited_ms } => ExecReply::Timeout { waited_ms },
+        },
+    }
+}
+
+/// The entry side of cluster forwarding: sends the request to its ring
+/// `owner` and renders the outcome. Returns `None` when the owner is
+/// busy, draining, or unreachable — the caller then runs the job
+/// locally (work stealing / failover), which keeps the fleet answering
+/// within one heartbeat interval of a node death.
+fn try_forward(
+    state: &Arc<State>,
+    node: &ClusterNode,
+    owner: &str,
+    endpoint: &str,
+    body: &str,
+    key: &str,
+    content_type: &'static str,
+) -> Option<Response> {
+    match node.forward(owner, endpoint, body, key) {
+        Ok(Forwarded::Body(body)) => Some(Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+            content_type,
+        }),
+        Ok(Forwarded::Timeout { waited_ms }) => {
+            Some(state.render_outcome(Outcome::DeadlineExceeded { waited_ms }))
+        }
+        Ok(Forwarded::Failed(message)) => Some(Response::json(500, State::error_body(&message))),
+        Err(ForwardFailure::Busy | ForwardFailure::Draining | ForwardFailure::Unavailable(_)) => {
+            node.note_steal();
+            None
+        }
+    }
+}
+
+/// Appends the node's cluster status block to a local metrics
+/// document, so both the plain `/metrics` body and every document fed
+/// into the fleet merge carry the cluster counters.
+fn append_cluster(local: Json, node: &ClusterNode) -> Json {
+    match local {
+        Json::Obj(mut pairs) => {
+            pairs.push(("cluster".to_owned(), node.status_json()));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+/// Starts the cluster layer for `opts`, wiring its hooks to `state`
+/// through a weak reference (the node must not keep the state alive).
+fn start_cluster(
+    opts: &ServeOptions,
+    http_addr: SocketAddr,
+    state: &Arc<State>,
+) -> Result<Arc<ClusterNode>, SimError> {
+    let exec_state: Weak<State> = Arc::downgrade(state);
+    let metrics_state: Weak<State> = Arc::downgrade(state);
+    let load_state: Weak<State> = Arc::downgrade(state);
+    let hooks = Hooks {
+        executor: Arc::new(move |endpoint, body| match exec_state.upgrade() {
+            Some(state) => execute_remote(&state, endpoint, body),
+            None => ExecReply::Draining,
+        }),
+        metrics: Arc::new(move || match metrics_state.upgrade() {
+            Some(state) => {
+                let local = state.metrics.to_json(
+                    state.pool.queued(),
+                    state.pool.busy(),
+                    state.pool.workers(),
+                );
+                match state.cluster.get() {
+                    Some(node) => append_cluster(local, node),
+                    None => local,
+                }
+            }
+            None => Json::obj(vec![]),
+        }),
+        load: Arc::new(move || match load_state.upgrade() {
+            Some(state) => state.pool.queued(),
+            None => u64::MAX,
+        }),
+    };
+    ClusterNode::start(
+        ClusterConfig {
+            advertise: opts.advertise.clone(),
+            join: opts.join.clone(),
+            http_addr: http_addr.to_string(),
+            heartbeat_ms: opts.heartbeat_ms.max(1),
+            replicate_after: opts.replicate_after.max(1),
+            ..ClusterConfig::default()
+        },
+        hooks,
+    )
+}
+
 /// Routes one parsed request. Split from the socket layer so tests can
 /// drive the full API without a live connection.
 fn handle(state: &Arc<State>, req: &Request) -> Response {
@@ -161,21 +343,87 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
                 ),
             )
         }
+        ("GET", "/v1/health") => {
+            // Liveness vs readiness: the process is live as long as it
+            // answers at all; it is ready only while it still admits
+            // jobs. Peers probe this during the join handshake; probes
+            // and load balancers use it to take a draining node out of
+            // rotation.
+            let draining = state.draining.load(Ordering::SeqCst);
+            let body = format!(
+                "{}\n",
+                Json::obj(vec![
+                    (
+                        "status",
+                        Json::Str(if draining { "draining" } else { "ok" }.to_owned()),
+                    ),
+                    ("live", Json::Bool(true)),
+                    ("ready", Json::Bool(!draining)),
+                ])
+                .render()
+            );
+            if draining {
+                Response::json(503, body).with_header("retry-after", "1")
+            } else {
+                Response::json(200, body)
+            }
+        }
         ("GET", "/metrics") => {
-            let body = state
-                .metrics
-                .to_json(state.pool.queued(), state.pool.busy(), state.pool.workers())
-                .render();
-            Response::json(200, format!("{body}\n"))
+            let local =
+                state
+                    .metrics
+                    .to_json(state.pool.queued(), state.pool.busy(), state.pool.workers());
+            let body = match state.cluster.get() {
+                None => local,
+                Some(node) if query_flag(req.query.as_deref(), "cluster") => {
+                    // Fan out to every live peer and merge: one document
+                    // describing the whole fleet, plus the member list so
+                    // a dashboard can see who answered. Every document
+                    // (including the local one) carries its node's
+                    // cluster block, so degradation counters like
+                    // `peer_failures` survive the merge.
+                    let peers = node.peer_metrics();
+                    let mut members = vec![Json::Str(node.self_addr().to_owned())];
+                    let mut docs = vec![append_cluster(local, node)];
+                    for (addr, doc) in peers {
+                        members.push(Json::Str(addr));
+                        docs.push(doc);
+                    }
+                    Json::obj(vec![
+                        ("nodes", Json::UInt(docs.len() as u64)),
+                        ("members", Json::Arr(members)),
+                        ("merged", merge_metrics(&docs)),
+                        ("cluster", node.status_json()),
+                    ])
+                }
+                Some(node) => append_cluster(local, node),
+            };
+            Response::json(200, format!("{}\n", body.render()))
         }
         ("POST", "/v1/sim") => match parse_sim_request(&req.body) {
             Err(message) => bad_request(state, &message),
             Ok(sim) => {
                 let key = sim.content_key();
+                if let Some(node) = state.cluster.get() {
+                    if let Plan::Forward(owner) = node.plan(&key) {
+                        if let Some(response) = try_forward(
+                            state,
+                            node,
+                            &owner,
+                            "/v1/sim",
+                            &req.body,
+                            &key,
+                            "application/json",
+                        ) {
+                            return response;
+                        }
+                    }
+                }
                 let deadline = sim.deadline_ms;
                 let metrics = Arc::clone(&state.metrics);
                 let cache = state.cache.clone();
-                let work = move || run_sim(&sim, cache.as_deref(), &metrics);
+                let cluster = state.cluster.get().cloned();
+                let work = move || run_sim(&sim, cache.as_deref(), cluster.as_deref(), &metrics);
                 match state.admit(&key, deadline, work) {
                     Err(response) => response,
                     Ok(ticket) => state.render_outcome(ticket.wait()),
@@ -186,6 +434,21 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
             Err(message) => bad_request(state, &message),
             Ok(check) => {
                 let key = check.coalesce_key();
+                if let Some(node) = state.cluster.get() {
+                    if let Plan::Forward(owner) = node.plan(&key) {
+                        if let Some(response) = try_forward(
+                            state,
+                            node,
+                            &owner,
+                            "/v1/check",
+                            &req.body,
+                            &key,
+                            "application/x-ndjson",
+                        ) {
+                            return response;
+                        }
+                    }
+                }
                 let deadline = check.deadline_ms;
                 let work = move || run_check_request(&check);
                 match state.admit(&key, deadline, work) {
@@ -287,7 +550,7 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
                 ),
             )
         }
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown")
+        (_, "/healthz" | "/v1/health" | "/metrics" | "/v1/jobs" | "/v1/shutdown")
         | (
             "GET" | "PUT" | "DELETE",
             "/v1/sim" | "/v1/sweep" | "/v1/check" | "/v1/fix" | "/v1/search",
@@ -396,12 +659,28 @@ impl Server {
             draining: AtomicBool::new(false),
             cancel: Arc::new(AtomicBool::new(false)),
             waiters: Mutex::new(Vec::new()),
+            cluster: OnceLock::new(),
         });
         let accept_state = Arc::clone(&state);
         let accept = std::thread::Builder::new()
             .name("hetmem-serve-accept".to_owned())
             .spawn(move || accept_loop(&listener, &accept_state))
             .map_err(|e| SimError::Io(format!("cannot spawn accept thread: {e}")))?;
+        // Clustering starts after the HTTP accept thread: the join
+        // handshake requires the seed to probe this node's /v1/health.
+        if opts.advertise.is_some() || opts.join.is_some() {
+            match start_cluster(opts, addr, &state) {
+                Ok(node) => {
+                    let _ = state.cluster.set(node);
+                }
+                Err(err) => {
+                    state.draining.store(true, Ordering::SeqCst);
+                    wake_accept(addr);
+                    let _ = accept.join();
+                    return Err(err);
+                }
+            }
+        }
         Ok(Server {
             state,
             addr,
@@ -413,6 +692,13 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The cluster listener's address, when clustering is enabled —
+    /// what `--join` on another node should name.
+    #[must_use]
+    pub fn cluster_addr(&self) -> Option<SocketAddr> {
+        self.state.cluster.get().map(|node| node.listen_addr())
     }
 
     /// Asks the server to drain and stop, as `POST /v1/shutdown` does.
@@ -472,6 +758,11 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
     for waiter in waiters {
         let _ = waiter.join();
     }
+    // 4. Leave the cluster ring (peers rehash immediately) and stop the
+    //    membership threads.
+    if let Some(node) = state.cluster.get() {
+        node.shutdown();
+    }
     eprintln!(
         "hetmem-serve: drained ({} jobs completed, {} coalesced, {} rejected, {} timed out)",
         state.metrics.jobs_completed.load(Ordering::Relaxed),
@@ -524,5 +815,75 @@ mod tests {
         assert_eq!(opts.queue_depth, 32);
         assert!(opts.cache_dir.is_none());
         assert!(opts.addr.contains(':'));
+        assert!(opts.advertise.is_none());
+        assert!(opts.join.is_none());
+        assert_eq!(opts.heartbeat_ms, 500);
+        assert_eq!(opts.replicate_after, 2);
+    }
+
+    fn draining_state() -> Arc<State> {
+        let metrics = Arc::new(Metrics::default());
+        Arc::new(State {
+            pool: ShardedPool::start(1, 1, Arc::clone(&metrics)),
+            registry: Registry::default(),
+            metrics,
+            cache: None,
+            cache_dir: None,
+            draining: AtomicBool::new(true),
+            cancel: Arc::new(AtomicBool::new(false)),
+            waiters: Mutex::new(Vec::new()),
+            cluster: OnceLock::new(),
+        })
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            query: None,
+            headers: Vec::new(),
+            body: String::new(),
+        }
+    }
+
+    #[test]
+    fn health_reports_not_ready_while_draining() {
+        let state = draining_state();
+        let response = route(&state, &get("/v1/health"));
+        assert_eq!(response.status, 503);
+        assert!(response.body.contains("\"live\":true"), "{}", response.body);
+        assert!(
+            response.body.contains("\"ready\":false"),
+            "{}",
+            response.body
+        );
+        assert!(
+            response
+                .headers
+                .contains(&("retry-after".to_owned(), "1".to_owned())),
+            "503 must tell the client when to retry"
+        );
+        state.pool.drain();
+    }
+
+    #[test]
+    fn drain_rejections_carry_retry_after() {
+        let state = draining_state();
+        let request = Request {
+            method: "POST".to_owned(),
+            path: "/v1/sim".to_owned(),
+            query: None,
+            headers: Vec::new(),
+            body: "{\"kernel\":\"reduction\",\"system\":\"fusion\",\"scale\":512}".to_owned(),
+        };
+        let response = route(&state, &request);
+        assert_eq!(response.status, 503);
+        assert!(
+            response
+                .headers
+                .contains(&("retry-after".to_owned(), "1".to_owned())),
+            "the drain 503 must carry Retry-After like the 429 path"
+        );
+        state.pool.drain();
     }
 }

@@ -41,6 +41,13 @@ pub enum SimError {
         /// discovered to have passed.
         waited_ms: u64,
     },
+    /// A cluster peer could not be reached (connect, send, or receive
+    /// failed, or the reply was malformed). Callers fall back to local
+    /// execution or to the rehashed ring.
+    PeerUnavailable {
+        /// The peer's advertised cluster address.
+        peer: String,
+    },
 }
 
 impl SimError {
@@ -75,6 +82,9 @@ impl fmt::Display for SimError {
             SimError::DeadlineExceeded { waited_ms } => {
                 write!(f, "deadline exceeded after waiting {waited_ms} ms")
             }
+            SimError::PeerUnavailable { peer } => {
+                write!(f, "cluster peer {peer} is unavailable")
+            }
         }
     }
 }
@@ -101,6 +111,13 @@ mod tests {
         assert_eq!(SimError::FixUnchanged { pairs: 4 }.exit_code(), 1);
         assert_eq!(SimError::Cancelled.exit_code(), 1);
         assert_eq!(SimError::DeadlineExceeded { waited_ms: 5 }.exit_code(), 1);
+        assert_eq!(
+            SimError::PeerUnavailable {
+                peer: "127.0.0.1:9301".into()
+            }
+            .exit_code(),
+            1
+        );
     }
 
     #[test]

@@ -19,17 +19,11 @@ pub struct DiskCache {
     misses: AtomicU64,
 }
 
-/// FNV-1a, 64-bit: stable across platforms and builds, fast, and collision
-/// resistance far beyond the few thousand keys a sweep produces.
-#[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+// Re-exported so the long-standing `hetmem_xplore::cache::fnv1a` path
+// keeps working; the implementation (and its pinned digest vectors)
+// lives in `hetmem_core::hash`, shared with the serve pool's shard map
+// and the cluster ring.
+pub use hetmem_core::hash::fnv1a;
 
 impl DiskCache {
     /// Opens (and creates if needed) a cache rooted at `dir`.

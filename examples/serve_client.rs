@@ -40,6 +40,7 @@ fn main() {
         workers: 4,
         queue_depth: 32,
         cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
     })
     .expect("server starts");
     let addr = server.local_addr();

@@ -164,6 +164,12 @@ pub enum Command {
         queue_depth: usize,
         /// Result-cache directory shared with `sweep --cache-dir`.
         cache_dir: Option<PathBuf>,
+        /// Cluster listener bind address; enables clustering.
+        advertise: Option<String>,
+        /// Cluster address of an existing member to join.
+        join: Option<String>,
+        /// Cluster heartbeat period in milliseconds.
+        heartbeat_ms: u64,
     },
     /// Print the Table I survey.
     Catalog,
@@ -219,10 +225,14 @@ commands:
                                 sampled[:WARM:DETAIL] (SMARTS-style, <2%
                                 cycles error at scale >= 256)
   serve [--addr H:P] [--workers N] [--queue-depth D] [--cache-dir DIR]
+        [--advertise H:P] [--join H:P] [--heartbeat-ms MS]
                                 HTTP simulation service: POST /v1/sim,
                                 /v1/sweep, /v1/check, /v1/fix; GET /healthz,
-                                /metrics, /v1/jobs/<id>; POST /v1/shutdown
-                                drains
+                                /v1/health, /metrics, /v1/jobs/<id>;
+                                POST /v1/shutdown drains; --advertise or
+                                --join forms a multi-node fleet that shards
+                                and replicates the result cache
+                                (/metrics?cluster=1 merges the fleet)
   catalog                       the Table I survey
   help                          this message";
 
@@ -733,8 +743,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "serve" => {
-            let (positionals, flags) =
-                split_flags(rest, &["addr", "workers", "queue-depth", "cache-dir"])?;
+            let (positionals, flags) = split_flags(
+                rest,
+                &[
+                    "addr",
+                    "workers",
+                    "queue-depth",
+                    "cache-dir",
+                    "advertise",
+                    "join",
+                    "heartbeat-ms",
+                ],
+            )?;
             expect_no_positionals(&positionals, "serve")?;
             let addr = match flag_values(&flags, "addr").as_slice() {
                 [] => "127.0.0.1:7878".to_owned(),
@@ -760,11 +780,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .ok_or_else(|| "--queue-depth needs a positive integer".to_owned())?,
                 _ => return Err("--queue-depth given more than once".to_owned()),
             };
+            let host_port = |name: &str| match flag_values(&flags, name).as_slice() {
+                [] => Ok(None),
+                [v] if v.contains(':') => Ok(Some((*v).to_owned())),
+                [v] => Err(format!("--{name} needs HOST:PORT, not {v:?}")),
+                _ => Err(format!("--{name} given more than once")),
+            };
+            let advertise = host_port("advertise")?;
+            let join = host_port("join")?;
+            let heartbeat_ms = match flag_values(&flags, "heartbeat-ms").as_slice() {
+                [] => 500,
+                [v] => v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--heartbeat-ms needs a positive integer".to_owned())?,
+                _ => return Err("--heartbeat-ms given more than once".to_owned()),
+            };
             Ok(Command::Serve {
                 addr,
                 workers,
                 queue_depth,
                 cache_dir: parse_cache_dir(&flags),
+                advertise,
+                join,
+                heartbeat_ms,
             })
         }
         "catalog" => {
@@ -949,16 +989,26 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             workers,
             queue_depth,
             cache_dir,
+            advertise,
+            join,
+            heartbeat_ms,
         } => {
             let server = hetmem_serve::Server::start(&hetmem_serve::ServeOptions {
                 addr: addr.clone(),
                 workers: *workers,
                 queue_depth: *queue_depth,
                 cache_dir: cache_dir.clone(),
+                advertise: advertise.clone(),
+                join: join.clone(),
+                heartbeat_ms: *heartbeat_ms,
+                ..hetmem_serve::ServeOptions::default()
             })?;
-            // The resolved address on stdout first, so scripts binding
-            // port 0 can discover the ephemeral port.
+            // The resolved addresses on stdout first, so scripts binding
+            // port 0 can discover the ephemeral ports.
             println!("hetmem-serve listening on http://{}", server.local_addr());
+            if let Some(cluster) = server.cluster_addr() {
+                println!("hetmem-serve cluster on {cluster}");
+            }
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
             server.wait();

@@ -22,6 +22,10 @@
 //! * [`serve`] (`hetmem-serve`) — the batched simulation service behind
 //!   `hetmem serve`: a std-only HTTP/1.1 JSON API over sharded workers
 //!   with admission control, request coalescing, and live metrics.
+//! * [`cluster`] (`hetmem-cluster`) — the multi-node fleet layer behind
+//!   `hetmem serve --join`: consistent-hash sharding of the result-cache
+//!   key space, request forwarding with remote coalescing, successor
+//!   replication of hot entries, and heartbeat membership.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +45,7 @@
 
 pub mod cli;
 
+pub use hetmem_cluster as cluster;
 pub use hetmem_core as core;
 pub use hetmem_dsl as dsl;
 pub use hetmem_serve as serve;

@@ -110,6 +110,9 @@ fn unknown_flags_exit_nonzero_with_one_line_error_and_usage() {
         vec!["serve", "--bogus-flag", "1"],
         vec!["serve", "extra-positional"],
         vec!["serve", "--workers", "0"],
+        vec!["serve", "--join", "no-colon"],
+        vec!["serve", "--advertise", "no-colon"],
+        vec!["serve", "--heartbeat-ms", "0"],
         vec!["search", "--turbo", "on"],
         vec!["search", "extra-positional"],
         vec!["search", "--budget", "0"],

@@ -72,6 +72,7 @@ fn start(workers: usize, queue_depth: usize, cache_dir: Option<PathBuf>) -> Serv
         workers,
         queue_depth,
         cache_dir,
+        ..ServeOptions::default()
     })
     .expect("server starts")
 }
@@ -114,6 +115,17 @@ fn healthz_metrics_and_routing_errors() {
     assert!(v.get("latency").is_some());
     assert!(v.get("sim_events").is_some());
 
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn v1_health_reports_live_and_ready() {
+    let server = start(1, 8, None);
+    let health = send(server.local_addr(), "GET", "/v1/health", None);
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"live\":true"), "{}", health.body);
+    assert!(health.body.contains("\"ready\":true"), "{}", health.body);
     server.shutdown();
     server.wait();
 }
