@@ -31,9 +31,11 @@
 pub mod node;
 pub mod proto;
 pub mod ring;
+pub mod sweep;
 
 pub use node::{
     ClusterConfig, ClusterNode, ExecReply, Executor, ForwardFailure, Forwarded, Hooks, LoadProbe,
     MetricsProvider, Plan,
 };
 pub use ring::{Ring, DEFAULT_VNODES};
+pub use sweep::{FleetDispatcher, NodeDispatcher};

@@ -5,8 +5,9 @@
 //! server and two background threads:
 //!
 //! * the **listener** answers peer frames (join handshakes, heartbeats,
-//!   forwarded `execute` requests, replica pushes, metrics fan-out,
-//!   graceful leaves), spawning one short-lived thread per connection;
+//!   forwarded `execute` requests, scattered `sweep_part` batches,
+//!   replica pushes, metrics fan-out, peer-list queries, graceful
+//!   leaves), spawning one short-lived thread per connection;
 //! * the **heartbeat loop** pings every known peer each
 //!   [`ClusterConfig::heartbeat_ms`], piggybacking the local queue
 //!   depth and the full peer list (gossip-lite: any peer learned by one
@@ -28,6 +29,7 @@ use hetmem_xplore::json::Json;
 use hetmem_xplore::ser::SweepRecord;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -132,6 +134,12 @@ pub struct ClusterConfig {
     /// Queue depth at which a shard counts as overloaded: an idle
     /// entry node runs the job itself instead of forwarding.
     pub steal_queue_threshold: u64,
+    /// Where to persist the last-known peer list on every membership
+    /// change (`<cache-dir>/cluster-peers.json`, typically). A restarted
+    /// node with no reachable `join` seed falls back to dialing these
+    /// addresses, so a bounced process rejoins its fleet unattended.
+    /// `None` disables persistence.
+    pub peers_path: Option<PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -144,6 +152,7 @@ impl Default for ClusterConfig {
             vnodes: DEFAULT_VNODES,
             replicate_after: 2,
             steal_queue_threshold: 8,
+            peers_path: None,
         }
     }
 }
@@ -243,6 +252,9 @@ pub struct ClusterNode {
     replicas_stored: AtomicU64,
     replica_hits: AtomicU64,
     heartbeats_sent: AtomicU64,
+    sweep_parts_in: AtomicU64,
+    sweep_parts_out: AtomicU64,
+    sweep_part_failovers: AtomicU64,
 }
 
 impl ClusterNode {
@@ -293,6 +305,9 @@ impl ClusterNode {
             replicas_stored: AtomicU64::new(0),
             replica_hits: AtomicU64::new(0),
             heartbeats_sent: AtomicU64::new(0),
+            sweep_parts_in: AtomicU64::new(0),
+            sweep_parts_out: AtomicU64::new(0),
+            sweep_part_failovers: AtomicU64::new(0),
         });
 
         let accept_node = Arc::clone(&node);
@@ -301,9 +316,17 @@ impl ClusterNode {
 
         if let Some(seed) = node.cfg.join.clone() {
             if let Err(err) = node.join_seed(&seed) {
-                node.shutdown();
-                return Err(err);
+                // The named seed is gone; a persisted peer list from a
+                // previous life may still name live members.
+                if !node.rejoin_persisted() {
+                    node.shutdown();
+                    return Err(err);
+                }
             }
+        } else if node.cfg.peers_path.is_some() {
+            // Founding a ring, but a previous incarnation may have left
+            // peers behind — rejoin them rather than split-brain.
+            let _ = node.rejoin_persisted();
         }
 
         let beat_node = Arc::clone(&node);
@@ -322,6 +345,43 @@ impl ClusterNode {
     #[must_use]
     pub fn self_addr(&self) -> &str {
         &self.self_addr
+    }
+
+    /// A clone of the current hash ring, for callers that partition a
+    /// batch by ownership (the distributed sweep dispatcher). The clone
+    /// is a consistent snapshot: membership changes after it never
+    /// corrupt a partition, they only route parts to nodes that answer
+    /// busy or unavailable — which the engine survives by failover.
+    #[must_use]
+    pub fn ring_snapshot(&self) -> Ring {
+        lock(&self.ring).clone()
+    }
+
+    /// Every live member's HTTP address (this node excluded), sorted.
+    /// The serve layer hands these to clients that polled the wrong
+    /// node for an async job.
+    #[must_use]
+    pub fn peer_http_addrs(&self) -> Vec<String> {
+        let mut addrs: Vec<String> = lock(&self.members)
+            .values()
+            .map(|p| p.http.clone())
+            .filter(|http| !http.is_empty())
+            .collect();
+        addrs.sort();
+        addrs
+    }
+
+    /// Counts sweep parts scattered from this node to part owners.
+    pub fn note_parts_out(&self, parts: u64) {
+        self.sweep_parts_out.fetch_add(parts, Ordering::Relaxed);
+    }
+
+    /// Counts one sweep part that came back onto the local pool after
+    /// its owner proved unreachable, draining, or busy — the batch
+    /// flavor of reactive stealing.
+    pub fn note_part_failover(&self) {
+        self.sweep_part_failovers.fetch_add(1, Ordering::Relaxed);
+        self.work_steals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Decides where the request addressed by `key` should run.
@@ -548,6 +608,9 @@ impl ClusterNode {
             ("replicas_stored", count(&self.replicas_stored)),
             ("replica_hits", count(&self.replica_hits)),
             ("heartbeats_sent", count(&self.heartbeats_sent)),
+            ("sweep_parts_in", count(&self.sweep_parts_in)),
+            ("sweep_parts_out", count(&self.sweep_parts_out)),
+            ("sweep_part_failovers", count(&self.sweep_part_failovers)),
         ])
     }
 
@@ -640,11 +703,61 @@ impl ClusterNode {
     }
 
     /// Rebuilds the hash ring from the current member set plus self.
+    /// Every membership change funnels through here, which makes it the
+    /// one place to persist the peer list for unattended rejoin.
     fn rebuild_ring(&self) {
         let mut nodes: Vec<String> = lock(&self.members).keys().cloned().collect();
         nodes.push(self.self_addr.clone());
         let ring = Ring::new(&nodes, self.cfg.vnodes);
         *lock(&self.ring) = ring;
+        self.persist_peers();
+    }
+
+    /// Writes the current peer list to [`ClusterConfig::peers_path`]
+    /// (write-temp-then-rename, so readers never see a torn file).
+    /// Best-effort: a full disk must not take down membership.
+    fn persist_peers(&self) {
+        let Some(path) = &self.cfg.peers_path else {
+            return;
+        };
+        let body = Json::obj(vec![("peers", self.peer_list())]).render() + "\n";
+        let tmp = path.with_extension("json.tmp");
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if std::fs::write(&tmp, body).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+
+    /// Dials the peers persisted by a previous incarnation, joining the
+    /// first one that answers the handshake. Returns whether any did.
+    fn rejoin_persisted(&self) -> bool {
+        let Some(path) = &self.cfg.peers_path else {
+            return false;
+        };
+        let Ok(body) = std::fs::read_to_string(path) else {
+            return false;
+        };
+        let Ok(value) = hetmem_xplore::json::parse(&body) else {
+            return false;
+        };
+        let Some(Json::Arr(peers)) = value.get("peers") else {
+            return false;
+        };
+        for peer in peers {
+            let Some(cluster) = peer.get("cluster").and_then(Json::as_str) else {
+                continue;
+            };
+            if cluster == self.self_addr {
+                continue;
+            }
+            if self.join_seed(cluster).is_ok() {
+                return true;
+            }
+            self.peer_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        false
     }
 
     /// The gossiped peer list: every member plus this node.
@@ -749,6 +862,7 @@ impl ClusterNode {
             let Ok((conn, _)) = listener.accept() else {
                 break;
             };
+            let _ = conn.set_nodelay(true);
             if self.draining.load(Ordering::SeqCst) {
                 break;
             }
@@ -766,6 +880,12 @@ impl ClusterNode {
             Some("hello") => self.on_hello(&request),
             Some("heartbeat") => self.on_heartbeat(&request),
             Some("execute") => self.on_execute(&request),
+            Some("sweep_part") => self.on_sweep_part(&request),
+            Some("peers") => Json::obj(vec![
+                ("kind", Json::Str("peers".to_owned())),
+                ("vnodes", Json::UInt(self.cfg.vnodes as u64)),
+                ("peers", self.peer_list()),
+            ]),
             Some("replicate") => self.on_replicate(&request),
             Some("metrics") => Json::obj(vec![
                 ("kind", Json::Str("metrics".to_owned())),
@@ -857,6 +977,38 @@ impl ClusterNode {
                 ("kind", Json::Str("result".to_owned())),
                 ("body", Json::Str(body)),
             ]),
+            ExecReply::Busy => Json::obj(vec![("kind", Json::Str("busy".to_owned()))]),
+            ExecReply::Draining => Json::obj(vec![("kind", Json::Str("draining".to_owned()))]),
+            ExecReply::Timeout { waited_ms } => Json::obj(vec![
+                ("kind", Json::Str("timeout".to_owned())),
+                ("waited_ms", Json::UInt(waited_ms)),
+            ]),
+            ExecReply::Failed(message) => error_frame(&message),
+        }
+    }
+
+    /// Owner-side half of a distributed sweep: execute one scattered
+    /// partition through the serve layer's `/v1/sweep-part` hook (which
+    /// runs it on the local engine + disk cache, off the request pool)
+    /// and frame the records back. Busy/draining/failed map to the
+    /// existing frame vocabulary — the entry node's engine reacts to
+    /// all of them the same way, by running the part locally.
+    fn on_sweep_part(&self, request: &Json) -> Json {
+        self.sweep_parts_in.fetch_add(1, Ordering::Relaxed);
+        let body = request.get("body").and_then(Json::as_str).unwrap_or("");
+        match (self.hooks.executor)("/v1/sweep-part", body) {
+            ExecReply::Body(body) => {
+                let reply = Json::obj(vec![
+                    ("kind", Json::Str("sweep_part_result".to_owned())),
+                    ("body", Json::Str(body)),
+                ]);
+                // JSON escaping can inflate the body, so bound the
+                // exact rendered frame, not the payload estimate.
+                if reply.render().len() > proto::MAX_FRAME_BYTES {
+                    return error_frame("sweep part result exceeds the frame cap");
+                }
+                reply
+            }
             ExecReply::Busy => Json::obj(vec![("kind", Json::Str("busy".to_owned()))]),
             ExecReply::Draining => Json::obj(vec![("kind", Json::Str("draining".to_owned()))]),
             ExecReply::Timeout { waited_ms } => Json::obj(vec![
@@ -1176,5 +1328,60 @@ mod tests {
             Some(1)
         );
         a.shutdown();
+    }
+
+    #[test]
+    fn persisted_peers_let_a_restarted_node_rejoin() {
+        let dir =
+            std::env::temp_dir().join(format!("hetmem-cluster-peers-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pb = dir.join("b").join("cluster-peers.json");
+        let a = ClusterNode::start(
+            ClusterConfig {
+                http_addr: health_stub(),
+                peers_path: Some(dir.join("a").join("cluster-peers.json")),
+                ..ClusterConfig::default()
+            },
+            hooks("a", Arc::new(AtomicU64::new(0))),
+        )
+        .expect("start a");
+        let b = ClusterNode::start(
+            ClusterConfig {
+                join: Some(a.self_addr().to_owned()),
+                http_addr: health_stub(),
+                peers_path: Some(pb.clone()),
+                ..ClusterConfig::default()
+            },
+            hooks("b", Arc::new(AtomicU64::new(0))),
+        )
+        .expect("start b");
+        // The join rebuilt both rings, so both peer files exist and
+        // name both members.
+        let persisted = std::fs::read_to_string(&pb).expect("b's peer file");
+        assert!(persisted.contains(a.self_addr()), "{persisted}");
+        assert!(persisted.contains(b.self_addr()), "{persisted}");
+        b.shutdown();
+
+        // "Restart" b: the configured seed is dead, but the persisted
+        // list still names a, so the new incarnation joins unattended.
+        let dead_seed = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        };
+        let b2 = ClusterNode::start(
+            ClusterConfig {
+                join: Some(dead_seed),
+                http_addr: health_stub(),
+                peers_path: Some(pb),
+                ..ClusterConfig::default()
+            },
+            hooks("b2", Arc::new(AtomicU64::new(0))),
+        )
+        .expect("rejoin via persisted peers");
+        assert_eq!(lock(&b2.ring).len(), 2);
+        assert_eq!(lock(&a.ring).len(), 2);
+        b2.shutdown();
+        a.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

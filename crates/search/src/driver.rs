@@ -19,7 +19,7 @@ use hetmem_core::report::TextTable;
 use hetmem_core::{hardware_cost, programmer_burden};
 use hetmem_dsl::kernel_overhead;
 use hetmem_sim::{ExecMode, SimError};
-use hetmem_xplore::{run_jobs, Job, SweepOptions, SweepRecord};
+use hetmem_xplore::{run_jobs, Job, JobDispatcher, SweepOptions, SweepRecord};
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -73,6 +73,12 @@ pub struct SearchOptions {
     pub cancel: Option<Arc<AtomicBool>>,
     /// Called after every round with frontier-so-far progress.
     pub on_round: Option<ProgressHook>,
+    /// Remote execution for each round's job batch (a cluster,
+    /// typically); `None` runs every job locally. Execution placement
+    /// never touches the trajectory: records land in ordinal order
+    /// wherever they ran, so scores — and therefore the whole search —
+    /// stay byte-stable.
+    pub dispatcher: Option<Arc<dyn JobDispatcher>>,
 }
 
 impl SearchOptions {
@@ -304,6 +310,7 @@ pub fn run_search(
             .cache_dir(opts.cache_dir.clone())
             .cancel(opts.cancel.clone())
             .mode(config.mode)
+            .dispatcher(opts.dispatcher.clone())
             .build();
         let out = run_jobs(&jobs, &sim_config, &sweep_opts)?;
         stats.jobs_submitted += jobs.len();

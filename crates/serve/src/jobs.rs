@@ -17,10 +17,11 @@ use hetmem_search::{
     Strategy,
 };
 use hetmem_sim::{EventTrace, ExecMode};
+use hetmem_xplore::dispatch::{decode_part, render_part_records};
 use hetmem_xplore::{
     check_reports_to_jsonl, content_key_with, execute_job_observed, fix_reports_to_jsonl,
-    parse_kernel, parse_space, parse_system, report_to_json, run_jobs, DiskCache, Job, JobKind,
-    Json, SweepOptions, SweepSpec,
+    parse_kernel, parse_space, parse_system, report_to_json, run_jobs, DiskCache, Job,
+    JobDispatcher, JobKind, Json, SweepOptions, SweepSpec,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -335,6 +336,7 @@ pub fn run_sweep_request(
     cache_dir: Option<PathBuf>,
     cancel: Arc<AtomicBool>,
     metrics: &Metrics,
+    dispatcher: Option<Arc<dyn JobDispatcher>>,
 ) -> Result<String, String> {
     // The CLI `sweep` configuration: per-job scales come from the spec,
     // the hardware/cost point is the paper baseline.
@@ -344,6 +346,7 @@ pub fn run_sweep_request(
         .cache_dir(cache_dir)
         .cancel(Some(cancel))
         .mode(req.mode)
+        .dispatcher(dispatcher)
         .build();
     let out = run_jobs(&req.spec.expand(), &config, &opts).map_err(|e| e.to_string())?;
     for _ in 0..out.stats.cache_hits {
@@ -371,6 +374,43 @@ pub fn run_sweep_request(
         ),
     ]);
     Ok(body.render())
+}
+
+/// Executes one scattered sweep partition — the owner side of a
+/// distributed sweep. The part's jobs run on this node's engine with
+/// `workers` threads, through the shared disk cache, and the records
+/// come back framed by the exact-round-trip part serialization.
+///
+/// Unlike every HTTP job this does **not** run on the request pool: a
+/// part arrives while the entry node's own pool worker is already held
+/// by the sweep that scattered it, so routing parts through the pool
+/// could deadlock two entry nodes scattering at each other. The caller
+/// ([`execute_remote`](crate::server)) bounds concurrent parts instead.
+///
+/// # Errors
+///
+/// Returns a one-line message on a malformed part body or a failed job.
+pub fn run_sweep_part(
+    body: &str,
+    cache_dir: Option<PathBuf>,
+    workers: usize,
+    metrics: &Metrics,
+) -> Result<String, String> {
+    let part = decode_part(&parse_body(body)?)?;
+    let opts = SweepOptions::builder()
+        .workers(workers.max(1))
+        .cache_dir(cache_dir)
+        .timeline_interval(part.timeline_interval)
+        .mode(part.mode)
+        .build();
+    let out = run_jobs(&part.jobs, &part.config, &opts).map_err(|e| e.to_string())?;
+    metrics
+        .cache_hits
+        .fetch_add(out.stats.cache_hits, Ordering::Relaxed);
+    metrics
+        .cache_misses
+        .fetch_add(out.stats.cache_misses, Ordering::Relaxed);
+    Ok(render_part_records(&out.records))
 }
 
 /// `POST /v1/search`: a guided multi-objective search over the design
@@ -508,12 +548,14 @@ pub fn run_search_request(
     cancel: Arc<AtomicBool>,
     metrics: &Metrics,
     on_round: Option<ProgressHook>,
+    dispatcher: Option<Arc<dyn JobDispatcher>>,
 ) -> Result<String, String> {
     let opts = SearchOptions {
         workers: 1,
         cache_dir,
         cancel: Some(cancel),
         on_round,
+        dispatcher,
     };
     let result = run_search(&req.config, opts).map_err(|e| e.to_string())?;
     metrics
@@ -958,7 +1000,7 @@ mod tests {
         )
         .expect("parses");
         let metrics = Metrics::default();
-        let body = run_sweep_request(&req, None, Arc::new(AtomicBool::new(false)), &metrics)
+        let body = run_sweep_request(&req, None, Arc::new(AtomicBool::new(false)), &metrics, None)
             .expect("runs");
         let v = parse(&body).expect("valid json");
         let Some(Json::Arr(records)) = v.get("records").cloned() else {
@@ -973,7 +1015,7 @@ mod tests {
         );
 
         // A pre-set cancel flag aborts with the typed error's message.
-        let err = run_sweep_request(&req, None, Arc::new(AtomicBool::new(true)), &metrics)
+        let err = run_sweep_request(&req, None, Arc::new(AtomicBool::new(true)), &metrics, None)
             .expect_err("cancelled");
         assert!(err.contains("cancelled"), "{err}");
     }
@@ -1042,6 +1084,7 @@ mod tests {
             Arc::new(AtomicBool::new(false)),
             &metrics,
             Some(on_round),
+            None,
         )
         .expect("runs");
         let v = parse(&cold).expect("valid json");
@@ -1063,6 +1106,7 @@ mod tests {
             None,
             Arc::new(AtomicBool::new(false)),
             &metrics,
+            None,
             None,
         )
         .expect("runs");

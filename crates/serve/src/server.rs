@@ -20,19 +20,19 @@ use crate::http::{query_flag, read_request, HttpError, Request, Response};
 use crate::jobs::{
     parse_check_request, parse_fix_request, parse_search_request, parse_sim_request,
     parse_sweep_request, run_check_request, run_fix_request, run_search_request, run_sim,
-    run_sweep_request, search_progress_json, JobState, Registry,
+    run_sweep_part, run_sweep_request, search_progress_json, JobState, Registry,
 };
 use crate::metrics::{merge_metrics, Metrics};
 use crate::pool::{Outcome, Rejected, ShardedPool, Ticket};
 use hetmem_cluster::{
-    ClusterConfig, ClusterNode, ExecReply, ForwardFailure, Forwarded, Hooks, Plan,
+    ClusterConfig, ClusterNode, ExecReply, ForwardFailure, Forwarded, Hooks, NodeDispatcher, Plan,
 };
 use hetmem_search::ProgressHook;
 use hetmem_sim::SimError;
-use hetmem_xplore::{DiskCache, Json};
+use hetmem_xplore::{DiskCache, JobDispatcher, Json};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
@@ -95,6 +95,12 @@ struct State {
     /// is live (the join handshake probes `/v1/health` back). `None`
     /// for a standalone server.
     cluster: OnceLock<Arc<ClusterNode>>,
+    /// Scattered sweep parts currently executing on this node. Parts
+    /// bypass the request pool (see [`execute_remote`]), so this
+    /// counter is their only admission control: at `pool.workers()`
+    /// concurrent parts the node answers Busy and the entry node runs
+    /// the partition itself.
+    parts_active: AtomicUsize,
 }
 
 impl State {
@@ -174,6 +180,30 @@ fn execute_remote(state: &Arc<State>, endpoint: &str, body: &str) -> ExecReply {
     if state.draining.load(Ordering::SeqCst) {
         state.metrics.bump(&state.metrics.drain_rejections);
         return ExecReply::Draining;
+    }
+    if endpoint == "/v1/sweep-part" {
+        // Sweep parts run directly on the frame-handler thread, NOT on
+        // the request pool: the entry node's pool worker is already
+        // held by the sweep that scattered this part, so two entry
+        // nodes scattering at each other would deadlock in a circular
+        // wait if parts queued behind pool workers. The counter bounds
+        // concurrency to the pool's width; beyond it the entry node
+        // falls back to executing the partition locally.
+        let workers = usize::try_from(state.pool.workers()).unwrap_or(1).max(1);
+        if state.parts_active.fetch_add(1, Ordering::SeqCst) >= workers {
+            state.parts_active.fetch_sub(1, Ordering::SeqCst);
+            state.metrics.bump(&state.metrics.queue_rejections);
+            return ExecReply::Busy;
+        }
+        let outcome = run_sweep_part(body, state.cache_dir.clone(), workers, &state.metrics);
+        state.parts_active.fetch_sub(1, Ordering::SeqCst);
+        return match outcome {
+            Ok(body) => ExecReply::Body(body),
+            Err(error) => {
+                state.metrics.bump(&state.metrics.jobs_failed);
+                ExecReply::Failed(error)
+            }
+        };
     }
     let (key, deadline_ms, work): (String, Option<u64>, Box<dyn FnOnce() -> JobResult + Send>) =
         match endpoint {
@@ -257,6 +287,17 @@ fn try_forward(
     }
 }
 
+/// The dispatcher a sweep/search job on this node scatters through:
+/// the cluster's [`NodeDispatcher`] when clustering is on, else `None`
+/// (purely local execution). Built per-job so a sweep submitted before
+/// the cluster layer finished starting still runs — just locally.
+fn cluster_dispatcher(state: &Arc<State>) -> Option<Arc<dyn JobDispatcher>> {
+    state
+        .cluster
+        .get()
+        .map(|node| Arc::new(NodeDispatcher::new(node)) as Arc<dyn JobDispatcher>)
+}
+
 /// Appends the node's cluster status block to a local metrics
 /// document, so both the plain `/metrics` body and every document fed
 /// into the fleet merge carry the cluster counters.
@@ -311,6 +352,10 @@ fn start_cluster(
             http_addr: http_addr.to_string(),
             heartbeat_ms: opts.heartbeat_ms.max(1),
             replicate_after: opts.replicate_after.max(1),
+            peers_path: opts
+                .cache_dir
+                .as_ref()
+                .map(|dir| dir.join("cluster-peers.json")),
             ..ClusterConfig::default()
         },
         hooks,
@@ -494,13 +539,14 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
                 let metrics = Arc::clone(&state.metrics);
                 let cache_dir = state.cache_dir.clone();
                 let cancel = Arc::clone(&state.cancel);
+                let dispatcher = cluster_dispatcher(state);
                 let id = state.registry.create();
                 let runner_state = Arc::clone(state);
                 let work = move || {
                     runner_state
                         .registry
                         .set(id, JobState::Running { progress: None });
-                    run_sweep_request(&sweep, cache_dir, cancel, &metrics)
+                    run_sweep_request(&sweep, cache_dir, cancel, &metrics, dispatcher)
                 };
                 submit_async(state, id, &key, deadline, work)
             }
@@ -513,6 +559,7 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
                 let metrics = Arc::clone(&state.metrics);
                 let cache_dir = state.cache_dir.clone();
                 let cancel = Arc::clone(&state.cancel);
+                let dispatcher = cluster_dispatcher(state);
                 let id = state.registry.create();
                 let runner_state = Arc::clone(state);
                 let work = move || {
@@ -528,7 +575,14 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
                             },
                         );
                     });
-                    run_search_request(&search, cache_dir, cancel, &metrics, Some(on_round))
+                    run_search_request(
+                        &search,
+                        cache_dir,
+                        cancel,
+                        &metrics,
+                        Some(on_round),
+                        dispatcher,
+                    )
                 };
                 submit_async(state, id, &key, deadline, work)
             }
@@ -537,7 +591,33 @@ fn route(state: &Arc<State>, req: &Request) -> Response {
             let id = path["/v1/jobs/".len()..].parse::<u64>().ok();
             match id.and_then(|id| state.registry.status_body(id)) {
                 Some(body) => Response::json(200, body),
-                None => Response::json(404, State::error_body("no such job")),
+                None => {
+                    // Job ids are per-node: a fleet client that polls
+                    // the wrong member gets told which peers could be
+                    // the entry node, instead of a bare 404.
+                    let peers: Vec<Json> = state
+                        .cluster
+                        .get()
+                        .map(|node| node.peer_http_addrs().into_iter().map(Json::Str).collect())
+                        .unwrap_or_default();
+                    let body = format!(
+                        "{}\n",
+                        Json::obj(vec![
+                            ("error", Json::Str("no such job on this node".to_owned())),
+                            (
+                                "hint",
+                                Json::Str(
+                                    "job ids are issued by the entry node; re-poll the node \
+                                     that answered 202"
+                                        .to_owned(),
+                                ),
+                            ),
+                            ("peers", Json::Arr(peers)),
+                        ])
+                        .render()
+                    );
+                    Response::json(404, body)
+                }
             }
         }
         ("POST", "/v1/shutdown") => {
@@ -660,6 +740,7 @@ impl Server {
             cancel: Arc::new(AtomicBool::new(false)),
             waiters: Mutex::new(Vec::new()),
             cluster: OnceLock::new(),
+            parts_active: AtomicUsize::new(0),
         });
         let accept_state = Arc::clone(&state);
         let accept = std::thread::Builder::new()
@@ -833,6 +914,7 @@ mod tests {
             cancel: Arc::new(AtomicBool::new(false)),
             waiters: Mutex::new(Vec::new()),
             cluster: OnceLock::new(),
+            parts_active: AtomicUsize::new(0),
         })
     }
 

@@ -9,6 +9,7 @@
 //! case-study row pays trace generation once, not five times.
 
 use crate::cache::DiskCache;
+use crate::dispatch::{DispatchContext, JobDispatcher, JobPart};
 use crate::ser::SweepRecord;
 use crate::spec::{Job, JobKind, SweepSpec};
 use hetmem_core::experiment::{CaseStudyRun, ExperimentConfig, SpaceRun};
@@ -26,7 +27,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Execution knobs for a sweep.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct SweepOptions {
     /// Worker threads; `0` uses the host's available parallelism.
     pub workers: usize,
@@ -48,6 +49,26 @@ pub struct SweepOptions {
     /// Non-accurate modes address separate cache entries — see
     /// [`content_key_with`].
     pub mode: ExecMode,
+    /// Remote execution: parts of the job list this dispatcher claims run
+    /// elsewhere (a cluster, typically), concurrently with the local
+    /// share; everything it fails comes back to the local pool. `None`
+    /// (the default) runs every job locally. Never changes the output —
+    /// records land in their ordinal slots wherever they executed.
+    pub dispatcher: Option<Arc<dyn JobDispatcher>>,
+}
+
+impl std::fmt::Debug for SweepOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("workers", &self.workers)
+            .field("cache_dir", &self.cache_dir)
+            .field("progress", &self.progress)
+            .field("timeline_interval", &self.timeline_interval)
+            .field("cancel", &self.cancel)
+            .field("mode", &self.mode)
+            .field("dispatcher", &self.dispatcher.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl SweepOptions {
@@ -121,6 +142,14 @@ impl SweepOptionsBuilder {
     #[must_use]
     pub fn mode(mut self, mode: ExecMode) -> SweepOptionsBuilder {
         self.opts.mode = mode;
+        self
+    }
+
+    /// Installs a remote-execution dispatcher; `None` (the default) runs
+    /// every job on the local pool.
+    #[must_use]
+    pub fn dispatcher(mut self, dispatcher: Option<Arc<dyn JobDispatcher>>) -> SweepOptionsBuilder {
+        self.opts.dispatcher = dispatcher;
         self
     }
 
@@ -428,13 +457,15 @@ pub fn run_jobs(
         }
         result
     };
-    let progress = |done: usize, record: &Result<SweepRecord, SimError>| {
+    let done = AtomicUsize::new(0);
+    let progress = |record: &Result<SweepRecord, SimError>| {
+        let finished = done.fetch_add(1, Ordering::Relaxed);
         if let (true, Ok(record)) = (opts.progress, record) {
             let mut err = std::io::stderr().lock();
             let _ = write!(
                 err,
                 "\r[{:>width$}/{}] {} {}/{}        ",
-                done + 1,
+                finished + 1,
                 jobs.len(),
                 record.kind,
                 record.kernel,
@@ -445,50 +476,139 @@ pub fn run_jobs(
         }
     };
 
-    let mut slots: Vec<Option<Result<SweepRecord, SimError>>> = Vec::new();
-    slots.resize_with(jobs.len(), || None);
-
-    if workers == 1 {
-        // Single-worker sweeps (the service's per-shard path, benches, and
-        // `--jobs 1`) run inline on the calling thread: no spawn, no
-        // channel, and — because the engine pool is thread-local — recycled
-        // engines survive from one sweep to the next.
-        let cancel = opts.cancel.as_deref();
-        for (index, job) in jobs.iter().enumerate() {
-            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
-                break;
-            }
-            let record = run_one(job);
-            progress(index, &record);
-            slots[index] = Some(record);
-        }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Result<SweepRecord, SimError>)>();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let run_one = &run_one;
-                let cancel = opts.cancel.as_deref();
-                scope.spawn(move || loop {
+    // Executes `indices` on up to `workers` local threads, handing each
+    // finished (index, record) pair to `sink` on the calling thread.
+    // Single-worker batches (the service's per-shard path, benches, and
+    // `--jobs 1`) run inline: no spawn, no channel, and — because the
+    // engine pool is thread-local — recycled engines survive from one
+    // sweep to the next.
+    let run_local =
+        |indices: &[usize], sink: &mut dyn FnMut(usize, Result<SweepRecord, SimError>)| {
+            let cancel = opts.cancel.as_deref();
+            if workers.min(indices.len().max(1)) <= 1 {
+                for &index in indices {
                     if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
                         break;
                     }
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else { break };
-                    if tx.send((index, run_one(job))).is_err() {
-                        break;
-                    }
-                });
+                    sink(index, run_one(&jobs[index]));
+                }
+                return;
             }
-            drop(tx);
+            let cursor = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, Result<SweepRecord, SimError>)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(indices.len()) {
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    let run_one = &run_one;
+                    scope.spawn(move || loop {
+                        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                            break;
+                        }
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = indices.get(slot) else {
+                            break;
+                        };
+                        if tx.send((index, run_one(&jobs[index]))).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (index, record) in rx {
+                    sink(index, record);
+                }
+            });
+        };
 
-            for (done, (index, record)) in rx.into_iter().enumerate() {
-                progress(done, &record);
+    // Partition: parts the dispatcher claims execute remotely, everything
+    // else (plus whatever the dispatcher fails) runs on the local pool.
+    // Claims are sanitized — out-of-range or doubly-claimed indices are
+    // dropped — so a buggy dispatcher degrades to local execution rather
+    // than corrupting the merge.
+    let ctx = DispatchContext {
+        config,
+        timeline_interval: opts.timeline_interval,
+        mode: opts.mode,
+    };
+    let mut claimed = vec![false; jobs.len()];
+    let parts: Vec<JobPart> = match &opts.dispatcher {
+        None => Vec::new(),
+        Some(dispatcher) => dispatcher
+            .partition(jobs, &ctx)
+            .into_iter()
+            .map(|part| JobPart {
+                owner: part.owner,
+                indices: part
+                    .indices
+                    .into_iter()
+                    .filter(|&i| i < jobs.len() && !std::mem::replace(&mut claimed[i], true))
+                    .collect(),
+            })
+            .filter(|part| !part.indices.is_empty())
+            .collect(),
+    };
+    let local: Vec<usize> = (0..jobs.len()).filter(|&i| !claimed[i]).collect();
+
+    let mut slots: Vec<Option<Result<SweepRecord, SimError>>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+
+    if parts.is_empty() {
+        let mut sink = |index: usize, record: Result<SweepRecord, SimError>| {
+            progress(&record);
+            slots[index] = Some(record);
+        };
+        run_local(&local, &mut sink);
+    } else {
+        let dispatcher = opts.dispatcher.as_ref().expect("parts imply a dispatcher");
+        // Scatter: remote parts execute concurrently with the local
+        // share. A part whose owner is unreachable, draining, or answers
+        // garbage falls back onto the local pool afterwards — failover
+        // costs latency, never correctness.
+        let mut fallback: Vec<usize> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| {
+                    let ctx = &ctx;
+                    scope.spawn(move || dispatcher.execute(jobs, part, ctx))
+                })
+                .collect();
+            let mut sink = |index: usize, record: Result<SweepRecord, SimError>| {
+                progress(&record);
                 slots[index] = Some(record);
+            };
+            run_local(&local, &mut sink);
+            for (part, handle) in parts.iter().zip(handles) {
+                let outcome = handle.join().unwrap_or(Err(SimError::Cancelled));
+                match outcome {
+                    Ok(records)
+                        if records.len() == part.indices.len()
+                            && records
+                                .iter()
+                                .zip(&part.indices)
+                                .all(|(r, &i)| r.id == jobs[i].id) =>
+                    {
+                        // Merge in ordinal slots: remote records are
+                        // indistinguishable from local ones downstream.
+                        for (&index, record) in part.indices.iter().zip(records) {
+                            let record = Ok(record);
+                            progress(&record);
+                            slots[index] = Some(record);
+                        }
+                    }
+                    _ => fallback.extend_from_slice(&part.indices),
+                }
             }
         });
+        if !fallback.is_empty() {
+            fallback.sort_unstable();
+            let mut sink = |index: usize, record: Result<SweepRecord, SimError>| {
+                progress(&record);
+                slots[index] = Some(record);
+            };
+            run_local(&fallback, &mut sink);
+        }
     }
     if opts.progress {
         eprintln!();
@@ -768,5 +888,129 @@ mod tests {
         assert_eq!(warm.stats.cache_hits as usize, warm.stats.jobs);
         assert_eq!(cold.records, warm.records);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Claims every even-ordinal job and "remotely" executes it through a
+    /// nested local `run_jobs` — the cluster dispatcher in miniature.
+    struct EchoDispatcher {
+        calls: AtomicUsize,
+    }
+
+    impl JobDispatcher for EchoDispatcher {
+        fn partition(&self, jobs: &[Job], _ctx: &DispatchContext<'_>) -> Vec<JobPart> {
+            vec![JobPart {
+                owner: "loopback".to_owned(),
+                indices: (0..jobs.len()).step_by(2).collect(),
+            }]
+        }
+
+        fn execute(
+            &self,
+            jobs: &[Job],
+            part: &JobPart,
+            ctx: &DispatchContext<'_>,
+        ) -> Result<Vec<SweepRecord>, SimError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let subset: Vec<Job> = part.indices.iter().map(|&i| jobs[i]).collect();
+            let opts = SweepOptions::builder().workers(1).mode(ctx.mode).build();
+            Ok(run_jobs(&subset, ctx.config, &opts)?.records)
+        }
+    }
+
+    /// Always claims everything and always fails — the unreachable-owner
+    /// case. The sweep must fall back to purely local execution.
+    struct DeadDispatcher;
+
+    impl JobDispatcher for DeadDispatcher {
+        fn partition(&self, jobs: &[Job], _ctx: &DispatchContext<'_>) -> Vec<JobPart> {
+            vec![JobPart {
+                owner: "gone".to_owned(),
+                indices: (0..jobs.len()).collect(),
+            }]
+        }
+
+        fn execute(
+            &self,
+            _jobs: &[Job],
+            _part: &JobPart,
+            _ctx: &DispatchContext<'_>,
+        ) -> Result<Vec<SweepRecord>, SimError> {
+            Err(SimError::PeerUnavailable {
+                peer: "gone".to_owned(),
+            })
+        }
+    }
+
+    /// Claims everything but answers with wrong-id records — the engine
+    /// must reject the merge and re-run the part locally.
+    struct LyingDispatcher;
+
+    impl JobDispatcher for LyingDispatcher {
+        fn partition(&self, jobs: &[Job], _ctx: &DispatchContext<'_>) -> Vec<JobPart> {
+            vec![JobPart {
+                owner: "liar".to_owned(),
+                // Doubly-claimed and out-of-range indices exercise the
+                // sanitizer too.
+                indices: (0..jobs.len()).chain([0, jobs.len() + 7]).collect(),
+            }]
+        }
+
+        fn execute(
+            &self,
+            jobs: &[Job],
+            part: &JobPart,
+            ctx: &DispatchContext<'_>,
+        ) -> Result<Vec<SweepRecord>, SimError> {
+            let subset: Vec<Job> = part.indices.iter().map(|&i| jobs[i]).collect();
+            let opts = SweepOptions::builder().workers(1).mode(ctx.mode).build();
+            let mut records = run_jobs(&subset, ctx.config, &opts)?.records;
+            for record in &mut records {
+                record.id += 1000;
+            }
+            Ok(records)
+        }
+    }
+
+    #[test]
+    fn dispatcher_merge_is_byte_identical_to_local() {
+        let config = cfg();
+        let spec = small_spec();
+        let local = run_sweep(&spec, &config, &SweepOptions::with_workers(2)).expect("local");
+        let echo = Arc::new(EchoDispatcher {
+            calls: AtomicUsize::new(0),
+        });
+        let opts = SweepOptions::builder()
+            .workers(2)
+            .dispatcher(Some(Arc::clone(&echo) as Arc<dyn JobDispatcher>))
+            .build();
+        let scattered = run_sweep(&spec, &config, &opts).expect("scattered");
+        assert!(echo.calls.load(Ordering::Relaxed) >= 1, "part must scatter");
+        assert_eq!(
+            crate::to_jsonl(&local.records),
+            crate::to_jsonl(&scattered.records),
+            "scatter-gather must be byte-identical to a local run"
+        );
+    }
+
+    #[test]
+    fn dead_and_lying_dispatchers_fall_back_to_local_execution() {
+        let config = cfg();
+        let spec = small_spec();
+        let local = run_sweep(&spec, &config, &SweepOptions::with_workers(2)).expect("local");
+        for dispatcher in [
+            Arc::new(DeadDispatcher) as Arc<dyn JobDispatcher>,
+            Arc::new(LyingDispatcher) as Arc<dyn JobDispatcher>,
+        ] {
+            let opts = SweepOptions::builder()
+                .workers(2)
+                .dispatcher(Some(dispatcher))
+                .build();
+            let out = run_sweep(&spec, &config, &opts).expect("failover");
+            assert_eq!(
+                crate::to_jsonl(&local.records),
+                crate::to_jsonl(&out.records),
+                "failover must reproduce the local run exactly"
+            );
+        }
     }
 }

@@ -37,6 +37,7 @@
 
 pub mod cache;
 pub mod check;
+pub mod dispatch;
 pub mod emit;
 pub mod engine;
 pub mod fix;
@@ -47,6 +48,7 @@ pub mod spec;
 
 pub use cache::DiskCache;
 pub use check::{check_reports_to_jsonl, diagnostic_to_json};
+pub use dispatch::{DispatchContext, JobDispatcher, JobPart};
 pub use emit::{to_csv, to_jsonl, to_table, OutputFormat};
 pub use engine::{
     content_key, content_key_with, execute_job, execute_job_observed, job_trace,

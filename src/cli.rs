@@ -20,6 +20,7 @@
 //! and exits with status 2. Runtime failures (unreadable files, malformed
 //! traces) exit with status 1.
 
+use hetmem_cluster::FleetDispatcher;
 use hetmem_core::experiment::ExperimentConfig;
 use hetmem_core::report::{render_figure5, render_figure6, render_figure7, TextTable};
 use hetmem_core::EvaluatedSystem;
@@ -28,9 +29,11 @@ use hetmem_search::{Objective, SearchConfig, SearchOptions, SearchSpace, Strateg
 use hetmem_sim::{EventTrace, ExecMode, IntervalProfiler, Recorder, SimError, Simulation};
 use hetmem_trace::kernels::{Kernel, KernelParams};
 use hetmem_xplore::{
-    parse_kernel, parse_space, parse_system, Json, OutputFormat, SweepOptions, SweepSpec,
+    parse_kernel, parse_space, parse_system, JobDispatcher, Json, OutputFormat, SweepOptions,
+    SweepSpec,
 };
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Timeline window size (in ticks) when `--timeline` gives no `:interval`
 /// suffix: about 24 µs of simulated time, a few hundred windows for the
@@ -67,6 +70,8 @@ pub enum Command {
         cache_dir: Option<PathBuf>,
         /// Execution mode for every job.
         mode: ExecMode,
+        /// Cluster address of a serve-fleet member to scatter jobs to.
+        join: Option<String>,
     },
     /// Run a guided multi-objective search over the design-space grid.
     Search {
@@ -78,6 +83,8 @@ pub enum Command {
         jobs: usize,
         /// Optional result cache directory (shared with `sweep`).
         cache_dir: Option<PathBuf>,
+        /// Cluster address of a serve-fleet member to scatter jobs to.
+        join: Option<String>,
     },
     /// Report the Table V row for a DSL source file.
     Loc {
@@ -184,14 +191,15 @@ commands:
   fig <5|6|7> [--scale N] [--format json|csv|table] [--jobs N] [--cache-dir D]
                                 regenerate a figure (default full scale)
   sweep [--kernel K] [--system S] [--space A] [--scale N] [--jobs N]
-        [--cache-dir D] [--format json|csv|table] [--mode M]
+        [--cache-dir D] [--format json|csv|table] [--mode M] [--join H:P]
                                 parallel cached sweep over the design space
                                 (filters repeat or take comma lists; default
-                                covers every kernel x system x space at scale 1)
+                                covers every kernel x system x space at scale 1;
+                                --join scatters jobs across a serve fleet)
   search [--budget N] [--seed S] [--objectives cycles,energy,loc,hw,saved]
          [--strategy random|halving|evolve] [--kernel K] [--system S]
          [--space A] [--scale N] [--jobs N] [--cache-dir D]
-         [--format json|table] [--mode M]
+         [--format json|table] [--mode M] [--join H:P]
                                 guided multi-objective design-space search:
                                 spends a simulator-job budget (default: a
                                 quarter of the exhaustive sweep) through a
@@ -420,6 +428,7 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
             "cache-dir",
             "format",
             "mode",
+            "join",
         ],
     )?;
     expect_no_positionals(&positionals, "sweep")?;
@@ -430,7 +439,20 @@ fn parse_sweep(args: &[String]) -> Result<Command, String> {
         jobs: parse_jobs(&flags)?,
         cache_dir: parse_cache_dir(&flags),
         mode: parse_mode(&flags)?,
+        join: parse_join_flag(&flags)?,
     })
+}
+
+/// Parses the shared optional `--join H:P` flag: the cluster address of
+/// a serve-fleet member whose ring this process should scatter its
+/// sweep/search jobs across.
+fn parse_join_flag(flags: &Flags<'_>) -> Result<Option<String>, String> {
+    match flag_values(flags, "join").as_slice() {
+        [] => Ok(None),
+        [v] if v.contains(':') => Ok(Some((*v).to_owned())),
+        [v] => Err(format!("--join needs HOST:PORT, not {v:?}")),
+        _ => Err("--join given more than once".to_owned()),
+    }
 }
 
 /// The spec axes shared by `sweep` and `search`: kernels, systems,
@@ -487,6 +509,7 @@ fn parse_search(args: &[String]) -> Result<Command, String> {
             "cache-dir",
             "format",
             "mode",
+            "join",
         ],
     )?;
     expect_no_positionals(&positionals, "search")?;
@@ -544,6 +567,7 @@ fn parse_search(args: &[String]) -> Result<Command, String> {
         format: parse_format_no_csv(&flags, "search")?,
         jobs: parse_jobs(&flags)?,
         cache_dir: parse_cache_dir(&flags),
+        join: parse_join_flag(&flags)?,
     })
 }
 
@@ -816,6 +840,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Connects to a serve fleet when `--join` was given and returns a
+/// dispatcher that scatters sweep/search jobs across the member ring.
+fn fleet_dispatcher(join: Option<&str>) -> Result<Option<Arc<dyn JobDispatcher>>, SimError> {
+    let Some(addr) = join else { return Ok(None) };
+    let fleet = FleetDispatcher::connect(addr)?;
+    eprintln!("joined fleet via {addr}: {} node(s)", fleet.nodes());
+    Ok(Some(Arc::new(fleet)))
+}
+
 /// Executes a parsed command, writing human-readable output to stdout.
 ///
 /// # Errors
@@ -848,6 +881,7 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             jobs,
             cache_dir,
             mode,
+            join,
         } => {
             let config = ExperimentConfig::paper();
             let opts = SweepOptions::builder()
@@ -855,6 +889,7 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
                 .cache_dir(cache_dir.clone())
                 .progress(true)
                 .mode(*mode)
+                .dispatcher(fleet_dispatcher(join.as_deref())?)
                 .build();
             let out = hetmem_xplore::run_sweep(spec, &config, &opts)?;
             print!("{}", format.render(&out.records));
@@ -865,10 +900,12 @@ pub fn execute(command: &Command) -> Result<(), SimError> {
             format,
             jobs,
             cache_dir,
+            join,
         } => {
             let opts = SearchOptions {
                 workers: *jobs,
                 cache_dir: cache_dir.clone(),
+                dispatcher: fleet_dispatcher(join.as_deref())?,
                 ..SearchOptions::default()
             };
             let result = hetmem_search::run_search(config, opts)?;
@@ -1451,6 +1488,7 @@ mod tests {
             jobs,
             cache_dir,
             mode,
+            join,
         }) = parse_args(&args(&["sweep"]))
         else {
             panic!("sweep must parse");
@@ -1460,6 +1498,7 @@ mod tests {
         assert_eq!(jobs, 0);
         assert_eq!(cache_dir, None);
         assert_eq!(mode, ExecMode::Accurate);
+        assert_eq!(join, None);
 
         let Ok(Command::Sweep {
             spec,
@@ -1498,16 +1537,38 @@ mod tests {
     }
 
     #[test]
+    fn parses_join_flag_and_rejects_bad_addresses() {
+        let Ok(Command::Sweep { join, .. }) =
+            parse_args(&args(&["sweep", "--join", "127.0.0.1:7070"]))
+        else {
+            panic!("sweep --join must parse");
+        };
+        assert_eq!(join.as_deref(), Some("127.0.0.1:7070"));
+
+        let Ok(Command::Search { join, .. }) =
+            parse_args(&args(&["search", "--join", "127.0.0.1:7070"]))
+        else {
+            panic!("search --join must parse");
+        };
+        assert_eq!(join.as_deref(), Some("127.0.0.1:7070"));
+
+        assert!(parse_args(&args(&["sweep", "--join", "no-port"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--join", "a:1", "--join", "b:2"])).is_err());
+    }
+
+    #[test]
     fn parses_search_defaults_and_filters() {
         let Ok(Command::Search {
             config,
             format,
             jobs,
             cache_dir,
+            join,
         }) = parse_args(&args(&["search"]))
         else {
             panic!("search must parse");
         };
+        assert_eq!(join, None);
         assert_eq!(config.space, SearchSpace::full(1));
         assert_eq!(config.objectives, Objective::ALL.to_vec());
         assert_eq!(config.strategy, Strategy::Halving);
